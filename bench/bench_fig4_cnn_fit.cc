@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Table IV (experiment setup) and Fig. 4: the
+ * Accelerator_FIT_rate of the CNN workloads (Inception / ResNet /
+ * MobileNet) under FP16 / INT16 / INT8, split into datapath, local
+ * control, and global control contributions, using the Top-1 match
+ * correctness metric and a 600 FIT/MB raw FF rate.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+int
+main()
+{
+    int samples = scaledSamples(150);
+
+    printHeading(std::cout, "Table IV: experiment setup");
+    Table setup({"Item", "Value"});
+    setup.addRow({"Platform",
+                  "fidelity nn engine (fault-model hooks)"});
+    setup.addRow({"CNN workloads", "inception, resnet, mobilenet"});
+    setup.addRow({"Correctness metric", "Top-1 label match"});
+    setup.addRow({"Data precision", "FP16, INT16, INT8"});
+    setup.addRow({"Raw FF FIT rate", "600 / MB"});
+    setup.addRow({"FF census N_ff", "1.2e6 (estimated, adjustable)"});
+    setup.addRow({"Samples per (layer, category)",
+                  std::to_string(samples)});
+    setup.print(std::cout);
+
+    printHeading(std::cout,
+                 "Fig. 4: Accelerator FIT rates for the CNNs");
+    Table t({"Network", "Precision", "datapath", "local", "global",
+             "total"});
+
+    std::uint64_t injections = 0;
+    for (const char *name : {"inception", "resnet", "mobilenet"}) {
+        for (Precision p : {Precision::FP16, Precision::INT16,
+                            Precision::INT8}) {
+            CampaignResult res =
+                runStudyCampaign(name, p, top1Metric(), samples);
+            injections += res.totalInjections;
+            auto cells = fitCells(res.fit);
+            t.addRow({name, precisionName(p), cells[0], cells[1],
+                      cells[2], cells[3]});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nsoftware fault-injection experiments run: "
+              << injections << " (paper: 46M total)\n"
+              << "Key result (1): every configuration far exceeds the "
+                 "0.2 FIT budget the ISO26262 ASIL-D allocation allows "
+                 "the accelerator's FFs.\n"
+              << "Key result (4): FP16 FIT is generally the highest, "
+                 "and INT8 exceeds INT16 (coarser quantisation "
+                 "amplifies equal perturbations).\n";
+    return 0;
+}

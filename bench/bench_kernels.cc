@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework's hot kernels:
+ * forward convolution, single-neuron recomputation, engine cycle rate,
+ * software fault-model application, and the RNG.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/nvdla_fi.hh"
+#include "core/fault_models.hh"
+#include "nn/conv.hh"
+#include "nn/init.hh"
+#include "sim/rng.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+struct ConvSetup
+{
+    ConvSpec spec;
+    std::unique_ptr<Conv2D> conv;
+    Tensor x;
+    std::vector<const Tensor *> ins;
+    Tensor golden;
+
+    ConvSetup()
+        : x(1, 8, 8, 8)
+    {
+        Rng rng(1);
+        spec.inC = 8;
+        spec.outC = 32;
+        spec.kh = 3;
+        spec.kw = 3;
+        spec.pad = 1;
+        conv = std::make_unique<Conv2D>(
+            "c", spec, heWeights(rng, 9u * 8 * 32, 72),
+            smallBiases(rng, 32));
+        conv->setPrecision(Precision::FP16);
+        for (auto &v : x.data())
+            v = static_cast<float>(rng.normal(0, 1));
+        ins = {&x};
+        golden = conv->forward(ins);
+    }
+};
+
+ConvSetup &
+setup()
+{
+    static ConvSetup s;
+    return s;
+}
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.conv->forward(s.ins));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.golden.size()) *
+                            s.conv->reductionLength());
+}
+BENCHMARK(BM_ConvForward);
+
+void
+BM_ComputeNeuron(benchmark::State &state)
+{
+    auto &s = setup();
+    NeuronIndex n{0, 4, 4, 7};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.conv->computeNeuron(s.ins, n,
+                                                       nullptr));
+    state.SetItemsProcessed(state.iterations() *
+                            s.conv->reductionLength());
+}
+BENCHMARK(BM_ComputeNeuron);
+
+void
+BM_EngineGoldenRun(benchmark::State &state)
+{
+    auto &s = setup();
+    NvdlaConfig cfg;
+    NvdlaEngine engine(cfg, engineLayerFromConv(*s.conv, s.x));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        EngineResult r = engine.run(s.x, nullptr);
+        cycles = r.cycles;
+        benchmark::DoNotOptimize(r.output);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cycles));
+    state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_EngineGoldenRun);
+
+void
+BM_EngineInjection(benchmark::State &state)
+{
+    auto &s = setup();
+    NvdlaConfig cfg;
+    NvdlaFi fi(cfg, engineLayerFromConv(*s.conv, s.x), s.x);
+    Rng rng(3);
+    for (auto _ : state) {
+        FaultSite site = fi.sampleSite(rng);
+        benchmark::DoNotOptimize(fi.inject(site));
+    }
+}
+BENCHMARK(BM_EngineInjection);
+
+void
+BM_FaultModelApply(benchmark::State &state)
+{
+    auto &s = setup();
+    NvdlaConfig cfg;
+    FaultModels models(cfg);
+    Rng rng(5);
+    auto cat = static_cast<FFCategory>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            models.apply(cat, *s.conv, s.ins, s.golden, rng));
+    state.SetLabel(ffCategoryName(cat));
+}
+BENCHMARK(BM_FaultModelApply)
+    ->DenseRange(0, static_cast<int>(FFCategory::GlobalControl));
+
+void
+BM_RngDraws(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next32());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngDraws);
+
+} // namespace
+
+BENCHMARK_MAIN();

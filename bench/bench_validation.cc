@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Regenerates the Sec. IV validation study (Table III workloads): for
+ * every sampled (flip-flop, cycle) fault site, the RTL-style cycle
+ * simulation is compared against the software fault model derived for
+ * that site.  The paper's result — datapath models match exactly,
+ * local-control models match the faulty-neuron set, global-control
+ * faults almost always fail — is reproduced row by row.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/validation.hh"
+#include "sim/table.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+int
+main()
+{
+    int samples = scaledSamples(500);
+    auto workloads = buildValidationWorkloads(2020);
+    NvdlaConfig cfg;
+
+    printHeading(std::cout,
+                 "Sec. IV validation: RTL-style injection vs software "
+                 "fault models (FP16)");
+    std::cout << "fault sites per workload: " << samples
+              << " (paper: 10K per workload, 60K total)\n\n";
+
+    Table t({"Workload", "sites", "non-masked", "timeouts",
+             "mask agree", "set match", "value match", "order match"});
+
+    std::uint64_t all_cases = 0, all_non_masked = 0, all_timeouts = 0;
+    std::uint64_t dp_both = 0, dp_set = 0, dp_val = 0, dp_ord = 0;
+    std::uint64_t lc_both = 0, lc_set = 0;
+    std::uint64_t g_cases = 0, g_fail = 0;
+    std::uint64_t mask_agree = 0, non_global = 0;
+
+    for (auto &w : workloads) {
+        Validator val(cfg, *w.layer, w.ins());
+        Rng rng(99);
+        ValidationReport rep = val.run(samples, rng);
+
+        std::uint64_t wl_agree = 0, wl_non_global = 0;
+        std::uint64_t wl_both = 0, wl_set = 0, wl_val = 0, wl_ord = 0;
+        for (FFCategory cat : allFFCategories()) {
+            const CategoryValidation &cv = rep.forCategory(cat);
+            if (cat == FFCategory::GlobalControl) {
+                g_cases += cv.cases;
+                g_fail += cv.rtlNonMasked;
+                continue;
+            }
+            wl_agree += cv.maskAgree;
+            wl_non_global += cv.cases;
+            wl_both += cv.bothNonMasked;
+            wl_set += cv.setMatch;
+            wl_ord += cv.orderMatch;
+            if (cat == FFCategory::LocalControl) {
+                lc_both += cv.bothNonMasked;
+                lc_set += cv.setMatch;
+            } else {
+                dp_both += cv.bothNonMasked;
+                dp_set += cv.setMatch;
+                dp_val += cv.valueMatch;
+                dp_ord += cv.orderMatch;
+                wl_val += cv.valueMatch;
+            }
+        }
+        mask_agree += wl_agree;
+        non_global += wl_non_global;
+        all_cases += rep.totalCases;
+        all_non_masked += rep.totalNonMasked;
+        all_timeouts += rep.totalTimeouts;
+
+        auto ratio = [](std::uint64_t n, std::uint64_t d) {
+            return d ? Table::pct(static_cast<double>(n) / d)
+                     : std::string("-");
+        };
+        t.addRow({w.name, Table::num(rep.totalCases),
+                  Table::num(rep.totalNonMasked),
+                  Table::num(rep.totalTimeouts),
+                  ratio(wl_agree, wl_non_global),
+                  ratio(wl_set, wl_both), ratio(wl_val, wl_both),
+                  ratio(wl_ord, wl_both)});
+    }
+    t.print(std::cout);
+
+    // Directed experiments for the rare classes, as the paper's
+    // analysis isolates local-control and global-control cases.
+    printHeading(std::cout,
+                 "Directed local-control validation (valid bits, mux "
+                 "selects)");
+    int directed = scaledSamples(120);
+    Table d({"Workload", "cases", "non-masked", "mask agree",
+             "set match (RF = 1)"});
+    std::uint64_t dl_both = 0, dl_set = 0;
+    for (auto &w : workloads) {
+        Validator val(cfg, *w.layer, w.ins());
+        Rng rng(55);
+        std::uint64_t cases = 0, non_masked = 0, agree = 0, both = 0,
+                      set = 0;
+        for (int i = 0; i < directed; ++i) {
+            FFClass cls = i % 2 == 0 ? FFClass::LocalValid
+                                     : FFClass::LocalMuxSel;
+            CaseResult cr = val.runOneDirected(cls, rng);
+            cases += 1;
+            non_masked += !cr.rtlMasked;
+            agree += cr.rtlMasked == cr.predMasked;
+            if (!cr.rtlMasked && !cr.predMasked) {
+                both += 1;
+                set += cr.setMatch && cr.rtlCount == 1;
+            }
+        }
+        dl_both += both;
+        dl_set += set;
+        d.addRow({w.name, Table::num(cases), Table::num(non_masked),
+                  Table::pct(static_cast<double>(agree) / cases),
+                  both ? Table::pct(static_cast<double>(set) / both)
+                       : std::string("-")});
+    }
+    d.print(std::cout);
+
+    // Global-control masking among *active* sites (the framework's
+    // always-failure model is conditioned on activeness).
+    printHeading(std::cout,
+                 "Directed global-control validation");
+    Table g({"Workload", "active sites", "failures", "failure rate"});
+    for (auto &w : workloads) {
+        Validator val(cfg, *w.layer, w.ins());
+        Rng rng(77);
+        std::uint64_t active = 0, fail = 0;
+        for (int i = 0; i < directed * 2; ++i) {
+            FFClass cls = i % 2 == 0 ? FFClass::GlobalConfig
+                                     : FFClass::GlobalCounter;
+            CaseResult cr = val.runOneDirected(cls, rng);
+            if (!val.globalSiteActive(cr.site))
+                continue;
+            active += 1;
+            fail += !cr.rtlMasked;
+        }
+        g.addRow({w.name, Table::num(active), Table::num(fail),
+                  active ? Table::pct(static_cast<double>(fail) / active)
+                         : std::string("-")});
+    }
+    g.print(std::cout);
+
+    printHeading(std::cout, "Aggregate results");
+    auto pct = [](std::uint64_t n, std::uint64_t d) {
+        return d ? 100.0 * static_cast<double>(n) / d : 0.0;
+    };
+    std::cout << "total fault sites:            " << all_cases << "\n"
+              << "non-masked outcomes:          " << all_non_masked
+              << " (timeouts: " << all_timeouts << ")\n"
+              << "masking agreement (non-glob): "
+              << Table::num(pct(mask_agree, non_global), 2) << "%\n"
+              << "datapath: set match "
+              << Table::num(pct(dp_set, dp_both), 2) << "%, value match "
+              << Table::num(pct(dp_val, dp_both), 2)
+              << "%, order match "
+              << Table::num(pct(dp_ord, dp_both), 2) << "% (of "
+              << dp_both << " non-masked cases)\n"
+              << "local control: set match "
+              << Table::num(pct(lc_set + dl_set, lc_both + dl_both), 2)
+              << "% (of " << lc_both + dl_both
+              << " incl. directed; values modelled as random)\n"
+              << "global control: " << Table::num(pct(g_fail, g_cases), 2)
+              << "% failures (" << g_cases
+              << " cases; paper observes ~90% on NVDLA)\n"
+              << "\nPaper reference: all 8262 datapath cases matched "
+                 "exactly; all 138 local-control cases matched the "
+                 "faulty-neuron set; 72/60K timed out.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures.
+ * Sample counts default to sizes that finish in seconds on one core and
+ * scale with the FIDELITY_SAMPLES environment variable (a multiplier;
+ * e.g. FIDELITY_SAMPLES=10 approaches paper-scale statistics).
+ */
+
+#ifndef FIDELITY_BENCH_COMMON_HH
+#define FIDELITY_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/campaign.hh"
+#include "sim/table.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+namespace fidelity::bench
+{
+
+/** Scale a default sample count by $FIDELITY_SAMPLES (default 1.0). */
+inline int
+scaledSamples(int base)
+{
+    const char *env = std::getenv("FIDELITY_SAMPLES");
+    if (!env)
+        return base;
+    double factor = std::atof(env);
+    if (factor <= 0.0)
+        return base;
+    double scaled = base * factor;
+    return scaled < 1.0 ? 1 : static_cast<int>(scaled);
+}
+
+/** Wall-clock seconds of a callable. */
+template <typename Fn>
+double
+timeSeconds(Fn &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+/** Build, calibrate, and campaign one study network. */
+inline CampaignResult
+runStudyCampaign(const std::string &network, Precision precision,
+                 const CorrectnessFn &metric, int samples,
+                 std::uint64_t seed = 2020)
+{
+    Network net = buildNetwork(network, seed);
+    Tensor input = defaultInputFor(network, seed + 1);
+    net.setPrecision(precision);
+    if (precision == Precision::INT16 || precision == Precision::INT8)
+        net.calibrate(input);
+
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = samples;
+    cfg.seed = seed + 7;
+    return runCampaign(net, input, metric, cfg);
+}
+
+/** Format a FIT breakdown row: datapath / local / global / total. */
+inline std::vector<std::string>
+fitCells(const FitBreakdown &fit)
+{
+    return {Table::num(fit.datapath, 3), Table::num(fit.local, 3),
+            Table::num(fit.global, 3), Table::num(fit.total(), 3)};
+}
+
+} // namespace fidelity::bench
+
+#endif // FIDELITY_BENCH_COMMON_HH

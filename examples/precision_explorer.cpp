@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Exploring the resilience / precision trade-off (Key result 4).
+ *
+ * The same classifier network is quantised to FP16, INT16 and INT8 and
+ * assessed with FIdelity; the example also inspects the mechanics
+ * behind the trend by measuring the perturbation a single operand bit
+ * flip causes in each representation.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/campaign.hh"
+#include "core/fault_models.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "tensor/bitops.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+int
+main()
+{
+    printHeading(std::cout,
+                 "Precision exploration: resnet classifier, Top-1");
+
+    Table t({"Precision", "datapath", "local", "global", "total FIT"});
+    for (Precision p : {Precision::FP16, Precision::INT16,
+                        Precision::INT8}) {
+        Network net = buildResNet(2020);
+        Tensor input = defaultInputFor("resnet", 2021);
+        net.setPrecision(p);
+        if (p != Precision::FP16)
+            net.calibrate(input);
+
+        CampaignConfig cfg;
+        cfg.samplesPerCategory = 100;
+        cfg.seed = 5;
+        CampaignResult res = runCampaign(net, input, top1Metric(), cfg);
+        t.addRow({precisionName(p), Table::num(res.fit.datapath, 3),
+                  Table::num(res.fit.local, 3),
+                  Table::num(res.fit.global, 3),
+                  Table::num(res.fit.total(), 3)});
+    }
+    t.print(std::cout);
+
+    // Why: measure the relative perturbation of one operand bit flip
+    // per representation, for values calibrated to the same range.
+    printHeading(std::cout,
+                 "Mean |perturbation| of one operand bit flip "
+                 "(values in [-1, 1])");
+    Table m({"Representation", "mean |delta|", "max |delta|"});
+    Rng rng(9);
+    QuantParams q8 = calibrateAbsMax(1.0, 8);
+    QuantParams q16 = calibrateAbsMax(1.0, 16);
+    for (Precision p : {Precision::FP16, Precision::INT16,
+                        Precision::INT8}) {
+        RunningStat stat;
+        const QuantParams &qp = p == Precision::INT8 ? q8 : q16;
+        for (int i = 0; i < 20000; ++i) {
+            float x = static_cast<float>(rng.uniform(-1.0, 1.0));
+            int bit = static_cast<int>(
+                rng.below(FaultModels::operandBits(p)));
+            float y = FaultModels::flipStoredOperand(x, p, qp, bit);
+            if (std::isfinite(y))
+                stat.add(std::fabs(y - x));
+            else
+                stat.add(65504.0); // FP16 overflow-scale event
+        }
+        m.addRow({precisionName(p), Table::num(stat.mean(), 4),
+                  Table::num(stat.max(), 1)});
+    }
+    m.print(std::cout);
+
+    std::cout << "\nFP16's dynamic range admits enormous single-flip "
+                 "perturbations (exponent bits), while INT8's flips "
+                 "are larger relative to its 8-bit word than INT16's — "
+                 "matching the FIT ordering above (Key result 4).\n";
+    return 0;
+}

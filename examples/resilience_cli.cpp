@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Command-line resilience analysis: run FIdelity's full flow on one of
+ * the study networks with configurable precision, metric, and
+ * statistics, and print the FIT breakdown plus a selective-protection
+ * plan for a given budget.
+ *
+ * Usage:
+ *   resilience_cli [network] [precision] [metric] [samples] [target]
+ *
+ *   network   inception | resnet | mobilenet | yolo | transformer | rnn
+ *   precision fp16 | int16 | int8            (default fp16)
+ *   metric    top1 | bleu10 | bleu20 | det10 | det20  (default top1)
+ *   samples   per (layer, category)          (default 200)
+ *   target    FIT budget for protection plan (default 0.2)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/campaign.hh"
+#include "sim/logging.hh"
+#include "core/protection.hh"
+#include "sim/table.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+Precision
+parsePrecision(const std::string &s)
+{
+    if (s == "fp16")
+        return Precision::FP16;
+    if (s == "int16")
+        return Precision::INT16;
+    if (s == "int8")
+        return Precision::INT8;
+    if (s == "fp32")
+        return Precision::FP32;
+    fatal("unknown precision '", s, "'");
+}
+
+CorrectnessFn
+parseMetric(const std::string &s)
+{
+    if (s == "top1")
+        return top1Metric();
+    if (s == "bleu10")
+        return bleuMetric(0.10);
+    if (s == "bleu20")
+        return bleuMetric(0.20);
+    if (s == "det10")
+        return detectionMetric(0.10);
+    if (s == "det20")
+        return detectionMetric(0.20);
+    fatal("unknown metric '", s, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string network = argc > 1 ? argv[1] : "resnet";
+    Precision precision =
+        parsePrecision(argc > 2 ? argv[2] : "fp16");
+    std::string metric_name = argc > 3 ? argv[3] : "top1";
+    CorrectnessFn metric = parseMetric(metric_name);
+    int samples = argc > 4 ? std::atoi(argv[4]) : 200;
+    double target = argc > 5 ? std::atof(argv[5]) : 0.2;
+
+    Network net = buildNetwork(network, 2020);
+    Tensor input = defaultInputFor(network, 2021);
+    net.setPrecision(precision);
+    if (precision == Precision::INT16 || precision == Precision::INT8)
+        net.calibrate(input);
+
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = samples;
+    cfg.seed = 17;
+
+    std::cout << "analysing " << network << " ("
+              << precisionName(precision) << ", " << metric_name << ", "
+              << samples << " samples per layer/category)...\n";
+    CampaignResult res = runCampaign(net, input, metric, cfg);
+
+    printHeading(std::cout, "Accelerator FIT rate");
+    Table t({"FF group", "FIT"});
+    t.addRow({"datapath", Table::num(res.fit.datapath, 3)});
+    t.addRow({"local control", Table::num(res.fit.local, 3)});
+    t.addRow({"global control", Table::num(res.fit.global, 3)});
+    t.addRow({"total", Table::num(res.fit.total(), 3)});
+    t.print(std::cout);
+
+    printHeading(std::cout,
+                 "Selective protection plan (target " +
+                     Table::num(target, 2) + " FIT)");
+    ProtectionPlan plan =
+        planSelectiveProtection(cfg.fit, res.layerInputs, target);
+    Table p({"Category", "protect?"});
+    const auto &cats = allFFCategories();
+    for (std::size_t c = 0; c < cats.size(); ++c)
+        p.addRow({ffCategoryName(cats[c]),
+                  plan.protect[c] ? "yes" : "no"});
+    p.print(std::cout);
+    std::cout << "protected FF share: " << Table::pct(plan.ffShare)
+              << ", resulting FIT: " << Table::num(plan.fit.total(), 3)
+              << (plan.meetsTarget ? " (meets target)\n"
+                                   : " (target unreachable by "
+                                     "category protection alone)\n");
+    std::cout << "\ntotal injections: " << res.totalInjections << "\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "accel/eyeriss.hh"
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+EyerissModel::EyerissModel(const EyerissConfig &cfg, int out_h, int out_w,
+                           int out_c)
+    : cfg_(cfg), outH_(out_h), outW_(out_w), outC_(out_c)
+{
+    fatal_if(cfg.k <= 0 || cfg.t <= 0,
+             "Eyeriss geometry must be positive");
+    fatal_if(out_h <= 0 || out_w <= 0 || out_c <= 0,
+             "output dimensions must be positive");
+}
+
+bool
+EyerissModel::inRange(const NeuronIndex &n) const
+{
+    return n.h >= 0 && n.h < outH_ && n.w >= 0 && n.w < outW_ &&
+           n.c >= 0 && n.c < outC_;
+}
+
+std::vector<NeuronIndex>
+EyerissModel::weightFaultNeurons(int row0, int col, int chan) const
+{
+    // The corrupted weight value marches across the k columns; column i
+    // is computing output row row0 + i when the value arrives.
+    std::vector<NeuronIndex> out;
+    for (int i = 0; i < cfg_.k; ++i) {
+        NeuronIndex n{0, row0 + i, col, chan};
+        if (inRange(n))
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::vector<NeuronIndex>
+EyerissModel::inputFaultNeurons(int row0, int col, int chan0) const
+{
+    // Diagonal reuse spreads the value over k consecutive rows (one per
+    // column step), and each MAC reuses it for t consecutive output
+    // channels.
+    std::vector<NeuronIndex> out;
+    for (int c = 0; c < cfg_.t; ++c) {
+        for (int i = 0; i < cfg_.k; ++i) {
+            NeuronIndex n{0, row0 + i, col, chan0 + c};
+            if (inRange(n))
+                out.push_back(n);
+        }
+    }
+    return out;
+}
+
+std::vector<NeuronIndex>
+EyerissModel::biasFaultNeurons(int row, int col, int chan) const
+{
+    NeuronIndex n{0, row, col, chan};
+    if (inRange(n))
+        return {n};
+    return {};
+}
+
+} // namespace fidelity

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Analytical model of an Eyeriss-like row-stationary accelerator.
+ *
+ * Implements the dataflow of the paper's Fig. 2(b): a k x k systolic
+ * MAC array where the units of a column compute one output row in
+ * consecutive cycles and consecutive columns compute consecutive rows;
+ * weights travel to the neighbouring column each cycle (so one weight
+ * value reaches k columns), and an input value is reused diagonally and
+ * across t output channels inside a MAC.  The model produces the faulty
+ * output-neuron sets of the b1/b2/b3 example targets, cross-checked in
+ * tests against the generic Reuse Factor Analysis (Algorithm 1)
+ * descriptors — demonstrating FIdelity's applicability beyond NVDLA.
+ */
+
+#ifndef FIDELITY_ACCEL_EYERISS_HH
+#define FIDELITY_ACCEL_EYERISS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace fidelity
+{
+
+/** Geometry of the Eyeriss-like array. */
+struct EyerissConfig
+{
+    int k = 4;  //!< k x k systolic array
+    int t = 16; //!< temporal reuse across t output channels
+};
+
+/** Faulty-neuron analysis of the Fig. 2(b) example targets. */
+class EyerissModel
+{
+  public:
+    EyerissModel(const EyerissConfig &cfg, int out_h, int out_w,
+                 int out_c);
+
+    const EyerissConfig &config() const { return cfg_; }
+
+    /**
+     * Target b1: a weight FF inside a MAC unit, whose value is passed
+     * across the k columns.  RF = k.
+     * @param row0 Output row the first column is working on.
+     * @param col Output column position of the affected operations.
+     * @param chan Output channel.
+     * @return Up to k neurons in k consecutive rows of one column.
+     */
+    std::vector<NeuronIndex> weightFaultNeurons(int row0, int col,
+                                                int chan) const;
+
+    /**
+     * Target b2: an input FF reused diagonally across columns and
+     * across t output channels inside each MAC.  RF = k * t.
+     * @param row0 First affected output row.
+     * @param col Output column (the example uses the last column).
+     * @param chan0 First affected output channel.
+     */
+    std::vector<NeuronIndex> inputFaultNeurons(int row0, int col,
+                                               int chan0) const;
+
+    /**
+     * Target b3: a bias FF feeding one BiasAdd unit with no temporal
+     * reuse.  RF = 1.
+     */
+    std::vector<NeuronIndex> biasFaultNeurons(int row, int col,
+                                              int chan) const;
+
+    /** Reuse factors of the three targets (k, k*t, 1). */
+    int weightRf() const { return cfg_.k; }
+    int inputRf() const { return cfg_.k * cfg_.t; }
+    int biasRf() const { return 1; }
+
+  private:
+    bool inRange(const NeuronIndex &n) const;
+
+    EyerissConfig cfg_;
+    int outH_;
+    int outW_;
+    int outC_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_ACCEL_EYERISS_HH

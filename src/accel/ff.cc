@@ -1,0 +1,125 @@
+#include "accel/ff.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+const char *
+ffClassName(FFClass cls)
+{
+    switch (cls) {
+      case FFClass::FetchInput:
+        return "FetchInput";
+      case FFClass::FetchWeight:
+        return "FetchWeight";
+      case FFClass::OperandInput:
+        return "OperandInput";
+      case FFClass::WeightStage:
+        return "WeightStage";
+      case FFClass::WeightHold:
+        return "WeightHold";
+      case FFClass::Psum:
+        return "Psum";
+      case FFClass::OutputReg:
+        return "OutputReg";
+      case FFClass::BiasReg:
+        return "BiasReg";
+      case FFClass::LocalValid:
+        return "LocalValid";
+      case FFClass::LocalMuxSel:
+        return "LocalMuxSel";
+      case FFClass::GlobalConfig:
+        return "GlobalConfig";
+      case FFClass::GlobalCounter:
+        return "GlobalCounter";
+    }
+    panic("unknown FFClass");
+}
+
+const char *
+configRegName(ConfigReg r)
+{
+    switch (r) {
+      case ConfigReg::OutC:
+        return "OutC";
+      case ConfigReg::Positions:
+        return "Positions";
+      case ConfigReg::Red:
+        return "Red";
+      case ConfigReg::OutH:
+        return "OutH";
+      case ConfigReg::OutW:
+        return "OutW";
+      case ConfigReg::InC:
+        return "InC";
+      case ConfigReg::InH:
+        return "InH";
+      case ConfigReg::InW:
+        return "InW";
+      case ConfigReg::KH:
+        return "KH";
+      case ConfigReg::KW:
+        return "KW";
+      case ConfigReg::Stride:
+        return "Stride";
+      case ConfigReg::Pad:
+        return "Pad";
+      case ConfigReg::Dilation:
+        return "Dilation";
+      case ConfigReg::Batch:
+        return "Batch";
+      case ConfigReg::NumRegs:
+        break;
+    }
+    panic("unknown ConfigReg");
+}
+
+const char *
+counterRegName(CounterReg r)
+{
+    switch (r) {
+      case CounterReg::ChanGroup:
+        return "ChanGroup";
+      case CounterReg::Block:
+        return "Block";
+      case CounterReg::RedStep:
+        return "RedStep";
+      case CounterReg::Pos:
+        return "Pos";
+      case CounterReg::Fetch:
+        return "Fetch";
+      case CounterReg::Drain:
+        return "Drain";
+      case CounterReg::NumRegs:
+        break;
+    }
+    panic("unknown CounterReg");
+}
+
+std::string
+FFRef::str() const
+{
+    std::ostringstream os;
+    os << ffClassName(cls) << "[";
+    if (cls == FFClass::GlobalConfig)
+        os << configRegName(static_cast<ConfigReg>(unit));
+    else if (cls == FFClass::GlobalCounter)
+        os << counterRegName(static_cast<CounterReg>(unit));
+    else
+        os << unit;
+    os << "].bit" << bit;
+    return os.str();
+}
+
+std::string
+FaultSite::str() const
+{
+    std::ostringstream os;
+    os << ff.str() << "@cycle" << cycle;
+    return os.str();
+}
+
+} // namespace fidelity

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Flip-flop identification for the accelerator model.
+ *
+ * The cycle-level NVDLA-like engine exposes every architecturally
+ * relevant flip-flop as a named, addressable state element so a fault
+ * site — a (flip-flop, cycle) pair, the paper's transient-error
+ * abstraction — can be injected during simulation, standing in for the
+ * paper's RTL fault injection.
+ */
+
+#ifndef FIDELITY_ACCEL_FF_HH
+#define FIDELITY_ACCEL_FF_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fidelity
+{
+
+/** Microarchitectural class of a flip-flop in the engine. */
+enum class FFClass
+{
+    // Datapath, before CBUF (the fetch pipeline).
+    FetchInput,   //!< input word travelling into CBUF
+    FetchWeight,  //!< weight word travelling into CBUF
+    // Datapath, between CBUF and the MAC array.
+    OperandInput, //!< shared input operand broadcast to all MACs
+    WeightStage,  //!< per-MAC weight staging register (target a1)
+    WeightHold,   //!< per-MAC weight hold register, kept t cycles (a2)
+    // Datapath, inside and after the MAC array.
+    Psum,         //!< per-(MAC, position) partial-sum accumulator
+    OutputReg,    //!< drained output register entering the SDP
+    BiasReg,      //!< bias operand register in the SDP
+    // Local control.
+    LocalValid,   //!< per-MAC output-valid bit
+    LocalMuxSel,  //!< SDP bias-path mux select
+    // Global control.
+    GlobalConfig, //!< layer configuration register (dims, stride, ...)
+    GlobalCounter //!< sequencing counter (loops, addresses)
+};
+
+/** Printable flip-flop class name. */
+const char *ffClassName(FFClass cls);
+
+/** Configuration registers of the engine (GlobalConfig units). */
+enum class ConfigReg
+{
+    OutC,     //!< output channels (conv) or output columns (matmul)
+    Positions,//!< total output positions (n*oh*ow, or matmul rows)
+    Red,      //!< reduction length per neuron
+    OutH,
+    OutW,
+    InC,
+    InH,
+    InW,
+    KH,
+    KW,
+    Stride,
+    Pad,
+    Dilation,
+    Batch,
+    NumRegs
+};
+
+/** Sequencing counters of the engine (GlobalCounter units). */
+enum class CounterReg
+{
+    ChanGroup, //!< output channel-group index
+    Block,     //!< position-block index
+    RedStep,   //!< reduction step within a block
+    Pos,       //!< position within a block
+    Fetch,     //!< fetch-phase element counter
+    Drain,     //!< drain-phase pipeline counter
+    NumRegs
+};
+
+/** Printable register names. */
+const char *configRegName(ConfigReg r);
+const char *counterRegName(CounterReg r);
+
+/** Addressable reference to one flip-flop instance. */
+struct FFRef
+{
+    FFClass cls = FFClass::OperandInput;
+    int unit = 0; //!< MAC index, psum slot, or register id per class
+    int bit = 0;  //!< bit position to flip
+
+    /**
+     * Additional bits flipped in the same cycle (a mask OR-ed with
+     * 1 << bit) — the paper's "multiple single-cycle bit-flips in a
+     * single register" abstraction.  0 for the common single-bit case.
+     */
+    std::uint32_t extraMask = 0;
+
+    /** Full flip mask. */
+    std::uint32_t mask() const { return (1u << bit) | extraMask; }
+
+    std::string str() const;
+};
+
+/** A transient-fault injection site: one FF, one cycle. */
+struct FaultSite
+{
+    FFRef ff;
+    std::uint64_t cycle = 0;
+
+    std::string str() const;
+};
+
+/**
+ * A transient fault in an on-chip memory word (Sec. III-E: FIdelity's
+ * reuse-factor machinery extends to memory errors; a corrupted word
+ * behaves like the pre-buffer datapath FF that loaded it).
+ */
+struct MemFault
+{
+    bool weightRegion = true; //!< weight CBUF region vs input region
+    std::int64_t addr = 0;    //!< word address within the region
+    std::uint32_t mask = 1;   //!< bits to flip in the stored word
+    std::uint64_t cycle = 1;  //!< injection cycle
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_ACCEL_FF_HH

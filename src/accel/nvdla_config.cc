@@ -1,0 +1,18 @@
+#include "accel/nvdla_config.hh"
+
+#include <sstream>
+
+namespace fidelity
+{
+
+std::string
+NvdlaConfig::str() const
+{
+    std::ostringstream os;
+    os << "NVDLA-like engine: " << macs() << " MACs (k=" << k
+       << "), weight hold t=" << t << ", CBUF " << cbufWords
+       << " words/region, fetch " << fetchWordsPerCycle << " words/cycle";
+    return os.str();
+}
+
+} // namespace fidelity

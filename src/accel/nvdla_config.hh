@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Static configuration of the NVDLA-like engine.
+ *
+ * Matches the case-study configuration of the paper: k = 4, so k^2 = 16
+ * parallel MAC units, and t = 16 weight-hold cycles (which is also the
+ * position-block length).  All parameters are plain inputs so
+ * sensitivity analysis can vary them.
+ */
+
+#ifndef FIDELITY_ACCEL_NVDLA_CONFIG_HH
+#define FIDELITY_ACCEL_NVDLA_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fidelity
+{
+
+/** Hardware configuration parameters of the NVDLA-like engine. */
+struct NvdlaConfig
+{
+    int k = 4;  //!< MAC array is k^2 units
+    int t = 16; //!< weight hold cycles == position-block length
+
+    /** Number of parallel MAC units. */
+    int macs() const { return k * k; }
+
+    /** CBUF capacity in data words, per operand region. */
+    std::size_t cbufWords = 512 * 1024;
+
+    /** Operand words fetched into CBUF per cycle (fetch bandwidth). */
+    int fetchWordsPerCycle = 16;
+
+    /**
+     * Fault runs abort with a timeout once they exceed this multiple of
+     * the golden run's cycle count (mirrors the RTL testbench's
+     * system time-out).
+     */
+    std::uint64_t timeoutFactor = 8;
+
+    /** Human-readable summary for reports. */
+    std::string str() const;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_ACCEL_NVDLA_CONFIG_HH

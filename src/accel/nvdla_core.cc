@@ -1,0 +1,822 @@
+#include "accel/nvdla_core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "tensor/bitops.hh"
+#include "tensor/float16.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+using i64 = std::int64_t;
+
+/** Saturating clamp for address arithmetic on corrupted registers. */
+constexpr i64 satLimit = i64{1} << 40;
+
+i64
+sat(i64 v)
+{
+    return std::clamp(v, -satLimit, satLimit);
+}
+
+i64
+smul(i64 a, i64 b)
+{
+    i64 out;
+    if (__builtin_mul_overflow(a, b, &out))
+        return satLimit;
+    return sat(out);
+}
+
+i64
+sadd(i64 a, i64 b)
+{
+    i64 out;
+    if (__builtin_add_overflow(a, b, &out))
+        return satLimit;
+    return sat(out);
+}
+
+/** Wrap an address into [0, size). */
+std::size_t
+wrap(i64 addr, std::size_t size)
+{
+    i64 s = static_cast<i64>(size);
+    i64 m = addr % s;
+    if (m < 0)
+        m += s;
+    return static_cast<std::size_t>(m);
+}
+
+} // namespace
+
+int
+EngineLayer::positions() const
+{
+    if (kind == Kind::MatMul)
+        return rows;
+    return batch * outH * outW;
+}
+
+int
+EngineLayer::reduction() const
+{
+    if (redOverride > 0)
+        return redOverride;
+    if (kind == Kind::MatMul)
+        return red;
+    return inC * kh * kw;
+}
+
+int
+EngineLayer::channels() const
+{
+    if (kind == Kind::MatMul)
+        return cols;
+    return outC;
+}
+
+Tensor
+EngineLayer::makeOutput() const
+{
+    if (kind == Kind::MatMul)
+        return Tensor(1, rows, 1, cols);
+    return Tensor(batch, outH, outW, outC);
+}
+
+/** All mutable machine state of one engine run. */
+struct NvdlaEngine::RunState
+{
+    using Phase = EnginePhase;
+
+    const Tensor *input = nullptr;
+    const FaultSite *fault = nullptr;
+    bool faultApplied = false;
+
+    std::uint64_t cycle = 0;
+    std::uint64_t maxCycles = 0;
+    Phase phase = Phase::FetchW;
+
+    // Datapath flip-flops.
+    double fetchInputFF = 0.0;
+    double fetchWeightFF = 0.0;
+    double operandInputFF = 0.0;
+    std::vector<double> wStage;
+    std::vector<double> wHold;
+    std::vector<double> psum; //!< [mac * t + pos]
+    float outputFF = 0.0f;
+    double biasFF = 0.0;
+
+    // Local control flip-flops.
+    std::vector<std::uint8_t> validFF;
+    std::uint8_t muxSelFF = 0;
+
+    // Global control registers.
+    std::vector<i64> cfg; //!< ConfigReg::NumRegs entries
+    std::vector<i64> cnt; //!< CounterReg::NumRegs entries
+
+    // Memories (not flip-flops; not injectable in this study).
+    std::vector<double> cbufIn;
+    std::vector<double> cbufW;
+    Tensor out;
+    std::vector<std::uint64_t> wbCycle;
+
+    // Pipeline bookkeeping for the drain write stage: flat output
+    // address computed one cycle earlier (travels with outputFF).
+    i64 pendingAddr = -1;
+    int pendingMac = 0;
+
+    bool timeout = false;
+    bool anomaly = false;
+
+    i64 cfgv(ConfigReg r) const { return cfg[static_cast<int>(r)]; }
+    void setCfg(ConfigReg r, i64 v) { cfg[static_cast<int>(r)] = v; }
+    i64 cntv(CounterReg r) const { return cnt[static_cast<int>(r)]; }
+    void setCnt(CounterReg r, i64 v) { cnt[static_cast<int>(r)] = v; }
+};
+
+NvdlaEngine::NvdlaEngine(const NvdlaConfig &cfg, const EngineLayer &layer)
+    : cfg_(cfg), layer_(layer)
+{
+    std::size_t expect_w;
+    if (layer_.kind == EngineLayer::Kind::Conv) {
+        fatal_if(layer_.inC <= 0 || layer_.outC <= 0 || layer_.kh <= 0 ||
+                 layer_.kw <= 0 || layer_.stride <= 0 ||
+                 layer_.dilation <= 0 || layer_.batch <= 0,
+                 "engine conv geometry must be positive");
+        expect_w = static_cast<std::size_t>(layer_.kh) * layer_.kw *
+                   layer_.inC * layer_.outC;
+    } else {
+        fatal_if(layer_.rows <= 0 || layer_.red <= 0 || layer_.cols <= 0,
+                 "engine matmul geometry must be positive");
+        expect_w = static_cast<std::size_t>(layer_.red) * layer_.cols;
+    }
+    fatal_if(layer_.weights.size() != expect_w,
+             "engine expected ", expect_w, " weights, got ",
+             layer_.weights.size());
+    fatal_if(!layer_.bias.empty() &&
+             layer_.bias.size() !=
+                 static_cast<std::size_t>(layer_.channels()),
+             "engine bias size mismatch");
+
+    // Size the modelled CBUF to the layer (capped by the configured
+    // capacity) so per-run state stays small; the wrap behaviour under
+    // corrupted addresses only needs a consistent region size.
+    std::size_t need = std::max<std::size_t>(
+        layer_.weights.size(),
+        static_cast<std::size_t>(layer_.positions()) *
+            std::max(1, layer_.kind == EngineLayer::Kind::MatMul
+                            ? layer_.red : layer_.inC));
+    cbufWords_ = std::clamp<std::size_t>(need * 2, 1024, cfg_.cbufWords);
+}
+
+bool
+NvdlaEngine::integerMode() const
+{
+    return layer_.precision == Precision::INT8 ||
+           layer_.precision == Precision::INT16;
+}
+
+double
+NvdlaEngine::storeOperand(float x, bool is_weight) const
+{
+    switch (layer_.precision) {
+      case Precision::FP32:
+        return x;
+      case Precision::FP16:
+        return roundToHalf(x);
+      case Precision::INT16:
+      case Precision::INT8:
+        return static_cast<double>(
+            quantize(x, is_weight ? layer_.wQuant : layer_.inQuant));
+    }
+    panic("unknown Precision");
+}
+
+double
+NvdlaEngine::flipOperand(double stored, [[maybe_unused]] bool is_weight,
+                         std::uint32_t mask) const
+{
+    switch (layer_.precision) {
+      case Precision::FP32:
+        return flipBits(static_cast<float>(stored), Repr::FP32, mask);
+      case Precision::FP16:
+        return flipBits(static_cast<float>(stored), Repr::FP16, mask);
+      case Precision::INT16:
+      case Precision::INT8: {
+        Repr r = layer_.precision == Precision::INT8 ? Repr::INT8
+                                                     : Repr::INT16;
+        auto q = static_cast<std::int32_t>(stored);
+        return static_cast<double>(flipBitsInt(q, r, mask));
+      }
+    }
+    panic("unknown Precision");
+}
+
+float
+NvdlaEngine::writebackVal(double acc, float gated_bias) const
+{
+    double scaled;
+    if (integerMode()) {
+        // acc holds the integer accumulator value exactly.
+        scaled = acc * layer_.inQuant.scale * layer_.wQuant.scale;
+    } else {
+        scaled = acc;
+    }
+    scaled = scaled * static_cast<double>(layer_.outScale);
+    float real = static_cast<float>(scaled) + gated_bias;
+    switch (layer_.precision) {
+      case Precision::FP32:
+        return real;
+      case Precision::FP16:
+        return roundToHalf(real);
+      case Precision::INT16:
+      case Precision::INT8:
+        return dequantize(quantize(real, layer_.outQuant),
+                          layer_.outQuant);
+    }
+    panic("unknown Precision");
+}
+
+float
+NvdlaEngine::flipOutput(float stored, std::uint32_t mask) const
+{
+    switch (layer_.precision) {
+      case Precision::FP32:
+        return flipBits(stored, Repr::FP32, mask);
+      case Precision::FP16:
+        return flipBits(stored, Repr::FP16, mask);
+      case Precision::INT16:
+      case Precision::INT8: {
+        Repr r = layer_.precision == Precision::INT8 ? Repr::INT8
+                                                     : Repr::INT16;
+        std::int32_t q = quantize(stored, layer_.outQuant);
+        return dequantize(flipBitsInt(q, r, mask), layer_.outQuant);
+      }
+    }
+    panic("unknown Precision");
+}
+
+std::int64_t
+NvdlaEngine::weightAddr(const RunState &rs, i64 chan, i64 red_step,
+                        bool &bad) const
+{
+    if (layer_.kind == EngineLayer::Kind::MatMul)
+        return sadd(smul(red_step, rs.cfgv(ConfigReg::OutC)), chan);
+    i64 kh = rs.cfgv(ConfigReg::KH);
+    i64 kw = rs.cfgv(ConfigReg::KW);
+    i64 in_c = rs.cfgv(ConfigReg::InC);
+    i64 kernel = smul(kh, kw);
+    if (kernel <= 0 || kw <= 0) {
+        bad = true;
+        return 0;
+    }
+    i64 ci = red_step / kernel;
+    i64 rem = red_step % kernel;
+    i64 ki = rem / kw;
+    i64 kj = rem % kw;
+    // Weight layout [kh][kw][ci][oc].
+    i64 a = sadd(smul(sadd(smul(ki, kw), kj), in_c), ci);
+    return sadd(smul(a, rs.cfgv(ConfigReg::OutC)), chan);
+}
+
+std::int64_t
+NvdlaEngine::inputAddr(const RunState &rs, i64 pos, i64 red_step,
+                       bool &bad) const
+{
+    if (layer_.kind == EngineLayer::Kind::MatMul)
+        return sadd(smul(pos, rs.cfgv(ConfigReg::Red)), red_step);
+    i64 kh = rs.cfgv(ConfigReg::KH);
+    i64 kw = rs.cfgv(ConfigReg::KW);
+    i64 kernel = smul(kh, kw);
+    i64 out_h = rs.cfgv(ConfigReg::OutH);
+    i64 out_w = rs.cfgv(ConfigReg::OutW);
+    i64 plane = smul(out_h, out_w);
+    if (kernel <= 0 || kw <= 0 || plane <= 0 || out_w <= 0) {
+        bad = true;
+        return 0;
+    }
+    i64 ci = red_step / kernel;
+    i64 rem = red_step % kernel;
+    i64 ki = rem / kw;
+    i64 kj = rem % kw;
+    i64 n = pos / plane;
+    i64 prem = pos % plane;
+    i64 oh = prem / out_w;
+    i64 ow = prem % out_w;
+    i64 stride = rs.cfgv(ConfigReg::Stride);
+    i64 pad = rs.cfgv(ConfigReg::Pad);
+    i64 dil = rs.cfgv(ConfigReg::Dilation);
+    i64 ih = sadd(smul(oh, stride), smul(ki, dil)) - pad;
+    i64 iw = sadd(smul(ow, stride), smul(kj, dil)) - pad;
+    i64 in_h = rs.cfgv(ConfigReg::InH);
+    i64 in_w = rs.cfgv(ConfigReg::InW);
+    if (ih < 0 || ih >= in_h || iw < 0 || iw >= in_w)
+        return -1; // padded (zero) operand
+    i64 in_c = rs.cfgv(ConfigReg::InC);
+    i64 a = sadd(smul(sadd(smul(n, in_h), ih), in_w), iw);
+    return sadd(smul(a, in_c), ci);
+}
+
+std::int64_t
+NvdlaEngine::outAddr(const RunState &rs, i64 pos, i64 chan, bool &bad) const
+{
+    if (layer_.kind == EngineLayer::Kind::MatMul)
+        return sadd(smul(pos, rs.cfgv(ConfigReg::OutC)), chan);
+    i64 out_h = rs.cfgv(ConfigReg::OutH);
+    i64 out_w = rs.cfgv(ConfigReg::OutW);
+    i64 plane = smul(out_h, out_w);
+    if (plane <= 0 || out_w <= 0) {
+        bad = true;
+        return 0;
+    }
+    i64 n = pos / plane;
+    i64 prem = pos % plane;
+    i64 oh = prem / out_w;
+    i64 ow = prem % out_w;
+    i64 a = sadd(smul(sadd(smul(n, out_h), oh), out_w), ow);
+    return sadd(smul(a, rs.cfgv(ConfigReg::OutC)), chan);
+}
+
+void
+NvdlaEngine::flipRef(RunState &rs, const FFRef &ff) const
+{
+    int macs = cfg_.macs();
+    switch (ff.cls) {
+      case FFClass::FetchInput:
+        rs.fetchInputFF = flipOperand(rs.fetchInputFF, false, ff.mask());
+        return;
+      case FFClass::FetchWeight:
+        rs.fetchWeightFF =
+            flipOperand(rs.fetchWeightFF, true, ff.mask());
+        return;
+      case FFClass::OperandInput:
+        rs.operandInputFF =
+            flipOperand(rs.operandInputFF, false, ff.mask());
+        return;
+      case FFClass::WeightStage:
+        panic_if(ff.unit < 0 || ff.unit >= macs, "bad WeightStage unit");
+        rs.wStage[ff.unit] =
+            flipOperand(rs.wStage[ff.unit], true, ff.mask());
+        return;
+      case FFClass::WeightHold:
+        panic_if(ff.unit < 0 || ff.unit >= macs, "bad WeightHold unit");
+        rs.wHold[ff.unit] =
+            flipOperand(rs.wHold[ff.unit], true, ff.mask());
+        return;
+      case FFClass::Psum: {
+        panic_if(ff.unit < 0 ||
+                 ff.unit >= macs * cfg_.t, "bad Psum unit");
+        double &p = rs.psum[ff.unit];
+        if (integerMode()) {
+            auto v = static_cast<std::int64_t>(p);
+            v ^= static_cast<std::int64_t>(ff.mask());
+            p = static_cast<double>(v);
+        } else {
+            p = flipBits(static_cast<float>(p), Repr::FP32, ff.mask());
+        }
+        return;
+      }
+      case FFClass::OutputReg:
+        rs.outputFF = flipOutput(rs.outputFF, ff.mask());
+        return;
+      case FFClass::BiasReg: {
+        Repr r = layer_.precision == Precision::FP16 ? Repr::FP16
+                                                     : Repr::FP32;
+        rs.biasFF =
+            flipBits(static_cast<float>(rs.biasFF), r, ff.mask());
+        return;
+      }
+      case FFClass::LocalValid:
+        panic_if(ff.unit < 0 || ff.unit >= macs, "bad LocalValid unit");
+        rs.validFF[ff.unit] ^= 1;
+        return;
+      case FFClass::LocalMuxSel:
+        rs.muxSelFF ^= 1;
+        return;
+      case FFClass::GlobalConfig:
+        panic_if(ff.unit < 0 ||
+                 ff.unit >= static_cast<int>(ConfigReg::NumRegs),
+                 "bad GlobalConfig unit");
+        rs.cfg[ff.unit] ^= static_cast<i64>(ff.mask());
+        return;
+      case FFClass::GlobalCounter:
+        panic_if(ff.unit < 0 ||
+                 ff.unit >= static_cast<int>(CounterReg::NumRegs),
+                 "bad GlobalCounter unit");
+        rs.cnt[ff.unit] ^= static_cast<i64>(ff.mask());
+        return;
+    }
+    panic("unknown FFClass");
+}
+
+int
+NvdlaEngine::ffBits(FFClass cls) const
+{
+    int operand_bits;
+    switch (layer_.precision) {
+      case Precision::FP32:
+        operand_bits = 32;
+        break;
+      case Precision::FP16:
+        operand_bits = 16;
+        break;
+      case Precision::INT16:
+        operand_bits = 16;
+        break;
+      case Precision::INT8:
+        operand_bits = 8;
+        break;
+      default:
+        panic("unknown Precision");
+    }
+    switch (cls) {
+      case FFClass::FetchInput:
+      case FFClass::FetchWeight:
+      case FFClass::OperandInput:
+      case FFClass::WeightStage:
+      case FFClass::WeightHold:
+      case FFClass::OutputReg:
+        return operand_bits;
+      case FFClass::Psum:
+        return 32;
+      case FFClass::BiasReg:
+        return layer_.precision == Precision::FP16 ? 16 : 32;
+      case FFClass::LocalValid:
+      case FFClass::LocalMuxSel:
+        return 1;
+      case FFClass::GlobalConfig:
+      case FFClass::GlobalCounter:
+        return 32;
+    }
+    panic("unknown FFClass");
+}
+
+std::vector<FFRef>
+NvdlaEngine::ffInventory() const
+{
+    std::vector<FFRef> out;
+    int macs = cfg_.macs();
+    out.push_back({FFClass::FetchInput, 0, 0});
+    out.push_back({FFClass::FetchWeight, 0, 0});
+    out.push_back({FFClass::OperandInput, 0, 0});
+    for (int m = 0; m < macs; ++m)
+        out.push_back({FFClass::WeightStage, m, 0});
+    for (int m = 0; m < macs; ++m)
+        out.push_back({FFClass::WeightHold, m, 0});
+    for (int s = 0; s < macs * cfg_.t; ++s)
+        out.push_back({FFClass::Psum, s, 0});
+    out.push_back({FFClass::OutputReg, 0, 0});
+    out.push_back({FFClass::BiasReg, 0, 0});
+    for (int m = 0; m < macs; ++m)
+        out.push_back({FFClass::LocalValid, m, 0});
+    out.push_back({FFClass::LocalMuxSel, 0, 0});
+    for (int r = 0; r < static_cast<int>(ConfigReg::NumRegs); ++r)
+        out.push_back({FFClass::GlobalConfig, r, 0});
+    for (int r = 0; r < static_cast<int>(CounterReg::NumRegs); ++r)
+        out.push_back({FFClass::GlobalCounter, r, 0});
+    return out;
+}
+
+EngineResult
+NvdlaEngine::run(const Tensor &input, const FaultSite *fault,
+                 std::uint64_t max_cycles, bool record_trace,
+                 const std::vector<MemFault> *mem_faults)
+{
+    using Phase = EnginePhase;
+    const int macs = cfg_.macs();
+    const i64 t = cfg_.t;
+
+    std::vector<CycleInfo> trace;
+    RunState rs;
+    rs.input = &input;
+    rs.fault = fault;
+    rs.maxCycles = max_cycles;
+    rs.wStage.assign(macs, 0.0);
+    rs.wHold.assign(macs, 0.0);
+    rs.psum.assign(static_cast<std::size_t>(macs) * cfg_.t, 0.0);
+    rs.validFF.assign(macs, 0);
+    rs.cfg.assign(static_cast<int>(ConfigReg::NumRegs), 0);
+    rs.cnt.assign(static_cast<int>(CounterReg::NumRegs), 0);
+    rs.cbufIn.assign(cbufWords_, 0.0);
+    rs.cbufW.assign(cbufWords_, 0.0);
+    rs.out = layer_.makeOutput();
+    // Unwritten neurons stay at a stale sentinel; golden runs write all
+    // of them, so sentinels surviving a fault run show up in the diff.
+    rs.out.fill(0.0f);
+    rs.wbCycle.assign(rs.out.size(), 0);
+
+    // Configuration registers latch from the layer descriptor once.
+    rs.setCfg(ConfigReg::OutC, layer_.channels());
+    rs.setCfg(ConfigReg::Positions, layer_.positions());
+    rs.setCfg(ConfigReg::Red, layer_.reduction());
+    if (layer_.kind == EngineLayer::Kind::Conv) {
+        rs.setCfg(ConfigReg::OutH, layer_.outH);
+        rs.setCfg(ConfigReg::OutW, layer_.outW);
+        rs.setCfg(ConfigReg::InC, layer_.inC);
+        rs.setCfg(ConfigReg::InH, layer_.inH);
+        rs.setCfg(ConfigReg::InW, layer_.inW);
+        rs.setCfg(ConfigReg::KH, layer_.kh);
+        rs.setCfg(ConfigReg::KW, layer_.kw);
+        rs.setCfg(ConfigReg::Stride, layer_.stride);
+        rs.setCfg(ConfigReg::Pad, layer_.pad);
+        rs.setCfg(ConfigReg::Dilation, layer_.dilation);
+        rs.setCfg(ConfigReg::Batch, layer_.batch);
+    } else {
+        rs.setCfg(ConfigReg::OutH, layer_.rows);
+        rs.setCfg(ConfigReg::OutW, 1);
+        rs.setCfg(ConfigReg::InH, layer_.rows);
+        rs.setCfg(ConfigReg::InW, 1);
+        rs.setCfg(ConfigReg::InC, layer_.red);
+        rs.setCfg(ConfigReg::KH, 1);
+        rs.setCfg(ConfigReg::KW, 1);
+        rs.setCfg(ConfigReg::Stride, 1);
+        rs.setCfg(ConfigReg::Pad, 0);
+        rs.setCfg(ConfigReg::Dilation, 1);
+        rs.setCfg(ConfigReg::Batch, 1);
+    }
+
+    const bool bias_enable = !layer_.bias.empty();
+    const bool integer = integerMode();
+
+    // Hard safety cap so a framework bug cannot spin forever even when
+    // the caller passes no budget.
+    const std::uint64_t hard_cap =
+        rs.maxCycles ? rs.maxCycles : (std::uint64_t{1} << 33);
+
+    while (rs.phase != Phase::Done) {
+        // ---- one clock cycle ----
+        rs.cycle += 1;
+        if (rs.cycle > hard_cap) {
+            rs.timeout = true;
+            break;
+        }
+        if (rs.fault && !rs.faultApplied && rs.cycle == rs.fault->cycle) {
+            flipRef(rs, rs.fault->ff);
+            rs.faultApplied = true;
+        }
+        if (mem_faults) {
+            for (const MemFault &mf : *mem_faults) {
+                if (mf.cycle != rs.cycle)
+                    continue;
+                auto &region = mf.weightRegion ? rs.cbufW : rs.cbufIn;
+                std::size_t a = wrap(mf.addr, cbufWords_);
+                region[a] = flipOperand(region[a], mf.weightRegion,
+                                        mf.mask);
+            }
+        }
+        if (record_trace) {
+            CycleInfo ci;
+            ci.phase = rs.phase;
+            ci.fetch = static_cast<std::int32_t>(
+                sat(rs.cntv(CounterReg::Fetch)));
+            ci.cg = static_cast<std::int32_t>(
+                sat(rs.cntv(CounterReg::ChanGroup)));
+            ci.blk = static_cast<std::int32_t>(
+                sat(rs.cntv(CounterReg::Block)));
+            ci.step = static_cast<std::int32_t>(
+                sat(rs.cntv(CounterReg::RedStep)));
+            ci.pos = static_cast<std::int32_t>(
+                sat(rs.cntv(CounterReg::Pos)));
+            ci.drain = static_cast<std::int32_t>(
+                sat(rs.cntv(CounterReg::Drain)));
+            trace.push_back(ci);
+        }
+
+        bool bad = false;
+        switch (rs.phase) {
+          case Phase::FetchW: {
+            i64 f = rs.cntv(CounterReg::Fetch);
+            i64 num_w = smul(rs.cfgv(ConfigReg::Red),
+                             rs.cfgv(ConfigReg::OutC));
+            if (f >= 1 && f <= num_w && !layer_.weights.empty()) {
+                rs.cbufW[wrap(f - 1, cbufWords_)] = rs.fetchWeightFF;
+            }
+            if (f < num_w && !layer_.weights.empty()) {
+                std::size_t src = wrap(f, layer_.weights.size());
+                rs.fetchWeightFF =
+                    storeOperand(layer_.weights[src], true);
+                rs.setCnt(CounterReg::Fetch, sadd(f, 1));
+            } else {
+                rs.phase = Phase::FetchI;
+                rs.setCnt(CounterReg::Fetch, 0);
+            }
+            break;
+          }
+          case Phase::FetchI: {
+            i64 f = rs.cntv(CounterReg::Fetch);
+            i64 num_i;
+            if (layer_.kind == EngineLayer::Kind::MatMul) {
+                num_i = smul(rs.cfgv(ConfigReg::Positions),
+                             rs.cfgv(ConfigReg::Red));
+            } else {
+                num_i = smul(smul(rs.cfgv(ConfigReg::Batch),
+                                  smul(rs.cfgv(ConfigReg::InH),
+                                       rs.cfgv(ConfigReg::InW))),
+                             rs.cfgv(ConfigReg::InC));
+            }
+            if (f >= 1 && f <= num_i) {
+                rs.cbufIn[wrap(f - 1, cbufWords_)] = rs.fetchInputFF;
+            }
+            if (f < num_i && input.size() > 0) {
+                std::size_t src = wrap(f, input.size());
+                rs.fetchInputFF = storeOperand(input[src], false);
+                rs.setCnt(CounterReg::Fetch, sadd(f, 1));
+            } else {
+                rs.phase = Phase::BlockStart;
+                rs.setCnt(CounterReg::ChanGroup, 0);
+                rs.setCnt(CounterReg::Block, 0);
+            }
+            break;
+          }
+          case Phase::BlockStart: {
+            i64 cg = rs.cntv(CounterReg::ChanGroup);
+            if (smul(cg, macs) >= rs.cfgv(ConfigReg::OutC)) {
+                rs.phase = Phase::Done;
+                break;
+            }
+            i64 blk = rs.cntv(CounterReg::Block);
+            if (smul(blk, t) >= rs.cfgv(ConfigReg::Positions)) {
+                rs.setCnt(CounterReg::ChanGroup, sadd(cg, 1));
+                rs.setCnt(CounterReg::Block, 0);
+                break; // next cycle re-evaluates BlockStart
+            }
+            // Reset all partial sums for the new block.
+            std::fill(rs.psum.begin(), rs.psum.end(), 0.0);
+            rs.setCnt(CounterReg::RedStep, 0);
+            rs.phase = Phase::LoadStage;
+            break;
+          }
+          case Phase::LoadStage: {
+            i64 step = rs.cntv(CounterReg::RedStep);
+            if (step >= rs.cfgv(ConfigReg::Red)) {
+                rs.setCnt(CounterReg::Drain, 0);
+                rs.phase = Phase::Drain;
+                break;
+            }
+            i64 cg = rs.cntv(CounterReg::ChanGroup);
+            for (int m = 0; m < macs; ++m) {
+                i64 chan = sadd(smul(cg, macs), m);
+                i64 a = weightAddr(rs, chan, step, bad);
+                rs.wStage[m] =
+                    bad ? 0.0 : rs.cbufW[wrap(a, cbufWords_)];
+            }
+            rs.phase = Phase::LoadHold;
+            break;
+          }
+          case Phase::LoadHold: {
+            for (int m = 0; m < macs; ++m)
+                rs.wHold[m] = rs.wStage[m];
+            // Pre-load the first input operand of the block.
+            i64 blk = rs.cntv(CounterReg::Block);
+            i64 step = rs.cntv(CounterReg::RedStep);
+            i64 pos0 = smul(blk, t);
+            i64 a = inputAddr(rs, pos0, step, bad);
+            if (bad || a < 0)
+                rs.operandInputFF = 0.0;
+            else
+                rs.operandInputFF = rs.cbufIn[wrap(a, cbufWords_)];
+            rs.setCnt(CounterReg::Pos, 0);
+            rs.phase = Phase::Mac;
+            break;
+          }
+          case Phase::Mac: {
+            i64 p = rs.cntv(CounterReg::Pos);
+            i64 blk = rs.cntv(CounterReg::Block);
+            i64 step = rs.cntv(CounterReg::RedStep);
+            i64 blk_start = smul(blk, t);
+            i64 blk_len = std::clamp<i64>(
+                rs.cfgv(ConfigReg::Positions) - blk_start, 0, t);
+            if (p >= blk_len) {
+                rs.setCnt(CounterReg::RedStep, sadd(step, 1));
+                rs.phase = Phase::LoadStage;
+                break;
+            }
+            // All MACs consume the broadcast input with their held
+            // weights; the psum slot for (m, p) accumulates.
+            double in = rs.operandInputFF;
+            std::size_t pslot = static_cast<std::size_t>(
+                wrap(p, static_cast<std::size_t>(t)));
+            for (int m = 0; m < macs; ++m) {
+                std::size_t idx =
+                    static_cast<std::size_t>(m) * cfg_.t + pslot;
+                if (integer) {
+                    auto prod = static_cast<std::int64_t>(rs.wHold[m]) *
+                                static_cast<std::int64_t>(in);
+                    rs.psum[idx] = static_cast<double>(
+                        static_cast<std::int64_t>(rs.psum[idx]) + prod);
+                } else {
+                    float acc = static_cast<float>(rs.psum[idx]);
+                    acc += static_cast<float>(rs.wHold[m]) *
+                           static_cast<float>(in);
+                    rs.psum[idx] = static_cast<double>(acc);
+                }
+            }
+            // Pre-load the next broadcast input.
+            if (p + 1 < blk_len) {
+                i64 a = inputAddr(rs, sadd(blk_start, p + 1), step, bad);
+                if (bad || a < 0)
+                    rs.operandInputFF = 0.0;
+                else
+                    rs.operandInputFF =
+                        rs.cbufIn[wrap(a, cbufWords_)];
+            }
+            rs.setCnt(CounterReg::Pos, sadd(p, 1));
+            break;
+          }
+          case Phase::Drain: {
+            i64 d = rs.cntv(CounterReg::Drain);
+            i64 cg = rs.cntv(CounterReg::ChanGroup);
+            i64 blk = rs.cntv(CounterReg::Block);
+            i64 blk_start = smul(blk, t);
+            i64 blk_len = std::clamp<i64>(
+                rs.cfgv(ConfigReg::Positions) - blk_start, 0, t);
+            i64 n_drain = smul(blk_len, macs);
+
+            // Write stage: commit the previous neuron's outputFF.
+            if (d >= 2 && d <= n_drain + 1) {
+                int m = rs.pendingMac;
+                bool valid = rs.validFF[m];
+                rs.validFF[m] = 0;
+                if (valid && rs.pendingAddr >= 0) {
+                    std::size_t a =
+                        wrap(rs.pendingAddr, rs.out.size());
+                    rs.out[a] = rs.outputFF;
+                    rs.wbCycle[a] = rs.cycle;
+                }
+            }
+            // Compute stage: writeback of neuron j = d - 1.
+            if (d >= 1 && d <= n_drain) {
+                i64 j = d - 1;
+                int m = static_cast<int>(j % macs);
+                i64 p = j / macs;
+                i64 chan = sadd(smul(cg, macs), m);
+                std::size_t pslot = static_cast<std::size_t>(
+                    wrap(p, static_cast<std::size_t>(t)));
+                double acc =
+                    rs.psum[static_cast<std::size_t>(m) * cfg_.t + pslot];
+                float gated = rs.muxSelFF
+                    ? static_cast<float>(rs.biasFF) : 0.0f;
+                rs.outputFF = writebackVal(acc, gated);
+                rs.validFF[m] = chan < rs.cfgv(ConfigReg::OutC) ? 1 : 0;
+                rs.pendingMac = m;
+                i64 a = outAddr(rs, sadd(blk_start, p), chan, bad);
+                // The address generator only emits addresses for real
+                // output channels; lanes beyond OutC produce no write.
+                rs.pendingAddr =
+                    (bad || chan >= rs.cfgv(ConfigReg::OutC)) ? -1 : a;
+            }
+            // Bias stage: latch the bias operand for neuron j = d.
+            if (d <= n_drain - 1) {
+                i64 chan = sadd(smul(cg, macs), d % macs);
+                double b = 0.0;
+                if (bias_enable && chan >= 0 &&
+                    chan < static_cast<i64>(layer_.bias.size()))
+                    b = layer_.bias[static_cast<std::size_t>(chan)];
+                rs.biasFF = b;
+            }
+            // The SDP mux select is re-driven by control every cycle.
+            rs.muxSelFF = bias_enable ? 1 : 0;
+
+            if (d >= n_drain + 1) {
+                rs.setCnt(CounterReg::Block, sadd(blk, 1));
+                rs.phase = Phase::BlockStart;
+            } else {
+                rs.setCnt(CounterReg::Drain, sadd(d, 1));
+            }
+            break;
+          }
+          case Phase::Done:
+            break;
+        }
+        if (bad) {
+            rs.anomaly = true;
+            break;
+        }
+    }
+
+    EngineResult res;
+    res.output = std::move(rs.out);
+    res.cycles = rs.cycle;
+    res.timeout = rs.timeout;
+    res.anomaly = rs.anomaly;
+    res.writebackCycle = std::move(rs.wbCycle);
+    res.trace = std::move(trace);
+    return res;
+}
+
+std::uint64_t
+NvdlaEngine::goldenCycles(const Tensor &input)
+{
+    EngineResult res = run(input, nullptr, 0);
+    panic_if(res.timeout || res.anomaly,
+             "golden engine run did not complete cleanly");
+    return res.cycles;
+}
+
+} // namespace fidelity

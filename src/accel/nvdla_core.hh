@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cycle-level model of an NVDLA-like convolution/matmul engine.
+ *
+ * The engine executes the dataflow the paper describes for NVDLA
+ * (Fig. 2a): k^2 parallel MAC units receive the same broadcast input
+ * each cycle while holding per-MAC weights for t cycles, computing the
+ * output neurons at one position across k^2 consecutive output
+ * channels; positions advance in row-major order in blocks of t.
+ *
+ * Every architecturally relevant flip-flop (fetch registers, operand
+ * registers, partial sums, output/bias registers, valid bits, mux
+ * selects, configuration registers and sequencing counters) is explicit
+ * named state, and all sequencing decisions re-read the configuration/
+ * counter registers every cycle, so a bit flip injected into any of
+ * them propagates exactly as it would through RTL: wrong addresses,
+ * wrong loop trip counts (down to hangs caught by the time-out), or
+ * corrupted operands.
+ *
+ * Arithmetic follows the shared convention of the nn layers (operands
+ * stored in the precision's representation, FP32 or integer
+ * accumulation in the canonical reduction order, one rounding at
+ * writeback), so a fault-free engine run reproduces the nn layer's
+ * output bit-for-bit — the property FIdelity's validation relies on.
+ */
+
+#ifndef FIDELITY_ACCEL_NVDLA_CORE_HH
+#define FIDELITY_ACCEL_NVDLA_CORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/ff.hh"
+#include "accel/nvdla_config.hh"
+#include "nn/layer.hh"
+#include "tensor/quant.hh"
+#include "tensor/tensor.hh"
+
+namespace fidelity
+{
+
+/** One layer's worth of work for the engine. */
+struct EngineLayer
+{
+    enum class Kind { Conv, MatMul } kind = Kind::Conv;
+
+    Precision precision = Precision::FP16;
+
+    // Convolution geometry (Kind::Conv). Groups are not supported; the
+    // validation workloads are standard convolutions.
+    int inC = 1, inH = 1, inW = 1;
+    int outC = 1, outH = 1, outW = 1;
+    int kh = 1, kw = 1, stride = 1, pad = 0, dilation = 1;
+    int batch = 1;
+
+    // MatMul geometry (Kind::MatMul): out[r][c] = sum_k A[r][k]*B[k][c].
+    int rows = 1, red = 1, cols = 1;
+
+    /** Conv: [kh][kw][ci][oc] flat.  MatMul: [k][col] flat. */
+    std::vector<float> weights;
+
+    /** Per-output-channel (or per-column) bias; empty to disable. */
+    std::vector<float> bias;
+
+    /** Constant output scaling (attention 1/sqrt(d)); 1.0 otherwise. */
+    float outScale = 1.0f;
+
+    /**
+     * Timing-model override of the per-neuron reduction length; used to
+     * describe grouped/depthwise convolutions (which the cycle-level
+     * engine itself does not execute) to the performance model.  0
+     * keeps the geometric default.
+     */
+    int redOverride = 0;
+
+    /** Quantisation parameters for the integer modes. */
+    QuantParams inQuant, wQuant, outQuant;
+
+    /** Total output positions (batch * outH * outW, or rows). */
+    int positions() const;
+
+    /** Reduction length per output neuron. */
+    int reduction() const;
+
+    /** Output channel count (outC or cols). */
+    int channels() const;
+
+    /** Output tensor shape. */
+    Tensor makeOutput() const;
+};
+
+/** Execution phase of the engine's sequencer. */
+enum class EnginePhase : std::uint8_t
+{
+    FetchW,
+    FetchI,
+    BlockStart,
+    LoadStage,
+    LoadHold,
+    Mac,
+    Drain,
+    Done
+};
+
+/**
+ * Microarchitectural context of one cycle (the values the sequencing
+ * counters held when the cycle executed).  A golden-run trace of these
+ * is the oracle the FI driver uses to map a fault site onto the
+ * corresponding software fault model.
+ */
+struct CycleInfo
+{
+    EnginePhase phase = EnginePhase::FetchW;
+    std::int32_t fetch = 0;
+    std::int32_t cg = 0;
+    std::int32_t blk = 0;
+    std::int32_t step = 0;
+    std::int32_t pos = 0;
+    std::int32_t drain = 0;
+};
+
+/** Result of one engine run. */
+struct EngineResult
+{
+    Tensor output;
+    std::uint64_t cycles = 0;
+    bool timeout = false; //!< exceeded the cycle budget
+    bool anomaly = false; //!< sequencing became unrecoverable
+
+    /** Writeback cycle of each output element (flat index order). */
+    std::vector<std::uint64_t> writebackCycle;
+
+    /** Per-cycle schedule trace (entry i is cycle i+1); optional. */
+    std::vector<CycleInfo> trace;
+};
+
+/** The cycle-level engine. */
+class NvdlaEngine
+{
+  public:
+    NvdlaEngine(const NvdlaConfig &cfg, const EngineLayer &layer);
+
+    /**
+     * Run the layer.
+     * @param input Input tensor: conv expects (batch, inH, inW, inC);
+     *              matmul expects rows*red values in row-major order.
+     * @param fault Optional fault site to inject.
+     * @param max_cycles Cycle budget; 0 derives it from a golden run is
+     *                   not possible here, so callers pass an explicit
+     *                   budget (the FI driver uses timeoutFactor times
+     *                   the golden cycle count).  0 means unlimited.
+     * @param record_trace Record a per-cycle CycleInfo schedule trace.
+     */
+    EngineResult run(const Tensor &input, const FaultSite *fault,
+                     std::uint64_t max_cycles = 0,
+                     bool record_trace = false,
+                     const std::vector<MemFault> *mem_faults = nullptr);
+
+    /** Cycle count of a fault-free run (for budgets and sampling). */
+    std::uint64_t goldenCycles(const Tensor &input);
+
+    /** All injectable flip-flop instances (bit excluded). */
+    std::vector<FFRef> ffInventory() const;
+
+    /** Number of flippable bits in an FF of the given class. */
+    int ffBits(FFClass cls) const;
+
+    const NvdlaConfig &config() const { return cfg_; }
+    const EngineLayer &layerSpec() const { return layer_; }
+
+  private:
+    /** All mutable machine state of one run (flip-flops + memories). */
+    struct RunState;
+
+    /** Flip the referenced FF's stored value (fault application). */
+    void flipRef(RunState &rs, const FFRef &ff) const;
+
+    /** Quantise/round a real operand into datapath storage. */
+    double storeOperand(float x, bool is_weight) const;
+
+    /** Mask-flip a stored operand word per the active precision. */
+    double flipOperand(double stored, bool is_weight,
+                       std::uint32_t mask) const;
+
+    /** Writeback: raw accumulator + gated bias -> output value. */
+    float writebackVal(double acc, float gated_bias) const;
+
+    /** Mask-flip a stored output word per the active precision. */
+    float flipOutput(float stored, std::uint32_t mask) const;
+
+    bool integerMode() const;
+
+    /** Reduction-step -> CBUF weight address (reads config regs). */
+    std::int64_t weightAddr(const RunState &rs, std::int64_t chan,
+                            std::int64_t red_step, bool &bad) const;
+
+    /**
+     * Reduction-step -> CBUF input address; -1 denotes a padded
+     * (zero) operand.
+     */
+    std::int64_t inputAddr(const RunState &rs, std::int64_t pos,
+                           std::int64_t red_step, bool &bad) const;
+
+    /** Output-buffer flat address of (position, channel). */
+    std::int64_t outAddr(const RunState &rs, std::int64_t pos,
+                         std::int64_t chan, bool &bad) const;
+
+    NvdlaConfig cfg_;
+    EngineLayer layer_;
+    std::size_t cbufWords_ = 0; //!< modelled CBUF size for this layer
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_ACCEL_NVDLA_CORE_HH

@@ -1,0 +1,296 @@
+#include "accel/nvdla_fi.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+/** Semantic equality: bit-different NaNs and +/-0 are "same output". */
+bool
+sameValue(float a, float b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return a == b;
+}
+
+} // namespace
+
+NvdlaFi::NvdlaFi(const NvdlaConfig &cfg, const EngineLayer &layer,
+                 Tensor input)
+    : engine_(cfg, layer), input_(std::move(input))
+{
+    golden_ = engine_.run(input_, nullptr, 0, /*record_trace=*/true);
+    panic_if(golden_.timeout || golden_.anomaly,
+             "golden engine run failed");
+    inventory_ = engine_.ffInventory();
+    bitWeights_.reserve(inventory_.size());
+    for (const FFRef &ff : inventory_)
+        bitWeights_.push_back(static_cast<double>(engine_.ffBits(ff.cls)));
+
+    cyclesByPhase_.resize(static_cast<int>(EnginePhase::Done) + 1);
+    for (std::size_t i = 0; i < golden_.trace.size(); ++i) {
+        cyclesByPhase_[static_cast<int>(golden_.trace[i].phase)]
+            .push_back(static_cast<std::uint32_t>(i + 1));
+    }
+}
+
+RtlOutcome
+NvdlaFi::inject(const FaultSite &site)
+{
+    std::uint64_t budget =
+        golden_.cycles * engine_.config().timeoutFactor + 64;
+    EngineResult res = engine_.run(input_, &site, budget);
+
+    RtlOutcome out;
+    out.timeout = res.timeout;
+    out.anomaly = res.anomaly;
+    out.cycles = res.cycles;
+    if (!res.timeout && !res.anomaly) {
+        for (std::size_t i = 0; i < res.output.size(); ++i) {
+            if (!sameValue(res.output[i], golden_.output[i])) {
+                out.faulty.push_back({i, golden_.output[i], res.output[i],
+                                      res.writebackCycle[i]});
+            }
+        }
+    }
+    return out;
+}
+
+RtlOutcome
+NvdlaFi::injectMem(const std::vector<MemFault> &faults)
+{
+    std::uint64_t budget =
+        golden_.cycles * engine_.config().timeoutFactor + 64;
+    EngineResult res =
+        engine_.run(input_, nullptr, budget, false, &faults);
+
+    RtlOutcome out;
+    out.timeout = res.timeout;
+    out.anomaly = res.anomaly;
+    out.cycles = res.cycles;
+    if (!res.timeout && !res.anomaly) {
+        for (std::size_t i = 0; i < res.output.size(); ++i) {
+            if (!sameValue(res.output[i], golden_.output[i])) {
+                out.faulty.push_back({i, golden_.output[i],
+                                      res.output[i],
+                                      res.writebackCycle[i]});
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+NvdlaFi::computeStartCycle() const
+{
+    const auto &bs =
+        cyclesByPhase_[static_cast<int>(EnginePhase::BlockStart)];
+    panic_if(bs.empty(), "engine never reached the compute phase");
+    return bs.front();
+}
+
+FaultSite
+NvdlaFi::sampleSite(Rng &rng) const
+{
+    FaultSite site;
+    std::size_t idx = rng.weighted(bitWeights_);
+    site.ff = inventory_[idx];
+    site.ff.bit =
+        static_cast<int>(rng.below(engine_.ffBits(site.ff.cls)));
+    site.cycle = 1 + rng.below(static_cast<std::uint32_t>(
+                     std::min<std::uint64_t>(golden_.cycles, 0xffffffffu)));
+    return site;
+}
+
+FaultSite
+NvdlaFi::sampleSiteDirected(FFClass cls, Rng &rng) const
+{
+    // Phases where the class is live.
+    std::vector<EnginePhase> phases;
+    switch (cls) {
+      case FFClass::FetchInput:
+        phases = {EnginePhase::FetchI};
+        break;
+      case FFClass::FetchWeight:
+        phases = {EnginePhase::FetchW};
+        break;
+      case FFClass::OperandInput:
+      case FFClass::WeightHold:
+        phases = {EnginePhase::Mac};
+        break;
+      case FFClass::WeightStage:
+        phases = {EnginePhase::LoadHold};
+        break;
+      case FFClass::Psum:
+        phases = {EnginePhase::LoadStage, EnginePhase::LoadHold,
+                  EnginePhase::Mac, EnginePhase::Drain};
+        break;
+      case FFClass::OutputReg:
+      case FFClass::BiasReg:
+      case FFClass::LocalValid:
+      case FFClass::LocalMuxSel:
+        phases = {EnginePhase::Drain};
+        break;
+      case FFClass::GlobalConfig:
+      case FFClass::GlobalCounter:
+        break; // any cycle
+    }
+
+    std::vector<std::uint32_t> pool;
+    if (phases.empty()) {
+        FaultSite any = sampleSite(rng);
+        // keep the random cycle, just force the class below
+        pool.push_back(static_cast<std::uint32_t>(any.cycle));
+    } else {
+        std::size_t total = 0;
+        for (EnginePhase ph : phases)
+            total += cyclesByPhase_[static_cast<int>(ph)].size();
+        panic_if(total == 0, "no live cycles for ", ffClassName(cls));
+        std::size_t pick =
+            rng.below(static_cast<std::uint32_t>(total));
+        for (EnginePhase ph : phases) {
+            const auto &v = cyclesByPhase_[static_cast<int>(ph)];
+            if (pick < v.size()) {
+                pool.push_back(v[pick]);
+                break;
+            }
+            pick -= v.size();
+        }
+    }
+
+    FaultSite site;
+    site.cycle = pool.front();
+    site.ff.cls = cls;
+    site.ff.bit = static_cast<int>(rng.below(engine_.ffBits(cls)));
+
+    // Pick a unit; for per-MAC drain-stage bits choose the MAC the
+    // drain pipeline is serving so the site is actually live.
+    const CycleInfo &ci = golden_.trace[site.cycle - 1];
+    int macs = engine_.config().macs();
+    switch (cls) {
+      case FFClass::WeightStage:
+      case FFClass::WeightHold:
+        site.ff.unit = static_cast<int>(rng.below(macs));
+        break;
+      case FFClass::Psum:
+        site.ff.unit = static_cast<int>(
+            rng.below(macs * engine_.config().t));
+        break;
+      case FFClass::LocalValid:
+        site.ff.unit = ci.drain >= 2
+            ? static_cast<int>((ci.drain - 2) % macs)
+            : static_cast<int>(rng.below(macs));
+        break;
+      case FFClass::GlobalConfig:
+        site.ff.unit = static_cast<int>(
+            rng.below(static_cast<int>(ConfigReg::NumRegs)));
+        break;
+      case FFClass::GlobalCounter:
+        site.ff.unit = static_cast<int>(
+            rng.below(static_cast<int>(CounterReg::NumRegs)));
+        break;
+      default:
+        site.ff.unit = 0;
+        break;
+    }
+    return site;
+}
+
+SiteContext
+NvdlaFi::context(const FaultSite &site) const
+{
+    SiteContext ctx;
+    panic_if(site.cycle < 1 || site.cycle > golden_.trace.size(),
+             "fault cycle outside the golden trace");
+    const CycleInfo &ci = golden_.trace[site.cycle - 1];
+    ctx.phase = ci.phase;
+    ctx.fetch = ci.fetch;
+    ctx.cg = ci.cg;
+    ctx.blk = ci.blk;
+    ctx.step = ci.step;
+    ctx.pos = ci.pos;
+    ctx.drain = ci.drain;
+    const EngineLayer &layer = engine_.layerSpec();
+    ctx.blkStart = ctx.blk * engine_.config().t;
+    ctx.blkLen = std::clamp<std::int64_t>(
+        layer.positions() - ctx.blkStart, 0, engine_.config().t);
+    return ctx;
+}
+
+EngineLayer
+engineLayerFromConv(const Conv2D &conv, const Tensor &input)
+{
+    const ConvSpec &spec = conv.spec();
+    fatal_if(spec.groups != 1,
+             "the engine models standard (groups == 1) convolutions");
+    EngineLayer el;
+    el.kind = EngineLayer::Kind::Conv;
+    el.precision = conv.precision();
+    el.inC = spec.inC;
+    el.inH = input.h();
+    el.inW = input.w();
+    el.outC = spec.outC;
+    el.outH = conv.outDim(input.h(), spec.kh);
+    el.outW = conv.outDim(input.w(), spec.kw);
+    el.kh = spec.kh;
+    el.kw = spec.kw;
+    el.stride = spec.stride;
+    el.pad = spec.pad;
+    el.dilation = spec.dilation;
+    el.batch = input.n();
+    el.weights = conv.weightData();
+    el.bias = conv.biasData();
+    el.inQuant = conv.inputQuant();
+    el.wQuant = conv.weightQuant();
+    el.outQuant = conv.outputQuant();
+    return el;
+}
+
+EngineLayer
+engineLayerFromFC(const FC &fc, const Tensor &input)
+{
+    EngineLayer el;
+    el.kind = EngineLayer::Kind::MatMul;
+    el.precision = fc.precision();
+    el.rows = input.n() * input.h() * input.w();
+    el.red = fc.inC();
+    el.cols = fc.units();
+    el.weights = fc.weightData();
+    el.bias = fc.biasData();
+    el.inQuant = fc.inputQuant();
+    el.wQuant = fc.weightQuant();
+    el.outQuant = fc.outputQuant();
+    return el;
+}
+
+EngineLayer
+engineLayerFromMatMul(const MatMulAB &mm, const Tensor &a, const Tensor &b)
+{
+    EngineLayer el;
+    el.kind = EngineLayer::Kind::MatMul;
+    el.precision = mm.precision();
+    el.rows = a.n() * a.h();
+    el.red = a.c();
+    el.cols = mm.transB() ? b.h() : b.c();
+    el.outScale = mm.outScale();
+    el.weights.resize(static_cast<std::size_t>(el.red) * el.cols);
+    for (int k = 0; k < el.red; ++k) {
+        for (int j = 0; j < el.cols; ++j) {
+            float v = mm.transB() ? b.at(0, j, 0, k) : b.at(0, k, 0, j);
+            el.weights[static_cast<std::size_t>(k) * el.cols + j] = v;
+        }
+    }
+    el.inQuant = mm.inputQuant();
+    el.wQuant = mm.weightQuant();
+    el.outQuant = mm.outputQuant();
+    return el;
+}
+
+} // namespace fidelity

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * RTL-style fault-injection driver for the NVDLA-like engine.
+ *
+ * Plays the role of the paper's Synopsys-VCS fault-injection testbench:
+ * run the layer once fault-free (recording the schedule trace), then
+ * re-run with a bit flipped at a chosen (flip-flop, cycle) site and
+ * diff the outputs to obtain the set of faulty output neurons, their
+ * values, and the order they were produced.  A SiteContext decoded from
+ * the golden trace tells the validation harness exactly which software
+ * fault model a given site corresponds to.
+ */
+
+#ifndef FIDELITY_ACCEL_NVDLA_FI_HH
+#define FIDELITY_ACCEL_NVDLA_FI_HH
+
+#include <vector>
+
+#include "accel/nvdla_core.hh"
+#include "nn/conv.hh"
+#include "nn/fc.hh"
+#include "nn/matmul.hh"
+#include "sim/rng.hh"
+
+namespace fidelity
+{
+
+/** One output neuron whose value differs from the golden run. */
+struct FaultyNeuron
+{
+    std::size_t flat = 0; //!< flat index into the output tensor
+    float golden = 0.0f;
+    float faulty = 0.0f;
+    std::uint64_t wbCycle = 0; //!< writeback cycle in the faulty run
+};
+
+/** Outcome of one RTL-style fault-injection experiment. */
+struct RtlOutcome
+{
+    bool timeout = false;
+    bool anomaly = false;
+    std::uint64_t cycles = 0;
+    std::vector<FaultyNeuron> faulty; //!< sorted by flat index
+
+    /** No architecturally visible effect. */
+    bool masked() const { return !timeout && !anomaly && faulty.empty(); }
+};
+
+/** Golden schedule context of a fault site (decoded from the trace). */
+struct SiteContext
+{
+    EnginePhase phase = EnginePhase::Done;
+    std::int64_t fetch = 0;
+    std::int64_t cg = 0;
+    std::int64_t blk = 0;
+    std::int64_t step = 0;
+    std::int64_t pos = 0;
+    std::int64_t drain = 0;
+    std::int64_t blkStart = 0;
+    std::int64_t blkLen = 0;
+};
+
+/** Fault-injection testbench around one engine layer. */
+class NvdlaFi
+{
+  public:
+    /**
+     * @param cfg Engine configuration.
+     * @param layer The work to run.
+     * @param input Layer input (see NvdlaEngine::run).
+     */
+    NvdlaFi(const NvdlaConfig &cfg, const EngineLayer &layer,
+            Tensor input);
+
+    /** The fault-free reference run (with schedule trace). */
+    const EngineResult &golden() const { return golden_; }
+
+    std::uint64_t goldenCycles() const { return golden_.cycles; }
+
+    /** Run one experiment at the given site. */
+    RtlOutcome inject(const FaultSite &site);
+
+    /** Run one experiment with one or more memory-word faults. */
+    RtlOutcome injectMem(const std::vector<MemFault> &faults);
+
+    /** First compute-phase cycle (after both fetch phases). */
+    std::uint64_t computeStartCycle() const;
+
+    /**
+     * Sample a uniformly random fault site: each (FF bit, cycle) pair
+     * is equally likely, matching statistical FF fault injection.
+     */
+    FaultSite sampleSite(Rng &rng) const;
+
+    /**
+     * Sample a fault site directed at one flip-flop class, drawing the
+     * cycle from the phases where that class is architecturally live
+     * (e.g. drain cycles for the local-control bits).  Used to build
+     * statistically meaningful per-class validation sets for rare
+     * classes, as the paper does for local control.
+     */
+    FaultSite sampleSiteDirected(FFClass cls, Rng &rng) const;
+
+    /** Decode the golden schedule context at the site's cycle. */
+    SiteContext context(const FaultSite &site) const;
+
+    const NvdlaEngine &engine() const { return engine_; }
+
+  private:
+    NvdlaEngine engine_;
+    Tensor input_;
+    EngineResult golden_;
+    std::vector<FFRef> inventory_;
+    std::vector<double> bitWeights_;
+
+    /** Golden-trace cycle numbers per engine phase (1-based). */
+    std::vector<std::vector<std::uint32_t>> cyclesByPhase_;
+};
+
+/** Build an EngineLayer mirroring a (groups == 1) Conv2D layer. */
+EngineLayer engineLayerFromConv(const Conv2D &conv, const Tensor &input);
+
+/** Build an EngineLayer mirroring an FC layer on the given input. */
+EngineLayer engineLayerFromFC(const FC &fc, const Tensor &input);
+
+/**
+ * Build an EngineLayer mirroring a MatMulAB layer; the B operand is
+ * streamed through the engine's weight port.
+ * @return The engine layer plus the flattened A input expected by run().
+ */
+EngineLayer engineLayerFromMatMul(const MatMulAB &mm, const Tensor &a,
+                                  const Tensor &b);
+
+} // namespace fidelity
+
+#endif // FIDELITY_ACCEL_NVDLA_FI_HH

@@ -1,0 +1,82 @@
+#include "accel/perf_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+double
+LayerTiming::macActiveFrac() const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    return static_cast<double>(macCycles) /
+           static_cast<double>(totalCycles);
+}
+
+double
+LayerTiming::fetchActiveFrac() const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    return static_cast<double>(fetchCycles) /
+           static_cast<double>(totalCycles);
+}
+
+double
+LayerTiming::drainActiveFrac() const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    return static_cast<double>(drainCycles) /
+           static_cast<double>(totalCycles);
+}
+
+LayerTiming
+estimateTiming(const NvdlaConfig &cfg, const EngineLayer &layer)
+{
+    LayerTiming lt;
+    const std::int64_t macs = cfg.macs();
+    const std::int64_t t = cfg.t;
+    const std::int64_t red = layer.reduction();
+    const std::int64_t positions = layer.positions();
+    const std::int64_t channels = layer.channels();
+
+    std::uint64_t num_w = layer.weights.size();
+    std::uint64_t num_i;
+    if (layer.kind == EngineLayer::Kind::MatMul) {
+        num_i = static_cast<std::uint64_t>(layer.rows) * layer.red;
+    } else {
+        num_i = static_cast<std::uint64_t>(layer.batch) * layer.inH *
+                layer.inW * layer.inC;
+    }
+    lt.fetchCycles = (num_w + 1) + (num_i + 1);
+
+    std::int64_t cgroups = (channels + macs - 1) / macs;
+    std::int64_t blocks = (positions + t - 1) / t;
+
+    std::uint64_t mac_cycles = 0;
+    std::uint64_t drain_cycles = 0;
+    for (std::int64_t blk = 0; blk < blocks; ++blk) {
+        std::int64_t blk_len =
+            std::min<std::int64_t>(t, positions - blk * t);
+        // BlockStart + per-step (stage, hold, blk_len MACs, exit) +
+        // the LoadStage cycle that hands over to the drain.
+        mac_cycles += 2 + static_cast<std::uint64_t>(red) * (blk_len + 3);
+        drain_cycles += static_cast<std::uint64_t>(blk_len) * macs + 2;
+    }
+    mac_cycles *= cgroups;
+    drain_cycles *= cgroups;
+    // One BlockStart cycle advances each finished channel group, and a
+    // final one detects completion.
+    mac_cycles += cgroups + 1;
+
+    lt.macCycles = mac_cycles;
+    lt.drainCycles = drain_cycles;
+    lt.totalCycles = lt.fetchCycles + lt.macCycles + lt.drainCycles;
+    return lt;
+}
+
+} // namespace fidelity

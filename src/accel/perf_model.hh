@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytical performance model of the NVDLA-like engine.
+ *
+ * Plays the role of NVDLA's public performance tool in the paper's
+ * activeness analysis: from the scheduling/reuse algorithm and the
+ * hardware configuration alone, break a layer's execution into fetch /
+ * MAC / drain cycles.  The totals match the cycle-level engine exactly
+ * (unit-tested), and the per-phase fractions feed Class-3 ("temporally
+ * not used") inactivity probabilities in Eq. 1.
+ */
+
+#ifndef FIDELITY_ACCEL_PERF_MODEL_HH
+#define FIDELITY_ACCEL_PERF_MODEL_HH
+
+#include <cstdint>
+
+#include "accel/nvdla_config.hh"
+#include "accel/nvdla_core.hh"
+
+namespace fidelity
+{
+
+/** Cycle breakdown of one layer on the engine. */
+struct LayerTiming
+{
+    std::uint64_t fetchCycles = 0; //!< FetchW + FetchI phases
+    std::uint64_t macCycles = 0;   //!< BlockStart/Load/Mac phases
+    std::uint64_t drainCycles = 0; //!< Drain phase
+    std::uint64_t totalCycles = 0; //!< whole layer (matches the engine)
+
+    /** Fraction of time the MAC-array flip-flops are active. */
+    double macActiveFrac() const;
+
+    /** Fraction of time the fetch-path flip-flops are active. */
+    double fetchActiveFrac() const;
+
+    /** Fraction of time the output-path flip-flops are active. */
+    double drainActiveFrac() const;
+};
+
+/** Predict the engine's exact cycle breakdown for a layer. */
+LayerTiming estimateTiming(const NvdlaConfig &cfg,
+                           const EngineLayer &layer);
+
+} // namespace fidelity
+
+#endif // FIDELITY_ACCEL_PERF_MODEL_HH

@@ -1,0 +1,107 @@
+#include "core/activeness.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+const char *
+inactiveClassName(InactiveClass cl)
+{
+    switch (cl) {
+      case InactiveClass::ComponentNotUsed:
+        return "ComponentNotUsed";
+      case InactiveClass::SignalNotUsed:
+        return "SignalNotUsed";
+      case InactiveClass::TemporallyNotUsed:
+        return "TemporallyNotUsed";
+    }
+    panic("unknown InactiveClass");
+}
+
+double
+ActivenessModel::otherModeFrac(Precision p) const
+{
+    // The datapath carries both an FP16 pipeline and the INT16/INT8
+    // pipelines; the share of FFs belonging to the mode that is not
+    // executing idles as class 2.  The FP pipeline is the wider one.
+    switch (p) {
+      case Precision::FP32:
+      case Precision::FP16:
+        return 0.15; // integer-only FFs idle
+      case Precision::INT16:
+        return 0.25; // FP-only FFs idle
+      case Precision::INT8:
+        return 0.35; // FP-only and upper INT16 operand FFs idle
+    }
+    panic("unknown Precision");
+}
+
+double
+ActivenessModel::temporalInactive(FFCategory cat,
+                                  const LayerTiming &t) const
+{
+    switch (cat) {
+      case FFCategory::PreBufInput:
+      case FFCategory::PreBufWeight:
+        // Fetch-path FFs only toggle while CBUF is being filled.
+        return 1.0 - t.fetchActiveFrac();
+      case FFCategory::OperandInput:
+      case FFCategory::OperandWeight:
+        // Operand registers toggle during the MAC phases.
+        return 1.0 - t.macActiveFrac();
+      case FFCategory::OutputPsum:
+        // Partial sums live through the MAC phase, the output word
+        // through the drain.
+        return 1.0 - (t.macActiveFrac() + t.drainActiveFrac());
+      case FFCategory::LocalControl:
+        // Valid/mux bits follow the datapath they gate.
+        return 1.0 - (t.macActiveFrac() + t.drainActiveFrac());
+      case FFCategory::GlobalControl:
+        // Configuration and sequencing state is live for the whole
+        // layer.
+        return 0.0;
+    }
+    panic("unknown FFCategory");
+}
+
+double
+ActivenessModel::classFraction(FFCategory cat, InactiveClass cl,
+                               Precision p) const
+{
+    // Control FFs carry no numeric mode, so class 2 does not apply;
+    // global control is also never inside an unused component.
+    double c1 = componentUnusedFrac;
+    double c2 = isDatapathCategory(cat) ? otherModeFrac(p) : 0.0;
+    if (cat == FFCategory::GlobalControl) {
+        c1 = 0.0;
+        c2 = 0.0;
+    }
+    switch (cl) {
+      case InactiveClass::ComponentNotUsed:
+        return c1;
+      case InactiveClass::SignalNotUsed:
+        return c2;
+      case InactiveClass::TemporallyNotUsed:
+        return std::max(0.0, 1.0 - c1 - c2);
+    }
+    panic("unknown InactiveClass");
+}
+
+double
+ActivenessModel::probInactive(FFCategory cat, Precision p,
+                              const LayerTiming &t) const
+{
+    // Eq. 1: classes 1 and 2 are inactive with probability 1; class 3
+    // is inactive for the temporal fraction of the layer's execution.
+    double prob =
+        classFraction(cat, InactiveClass::ComponentNotUsed, p) * 1.0 +
+        classFraction(cat, InactiveClass::SignalNotUsed, p) * 1.0 +
+        classFraction(cat, InactiveClass::TemporallyNotUsed, p) *
+            temporalInactive(cat, t);
+    return std::clamp(prob, 0.0, 1.0);
+}
+
+} // namespace fidelity

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FF activeness analysis (step 1 of FIdelity's flow, Eq. 1).
+ *
+ * A fault injected into an inactive flip-flop is always masked.  The
+ * paper partitions inactive FFs into three mutually exclusive classes:
+ *
+ *   Class 1 — component not used: the FF's block stays idle for the
+ *             whole workload (e.g. the weight-decompression unit when
+ *             weights are uncompressed).
+ *   Class 2 — signal not used: the block is active but the FF's signal
+ *             mode is not (e.g. floating-point FFs under an integer
+ *             workload).
+ *   Class 3 — temporally not used: the block idles for a fraction of
+ *             the time (e.g. MACs stalled on fetch), estimated from
+ *             the performance model.
+ *
+ * Eq. 1: Prob_inactive(cat, r) =
+ *        sum_cl FF_Perc(cat, cl) * Perc_inactive(cat, cl, r).
+ */
+
+#ifndef FIDELITY_CORE_ACTIVENESS_HH
+#define FIDELITY_CORE_ACTIVENESS_HH
+
+#include "accel/perf_model.hh"
+#include "core/fault_models.hh"
+#include "nn/layer.hh"
+
+namespace fidelity
+{
+
+/** The three inactive-FF classes. */
+enum class InactiveClass
+{
+    ComponentNotUsed,
+    SignalNotUsed,
+    TemporallyNotUsed
+};
+
+const char *inactiveClassName(InactiveClass cl);
+
+/**
+ * Per-category activeness estimates.
+ *
+ * The class-1/class-2 fractions are the FF_Perc(cat, cl) inputs of
+ * Eq. 1 — high-level estimates that can be varied for sensitivity
+ * analysis; the class-3 temporal fraction comes from the performance
+ * model's phase breakdown.
+ */
+class ActivenessModel
+{
+  public:
+    ActivenessModel() = default;
+
+    /**
+     * Fraction of each category's FFs sitting in components unused by
+     * the workload (class 1), e.g. compression/padding blocks.
+     */
+    double componentUnusedFrac = 0.05;
+
+    /**
+     * Fraction of datapath FFs dedicated to numeric modes other than
+     * the active one (class 2): under FP16 the integer-only FFs idle,
+     * and under the integer modes the FP-only FFs idle.
+     */
+    double otherModeFrac(Precision p) const;
+
+    /** Class-3 temporal inactivity of a category from the timing. */
+    double temporalInactive(FFCategory cat, const LayerTiming &t) const;
+
+    /** Eq. 1 for one category and one layer's timing. */
+    double probInactive(FFCategory cat, Precision p,
+                        const LayerTiming &t) const;
+
+    /** FF_Perc(cat, cl) used by probInactive (exposed for reports). */
+    double classFraction(FFCategory cat, InactiveClass cl,
+                         Precision p) const;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_ACTIVENESS_HH

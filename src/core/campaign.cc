@@ -1,0 +1,116 @@
+#include "core/campaign.hh"
+
+#include "accel/nvdla_fi.hh"
+#include "nn/conv.hh"
+#include "nn/fc.hh"
+#include "nn/matmul.hh"
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+EngineLayer
+timingLayer(const Network &net, NodeId node,
+            const std::vector<Tensor> &acts)
+{
+    const Layer &l = net.layer(node);
+    auto ins = net.gatherInputs(node, acts);
+
+    if (const auto *conv = dynamic_cast<const Conv2D *>(&l)) {
+        const ConvSpec &spec = conv->spec();
+        if (spec.groups == 1)
+            return engineLayerFromConv(*conv, *ins[0]);
+        // Grouped/depthwise: describe the geometry, overriding the
+        // per-neuron reduction with the per-group depth.
+        EngineLayer el;
+        el.kind = EngineLayer::Kind::Conv;
+        el.precision = conv->precision();
+        el.inC = spec.inC;
+        el.inH = ins[0]->h();
+        el.inW = ins[0]->w();
+        el.outC = spec.outC;
+        el.outH = conv->outDim(ins[0]->h(), spec.kh);
+        el.outW = conv->outDim(ins[0]->w(), spec.kw);
+        el.kh = spec.kh;
+        el.kw = spec.kw;
+        el.stride = spec.stride;
+        el.pad = spec.pad;
+        el.dilation = spec.dilation;
+        el.batch = ins[0]->n();
+        el.weights = conv->weightData();
+        el.bias = conv->biasData();
+        el.redOverride = (spec.inC / spec.groups) * spec.kh * spec.kw;
+        return el;
+    }
+    if (const auto *fc = dynamic_cast<const FC *>(&l))
+        return engineLayerFromFC(*fc, *ins[0]);
+    if (const auto *mm = dynamic_cast<const MatMulAB *>(&l))
+        return engineLayerFromMatMul(*mm, *ins[0], *ins[1]);
+    panic("node ", node, " is not a MAC layer");
+}
+
+CampaignResult
+runCampaign(const Network &net, const Tensor &input,
+            const CorrectnessFn &correct, const CampaignConfig &cfg)
+{
+    CampaignResult result;
+    result.network = net.name();
+    result.precision = net.precision();
+
+    Injector injector(net, input, cfg.accel);
+    Rng rng(cfg.seed);
+
+    std::vector<NodeId> nodes = net.macNodes();
+    fatal_if(nodes.empty(), "network ", net.name(), " has no MAC layers");
+
+    const auto &cats = allFFCategories();
+    for (NodeId node : nodes) {
+        EngineLayer el = timingLayer(net, node, injector.goldenActs());
+        LayerTiming timing = estimateTiming(cfg.accel, el);
+
+        LayerFitInput lfi;
+        lfi.execTime = static_cast<double>(timing.totalCycles);
+
+        for (std::size_t c = 0; c < cats.size(); ++c) {
+            FFCategory cat = cats[c];
+            CellResult cell;
+            cell.node = node;
+            cell.category = cat;
+
+            if (cat == FFCategory::GlobalControl) {
+                // By definition Prob_SWmask(global, r) = 0.
+                cell.masked.add(0, 1);
+            } else {
+                for (int s = 0; s < cfg.samplesPerCategory; ++s) {
+                    InjectionRecord rec =
+                        injector.inject(node, cat, correct, rng,
+                                        cfg.outputClampAbs);
+                    cell.masked.add(rec.masked);
+                    result.totalInjections += 1;
+                    if (rec.numFaultyNeurons == 1 &&
+                        isDatapathCategory(cat)) {
+                        result.singleNeuronSamples.emplace_back(
+                            rec.maxAbsDelta, !rec.masked);
+                    }
+                }
+            }
+
+            lfi.stats[c].probSwMask =
+                cat == FFCategory::GlobalControl ? 0.0
+                                                 : cell.masked.mean();
+            lfi.stats[c].probInactive = cfg.activeness.probInactive(
+                cat, net.precision(), timing);
+            result.cells.push_back(std::move(cell));
+        }
+        result.layerInputs.push_back(lfi);
+    }
+
+    result.fit = acceleratorFit(cfg.fit, result.layerInputs);
+    FitParams protected_params = cfg.fit;
+    protected_params.protectGlobal = true;
+    result.fitGlobalProtected =
+        acceleratorFit(protected_params, result.layerInputs);
+    return result;
+}
+
+} // namespace fidelity

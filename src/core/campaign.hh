@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Campaign orchestration: FIdelity's full flow over one network.
+ *
+ * Runs the three steps of Fig. 3 — activeness analysis (Eq. 1),
+ * large-scale software fault injection per (layer, category), and the
+ * Accelerator_FIT_rate computation (Eq. 2) — and collects the
+ * perturbation-magnitude samples behind Key result 5.
+ */
+
+#ifndef FIDELITY_CORE_CAMPAIGN_HH
+#define FIDELITY_CORE_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/perf_model.hh"
+#include "core/activeness.hh"
+#include "core/fit.hh"
+#include "core/injector.hh"
+#include "sim/stats.hh"
+
+namespace fidelity
+{
+
+/** Knobs of one campaign. */
+struct CampaignConfig
+{
+    /** Injection samples per (layer, category) pair. */
+    int samplesPerCategory = 120;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * Hardware-software co-design knob (Key result 5): when > 0,
+     * written-back neuron values are saturated into
+     * [-outputClampAbs, outputClampAbs] by a range checker.
+     */
+    double outputClampAbs = 0.0;
+
+    NvdlaConfig accel;
+    FitParams fit;
+    ActivenessModel activeness;
+};
+
+/** Masking statistics of one (layer, category) cell. */
+struct CellResult
+{
+    NodeId node = 0;
+    FFCategory category = FFCategory::OutputPsum;
+    Proportion masked; //!< Prob_SWmask(cat, r) estimate
+};
+
+/** Everything a campaign produces. */
+struct CampaignResult
+{
+    std::string network;
+    Precision precision = Precision::FP32;
+
+    FitBreakdown fit;
+    FitBreakdown fitGlobalProtected; //!< Fig. 6 variant
+
+    std::vector<LayerFitInput> layerInputs;
+    std::vector<CellResult> cells;
+
+    /** (|delta|, caused output error) for single-faulty-neuron
+     *  datapath injections — the Key result 5 data. */
+    std::vector<std::pair<double, bool>> singleNeuronSamples;
+
+    std::uint64_t totalInjections = 0;
+};
+
+/**
+ * Run the full FIdelity flow on one network.
+ *
+ * @param net The network (precision already set; calibrate() already
+ *            run when using an integer mode).
+ * @param input Network input.
+ * @param correct Application correctness metric.
+ * @param cfg Campaign knobs.
+ */
+CampaignResult runCampaign(const Network &net, const Tensor &input,
+                           const CorrectnessFn &correct,
+                           const CampaignConfig &cfg);
+
+/**
+ * Describe a MAC layer to the performance model.  Grouped convolutions
+ * use the redOverride escape hatch (the engine itself only executes
+ * standard convolutions).
+ */
+EngineLayer timingLayer(const Network &net, NodeId node,
+                        const std::vector<Tensor> &acts);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_CAMPAIGN_HH

@@ -1,0 +1,177 @@
+#include "core/ff_descriptors.hh"
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+/** One unit that computes one neuron per cycle for `cycles` cycles. */
+ComputeUnitUse
+unitOverPositions(int unit, int cycles, int first_pos)
+{
+    ComputeUnitUse use;
+    use.unit = unit;
+    use.neurons.resize(cycles);
+    for (int y = 0; y < cycles; ++y)
+        use.neurons[y] = {NeuronIndex{0, 0, first_pos + y, 0}};
+    return use;
+}
+
+} // namespace
+
+FFDescriptor
+nvdlaTargetA1(int t)
+{
+    fatal_if(t <= 0, "t must be positive");
+    FFDescriptor ff;
+    ff.type = VarType::Weight;
+    ff.stage = PipelineStage::AfterBuffer;
+    ff.ffValueCycles = 1;
+    // One multiplier consumes the value; downstream the hold register
+    // keeps it in effect for t consecutive positions of one channel.
+    ff.loops.resize(1);
+    ff.loops[0].push_back(unitOverPositions(/*unit=*/0, t,
+                                            /*first_pos=*/0));
+    return ff;
+}
+
+FFDescriptor
+nvdlaTargetA2(int t)
+{
+    fatal_if(t <= 0, "t must be positive");
+    FFDescriptor ff;
+    ff.type = VarType::Weight;
+    ff.stage = PipelineStage::AfterBuffer;
+    // The hold register keeps one value for t cycles; at loop l the
+    // multiplier consumes it for the position of that cycle.
+    ff.ffValueCycles = t;
+    ff.loops.resize(t);
+    for (int l = 0; l < t; ++l) {
+        ComputeUnitUse use;
+        use.unit = 0;
+        use.neurons = {{NeuronIndex{0, 0, l, 0}}};
+        ff.loops[l].push_back(use);
+    }
+    return ff;
+}
+
+FFDescriptor
+nvdlaTargetA3()
+{
+    FFDescriptor ff;
+    ff.type = VarType::Weight;
+    ff.stage = PipelineStage::InsideMac;
+    ff.ffValueCycles = 1;
+    ff.loops.resize(1);
+    ComputeUnitUse use;
+    use.unit = 0;
+    use.neurons = {{NeuronIndex{0, 0, 0, 0}}};
+    ff.loops[0].push_back(use);
+    return ff;
+}
+
+FFDescriptor
+nvdlaTargetA4(int k)
+{
+    fatal_if(k <= 0, "k must be positive");
+    FFDescriptor ff;
+    ff.type = VarType::Input;
+    ff.stage = PipelineStage::AfterBuffer;
+    ff.ffValueCycles = 1;
+    ff.loops.resize(1);
+    // All k^2 multipliers consume the broadcast value for one cycle,
+    // producing the same 2-D position in k^2 consecutive channels.
+    for (int m = 0; m < k * k; ++m) {
+        ComputeUnitUse use;
+        use.unit = m;
+        use.neurons = {{NeuronIndex{0, 0, 0, m}}};
+        ff.loops[0].push_back(use);
+    }
+    return ff;
+}
+
+FFDescriptor
+eyerissTargetB1(int k)
+{
+    fatal_if(k <= 0, "k must be positive");
+    FFDescriptor ff;
+    ff.type = VarType::Weight;
+    ff.stage = PipelineStage::InsideMac;
+    // The value is passed to the next column each cycle, so loop l
+    // reaches column l, which is computing output row l.
+    ff.ffValueCycles = k;
+    ff.loops.resize(k);
+    for (int l = 0; l < k; ++l) {
+        ComputeUnitUse use;
+        use.unit = l;
+        use.neurons = {{NeuronIndex{0, l, 0, 0}}};
+        ff.loops[l].push_back(use);
+    }
+    return ff;
+}
+
+FFDescriptor
+eyerissTargetB2(int k, int t)
+{
+    fatal_if(k <= 0 || t <= 0, "k and t must be positive");
+    FFDescriptor ff;
+    ff.type = VarType::Input;
+    ff.stage = PipelineStage::AfterBuffer;
+    // Diagonal reuse: the value reaches column l at loop l (output row
+    // l); inside each MAC it is reused for t consecutive channels.
+    ff.ffValueCycles = k;
+    ff.loops.resize(k);
+    for (int l = 0; l < k; ++l) {
+        ComputeUnitUse use;
+        use.unit = l;
+        use.neurons.resize(t);
+        for (int y = 0; y < t; ++y)
+            use.neurons[y] = {NeuronIndex{0, l, 0, y}};
+        ff.loops[l].push_back(use);
+    }
+    return ff;
+}
+
+FFDescriptor
+eyerissTargetB3()
+{
+    FFDescriptor ff;
+    ff.type = VarType::Bias;
+    ff.stage = PipelineStage::AfterMac;
+    ff.ffValueCycles = 1;
+    ff.loops.resize(1);
+    ComputeUnitUse use;
+    use.unit = 0;
+    use.neurons = {{NeuronIndex{0, 0, 0, 0}}};
+    ff.loops[0].push_back(use);
+    return ff;
+}
+
+FFDescriptor
+composeLocalControl(const std::vector<FFDescriptor> &gated)
+{
+    fatal_if(gated.empty(), "composeLocalControl needs >= 1 descriptor");
+    FFDescriptor ff;
+    ff.type = gated[0].type;
+    ff.stage = gated[0].stage;
+    ff.ffValueCycles = 1;
+    ff.loops.resize(1);
+    // The control FF's effect is the union of the gated datapath FFs'
+    // single-cycle effects; distinct units keep the RF additive.
+    int unit = 0;
+    for (const FFDescriptor &g : gated) {
+        RFResult r = analyzeReuseFactor(g);
+        ComputeUnitUse use;
+        use.unit = unit++;
+        use.neurons.resize(1);
+        for (const TimedNeuron &t : r.faultyNeurons)
+            use.neurons[0].push_back(t.neuron);
+        ff.loops[0].push_back(use);
+    }
+    return ff;
+}
+
+} // namespace fidelity

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ready-made Algorithm-1 descriptors for the paper's Fig. 2 examples.
+ *
+ * Targets a1-a4 describe flip-flops of the NVDLA-like accelerator
+ * (k^2 parallel MACs, broadcast inputs, per-MAC weights held t cycles);
+ * targets b1-b3 describe the Eyeriss-like row-stationary array (k x k
+ * systolic, weights marching across columns, inputs reused diagonally
+ * and over t output channels).  Each builder encodes only the
+ * block-diagram-level facts the paper lists, and the resulting RF and
+ * faulty-neuron sets are cross-checked in tests against the cycle-level
+ * engine (a-targets) and the Eyeriss model (b-targets).
+ */
+
+#ifndef FIDELITY_CORE_FF_DESCRIPTORS_HH
+#define FIDELITY_CORE_FF_DESCRIPTORS_HH
+
+#include "core/reuse_factor.hh"
+
+namespace fidelity
+{
+
+/**
+ * Target a1: a weight FF one stage before the hold register, feeding a
+ * single multiplier; downstream the value is held t cycles, so its
+ * in-effect window covers t consecutive output positions of one channel.
+ * RF = t.
+ */
+FFDescriptor nvdlaTargetA1(int t);
+
+/**
+ * Target a2: the per-MAC weight-hold FF; it keeps the same value for t
+ * cycles (FF_value_cycles = t) and a flip corrupts the remaining
+ * positions, so RF = t with 1..t neurons for a random injection cycle.
+ */
+FFDescriptor nvdlaTargetA2(int t);
+
+/**
+ * Target a3: a weight FF rewritten every cycle directly at a
+ * multiplier input.  RF = 1.
+ */
+FFDescriptor nvdlaTargetA3();
+
+/**
+ * Target a4: the broadcast input FF feeding all k^2 multipliers, which
+ * compute the same (h, w) position in k^2 consecutive channels.
+ * RF = k^2.
+ */
+FFDescriptor nvdlaTargetA4(int k);
+
+/**
+ * Target b1: a weight value passed along the k columns of the systolic
+ * array; column i is computing output row row+i when it arrives.
+ * RF = k (k consecutive rows of one column).
+ */
+FFDescriptor eyerissTargetB1(int k);
+
+/**
+ * Target b2: an input value reused diagonally across k columns and for
+ * t output channels inside each MAC.  RF = k * t.
+ */
+FFDescriptor eyerissTargetB2(int k, int t);
+
+/** Target b3: a bias FF feeding one BiasAdd unit once.  RF = 1. */
+FFDescriptor eyerissTargetB3();
+
+/**
+ * Compose the descriptor of a local control FF that gates several
+ * datapath FFs: the RF is the sum of the gated RFs and the neuron set
+ * their union (Sec. III-B3).
+ */
+FFDescriptor composeLocalControl(const std::vector<FFDescriptor> &gated);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_FF_DESCRIPTORS_HH

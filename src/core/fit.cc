@@ -1,0 +1,51 @@
+#include "core/fit.hh"
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+double
+FitParams::rawFitTotal() const
+{
+    // One flip-flop is one bit of state; 1 MB = 8 * 2^20 bits.
+    return rawFitPerMb * nff / (8.0 * 1024.0 * 1024.0);
+}
+
+FitBreakdown
+acceleratorFit(const FitParams &params,
+               const std::vector<LayerFitInput> &layers)
+{
+    fatal_if(layers.empty(), "Eq. 2 needs at least one layer");
+
+    double total_time = 0.0;
+    for (const LayerFitInput &l : layers) {
+        fatal_if(l.execTime <= 0.0, "layer exec_time must be positive");
+        total_time += l.execTime;
+    }
+
+    FitBreakdown out;
+    const auto &cats = allFFCategories();
+    for (const LayerFitInput &l : layers) {
+        double weight = l.execTime / total_time;
+        for (std::size_t c = 0; c < cats.size(); ++c) {
+            FFCategory cat = cats[c];
+            if (params.protectGlobal && cat == FFCategory::GlobalControl)
+                continue;
+            const CategoryLayerStats &s = l.stats[c];
+            double contrib = params.rawFitTotal() * weight *
+                             ffCategoryShare(cat) *
+                             (1.0 - s.probInactive) *
+                             (1.0 - s.probSwMask);
+            if (cat == FFCategory::GlobalControl)
+                out.global += contrib;
+            else if (cat == FFCategory::LocalControl)
+                out.local += contrib;
+            else
+                out.datapath += contrib;
+        }
+    }
+    return out;
+}
+
+} // namespace fidelity

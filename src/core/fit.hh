@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Accelerator FIT-rate computation (step 3 of FIdelity's flow, Eq. 2).
+ *
+ * Accelerator_FIT_rate = FIT_raw * N_ff *
+ *   sum_r [ exec_time(r) * sum_cat FF_Perc(cat)
+ *           * (1 - Prob_inactive(cat, r))
+ *           * (1 - Prob_SWmask(cat, r)) ] / sum_r exec_time(r)
+ *
+ * where FIT_raw is the per-FF raw transient rate (derived from a
+ * FIT-per-MB figure, 600/MB for soft errors in the paper), N_ff the
+ * design's FF census, and r ranges over the DNN's layers.
+ */
+
+#ifndef FIDELITY_CORE_FIT_HH
+#define FIDELITY_CORE_FIT_HH
+
+#include <array>
+#include <vector>
+
+#include "core/fault_models.hh"
+
+namespace fidelity
+{
+
+/** Raw-rate and census inputs of Eq. 2. */
+struct FitParams
+{
+    /** Raw FF FIT rate per megabyte of flip-flop state. */
+    double rawFitPerMb = 600.0;
+
+    /** Flip-flop census of the accelerator (estimated; vary for
+     *  sensitivity analysis).  NVDLA-scale designs hold on the order
+     *  of 10^6 FFs. */
+    double nff = 1.2e6;
+
+    /** Set the raw rate of global-control FFs to zero, modelling a
+     *  design that protects them (Fig. 6). */
+    bool protectGlobal = false;
+
+    /** FIT_raw * N_ff: raw failures-in-time of the whole FF state. */
+    double rawFitTotal() const;
+};
+
+/** Per-(category, layer) probabilities feeding Eq. 2. */
+struct CategoryLayerStats
+{
+    double probInactive = 0.0;
+    double probSwMask = 0.0;
+};
+
+/** One layer's inputs to Eq. 2. */
+struct LayerFitInput
+{
+    double execTime = 0.0; //!< execution time (cycles or seconds)
+    std::array<CategoryLayerStats, numFFCategories> stats{};
+};
+
+/** FIT rate split by FF group, as the paper's figures report it. */
+struct FitBreakdown
+{
+    double datapath = 0.0;
+    double local = 0.0;
+    double global = 0.0;
+
+    double total() const { return datapath + local + global; }
+};
+
+/** Evaluate Eq. 2 over a set of layers. */
+FitBreakdown acceleratorFit(const FitParams &params,
+                            const std::vector<LayerFitInput> &layers);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_FIT_HH

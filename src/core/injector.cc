@@ -1,0 +1,89 @@
+#include "core/injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+Injector::Injector(const Network &net, Tensor input,
+                   const NvdlaConfig &cfg)
+    : net_(net), input_(std::move(input)), models_(cfg)
+{
+    acts_ = net_.forwardAll(input_);
+}
+
+const Tensor &
+Injector::goldenOutput() const
+{
+    return acts_[net_.outputNode()];
+}
+
+namespace
+{
+
+/** Range-checker co-design: saturate a written-back value. */
+float
+boundValue(float v, double clamp_abs)
+{
+    if (!std::isfinite(v))
+        return static_cast<float>(clamp_abs);
+    return std::clamp(v, static_cast<float>(-clamp_abs),
+                      static_cast<float>(clamp_abs));
+}
+
+} // namespace
+
+InjectionRecord
+Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
+                 Rng &rng, double clamp_abs) const
+{
+    InjectionRecord rec;
+    rec.category = cat;
+    rec.node = node;
+
+    if (cat == FFCategory::GlobalControl) {
+        // Modelled as guaranteed application error / system anomaly.
+        rec.masked = false;
+        rec.globalFailure = true;
+        return rec;
+    }
+
+    const auto *mac = dynamic_cast<const MacLayer *>(&net_.layer(node));
+    panic_if(!mac, "injection target ", node, " is not a MAC layer");
+    auto ins = net_.gatherInputs(node, acts_);
+
+    FaultApplication app = models_.apply(cat, *mac, ins, acts_[node], rng);
+    rec.numFaultyNeurons = static_cast<int>(app.neurons.size());
+    rec.maxAbsDelta = app.maxAbsDelta;
+    if (app.masked()) {
+        rec.masked = true;
+        return rec;
+    }
+
+    Tensor corrupted = acts_[node];
+    for (std::size_t i = 0; i < app.neurons.size(); ++i) {
+        float v = app.values[i];
+        if (clamp_abs > 0.0)
+            v = boundValue(v, clamp_abs);
+        corrupted.at(app.neurons[i]) = v;
+    }
+
+    Tensor final_out = net_.forwardFrom(node, corrupted, acts_);
+    rec.masked = correct(goldenOutput(), final_out);
+    return rec;
+}
+
+bool
+top1Match(const Tensor &golden, const Tensor &faulty)
+{
+    panic_if(golden.size() != faulty.size(), "output size mismatch");
+    for (std::size_t i = 0; i < faulty.size(); ++i)
+        if (std::isnan(faulty[i]))
+            return false;
+    return golden.argmax() == faulty.argmax();
+}
+
+} // namespace fidelity

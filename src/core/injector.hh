@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Software fault injection on a Network (step 2 of FIdelity's flow).
+ *
+ * One experiment: pick a layer and an FF category, apply the category's
+ * software fault model to the layer's (cached) golden execution,
+ * propagate the corrupted layer output through the rest of the network,
+ * and classify the final output with the application's correctness
+ * metric.  Global-control faults are classified as system failures
+ * without propagation (Prob_SWmask = 0), as the framework defines.
+ */
+
+#ifndef FIDELITY_CORE_INJECTOR_HH
+#define FIDELITY_CORE_INJECTOR_HH
+
+#include <functional>
+
+#include "core/fault_models.hh"
+#include "nn/network.hh"
+#include "sim/rng.hh"
+
+namespace fidelity
+{
+
+/**
+ * Application correctness metric: true when the faulty final output is
+ * acceptably close to the golden one (the fault is masked).
+ */
+using CorrectnessFn =
+    std::function<bool(const Tensor &golden, const Tensor &faulty)>;
+
+/** Result of one software fault-injection experiment. */
+struct InjectionRecord
+{
+    FFCategory category = FFCategory::OutputPsum;
+    NodeId node = 0;
+    bool masked = true;
+    bool globalFailure = false;
+    int numFaultyNeurons = 0;
+    double maxAbsDelta = 0.0; //!< layer-level perturbation magnitude
+};
+
+/** Fault-injection engine bound to one network + input. */
+class Injector
+{
+  public:
+    /**
+     * Caches the golden activations of the network on this input.
+     * @param net Target network (already calibrated if integer mode).
+     * @param input Network input.
+     * @param cfg Accelerator configuration (RF-pattern geometry).
+     */
+    Injector(const Network &net, Tensor input, const NvdlaConfig &cfg);
+
+    const Tensor &goldenOutput() const;
+    const std::vector<Tensor> &goldenActs() const { return acts_; }
+
+    /**
+     * Run one experiment at the given MAC node with the given model.
+     *
+     * @param clamp_abs When > 0, model the value-bounding co-design
+     *        of Key result 5: a hardware range checker saturates every
+     *        written-back neuron into [-clamp_abs, clamp_abs] and
+     *        flushes non-finite values to the bound, limiting the
+     *        perturbation a fault can inject.
+     */
+    InjectionRecord inject(NodeId node, FFCategory cat,
+                           const CorrectnessFn &correct, Rng &rng,
+                           double clamp_abs = 0.0) const;
+
+    const FaultModels &models() const { return models_; }
+    const Network &network() const { return net_; }
+
+  private:
+    const Network &net_;
+    Tensor input_;
+    std::vector<Tensor> acts_;
+    FaultModels models_;
+};
+
+/** Top-1 classification metric: argmax of final output must match. */
+bool top1Match(const Tensor &golden, const Tensor &faulty);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_INJECTOR_HH

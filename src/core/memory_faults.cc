@@ -1,0 +1,96 @@
+#include "core/memory_faults.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+bool
+sameValue(float a, float b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return a == b;
+}
+
+} // namespace
+
+MemoryFaultModel::MemoryFaultModel(const MacLayer &layer,
+                                   std::vector<const Tensor *> ins)
+    : layer_(layer), ins_(std::move(ins))
+{
+    golden_ = layer_.forward(ins_);
+}
+
+float
+MemoryFaultModel::corruptedValue(const MemWordFault &fault) const
+{
+    Precision p = layer_.precision();
+    if (fault.weight) {
+        panic_if(fault.index >= layer_.weightCount(ins_),
+                 "weight word index out of range");
+        return FaultModels::flipStoredOperandMask(
+            layer_.weightAt(ins_, fault.index), p, layer_.weightQuant(),
+            fault.mask);
+    }
+    panic_if(fault.index >= ins_[0]->size(),
+             "input word index out of range");
+    return FaultModels::flipStoredOperandMask(
+        (*ins_[0])[fault.index], p, layer_.inputQuant(), fault.mask);
+}
+
+FaultApplication
+MemoryFaultModel::applyWord(const MemWordFault &fault) const
+{
+    return applyWords({fault});
+}
+
+FaultApplication
+MemoryFaultModel::applyWords(
+    const std::vector<MemWordFault> &faults) const
+{
+    FaultApplication app;
+    app.category = FFCategory::PreBufInput; // memory row of Table I
+
+    // Build the substitution chain and the candidate-neuron union.
+    std::vector<OperandSub> subs(faults.size());
+    std::set<NeuronIndex> candidates;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const MemWordFault &f = faults[i];
+        subs[i].kind = f.weight ? OperandSub::Kind::Weight
+                                : OperandSub::Kind::Input;
+        subs[i].flatIndex = f.index;
+        subs[i].value = corruptedValue(f);
+        if (i + 1 < faults.size())
+            subs[i].next = &subs[i + 1];
+        auto users = f.weight
+            ? layer_.weightConsumers(ins_, f.index)
+            : layer_.inputConsumers(ins_, f.index);
+        candidates.insert(users.begin(), users.end());
+    }
+
+    const OperandSub *chain = subs.empty() ? nullptr : subs.data();
+    for (const NeuronIndex &n : candidates) {
+        float y = layer_.computeNeuron(ins_, n, chain);
+        float g = golden_.at(n);
+        if (sameValue(g, y))
+            continue;
+        app.neurons.push_back(n);
+        app.values.push_back(y);
+        double delta = std::isfinite(y)
+            ? std::fabs(static_cast<double>(y) - g)
+            : std::numeric_limits<double>::infinity();
+        app.maxAbsDelta = std::max(app.maxAbsDelta, delta);
+    }
+    return app;
+}
+
+} // namespace fidelity

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Software fault models for on-chip memory errors (Sec. III-E).
+ *
+ * The paper notes that FIdelity extends beyond flip-flops: a corrupted
+ * memory word behaves like the pre-buffer datapath FF that loaded it
+ * (Table I, row 1), so its faulty-neuron set is "all output neurons
+ * that use the value", and multi-word errors take the union of the
+ * per-word sets.  This module derives those models on top of the nn
+ * layers' substitution machinery; values for neurons touched by
+ * several corrupted words come from a chained substitution, so they
+ * stay bit-exact.
+ */
+
+#ifndef FIDELITY_CORE_MEMORY_FAULTS_HH
+#define FIDELITY_CORE_MEMORY_FAULTS_HH
+
+#include <vector>
+
+#include "core/fault_models.hh"
+#include "nn/layer.hh"
+
+namespace fidelity
+{
+
+/** One corrupted memory word in a layer's operand space. */
+struct MemWordFault
+{
+    bool weight = true;       //!< weight word vs input word
+    std::size_t index = 0;    //!< flat operand index (layer domain)
+    std::uint32_t mask = 1;   //!< bits flipped in the stored word
+};
+
+/** Memory-error fault models bound to one layer execution. */
+class MemoryFaultModel
+{
+  public:
+    /**
+     * @param layer The MAC layer whose operand memories are hit.
+     * @param ins The layer's (golden) inputs, kept alive by caller.
+     */
+    MemoryFaultModel(const MacLayer &layer,
+                     std::vector<const Tensor *> ins);
+
+    /** Model a single corrupted word. */
+    FaultApplication applyWord(const MemWordFault &fault) const;
+
+    /**
+     * Model several corrupted words at once: the faulty-neuron set is
+     * the union of the per-word sets, with chained substitutions for
+     * neurons consuming more than one corrupted word.
+     */
+    FaultApplication
+    applyWords(const std::vector<MemWordFault> &faults) const;
+
+    /** The corrupted real value a word fault produces. */
+    float corruptedValue(const MemWordFault &fault) const;
+
+    const Tensor &golden() const { return golden_; }
+
+  private:
+    const MacLayer &layer_;
+    std::vector<const Tensor *> ins_;
+    Tensor golden_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_MEMORY_FAULTS_HH

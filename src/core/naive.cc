@@ -1,0 +1,52 @@
+#include "core/naive.hh"
+
+#include "core/fault_models.hh"
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+NaiveInjector::NaiveInjector(const Injector &injector)
+    : injector_(injector)
+{
+    const Network &net = injector_.network();
+    nodes_ = net.macNodes();
+    fatal_if(nodes_.empty(), "network has no MAC layers");
+    for (NodeId n : nodes_)
+        nodeWeights_.push_back(static_cast<double>(
+            injector_.goldenActs()[n].size()));
+}
+
+bool
+NaiveInjector::inject(const CorrectnessFn &correct, Rng &rng) const
+{
+    const Network &net = injector_.network();
+    const auto &acts = injector_.goldenActs();
+
+    NodeId node = nodes_[rng.weighted(nodeWeights_)];
+    const auto *mac = dynamic_cast<const MacLayer *>(&net.layer(node));
+    const Tensor &golden = acts[node];
+
+    std::size_t flat =
+        rng.below(static_cast<std::uint32_t>(golden.size()));
+    Precision p = mac->precision();
+    int bit = static_cast<int>(
+        rng.below(FaultModels::operandBits(p)));
+    float faulty_val = FaultModels::flipStoredOutput(
+        golden[flat], p, mac->outputQuant(), bit);
+    if (faulty_val == golden[flat])
+        return true; // flip invisible after re-quantisation
+
+    Tensor corrupted = golden;
+    corrupted[flat] = faulty_val;
+    Tensor final_out = net.forwardFrom(node, corrupted, acts);
+    return correct(acts[net.outputNode()], final_out);
+}
+
+double
+NaiveInjector::naiveFit(const FitParams &params, double prob_mask)
+{
+    return params.rawFitTotal() * (1.0 - prob_mask);
+}
+
+} // namespace fidelity

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The naive software fault-injection baseline (Sec. VI comparison).
+ *
+ * Prior software FI tools model a hardware transient as a single
+ * bit-flip in a single architectural (software-visible) state: one
+ * activation value, one bit.  This ignores multi-neuron reuse effects,
+ * control faults, and activeness, which the paper shows underestimates
+ * the accelerator FIT rate by up to 25X.
+ */
+
+#ifndef FIDELITY_CORE_NAIVE_HH
+#define FIDELITY_CORE_NAIVE_HH
+
+#include "core/fit.hh"
+#include "core/injector.hh"
+
+namespace fidelity
+{
+
+/** Naive single-architectural-bit-flip injector. */
+class NaiveInjector
+{
+  public:
+    /** Shares the cached golden execution of a FIdelity Injector. */
+    explicit NaiveInjector(const Injector &injector);
+
+    /**
+     * One naive experiment: flip one random bit of one random
+     * activation value (a MAC layer output), propagate, classify.
+     * @return True when the fault was masked.
+     */
+    bool inject(const CorrectnessFn &correct, Rng &rng) const;
+
+    /**
+     * The naive FIT estimate: every FF is assumed to behave like an
+     * architectural single-bit flip, so
+     * FIT = FIT_raw * N_ff * (1 - Prob_mask_naive).
+     */
+    static double naiveFit(const FitParams &params, double prob_mask);
+
+  private:
+    const Injector &injector_;
+    std::vector<NodeId> nodes_;
+    std::vector<double> nodeWeights_; //!< output element counts
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_NAIVE_HH

@@ -1,0 +1,77 @@
+#include "core/protection.hh"
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+FitBreakdown
+acceleratorFitWithProtection(
+    const FitParams &params, const std::vector<LayerFitInput> &layers,
+    const std::array<bool, numFFCategories> &protect)
+{
+    // Protected categories contribute nothing: model their raw rate as
+    // zero by forcing full masking in a copy of the inputs.
+    std::vector<LayerFitInput> adjusted = layers;
+    for (LayerFitInput &l : adjusted)
+        for (std::size_t c = 0; c < protect.size(); ++c)
+            if (protect[c])
+                l.stats[c].probSwMask = 1.0;
+    return acceleratorFit(params, adjusted);
+}
+
+std::array<double, numFFCategories>
+categoryFitContributions(const FitParams &params,
+                         const std::vector<LayerFitInput> &layers)
+{
+    std::array<double, numFFCategories> out{};
+    const auto &cats = allFFCategories();
+    for (std::size_t c = 0; c < cats.size(); ++c) {
+        std::array<bool, numFFCategories> only_this{};
+        for (std::size_t o = 0; o < only_this.size(); ++o)
+            only_this[o] = o != c; // protect everything else
+        out[c] = acceleratorFitWithProtection(params, layers, only_this)
+                     .total();
+    }
+    return out;
+}
+
+ProtectionPlan
+planSelectiveProtection(const FitParams &params,
+                        const std::vector<LayerFitInput> &layers,
+                        double target_fit)
+{
+    fatal_if(target_fit <= 0.0, "target FIT must be positive");
+    ProtectionPlan plan;
+    plan.fit = acceleratorFitWithProtection(params, layers,
+                                            plan.protect);
+
+    auto contributions = categoryFitContributions(params, layers);
+    const auto &cats = allFFCategories();
+
+    while (plan.fit.total() > target_fit) {
+        // Pick the unprotected category with the best FIT-per-FF-share
+        // ratio.
+        int best = -1;
+        double best_ratio = -1.0;
+        for (std::size_t c = 0; c < cats.size(); ++c) {
+            if (plan.protect[c] || contributions[c] <= 0.0)
+                continue;
+            double ratio = contributions[c] / ffCategoryShare(cats[c]);
+            if (ratio > best_ratio) {
+                best_ratio = ratio;
+                best = static_cast<int>(c);
+            }
+        }
+        if (best < 0)
+            break; // nothing left to protect
+        plan.protect[best] = true;
+        plan.ffShare += ffCategoryShare(cats[best]);
+        plan.fit = acceleratorFitWithProtection(params, layers,
+                                                plan.protect);
+    }
+    plan.meetsTarget = plan.fit.total() <= target_fit;
+    return plan;
+}
+
+} // namespace fidelity

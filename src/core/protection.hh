@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Selective-protection exploration (the paper's Architectural
+ * Insights).
+ *
+ * FIdelity's per-category FIT contributions tell an architect which
+ * flip-flop categories to harden (parity, duplication, hardened cells)
+ * to reach a resilience target at minimum cost.  The planner greedily
+ * protects the category with the highest FIT contribution per
+ * protected FF until the target is met — the adaptive selective
+ * protection scheme the paper sketches.
+ */
+
+#ifndef FIDELITY_CORE_PROTECTION_HH
+#define FIDELITY_CORE_PROTECTION_HH
+
+#include <array>
+
+#include "core/fit.hh"
+
+namespace fidelity
+{
+
+/** Per-category protection mask and its outcome. */
+struct ProtectionPlan
+{
+    /** Categories whose raw FIT rate the plan sets to zero. */
+    std::array<bool, numFFCategories> protect{};
+
+    /** Share of the design's FFs that must be hardened (cost proxy). */
+    double ffShare = 0.0;
+
+    /** Resulting accelerator FIT rate. */
+    FitBreakdown fit;
+
+    /** Whether the target was reached. */
+    bool meetsTarget = false;
+};
+
+/** Eq. 2 with a per-category protection mask applied. */
+FitBreakdown
+acceleratorFitWithProtection(
+    const FitParams &params, const std::vector<LayerFitInput> &layers,
+    const std::array<bool, numFFCategories> &protect);
+
+/** Per-category FIT contributions (Eq. 2 terms, unprotected). */
+std::array<double, numFFCategories>
+categoryFitContributions(const FitParams &params,
+                         const std::vector<LayerFitInput> &layers);
+
+/**
+ * Greedily build the cheapest category-protection plan whose FIT meets
+ * the target: repeatedly protect the unprotected category with the
+ * highest contribution-to-cost ratio.
+ *
+ * @param params Raw rate / census inputs.
+ * @param layers Per-layer Eq. 2 inputs from a campaign.
+ * @param target_fit The FIT budget to reach (e.g. 0.2 for ASIL-D).
+ */
+ProtectionPlan
+planSelectiveProtection(const FitParams &params,
+                        const std::vector<LayerFitInput> &layers,
+                        double target_fit);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_PROTECTION_HH

@@ -1,0 +1,90 @@
+#include "core/reuse_factor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+const char *
+varTypeName(VarType t)
+{
+    switch (t) {
+      case VarType::Input:
+        return "Input";
+      case VarType::Weight:
+        return "Weight";
+      case VarType::Bias:
+        return "Bias";
+      case VarType::PartialSum:
+        return "PartialSum";
+      case VarType::Output:
+        return "Output";
+    }
+    panic("unknown VarType");
+}
+
+const char *
+pipelineStageName(PipelineStage s)
+{
+    switch (s) {
+      case PipelineStage::BeforeBuffer:
+        return "BeforeBuffer";
+      case PipelineStage::AfterBuffer:
+        return "AfterBuffer";
+      case PipelineStage::InsideMac:
+        return "InsideMac";
+      case PipelineStage::AfterMac:
+        return "AfterMac";
+    }
+    panic("unknown PipelineStage");
+}
+
+RFResult
+analyzeReuseFactor(const FFDescriptor &ff)
+{
+    fatal_if(ff.ffValueCycles <= 0,
+             "FF_value_cycles must be positive");
+    fatal_if(static_cast<int>(ff.loops.size()) != ff.ffValueCycles,
+             "descriptor must provide M_l for every loop: got ",
+             ff.loops.size(), " loops for FF_value_cycles = ",
+             ff.ffValueCycles);
+
+    RFResult result;
+    // Algorithm 1: iterate loops l, compute units m in M_l, cycles y in
+    // [0, in_effect_cycles(m)), and the neuron set of each cycle;
+    // insert unique (neuron, l) pairs in generation order.
+    for (int l = 0; l < ff.ffValueCycles; ++l) {
+        for (const ComputeUnitUse &use : ff.loops[l]) {
+            for (const auto &cycle_neurons : use.neurons) {
+                for (const NeuronIndex &n : cycle_neurons) {
+                    auto dup = std::find_if(
+                        result.faultyNeurons.begin(),
+                        result.faultyNeurons.end(),
+                        [&](const TimedNeuron &t) {
+                            return t.neuron == n;
+                        });
+                    if (dup == result.faultyNeurons.end())
+                        result.faultyNeurons.push_back({n, l});
+                }
+            }
+        }
+    }
+    result.rf = static_cast<int>(result.faultyNeurons.size());
+    return result;
+}
+
+std::vector<NeuronIndex>
+sampleFaultyNeurons(const FFDescriptor &ff, const RFResult &rf, Rng &rng)
+{
+    int p = static_cast<int>(rng.below(
+        static_cast<std::uint32_t>(ff.ffValueCycles)));
+    std::vector<NeuronIndex> out;
+    for (const TimedNeuron &t : rf.faultyNeurons)
+        if (t.timestamp >= p)
+            out.push_back(t.neuron);
+    return out;
+}
+
+} // namespace fidelity

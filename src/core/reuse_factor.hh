@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reuse Factor Analysis (Algorithm 1 of the paper).
+ *
+ * Given a few pieces of microarchitectural information about a target
+ * flip-flop — its variable type and pipeline stage, how many cycles it
+ * holds one value, which compute units consume the value on each loop,
+ * for how many cycles each unit uses it, and which output neurons each
+ * unit produces on each of those cycles — derive the reuse factor (the
+ * maximum number of faulty output neurons a single-cycle bit flip can
+ * create), the relative locations of all possible faulty neurons, and
+ * the order in which they are generated.
+ */
+
+#ifndef FIDELITY_CORE_REUSE_FACTOR_HH
+#define FIDELITY_CORE_REUSE_FACTOR_HH
+
+#include <vector>
+
+#include "sim/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace fidelity
+{
+
+/** Variable type stored by a datapath flip-flop. */
+enum class VarType
+{
+    Input,
+    Weight,
+    Bias,
+    PartialSum,
+    Output
+};
+
+/** Coarse pipeline position of a flip-flop (Table I rows). */
+enum class PipelineStage
+{
+    BeforeBuffer, //!< before a level of on-chip memory
+    AfterBuffer,  //!< between the L1 buffer and the MAC units
+    InsideMac,    //!< inside a MAC unit
+    AfterMac      //!< after the MAC units
+};
+
+const char *varTypeName(VarType t);
+const char *pipelineStageName(PipelineStage s);
+
+/**
+ * How one compute unit uses the target FF's value during one loop
+ * (Algorithm 1 inputs 3-5 for a single (m, l) pair).
+ */
+struct ComputeUnitUse
+{
+    int unit = 0; //!< compute-unit identifier (m)
+
+    /**
+     * neurons[y] = relative (batch, height, width, channel) indices of
+     * the output neurons this unit computes in its yth cycle of using
+     * the value; neurons.size() is in_effect_cycles(m).
+     */
+    std::vector<std::vector<NeuronIndex>> neurons;
+};
+
+/** Algorithm 1's full input set for one target flip-flop. */
+struct FFDescriptor
+{
+    VarType type = VarType::Input;
+    PipelineStage stage = PipelineStage::AfterBuffer;
+
+    /** Max cycles the FF holds one value (input 2). */
+    int ffValueCycles = 1;
+
+    /** loops[l] = M_l, the compute units using the value at loop l. */
+    std::vector<std::vector<ComputeUnitUse>> loops;
+};
+
+/** A faulty neuron with the loop timestamp it was generated at. */
+struct TimedNeuron
+{
+    NeuronIndex neuron;
+    int timestamp = 0; //!< l of the first generation of this neuron
+
+    bool operator==(const TimedNeuron &o) const = default;
+};
+
+/** Output of Algorithm 1. */
+struct RFResult
+{
+    int rf = 0; //!< number of unique faulty neurons
+
+    /** Unique faulty neurons in generation order. */
+    std::vector<TimedNeuron> faultyNeurons;
+};
+
+/** Run Algorithm 1 on one descriptor. */
+RFResult analyzeReuseFactor(const FFDescriptor &ff);
+
+/**
+ * Model a random injection cycle: pick one loop phase p uniformly in
+ * [0, ffValueCycles) and keep the faulty neurons whose timestamp is at
+ * least p (Sec. III-B1).
+ */
+std::vector<NeuronIndex> sampleFaultyNeurons(const FFDescriptor &ff,
+                                             const RFResult &rf, Rng &rng);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_REUSE_FACTOR_HH

@@ -1,0 +1,559 @@
+#include "core/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "tensor/bitops.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+/** Semantic equality: NaNs match NaNs; +0 matches -0. */
+bool
+sameValue(float a, float b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return a == b;
+}
+
+} // namespace
+
+CategoryValidation &
+ValidationReport::forCategory(FFCategory cat)
+{
+    return perCategory[static_cast<int>(cat)];
+}
+
+const CategoryValidation &
+ValidationReport::forCategory(FFCategory cat) const
+{
+    return perCategory[static_cast<int>(cat)];
+}
+
+FFCategory
+categoryOfFFClass(FFClass cls)
+{
+    switch (cls) {
+      case FFClass::FetchInput:
+        return FFCategory::PreBufInput;
+      case FFClass::FetchWeight:
+        return FFCategory::PreBufWeight;
+      case FFClass::OperandInput:
+        return FFCategory::OperandInput;
+      case FFClass::WeightStage:
+      case FFClass::WeightHold:
+        return FFCategory::OperandWeight;
+      case FFClass::Psum:
+      case FFClass::OutputReg:
+      case FFClass::BiasReg:
+        return FFCategory::OutputPsum;
+      case FFClass::LocalValid:
+      case FFClass::LocalMuxSel:
+        return FFCategory::LocalControl;
+      case FFClass::GlobalConfig:
+      case FFClass::GlobalCounter:
+        return FFCategory::GlobalControl;
+    }
+    panic("unknown FFClass");
+}
+
+Validator::Validator(const NvdlaConfig &cfg, const MacLayer &layer,
+                     std::vector<const Tensor *> ins)
+    : cfg_(cfg), layer_(layer), ins_(std::move(ins))
+{
+    golden_ = layer_.forward(ins_);
+    if (const auto *conv = dynamic_cast<const Conv2D *>(&layer_)) {
+        el_ = engineLayerFromConv(*conv, *ins_[0]);
+    } else if (const auto *fc = dynamic_cast<const FC *>(&layer_)) {
+        el_ = engineLayerFromFC(*fc, *ins_[0]);
+    } else if (const auto *mm = dynamic_cast<const MatMulAB *>(&layer_)) {
+        el_ = engineLayerFromMatMul(*mm, *ins_[0], *ins_[1]);
+    } else {
+        panic("Validator supports Conv2D, FC and MatMulAB layers");
+    }
+    fi_ = std::make_unique<NvdlaFi>(cfg_, el_, *ins_[0]);
+
+    // The engine's fault-free output must equal the nn layer's output
+    // bit for bit; everything downstream relies on it.
+    const Tensor &eo = fi_->golden().output;
+    panic_if(eo.size() != golden_.size(), "golden shape mismatch");
+    for (std::size_t i = 0; i < golden_.size(); ++i)
+        panic_if(!sameValue(eo[i], golden_[i]),
+                 "engine/nn golden mismatch at ", i, " for layer ",
+                 layer_.name());
+}
+
+std::int64_t
+Validator::inputElemIndex(std::int64_t pos, std::int64_t step) const
+{
+    if (el_.kind == EngineLayer::Kind::MatMul)
+        return pos * el_.red + step;
+    std::int64_t plane =
+        static_cast<std::int64_t>(el_.outH) * el_.outW;
+    std::int64_t n = pos / plane;
+    std::int64_t rem = pos % plane;
+    std::int64_t oh = rem / el_.outW;
+    std::int64_t ow = rem % el_.outW;
+    std::int64_t kernel = static_cast<std::int64_t>(el_.kh) * el_.kw;
+    std::int64_t ci = step / kernel;
+    std::int64_t krem = step % kernel;
+    std::int64_t ki = krem / el_.kw;
+    std::int64_t kj = krem % el_.kw;
+    std::int64_t ih = oh * el_.stride - el_.pad + ki * el_.dilation;
+    std::int64_t iw = ow * el_.stride - el_.pad + kj * el_.dilation;
+    if (ih < 0 || ih >= el_.inH || iw < 0 || iw >= el_.inW)
+        return -1;
+    return ((n * el_.inH + ih) * el_.inW + iw) * el_.inC + ci;
+}
+
+std::size_t
+Validator::weightSubIndex(std::int64_t chan, std::int64_t step) const
+{
+    if (el_.kind == EngineLayer::Kind::Conv) {
+        std::int64_t kernel = static_cast<std::int64_t>(el_.kh) * el_.kw;
+        std::int64_t ci = step / kernel;
+        std::int64_t krem = step % kernel;
+        std::int64_t ki = krem / el_.kw;
+        std::int64_t kj = krem % el_.kw;
+        return static_cast<std::size_t>(
+            ((ki * el_.kw + kj) * el_.inC + ci) * el_.outC + chan);
+    }
+    if (const auto *mm = dynamic_cast<const MatMulAB *>(&layer_)) {
+        // The nn substitution index is an offset into the B tensor.
+        if (mm->transB())
+            return static_cast<std::size_t>(chan * el_.red + step);
+        return static_cast<std::size_t>(step * el_.cols + chan);
+    }
+    // FC: weights are [in_c][units] flat, identical to the engine.
+    return static_cast<std::size_t>(step * el_.cols + chan);
+}
+
+std::size_t
+Validator::outputFlat(std::int64_t pos, std::int64_t chan) const
+{
+    return static_cast<std::size_t>(pos * el_.channels() + chan);
+}
+
+void
+Validator::appendIfChanged(Prediction &pred, std::size_t flat,
+                           float value) const
+{
+    if (sameValue(golden_[flat], value))
+        return;
+    pred.flats.push_back(flat);
+    pred.values.push_back(value);
+}
+
+Prediction
+Validator::predict(const FaultSite &site) const
+{
+    Prediction pred;
+    const SiteContext ctx = fi_->context(site);
+    const int macs = cfg_.macs();
+    const int t = cfg_.t;
+    const int bit = site.ff.bit;
+    const int unit = site.ff.unit;
+    const Precision prec = el_.precision;
+    const std::int64_t red = el_.reduction();
+    const std::int64_t out_c = el_.channels();
+    const std::int64_t n_drain = ctx.blkLen * macs;
+
+    switch (site.ff.cls) {
+      case FFClass::GlobalConfig:
+      case FFClass::GlobalCounter:
+        pred.kind = Prediction::Kind::GlobalFailure;
+        return pred;
+
+      case FFClass::FetchInput: {
+        std::int64_t num_i =
+            static_cast<std::int64_t>(ins_[0]->size());
+        if (ctx.phase != EnginePhase::FetchI || ctx.fetch < 1 ||
+            ctx.fetch > num_i)
+            return pred;
+        std::size_t elem = static_cast<std::size_t>(ctx.fetch - 1);
+        float v = (*ins_[0])[elem];
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::Input;
+        sub.flatIndex = elem;
+        sub.value = FaultModels::flipStoredOperandMask(
+            v, prec, layer_.inputQuant(), site.ff.mask());
+        for (const NeuronIndex &n : layer_.inputConsumers(ins_, elem))
+            appendIfChanged(pred, golden_.offset(n.n, n.h, n.w, n.c),
+                            layer_.computeNeuron(ins_, n, &sub));
+        break;
+      }
+
+      case FFClass::FetchWeight: {
+        std::int64_t num_w =
+            static_cast<std::int64_t>(el_.weights.size());
+        if (ctx.phase != EnginePhase::FetchW || ctx.fetch < 1 ||
+            ctx.fetch > num_w)
+            return pred;
+        std::size_t engine_widx =
+            static_cast<std::size_t>(ctx.fetch - 1);
+        // Decode the engine layout back to (step, chan) and map to the
+        // nn substitution index.
+        std::int64_t chan = static_cast<std::int64_t>(
+            engine_widx % el_.channels());
+        std::int64_t step = static_cast<std::int64_t>(
+            engine_widx / el_.channels());
+        // For conv the engine layout is [kh][kw][ci][oc]; the "step"
+        // recovered this way is the (ki, kj, ci) group index, which is
+        // not the reduction step, so recompute the nn index directly.
+        std::size_t nn_widx;
+        if (el_.kind == EngineLayer::Kind::Conv) {
+            nn_widx = engine_widx; // identical layouts
+        } else {
+            nn_widx = weightSubIndex(chan, step);
+        }
+        float v = layer_.weightAt(ins_, nn_widx);
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::Weight;
+        sub.flatIndex = nn_widx;
+        sub.value = FaultModels::flipStoredOperandMask(
+            v, prec, layer_.weightQuant(), site.ff.mask());
+        for (const NeuronIndex &n : layer_.weightConsumers(ins_, nn_widx))
+            appendIfChanged(pred, golden_.offset(n.n, n.h, n.w, n.c),
+                            layer_.computeNeuron(ins_, n, &sub));
+        break;
+      }
+
+      case FFClass::OperandInput: {
+        if (ctx.phase != EnginePhase::Mac || ctx.pos >= ctx.blkLen)
+            return pred;
+        std::int64_t pos = ctx.blkStart + ctx.pos;
+        std::int64_t elem = inputElemIndex(pos, ctx.step);
+        float v = elem >= 0
+            ? (*ins_[0])[static_cast<std::size_t>(elem)] : 0.0f;
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::Input;
+        sub.termIndex = static_cast<int>(ctx.step);
+        sub.value = FaultModels::flipStoredOperandMask(
+            v, prec, layer_.inputQuant(), site.ff.mask());
+        for (std::int64_t chan = ctx.cg * macs;
+             chan < std::min<std::int64_t>((ctx.cg + 1) * macs, out_c);
+             ++chan) {
+            std::size_t flat = outputFlat(pos, chan);
+            NeuronIndex n = golden_.indexOf(flat);
+            appendIfChanged(pred, flat,
+                            layer_.computeNeuron(ins_, n, &sub));
+        }
+        break;
+      }
+
+      case FFClass::WeightStage:
+      case FFClass::WeightHold: {
+        std::int64_t first_p;
+        if (site.ff.cls == FFClass::WeightStage) {
+            // Effective only while the staged value transfers to the
+            // hold register; it then covers the whole block.
+            if (ctx.phase != EnginePhase::LoadHold)
+                return pred;
+            first_p = 0;
+        } else {
+            if (ctx.phase != EnginePhase::Mac || ctx.pos >= ctx.blkLen)
+                return pred;
+            first_p = ctx.pos;
+        }
+        std::int64_t chan = ctx.cg * macs + unit;
+        if (chan >= out_c || ctx.step >= red)
+            return pred;
+        std::size_t nn_widx = weightSubIndex(chan, ctx.step);
+        float v = layer_.weightAt(ins_, nn_widx);
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::Weight;
+        sub.flatIndex = nn_widx;
+        sub.value = FaultModels::flipStoredOperandMask(
+            v, prec, layer_.weightQuant(), site.ff.mask());
+        for (std::int64_t p = first_p; p < ctx.blkLen; ++p) {
+            std::size_t flat = outputFlat(ctx.blkStart + p, chan);
+            NeuronIndex n = golden_.indexOf(flat);
+            appendIfChanged(pred, flat,
+                            layer_.computeNeuron(ins_, n, &sub));
+        }
+        break;
+      }
+
+      case FFClass::Psum: {
+        int m = unit / t;
+        std::int64_t q = unit % t;
+        std::int64_t chan = ctx.cg * macs + m;
+        if (chan >= out_c || q >= ctx.blkLen)
+            return pred;
+        std::int64_t flip_step;
+        switch (ctx.phase) {
+          case EnginePhase::Mac:
+            flip_step = q < ctx.pos ? ctx.step + 1 : ctx.step;
+            break;
+          case EnginePhase::LoadStage:
+          case EnginePhase::LoadHold:
+            flip_step = ctx.step;
+            break;
+          case EnginePhase::Drain: {
+            std::int64_t j_slot = q * macs + m;
+            if (j_slot < ctx.drain - 1)
+                return pred; // already drained
+            flip_step = red;
+            break;
+          }
+          default:
+            return pred;
+        }
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::PsumFlip;
+        sub.flatIndex = static_cast<std::size_t>(
+            std::min<std::int64_t>(flip_step, red));
+        sub.bit = bit;
+        sub.extraMask = site.ff.extraMask;
+        std::size_t flat = outputFlat(ctx.blkStart + q, chan);
+        NeuronIndex n = golden_.indexOf(flat);
+        appendIfChanged(pred, flat, layer_.computeNeuron(ins_, n, &sub));
+        break;
+      }
+
+      case FFClass::OutputReg: {
+        if (ctx.phase != EnginePhase::Drain || ctx.drain < 2 ||
+            ctx.drain > n_drain + 1)
+            return pred;
+        std::int64_t j = ctx.drain - 2;
+        std::int64_t chan = ctx.cg * macs + (j % macs);
+        if (chan >= out_c)
+            return pred;
+        std::size_t flat = outputFlat(ctx.blkStart + j / macs, chan);
+        float y = golden_[flat];
+        appendIfChanged(pred, flat,
+                        FaultModels::flipStoredOutputMask(
+                            y, prec, layer_.outputQuant(),
+                            site.ff.mask()));
+        break;
+      }
+
+      case FFClass::BiasReg: {
+        if (ctx.phase != EnginePhase::Drain || ctx.drain < 1 ||
+            ctx.drain > n_drain || !layer_.hasBias())
+            return pred;
+        std::int64_t j = ctx.drain - 1;
+        std::int64_t chan = ctx.cg * macs + (j % macs);
+        if (chan >= out_c)
+            return pred;
+        float b = el_.bias[static_cast<std::size_t>(chan)];
+        Repr r = prec == Precision::FP16 ? Repr::FP16 : Repr::FP32;
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::Bias;
+        sub.value = flipBits(b, r, site.ff.mask());
+        std::size_t flat = outputFlat(ctx.blkStart + j / macs, chan);
+        NeuronIndex n = golden_.indexOf(flat);
+        appendIfChanged(pred, flat, layer_.computeNeuron(ins_, n, &sub));
+        break;
+      }
+
+      case FFClass::LocalValid: {
+        if (ctx.phase != EnginePhase::Drain || ctx.drain < 2 ||
+            ctx.drain > n_drain + 1)
+            return pred;
+        std::int64_t j = ctx.drain - 2;
+        if (unit != static_cast<int>(j % macs))
+            return pred;
+        std::int64_t chan = ctx.cg * macs + (j % macs);
+        if (chan >= out_c)
+            return pred;
+        std::size_t flat = outputFlat(ctx.blkStart + j / macs, chan);
+        // A dropped writeback leaves the buffer's previous content —
+        // architecturally a non-deterministic value; invisible when
+        // the stale content happens to equal the result.
+        if (golden_[flat] == 0.0f)
+            return pred;
+        pred.deterministicValues = false;
+        pred.flats.push_back(flat);
+        break;
+      }
+
+      case FFClass::LocalMuxSel: {
+        if (ctx.phase != EnginePhase::Drain || ctx.drain < 1 ||
+            ctx.drain > n_drain || !layer_.hasBias())
+            return pred;
+        std::int64_t j = ctx.drain - 1;
+        std::int64_t chan = ctx.cg * macs + (j % macs);
+        if (chan >= out_c)
+            return pred;
+        // Bias path deselected: the neuron writes back without bias.
+        OperandSub sub;
+        sub.kind = OperandSub::Kind::Bias;
+        sub.value = 0.0f;
+        std::size_t flat = outputFlat(ctx.blkStart + j / macs, chan);
+        NeuronIndex n = golden_.indexOf(flat);
+        appendIfChanged(pred, flat, layer_.computeNeuron(ins_, n, &sub));
+        break;
+      }
+    }
+
+    if (pred.flats.empty())
+        return pred; // nothing changed -> masked
+    pred.kind = Prediction::Kind::Neurons;
+
+    // Generation order: sort multi-neuron predictions by the golden
+    // writeback cycle, the order the scheduling algorithm produces
+    // output neurons.
+    if (pred.flats.size() > 1) {
+        const auto &wb = fi_->golden().writebackCycle;
+        std::vector<std::size_t> order(pred.flats.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return wb[pred.flats[a]] < wb[pred.flats[b]];
+                  });
+        Prediction sorted = pred;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            sorted.flats[i] = pred.flats[order[i]];
+            if (!pred.values.empty())
+                sorted.values[i] = pred.values[order[i]];
+        }
+        pred = std::move(sorted);
+    }
+    return pred;
+}
+
+CaseResult
+Validator::runOneDirected(FFClass cls, Rng &rng)
+{
+    CaseResult cr;
+    cr.site = fi_->sampleSiteDirected(cls, rng);
+    return finishCase(cr);
+}
+
+bool
+Validator::globalSiteActive(const FaultSite &site) const
+{
+    if (site.ff.cls == FFClass::GlobalConfig)
+        return true;
+    if (site.ff.cls != FFClass::GlobalCounter)
+        return false;
+    EnginePhase ph = fi_->context(site).phase;
+    switch (static_cast<CounterReg>(site.ff.unit)) {
+      case CounterReg::Fetch:
+        return ph == EnginePhase::FetchW || ph == EnginePhase::FetchI;
+      case CounterReg::ChanGroup:
+      case CounterReg::Block:
+        return ph != EnginePhase::FetchW && ph != EnginePhase::FetchI &&
+               ph != EnginePhase::Done;
+      case CounterReg::RedStep:
+        return ph == EnginePhase::LoadStage ||
+               ph == EnginePhase::LoadHold || ph == EnginePhase::Mac;
+      case CounterReg::Pos:
+        return ph == EnginePhase::Mac;
+      case CounterReg::Drain:
+        return ph == EnginePhase::Drain;
+      case CounterReg::NumRegs:
+        break;
+    }
+    return false;
+}
+
+CaseResult
+Validator::runOne(Rng &rng)
+{
+    CaseResult cr;
+    cr.site = fi_->sampleSite(rng);
+    return finishCase(cr);
+}
+
+CaseResult
+Validator::finishCase(CaseResult cr)
+{
+    cr.category = categoryOfFFClass(cr.site.ff.cls);
+
+    RtlOutcome rtl = fi_->inject(cr.site);
+    Prediction pred = predict(cr.site);
+
+    cr.rtlMasked = rtl.masked();
+    cr.timeout = rtl.timeout;
+    cr.anomaly = rtl.anomaly;
+    cr.predMasked = pred.kind == Prediction::Kind::Masked;
+    cr.rtlCount = static_cast<int>(rtl.faulty.size());
+    cr.predCount = static_cast<int>(pred.flats.size());
+
+    if (pred.kind != Prediction::Kind::Neurons || rtl.timeout ||
+        rtl.anomaly)
+        return cr;
+
+    // Set comparison.
+    std::vector<std::size_t> rtl_flats;
+    rtl_flats.reserve(rtl.faulty.size());
+    for (const FaultyNeuron &f : rtl.faulty)
+        rtl_flats.push_back(f.flat);
+    std::vector<std::size_t> pred_sorted = pred.flats;
+    std::sort(pred_sorted.begin(), pred_sorted.end());
+    cr.setMatch = pred_sorted == rtl_flats;
+    if (!cr.setMatch)
+        return cr;
+
+    // Value comparison (datapath models are bit-exact).
+    if (pred.deterministicValues) {
+        cr.valueMatch = true;
+        for (std::size_t i = 0; i < pred.flats.size(); ++i) {
+            auto it = std::lower_bound(rtl_flats.begin(),
+                                       rtl_flats.end(), pred.flats[i]);
+            std::size_t k = static_cast<std::size_t>(
+                it - rtl_flats.begin());
+            if (!sameValue(rtl.faulty[k].faulty, pred.values[i]))
+                cr.valueMatch = false;
+        }
+    }
+
+    // Order comparison: the faulty run must produce the neurons in the
+    // predicted generation order.
+    cr.orderMatch = true;
+    std::uint64_t prev = 0;
+    for (std::size_t flat : pred.flats) {
+        auto it = std::lower_bound(rtl_flats.begin(), rtl_flats.end(),
+                                   flat);
+        const FaultyNeuron &f =
+            rtl.faulty[static_cast<std::size_t>(it - rtl_flats.begin())];
+        if (f.wbCycle < prev)
+            cr.orderMatch = false;
+        prev = f.wbCycle;
+    }
+    return cr;
+}
+
+ValidationReport
+Validator::run(int samples, Rng &rng)
+{
+    ValidationReport report;
+    for (int i = 0; i < samples; ++i) {
+        CaseResult cr = runOne(rng);
+        CategoryValidation &cat = report.forCategory(cr.category);
+        cat.cases += 1;
+        report.totalCases += 1;
+        if (cr.timeout) {
+            cat.timeouts += 1;
+            report.totalTimeouts += 1;
+        }
+        bool rtl_non_masked = !cr.rtlMasked;
+        if (rtl_non_masked) {
+            cat.rtlNonMasked += 1;
+            report.totalNonMasked += 1;
+        }
+        if (cr.rtlMasked == cr.predMasked ||
+            (cr.category == FFCategory::GlobalControl && rtl_non_masked))
+            cat.maskAgree += 1;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            cat.bothNonMasked += 1;
+            if (cr.setMatch)
+                cat.setMatch += 1;
+            if (cr.valueMatch)
+                cat.valueMatch += 1;
+            if (cr.orderMatch)
+                cat.orderMatch += 1;
+        }
+    }
+    return report;
+}
+
+} // namespace fidelity

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * FIdelity validation harness (Sec. IV of the paper).
+ *
+ * For a fault site sampled on the cycle-level engine, the harness (a)
+ * runs the RTL-style injection to get the ground-truth faulty neurons
+ * and values, and (b) derives the corresponding software fault model —
+ * which neurons Table II predicts, with which values — using only the
+ * golden schedule and the nn layer's bit-exact neuron recomputation.
+ * Comparing the two reproduces the paper's validation: datapath models
+ * must match the engine exactly (sets, values, order); local-control
+ * models must match the faulty-neuron set (values are modelled as
+ * random); global-control faults are predicted as system failures and
+ * the residual masking is measured.
+ */
+
+#ifndef FIDELITY_CORE_VALIDATION_HH
+#define FIDELITY_CORE_VALIDATION_HH
+
+#include <array>
+#include <memory>
+
+#include "accel/nvdla_fi.hh"
+#include "core/fault_models.hh"
+
+namespace fidelity
+{
+
+/** Software-fault-model prediction for one fault site. */
+struct Prediction
+{
+    enum class Kind
+    {
+        Masked,       //!< no architectural effect expected
+        Neurons,      //!< specific faulty neurons (and maybe values)
+        GlobalFailure //!< global control: always system failure
+    };
+
+    Kind kind = Kind::Masked;
+
+    /** Values are exact (datapath) or modelled as random (control). */
+    bool deterministicValues = true;
+
+    /** Predicted faulty flats in generation order, with values. */
+    std::vector<std::size_t> flats;
+    std::vector<float> values;
+};
+
+/** Comparison result of one validation experiment. */
+struct CaseResult
+{
+    FaultSite site;
+    FFCategory category = FFCategory::OutputPsum;
+    bool rtlMasked = true;
+    bool predMasked = true;
+    bool timeout = false;
+    bool anomaly = false;
+    bool setMatch = false;   //!< faulty-neuron sets identical
+    bool valueMatch = false; //!< and all values identical
+    bool orderMatch = false; //!< generation order consistent
+    int rtlCount = 0;
+    int predCount = 0;
+};
+
+/** Aggregated per-category validation statistics. */
+struct CategoryValidation
+{
+    std::uint64_t cases = 0;
+    std::uint64_t rtlNonMasked = 0;
+    std::uint64_t maskAgree = 0;
+    std::uint64_t bothNonMasked = 0;
+    std::uint64_t setMatch = 0;
+    std::uint64_t valueMatch = 0;
+    std::uint64_t orderMatch = 0;
+    std::uint64_t timeouts = 0;
+};
+
+/** Full validation report for one workload. */
+struct ValidationReport
+{
+    std::array<CategoryValidation, numFFCategories> perCategory{};
+    std::uint64_t totalCases = 0;
+    std::uint64_t totalNonMasked = 0;
+    std::uint64_t totalTimeouts = 0;
+
+    CategoryValidation &forCategory(FFCategory cat);
+    const CategoryValidation &forCategory(FFCategory cat) const;
+};
+
+/** Map an engine flip-flop class onto its Table II category. */
+FFCategory categoryOfFFClass(FFClass cls);
+
+/** Validation harness bound to one MAC layer execution. */
+class Validator
+{
+  public:
+    /**
+     * @param cfg Engine configuration.
+     * @param layer A Conv2D (groups == 1), FC, or MatMulAB layer.
+     * @param ins The layer's input tensors (kept alive by the caller).
+     */
+    Validator(const NvdlaConfig &cfg, const MacLayer &layer,
+              std::vector<const Tensor *> ins);
+
+    /** One sampled experiment: inject on the engine and compare. */
+    CaseResult runOne(Rng &rng);
+
+    /** One experiment with the site directed at a flip-flop class. */
+    CaseResult runOneDirected(FFClass cls, Rng &rng);
+
+    /**
+     * True when a global-control site is architecturally live at its
+     * injection cycle (configuration registers always are; sequencing
+     * counters only during the phases that read them).  The paper's
+     * global-control claim is conditioned on active FFs; inactive ones
+     * belong to the activeness analysis instead.
+     */
+    bool globalSiteActive(const FaultSite &site) const;
+
+    /** Derive the software fault model's prediction for a site. */
+    Prediction predict(const FaultSite &site) const;
+
+    /** Run a whole batch and aggregate. */
+    ValidationReport run(int samples, Rng &rng);
+
+    const NvdlaFi &fi() const { return *fi_; }
+    const EngineLayer &engineLayer() const { return el_; }
+
+  private:
+    /** Inject at cr.site, predict, and compare (shared tail). */
+    CaseResult finishCase(CaseResult cr);
+
+    std::int64_t inputElemIndex(std::int64_t pos, std::int64_t step) const;
+    std::size_t weightSubIndex(std::int64_t chan, std::int64_t step) const;
+    std::size_t outputFlat(std::int64_t pos, std::int64_t chan) const;
+
+    /** Append (flat, value) if the value differs from golden. */
+    void appendIfChanged(Prediction &pred, std::size_t flat,
+                         float value) const;
+
+    NvdlaConfig cfg_;
+    const MacLayer &layer_;
+    std::vector<const Tensor *> ins_;
+    Tensor golden_;
+    EngineLayer el_;
+    std::unique_ptr<NvdlaFi> fi_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_VALIDATION_HH

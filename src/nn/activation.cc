@@ -1,0 +1,53 @@
+#include "nn/activation.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "tensor/bitops.hh"
+
+namespace fidelity
+{
+
+Activation::Activation(std::string name, Func func, float alpha)
+    : Layer(std::move(name)), func_(func), alpha_(alpha)
+{
+}
+
+float
+Activation::apply(float x) const
+{
+    switch (func_) {
+      case Func::ReLU:
+        return x > 0.0f ? x : 0.0f;
+      case Func::LeakyReLU:
+        return x > 0.0f ? x : alpha_ * x;
+      case Func::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-x));
+      case Func::Tanh:
+        return std::tanh(x);
+    }
+    panic("unknown activation");
+}
+
+Tensor
+Activation::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "activation expects one input");
+    const Tensor &x = *ins[0];
+    return Tensor(x.n(), x.h(), x.w(), x.c());
+}
+
+Tensor
+Activation::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &x = *ins[0];
+    Tensor out = makeOutput(ins);
+    bool half = precision_ == Precision::FP16;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        float v = apply(x[i]);
+        out[i] = half ? roundToHalf(v) : v;
+    }
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,339 @@
+#include "nn/conv.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "tensor/bitops.hh"
+
+namespace fidelity
+{
+
+Conv2D::Conv2D(std::string name, const ConvSpec &spec,
+               std::vector<float> weights, std::vector<float> bias)
+    : MacLayer(std::move(name)), spec_(spec), weights_(std::move(weights)),
+      bias_(std::move(bias))
+{
+    fatal_if(spec_.groups <= 0 || spec_.inC % spec_.groups != 0 ||
+             spec_.outC % spec_.groups != 0,
+             "conv ", name_, ": groups must divide inC and outC");
+    fatal_if(spec_.stride <= 0 || spec_.dilation <= 0,
+             "conv ", name_, ": stride/dilation must be positive");
+    std::size_t expect = static_cast<std::size_t>(spec_.kh) * spec_.kw *
+                         (spec_.inC / spec_.groups) * spec_.outC;
+    fatal_if(weights_.size() != expect,
+             "conv ", name_, ": expected ", expect, " weights, got ",
+             weights_.size());
+    if (spec_.bias) {
+        fatal_if(bias_.size() != static_cast<std::size_t>(spec_.outC),
+                 "conv ", name_, ": expected ", spec_.outC, " biases");
+    } else {
+        fatal_if(!bias_.empty(), "conv ", name_,
+                 ": bias data given but spec.bias is false");
+    }
+}
+
+int
+Conv2D::outDim(int in_dim, int k) const
+{
+    int eff_k = (k - 1) * spec_.dilation + 1;
+    return (in_dim + 2 * spec_.pad - eff_k) / spec_.stride + 1;
+}
+
+std::size_t
+Conv2D::weightIndex(int kh, int kw, int cig, int oc) const
+{
+    int cpg = spec_.inC / spec_.groups;
+    return ((static_cast<std::size_t>(kh) * spec_.kw + kw) * cpg + cig) *
+               spec_.outC +
+           oc;
+}
+
+void
+Conv2D::checkInput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "conv expects one input");
+    panic_if(ins[0]->c() != spec_.inC,
+             "conv ", name_, ": input channels ", ins[0]->c(),
+             " != spec ", spec_.inC);
+}
+
+Tensor
+Conv2D::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    checkInput(ins);
+    const Tensor &x = *ins[0];
+    int oh = outDim(x.h(), spec_.kh);
+    int ow = outDim(x.w(), spec_.kw);
+    fatal_if(oh <= 0 || ow <= 0, "conv ", name_,
+             ": non-positive output size for input ", x.shapeStr());
+    return Tensor(x.n(), oh, ow, spec_.outC);
+}
+
+float
+Conv2D::computeNeuron(const std::vector<const Tensor *> &ins,
+                      const NeuronIndex &out, const OperandSub *sub) const
+{
+    const Tensor &x = *ins[0];
+    int cpg = spec_.inC / spec_.groups;
+    int opg = spec_.outC / spec_.groups;
+    int g = out.c / opg;
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+
+    // Hot path: the loop bounds already guarantee in-range addresses,
+    // so indices are computed directly instead of via the checked
+    // Tensor accessors.
+    const float *xd = x.data().data();
+    const float *wd = weights_.data();
+    const int xh = x.h(), xw = x.w(), xc = x.c();
+    const std::size_t n_base =
+        static_cast<std::size_t>(out.n) * xh;
+
+    float acc = 0.0f;
+    std::int64_t iacc = 0;
+    int term = 0;
+    for (int cig = 0; cig < cpg; ++cig) {
+        int ci = g * cpg + cig;
+        for (int kh = 0; kh < spec_.kh; ++kh) {
+            int ih = out.h * spec_.stride - spec_.pad + kh * spec_.dilation;
+            for (int kw = 0; kw < spec_.kw; ++kw) {
+                int iw =
+                    out.w * spec_.stride - spec_.pad + kw * spec_.dilation;
+                bool in_range = ih >= 0 && ih < xh && iw >= 0 &&
+                                iw < xw;
+                float xin = 0.0f;
+                std::size_t xoff = 0;
+                if (in_range) {
+                    xoff = ((n_base + ih) * xw + iw) * xc + ci;
+                    xin = xd[xoff];
+                }
+                std::size_t widx =
+                    ((static_cast<std::size_t>(kh) * spec_.kw + kw) *
+                         cpg + cig) * spec_.outC + out.c;
+                float wv = wd[widx];
+                for (const OperandSub *s = sub; s; s = s->next) {
+                    if (s->kind == OperandSub::Kind::Input &&
+                        (s->termIndex >= 0
+                             ? term == s->termIndex
+                             : (in_range && xoff == s->flatIndex))) {
+                        xin = s->value;
+                    } else if (s->kind == OperandSub::Kind::Weight &&
+                               widx == s->flatIndex) {
+                        wv = s->value;
+                    }
+                }
+                for (const OperandSub *s = sub; s; s = s->next) {
+                    if (s->kind == OperandSub::Kind::PsumFlip &&
+                        term == static_cast<int>(s->flatIndex)) {
+                        if (integer)
+                            iacc = psumFlipInt(iacc, s->flipMask());
+                        else
+                            acc = psumFlipFloat(acc, s->flipMask());
+                    }
+                }
+                if (integer)
+                    iacc += static_cast<std::int64_t>(quantInput(xin)) *
+                            quantWeight(wv);
+                else
+                    acc += storeInput(xin) * storeWeight(wv);
+                ++term;
+            }
+        }
+    }
+    for (const OperandSub *s = sub; s; s = s->next) {
+        if (s->kind == OperandSub::Kind::PsumFlip &&
+            term == static_cast<int>(s->flatIndex)) {
+            if (integer)
+                iacc = psumFlipInt(iacc, s->flipMask());
+            else
+                acc = psumFlipFloat(acc, s->flipMask());
+        }
+    }
+    double facc = integer
+        ? static_cast<double>(iacc) * inQuant_.scale * wQuant_.scale
+        : static_cast<double>(acc);
+    float b = spec_.bias ? bias_[out.c] : 0.0f;
+    for (const OperandSub *s = sub; s; s = s->next)
+        if (s->kind == OperandSub::Kind::Bias)
+            b = s->value;
+    return writeback(facc, b);
+}
+
+void
+Conv2D::refreshWeightCache() const
+{
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (integer) {
+        wQuant32_.resize(weights_.size());
+        for (std::size_t i = 0; i < weights_.size(); ++i)
+            wQuant32_[i] = quantWeight(weights_[i]);
+    } else {
+        wStored_.resize(weights_.size());
+        for (std::size_t i = 0; i < weights_.size(); ++i)
+            wStored_[i] = storeWeight(weights_[i]);
+    }
+    wCacheValid_ = true;
+}
+
+Tensor
+Conv2D::forward(const std::vector<const Tensor *> &ins) const
+{
+    // Fast path, bit-identical to computeNeuron(): operands are
+    // converted into their stored form once, then accumulated in the
+    // canonical (ci, kh, kw) order with the same arithmetic.
+    Tensor out = makeOutput(ins);
+    const Tensor &x = *ins[0];
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (!wCacheValid_)
+        refreshWeightCache();
+
+    std::vector<float> xs;
+    std::vector<std::int32_t> xq;
+    if (integer) {
+        xq.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            xq[i] = quantInput(x[i]);
+    } else {
+        xs.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            xs[i] = storeInput(x[i]);
+    }
+
+    const int cpg = spec_.inC / spec_.groups;
+    const int opg = spec_.outC / spec_.groups;
+    const int xh = x.h(), xw = x.w(), xc = x.c();
+    const std::int32_t zero_q = integer ? quantInput(0.0f) : 0;
+    const float zero_s = integer ? 0.0f : storeInput(0.0f);
+
+    std::size_t flat = 0;
+    for (int n = 0; n < out.n(); ++n) {
+        for (int oh = 0; oh < out.h(); ++oh) {
+            for (int ow = 0; ow < out.w(); ++ow) {
+                for (int oc = 0; oc < out.c(); ++oc, ++flat) {
+                    int g = oc / opg;
+                    float acc = 0.0f;
+                    std::int64_t iacc = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec_.kh; ++kh) {
+                            int ih = oh * spec_.stride - spec_.pad +
+                                     kh * spec_.dilation;
+                            for (int kw = 0; kw < spec_.kw; ++kw) {
+                                int iw = ow * spec_.stride - spec_.pad +
+                                         kw * spec_.dilation;
+                                bool ok = ih >= 0 && ih < xh &&
+                                          iw >= 0 && iw < xw;
+                                std::size_t xo = ok
+                                    ? ((static_cast<std::size_t>(n) *
+                                            xh + ih) * xw + iw) * xc + ci
+                                    : 0;
+                                std::size_t wi =
+                                    ((static_cast<std::size_t>(kh) *
+                                          spec_.kw + kw) * cpg + cig) *
+                                        spec_.outC + oc;
+                                if (integer) {
+                                    std::int32_t xv =
+                                        ok ? xq[xo] : zero_q;
+                                    iacc +=
+                                        static_cast<std::int64_t>(xv) *
+                                        wQuant32_[wi];
+                                } else {
+                                    float xv = ok ? xs[xo] : zero_s;
+                                    acc += xv * wStored_[wi];
+                                }
+                            }
+                        }
+                    }
+                    double facc = integer
+                        ? static_cast<double>(iacc) * inQuant_.scale *
+                              wQuant_.scale
+                        : static_cast<double>(acc);
+                    float b = spec_.bias ? bias_[oc] : 0.0f;
+                    out[flat] = writeback(facc, b);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+Conv2D::weightCount(const std::vector<const Tensor *> &) const
+{
+    return weights_.size();
+}
+
+float
+Conv2D::weightAt(const std::vector<const Tensor *> &, std::size_t idx) const
+{
+    panic_if(idx >= weights_.size(), "weight index out of range");
+    return weights_[idx];
+}
+
+std::vector<NeuronIndex>
+Conv2D::inputConsumers(const std::vector<const Tensor *> &ins,
+                       std::size_t elem) const
+{
+    checkInput(ins);
+    const Tensor &x = *ins[0];
+    NeuronIndex e = x.indexOf(elem);
+    int cpg = spec_.inC / spec_.groups;
+    int opg = spec_.outC / spec_.groups;
+    int g = e.c / cpg;
+    int oh_max = outDim(x.h(), spec_.kh);
+    int ow_max = outDim(x.w(), spec_.kw);
+
+    std::vector<NeuronIndex> out;
+    for (int kh = 0; kh < spec_.kh; ++kh) {
+        int num_h = e.h + spec_.pad - kh * spec_.dilation;
+        if (num_h < 0 || num_h % spec_.stride != 0)
+            continue;
+        int oh = num_h / spec_.stride;
+        if (oh >= oh_max)
+            continue;
+        for (int kw = 0; kw < spec_.kw; ++kw) {
+            int num_w = e.w + spec_.pad - kw * spec_.dilation;
+            if (num_w < 0 || num_w % spec_.stride != 0)
+                continue;
+            int ow = num_w / spec_.stride;
+            if (ow >= ow_max)
+                continue;
+            for (int oc = g * opg; oc < (g + 1) * opg; ++oc)
+                out.push_back({e.n, oh, ow, oc});
+        }
+    }
+    return out;
+}
+
+std::vector<NeuronIndex>
+Conv2D::weightConsumers(const std::vector<const Tensor *> &ins,
+                        std::size_t widx) const
+{
+    checkInput(ins);
+    const Tensor &x = *ins[0];
+    panic_if(widx >= weights_.size(), "weight index out of range");
+    int oc = static_cast<int>(widx % spec_.outC);
+    int oh_max = outDim(x.h(), spec_.kh);
+    int ow_max = outDim(x.w(), spec_.kw);
+
+    // With zero padding materialised in the datapath, a weight value is
+    // streamed through the MACs for every output position of its output
+    // channel (padded terms multiply zero and leave values unchanged).
+    std::vector<NeuronIndex> out;
+    out.reserve(static_cast<std::size_t>(x.n()) * oh_max * ow_max);
+    for (int n = 0; n < x.n(); ++n)
+        for (int oh = 0; oh < oh_max; ++oh)
+            for (int ow = 0; ow < ow_max; ++ow)
+                out.push_back({n, oh, ow, oc});
+    return out;
+}
+
+int
+Conv2D::reductionLength() const
+{
+    return (spec_.inC / spec_.groups) * spec_.kh * spec_.kw;
+}
+
+} // namespace fidelity

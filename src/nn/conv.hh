@@ -1,0 +1,112 @@
+/**
+ * @file
+ * 2-D convolution layer (NHWC, grouped/depthwise capable).
+ *
+ * Weight layout is [kh][kw][cin_per_group][cout] flattened, matching the
+ * order in which the accelerator model streams weights into CBUF.  The
+ * reduction order for one output neuron is (ci, kh, kw) lexicographic
+ * with FP32 (or integer) accumulation — the shared convention that lets
+ * validation compare faulty neuron values bitwise against the
+ * accelerator simulator.
+ */
+
+#ifndef FIDELITY_NN_CONV_HH
+#define FIDELITY_NN_CONV_HH
+
+#include "nn/layer.hh"
+
+namespace fidelity
+{
+
+/** Static configuration of a convolution layer. */
+struct ConvSpec
+{
+    int inC = 1;
+    int outC = 1;
+    int kh = 3;
+    int kw = 3;
+    int stride = 1;
+    int pad = 0;      //!< symmetric zero padding
+    int dilation = 1;
+    int groups = 1;   //!< inC and outC must both be divisible by groups
+    bool bias = true;
+};
+
+/** A grouped 2-D convolution with optional bias. */
+class Conv2D : public MacLayer
+{
+  public:
+    /**
+     * @param name Layer name for reports.
+     * @param spec Convolution geometry.
+     * @param weights Flat [kh][kw][cin/groups][cout] weights.
+     * @param bias Per-output-channel bias (empty if spec.bias false).
+     */
+    Conv2D(std::string name, const ConvSpec &spec,
+           std::vector<float> weights, std::vector<float> bias);
+
+    LayerKind kind() const override { return LayerKind::Conv; }
+
+    using Layer::forward;
+
+    const ConvSpec &spec() const { return spec_; }
+
+    Tensor makeOutput(const std::vector<const Tensor *> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins) const override;
+
+    std::size_t
+    weightCount(const std::vector<const Tensor *> &ins) const override;
+    float weightAt(const std::vector<const Tensor *> &ins,
+                   std::size_t idx) const override;
+
+    std::vector<NeuronIndex>
+    inputConsumers(const std::vector<const Tensor *> &ins,
+                   std::size_t elem) const override;
+    std::vector<NeuronIndex>
+    weightConsumers(const std::vector<const Tensor *> &ins,
+                    std::size_t widx) const override;
+
+    float computeNeuron(const std::vector<const Tensor *> &ins,
+                        const NeuronIndex &out,
+                        const OperandSub *sub) const override;
+
+    int reductionLength() const override;
+    bool hasBias() const override { return spec_.bias; }
+
+    /** Flat weight index of (kh, kw, ci_in_group, oc). */
+    std::size_t weightIndex(int kh, int kw, int cig, int oc) const;
+
+    /** Raw weight storage ([kh][kw][cin/groups][cout] flat). */
+    const std::vector<float> &weightData() const { return weights_; }
+
+    /** Raw bias storage (empty when spec.bias is false). */
+    const std::vector<float> &biasData() const { return bias_; }
+
+    /** Output spatial height for the given input height. */
+    int outDim(int in_dim, int k) const;
+
+  protected:
+    void onQuantChanged() override { wCacheValid_ = false; }
+
+  private:
+    /** Validate the shape of the input tensor. */
+    void checkInput(const std::vector<const Tensor *> &ins) const;
+
+    /** Re-derive the precision-converted weight cache. */
+    void refreshWeightCache() const;
+
+    ConvSpec spec_;
+    std::vector<float> weights_;
+    std::vector<float> bias_;
+
+    // forward() fast path: weights pre-converted into the active
+    // precision's stored form (bit-identical to storeWeight /
+    // quantWeight per element).
+    mutable bool wCacheValid_ = false;
+    mutable std::vector<float> wStored_;
+    mutable std::vector<std::int32_t> wQuant32_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_NN_CONV_HH

@@ -1,0 +1,157 @@
+#include "nn/elementwise.hh"
+
+#include "sim/logging.hh"
+#include "tensor/bitops.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+void
+roundForPrecision(Tensor &t, Precision p)
+{
+    if (p == Precision::FP16)
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = roundToHalf(t[i]);
+}
+
+} // namespace
+
+Elementwise::Elementwise(std::string name, Op op)
+    : Layer(std::move(name)), op_(op)
+{
+}
+
+Tensor
+Elementwise::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 2, "elementwise expects two inputs");
+    panic_if(!ins[0]->sameShape(*ins[1]),
+             "elementwise ", name_, ": shape mismatch ",
+             ins[0]->shapeStr(), " vs ", ins[1]->shapeStr());
+    const Tensor &x = *ins[0];
+    return Tensor(x.n(), x.h(), x.w(), x.c());
+}
+
+Tensor
+Elementwise::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    Tensor out = makeOutput(ins);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        switch (op_) {
+          case Op::Add:
+            out[i] = a[i] + b[i];
+            break;
+          case Op::Mul:
+            out[i] = a[i] * b[i];
+            break;
+          case Op::Sub:
+            out[i] = a[i] - b[i];
+            break;
+        }
+    }
+    roundForPrecision(out, precision_);
+    return out;
+}
+
+ConcatC::ConcatC(std::string name)
+    : Layer(std::move(name))
+{
+}
+
+Tensor
+ConcatC::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 2, "concat expects two inputs");
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    panic_if(a.n() != b.n() || a.h() != b.h() || a.w() != b.w(),
+             "concat ", name_, ": spatial mismatch ", a.shapeStr(),
+             " vs ", b.shapeStr());
+    return Tensor(a.n(), a.h(), a.w(), a.c() + b.c());
+}
+
+Tensor
+ConcatC::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    Tensor out = makeOutput(ins);
+    for (int n = 0; n < out.n(); ++n) {
+        for (int h = 0; h < out.h(); ++h) {
+            for (int w = 0; w < out.w(); ++w) {
+                for (int c = 0; c < a.c(); ++c)
+                    out.at(n, h, w, c) = a.at(n, h, w, c);
+                for (int c = 0; c < b.c(); ++c)
+                    out.at(n, h, w, a.c() + c) = b.at(n, h, w, c);
+            }
+        }
+    }
+    return out;
+}
+
+Slice::Slice(std::string name, Axis axis, int offset, int length)
+    : Layer(std::move(name)), axis_(axis), offset_(offset), length_(length)
+{
+    fatal_if(offset < 0 || length <= 0,
+             "slice ", name_, ": invalid offset/length");
+}
+
+Tensor
+Slice::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "slice expects one input");
+    const Tensor &x = *ins[0];
+    int dim = axis_ == Axis::H ? x.h() : x.c();
+    fatal_if(offset_ + length_ > dim, "slice ", name_, ": range [",
+             offset_, ", ", offset_ + length_, ") exceeds axis size ", dim);
+    if (axis_ == Axis::H)
+        return Tensor(x.n(), length_, x.w(), x.c());
+    return Tensor(x.n(), x.h(), x.w(), length_);
+}
+
+Tensor
+Slice::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &x = *ins[0];
+    Tensor out = makeOutput(ins);
+    for (int n = 0; n < out.n(); ++n)
+        for (int h = 0; h < out.h(); ++h)
+            for (int w = 0; w < out.w(); ++w)
+                for (int c = 0; c < out.c(); ++c) {
+                    int sh = axis_ == Axis::H ? h + offset_ : h;
+                    int sc = axis_ == Axis::C ? c + offset_ : c;
+                    out.at(n, h, w, c) = x.at(n, sh, w, sc);
+                }
+    return out;
+}
+
+ScaleShift::ScaleShift(std::string name, float scale, float shift)
+    : Layer(std::move(name)), scale_(scale), shift_(shift)
+{
+}
+
+Tensor
+ScaleShift::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "scaleshift expects one input");
+    const Tensor &x = *ins[0];
+    return Tensor(x.n(), x.h(), x.w(), x.c());
+}
+
+Tensor
+ScaleShift::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &x = *ins[0];
+    Tensor out = makeOutput(ins);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = scale_ * x[i] + shift_;
+    roundForPrecision(out, precision_);
+    return out;
+}
+
+} // namespace fidelity

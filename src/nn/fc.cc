@@ -1,0 +1,212 @@
+#include "nn/fc.hh"
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+FC::FC(std::string name, int in_c, int units, std::vector<float> weights,
+       std::vector<float> bias)
+    : MacLayer(std::move(name)), inC_(in_c), units_(units),
+      weights_(std::move(weights)), bias_(std::move(bias))
+{
+    fatal_if(in_c <= 0 || units <= 0, "fc ", name_,
+             ": dimensions must be positive");
+    std::size_t expect = static_cast<std::size_t>(in_c) * units;
+    fatal_if(weights_.size() != expect, "fc ", name_, ": expected ",
+             expect, " weights, got ", weights_.size());
+    fatal_if(!bias_.empty() &&
+             bias_.size() != static_cast<std::size_t>(units),
+             "fc ", name_, ": bias size mismatch");
+}
+
+void
+FC::checkInput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "fc expects one input");
+    panic_if(ins[0]->c() != inC_, "fc ", name_, ": input channels ",
+             ins[0]->c(), " != ", inC_);
+}
+
+Tensor
+FC::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    checkInput(ins);
+    const Tensor &x = *ins[0];
+    return Tensor(x.n(), x.h(), x.w(), units_);
+}
+
+float
+FC::computeNeuron(const std::vector<const Tensor *> &ins,
+                  const NeuronIndex &out, const OperandSub *sub) const
+{
+    const Tensor &x = *ins[0];
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    const float *xd = x.data().data();
+    const float *wd = weights_.data();
+    const std::size_t pos_base =
+        ((static_cast<std::size_t>(out.n) * x.h() + out.h) * x.w() +
+         out.w) * x.c();
+    float acc = 0.0f;
+    std::int64_t iacc = 0;
+    for (int ci = 0; ci < inC_; ++ci) {
+        std::size_t xoff = pos_base + ci;
+        std::size_t widx = static_cast<std::size_t>(ci) * units_ + out.c;
+        float xin = xd[xoff];
+        float wv = wd[widx];
+        for (const OperandSub *s = sub; s; s = s->next) {
+            if (s->kind == OperandSub::Kind::Input &&
+                (s->termIndex >= 0 ? ci == s->termIndex
+                                   : xoff == s->flatIndex)) {
+                xin = s->value;
+            } else if (s->kind == OperandSub::Kind::Weight &&
+                       widx == s->flatIndex) {
+                wv = s->value;
+            }
+        }
+        for (const OperandSub *s = sub; s; s = s->next) {
+            if (s->kind == OperandSub::Kind::PsumFlip &&
+                ci == static_cast<int>(s->flatIndex)) {
+                if (integer)
+                    iacc = psumFlipInt(iacc, s->flipMask());
+                else
+                    acc = psumFlipFloat(acc, s->flipMask());
+            }
+        }
+        if (integer)
+            iacc += static_cast<std::int64_t>(quantInput(xin)) *
+                    quantWeight(wv);
+        else
+            acc += storeInput(xin) * storeWeight(wv);
+    }
+    for (const OperandSub *s = sub; s; s = s->next) {
+        if (s->kind == OperandSub::Kind::PsumFlip &&
+            inC_ == static_cast<int>(s->flatIndex)) {
+            if (integer)
+                iacc = psumFlipInt(iacc, s->flipMask());
+            else
+                acc = psumFlipFloat(acc, s->flipMask());
+        }
+    }
+    double facc = integer
+        ? static_cast<double>(iacc) * inQuant_.scale * wQuant_.scale
+        : static_cast<double>(acc);
+    float b = bias_.empty() ? 0.0f : bias_[out.c];
+    for (const OperandSub *s = sub; s; s = s->next)
+        if (s->kind == OperandSub::Kind::Bias)
+            b = s->value;
+    return writeback(facc, b);
+}
+
+void
+FC::refreshWeightCache() const
+{
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (integer) {
+        wQuant32_.resize(weights_.size());
+        for (std::size_t i = 0; i < weights_.size(); ++i)
+            wQuant32_[i] = quantWeight(weights_[i]);
+    } else {
+        wStored_.resize(weights_.size());
+        for (std::size_t i = 0; i < weights_.size(); ++i)
+            wStored_[i] = storeWeight(weights_[i]);
+    }
+    wCacheValid_ = true;
+}
+
+Tensor
+FC::forward(const std::vector<const Tensor *> &ins) const
+{
+    // Fast path, bit-identical to computeNeuron(); see Conv2D.
+    Tensor out = makeOutput(ins);
+    const Tensor &x = *ins[0];
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (!wCacheValid_)
+        refreshWeightCache();
+
+    std::vector<float> xs;
+    std::vector<std::int32_t> xq;
+    if (integer) {
+        xq.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            xq[i] = quantInput(x[i]);
+    } else {
+        xs.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            xs[i] = storeInput(x[i]);
+    }
+
+    std::size_t positions = x.size() / inC_;
+    std::size_t flat = 0;
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+        std::size_t xbase = pos * inC_;
+        for (int u = 0; u < units_; ++u, ++flat) {
+            float acc = 0.0f;
+            std::int64_t iacc = 0;
+            for (int ci = 0; ci < inC_; ++ci) {
+                std::size_t wi =
+                    static_cast<std::size_t>(ci) * units_ + u;
+                if (integer)
+                    iacc += static_cast<std::int64_t>(xq[xbase + ci]) *
+                            wQuant32_[wi];
+                else
+                    acc += xs[xbase + ci] * wStored_[wi];
+            }
+            double facc = integer
+                ? static_cast<double>(iacc) * inQuant_.scale *
+                      wQuant_.scale
+                : static_cast<double>(acc);
+            float b = bias_.empty() ? 0.0f : bias_[u];
+            out[flat] = writeback(facc, b);
+        }
+    }
+    return out;
+}
+
+std::size_t
+FC::weightCount(const std::vector<const Tensor *> &) const
+{
+    return weights_.size();
+}
+
+float
+FC::weightAt(const std::vector<const Tensor *> &, std::size_t idx) const
+{
+    panic_if(idx >= weights_.size(), "weight index out of range");
+    return weights_[idx];
+}
+
+std::vector<NeuronIndex>
+FC::inputConsumers(const std::vector<const Tensor *> &ins,
+                   std::size_t elem) const
+{
+    checkInput(ins);
+    NeuronIndex e = ins[0]->indexOf(elem);
+    std::vector<NeuronIndex> out;
+    out.reserve(units_);
+    for (int u = 0; u < units_; ++u)
+        out.push_back({e.n, e.h, e.w, u});
+    return out;
+}
+
+std::vector<NeuronIndex>
+FC::weightConsumers(const std::vector<const Tensor *> &ins,
+                    std::size_t widx) const
+{
+    checkInput(ins);
+    panic_if(widx >= weights_.size(), "weight index out of range");
+    const Tensor &x = *ins[0];
+    int u = static_cast<int>(widx % units_);
+    std::vector<NeuronIndex> out;
+    // One neuron per (n, h, w) position uses each weight.
+    for (int n = 0; n < x.n(); ++n)
+        for (int h = 0; h < x.h(); ++h)
+            for (int w = 0; w < x.w(); ++w)
+                out.push_back({n, h, w, u});
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fully-connected (position-wise dense) layer.
+ *
+ * Applies y = W^T x + b independently at every (n, h, w) position of the
+ * input, reducing over the channel dimension.  This covers classifier
+ * heads (H = W = 1), transformer feed-forward blocks (positions are
+ * sequence steps), and the LSTM gate projections.
+ */
+
+#ifndef FIDELITY_NN_FC_HH
+#define FIDELITY_NN_FC_HH
+
+#include "nn/layer.hh"
+
+namespace fidelity
+{
+
+/** Position-wise dense layer with optional bias. */
+class FC : public MacLayer
+{
+  public:
+    /**
+     * @param name Layer name.
+     * @param in_c Input channel count.
+     * @param units Output channel count.
+     * @param weights Flat [in_c][units] weights.
+     * @param bias Per-unit bias (empty to disable).
+     */
+    FC(std::string name, int in_c, int units, std::vector<float> weights,
+       std::vector<float> bias);
+
+    LayerKind kind() const override { return LayerKind::FC; }
+
+    using Layer::forward;
+
+    int units() const { return units_; }
+    int inC() const { return inC_; }
+
+    Tensor makeOutput(const std::vector<const Tensor *> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins) const override;
+
+    std::size_t
+    weightCount(const std::vector<const Tensor *> &ins) const override;
+    float weightAt(const std::vector<const Tensor *> &ins,
+                   std::size_t idx) const override;
+
+    std::vector<NeuronIndex>
+    inputConsumers(const std::vector<const Tensor *> &ins,
+                   std::size_t elem) const override;
+    std::vector<NeuronIndex>
+    weightConsumers(const std::vector<const Tensor *> &ins,
+                    std::size_t widx) const override;
+
+    float computeNeuron(const std::vector<const Tensor *> &ins,
+                        const NeuronIndex &out,
+                        const OperandSub *sub) const override;
+
+    int reductionLength() const override { return inC_; }
+    bool hasBias() const override { return !bias_.empty(); }
+
+    /** Raw weight storage ([in_c][units] flat). */
+    const std::vector<float> &weightData() const { return weights_; }
+
+    /** Raw bias storage (empty when disabled). */
+    const std::vector<float> &biasData() const { return bias_; }
+
+  protected:
+    void onQuantChanged() override { wCacheValid_ = false; }
+
+  private:
+    void checkInput(const std::vector<const Tensor *> &ins) const;
+
+    /** Re-derive the precision-converted weight cache. */
+    void refreshWeightCache() const;
+
+    int inC_;
+    int units_;
+    std::vector<float> weights_; //!< [in_c][units] flat
+    std::vector<float> bias_;
+
+    // forward() fast path (see Conv2D).
+    mutable bool wCacheValid_ = false;
+    mutable std::vector<float> wStored_;
+    mutable std::vector<std::int32_t> wQuant32_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_NN_FC_HH

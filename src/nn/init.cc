@@ -1,0 +1,36 @@
+#include "nn/init.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+std::vector<float>
+heWeights(Rng &rng, std::size_t count, int fan_in)
+{
+    panic_if(fan_in <= 0, "heWeights requires positive fan-in");
+    double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    return gaussianWeights(rng, count, stddev);
+}
+
+std::vector<float>
+smallBiases(Rng &rng, std::size_t count)
+{
+    std::vector<float> out(count);
+    for (auto &b : out)
+        b = static_cast<float>(rng.uniform(0.0, 0.1));
+    return out;
+}
+
+std::vector<float>
+gaussianWeights(Rng &rng, std::size_t count, double stddev)
+{
+    std::vector<float> out(count);
+    for (auto &w : out)
+        w = static_cast<float>(rng.normal(0.0, stddev));
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Weight initialisation helpers for synthetic networks.
+ *
+ * The study's networks are structurally faithful but synthetically
+ * parameterised (see DESIGN.md): correctness metrics compare faulty
+ * output against the fault-free output of the same network, so weight
+ * *distributions* (He/Glorot-scaled) rather than trained values are
+ * what matters for error-propagation behaviour.
+ */
+
+#ifndef FIDELITY_NN_INIT_HH
+#define FIDELITY_NN_INIT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace fidelity
+{
+
+/** Gaussian weights with He scaling for the given fan-in. */
+std::vector<float> heWeights(Rng &rng, std::size_t count, int fan_in);
+
+/** Small positive biases (uniform in [0, 0.1)). */
+std::vector<float> smallBiases(Rng &rng, std::size_t count);
+
+/** Gaussian weights with an explicit standard deviation. */
+std::vector<float> gaussianWeights(Rng &rng, std::size_t count,
+                                   double stddev);
+
+} // namespace fidelity
+
+#endif // FIDELITY_NN_INIT_HH

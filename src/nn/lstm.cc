@@ -1,0 +1,107 @@
+#include "nn/lstm.hh"
+
+#include <memory>
+
+#include "nn/activation.hh"
+#include "nn/elementwise.hh"
+#include "nn/fc.hh"
+#include "nn/init.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+/** Slice one gate out of the packed 4H gate vector. */
+NodeId
+gateSlice(Network &net, NodeId gates, int hidden, int which,
+          const std::string &name)
+{
+    return net.add(std::make_unique<Slice>(name, Slice::Axis::C,
+                                           which * hidden, hidden),
+                   gates);
+}
+
+} // namespace
+
+NodeId
+addLstm(Network &net, NodeId input, const LstmSpec &spec, Rng &rng,
+        const std::string &prefix)
+{
+    NodeId h_prev = -1;
+    NodeId c_prev = -1;
+    int hid = spec.hiddenSize;
+
+    for (int t = 0; t < spec.timeSteps; ++t) {
+        std::string p = prefix + ".t" + std::to_string(t);
+
+        // x_t: (1, 1, 1, inputSize)
+        NodeId x_t = net.add(
+            std::make_unique<Slice>(p + ".x", Slice::Axis::H, t, 1), input);
+
+        // Gate projection input: [x_t ; h_{t-1}] (just x_0 on step 0,
+        // since h_0 = 0 contributes nothing).
+        NodeId gin = x_t;
+        int gin_c = spec.inputSize;
+        if (t > 0) {
+            gin = net.add(std::make_unique<ConcatC>(p + ".xh"),
+                          std::vector<NodeId>{x_t, h_prev});
+            gin_c += hid;
+        }
+
+        NodeId gates = net.add(
+            std::make_unique<FC>(p + ".gates", gin_c, 4 * hid,
+                                 heWeights(rng,
+                                           static_cast<std::size_t>(gin_c) *
+                                               4 * hid,
+                                           gin_c),
+                                 smallBiases(rng, 4 * hid)),
+            gin);
+
+        NodeId i_raw = gateSlice(net, gates, hid, 0, p + ".i");
+        NodeId f_raw = gateSlice(net, gates, hid, 1, p + ".f");
+        NodeId g_raw = gateSlice(net, gates, hid, 2, p + ".g");
+        NodeId o_raw = gateSlice(net, gates, hid, 3, p + ".o");
+
+        NodeId i_g = net.add(std::make_unique<Activation>(
+                                 p + ".i.sig", Activation::Func::Sigmoid),
+                             i_raw);
+        NodeId f_g = net.add(std::make_unique<Activation>(
+                                 p + ".f.sig", Activation::Func::Sigmoid),
+                             f_raw);
+        NodeId g_g = net.add(std::make_unique<Activation>(
+                                 p + ".g.tanh", Activation::Func::Tanh),
+                             g_raw);
+        NodeId o_g = net.add(std::make_unique<Activation>(
+                                 p + ".o.sig", Activation::Func::Sigmoid),
+                             o_raw);
+
+        // c_t = f * c_{t-1} + i * g   (c_0 = 0 drops the first term).
+        NodeId ig = net.add(std::make_unique<Elementwise>(
+                                p + ".ig", Elementwise::Op::Mul),
+                            std::vector<NodeId>{i_g, g_g});
+        NodeId c_t = ig;
+        if (t > 0) {
+            NodeId fc_prev = net.add(std::make_unique<Elementwise>(
+                                         p + ".fc", Elementwise::Op::Mul),
+                                     std::vector<NodeId>{f_g, c_prev});
+            c_t = net.add(std::make_unique<Elementwise>(
+                              p + ".c", Elementwise::Op::Add),
+                          std::vector<NodeId>{ig, fc_prev});
+        }
+
+        NodeId c_tanh = net.add(std::make_unique<Activation>(
+                                    p + ".c.tanh", Activation::Func::Tanh),
+                                c_t);
+        NodeId h_t = net.add(std::make_unique<Elementwise>(
+                                 p + ".h", Elementwise::Op::Mul),
+                             std::vector<NodeId>{o_g, c_tanh});
+
+        h_prev = h_t;
+        c_prev = c_t;
+    }
+    return h_prev;
+}
+
+} // namespace fidelity

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unrolled LSTM built from primitive layers.
+ *
+ * Each timestep is materialised as its own subgraph (gate FC, slices,
+ * sigmoid/tanh activations, element-wise cell updates).  This matches
+ * the fault-injection granularity of the hardware: a transient
+ * flip-flop error corrupts one execution of the gate projection, not
+ * the shared weight memory, so each step's FC is an independent
+ * injection target.
+ */
+
+#ifndef FIDELITY_NN_LSTM_HH
+#define FIDELITY_NN_LSTM_HH
+
+#include <string>
+
+#include "nn/network.hh"
+#include "sim/rng.hh"
+
+namespace fidelity
+{
+
+/** Geometry of an unrolled LSTM. */
+struct LstmSpec
+{
+    int inputSize = 8;  //!< features per timestep
+    int hiddenSize = 16;
+    int timeSteps = 4;
+};
+
+/**
+ * Append an unrolled LSTM to the network.
+ *
+ * @param net Target network.
+ * @param input Producer node holding a (1, timeSteps, 1, inputSize)
+ *              sequence tensor.
+ * @param spec LSTM geometry.
+ * @param rng Weight initialisation stream.
+ * @param prefix Name prefix for the added layers.
+ * @return Node id of the final hidden state (1, 1, 1, hiddenSize).
+ */
+NodeId addLstm(Network &net, NodeId input, const LstmSpec &spec, Rng &rng,
+               const std::string &prefix);
+
+} // namespace fidelity
+
+#endif // FIDELITY_NN_LSTM_HH

@@ -1,0 +1,217 @@
+#include "nn/matmul.hh"
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+MatMulAB::MatMulAB(std::string name, bool trans_b, float scale)
+    : MacLayer(std::move(name)), transB_(trans_b), scale_(scale)
+{
+}
+
+void
+MatMulAB::checkInputs(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 2, "matmul expects two inputs");
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    panic_if(a.w() != 1 || b.w() != 1,
+             "matmul ", name_, ": operands must have W = 1, got ",
+             a.shapeStr(), " and ", b.shapeStr());
+    panic_if(b.n() != 1, "matmul ", name_, ": B must have N = 1");
+    if (transB_) {
+        panic_if(a.c() != b.c(), "matmul ", name_, " (transB): A columns ",
+                 a.c(), " != B columns ", b.c());
+    } else {
+        panic_if(a.c() != b.h(), "matmul ", name_, ": A columns ", a.c(),
+                 " != B rows ", b.h());
+    }
+}
+
+Tensor
+MatMulAB::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    checkInputs(ins);
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    int out_cols = transB_ ? b.h() : b.c();
+    return Tensor(a.n(), a.h(), 1, out_cols);
+}
+
+float
+MatMulAB::computeNeuron(const std::vector<const Tensor *> &ins,
+                        const NeuronIndex &out, const OperandSub *sub) const
+{
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    int red = a.c();
+    lastReduction_ = red;
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    const std::size_t a_base =
+        (static_cast<std::size_t>(out.n) * a.h() + out.h) * a.c();
+    const std::size_t b_row =
+        transB_ ? static_cast<std::size_t>(out.c) * b.c() : 0;
+    const std::size_t b_cols = b.c();
+    float acc = 0.0f;
+    std::int64_t iacc = 0;
+    for (int k = 0; k < red; ++k) {
+        std::size_t aoff = a_base + k;
+        std::size_t boff = transB_
+            ? b_row + k
+            : static_cast<std::size_t>(k) * b_cols + out.c;
+        float av = ad[aoff];
+        float bv = bd[boff];
+        for (const OperandSub *s = sub; s; s = s->next) {
+            if (s->kind == OperandSub::Kind::Input &&
+                (s->termIndex >= 0 ? k == s->termIndex
+                                   : aoff == s->flatIndex)) {
+                av = s->value;
+            } else if (s->kind == OperandSub::Kind::Weight &&
+                       boff == s->flatIndex) {
+                bv = s->value;
+            }
+        }
+        for (const OperandSub *s = sub; s; s = s->next) {
+            if (s->kind == OperandSub::Kind::PsumFlip &&
+                k == static_cast<int>(s->flatIndex)) {
+                if (integer)
+                    iacc = psumFlipInt(iacc, s->flipMask());
+                else
+                    acc = psumFlipFloat(acc, s->flipMask());
+            }
+        }
+        if (integer)
+            iacc += static_cast<std::int64_t>(quantInput(av)) *
+                    quantWeight(bv);
+        else
+            acc += storeInput(av) * storeWeight(bv);
+    }
+    for (const OperandSub *s = sub; s; s = s->next) {
+        if (s->kind == OperandSub::Kind::PsumFlip &&
+            red == static_cast<int>(s->flatIndex)) {
+            if (integer)
+                iacc = psumFlipInt(iacc, s->flipMask());
+            else
+                acc = psumFlipFloat(acc, s->flipMask());
+        }
+    }
+    double facc = integer
+        ? static_cast<double>(iacc) * inQuant_.scale * wQuant_.scale
+        : static_cast<double>(acc);
+    return writeback(facc * scale_, 0.0f);
+}
+
+Tensor
+MatMulAB::forward(const std::vector<const Tensor *> &ins) const
+{
+    // Fast path, bit-identical to computeNeuron(): both operands are
+    // converted once per call (B is an activation, so there is no
+    // persistent cache), then accumulated in canonical k order.
+    Tensor out = makeOutput(ins);
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    int red = a.c();
+    lastReduction_ = red;
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+
+    std::vector<float> as, bs;
+    std::vector<std::int32_t> aq, bq;
+    if (integer) {
+        aq.resize(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            aq[i] = quantInput(a[i]);
+        bq.resize(b.size());
+        for (std::size_t i = 0; i < b.size(); ++i)
+            bq[i] = quantWeight(b[i]);
+    } else {
+        as.resize(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            as[i] = storeInput(a[i]);
+        bs.resize(b.size());
+        for (std::size_t i = 0; i < b.size(); ++i)
+            bs[i] = storeWeight(b[i]);
+    }
+
+    int rows = a.n() * a.h();
+    int cols = out.c();
+    std::size_t flat = 0;
+    for (int r = 0; r < rows; ++r) {
+        std::size_t abase = static_cast<std::size_t>(r) * red;
+        for (int c = 0; c < cols; ++c, ++flat) {
+            float acc = 0.0f;
+            std::int64_t iacc = 0;
+            for (int k = 0; k < red; ++k) {
+                std::size_t bo = transB_
+                    ? static_cast<std::size_t>(c) * red + k
+                    : static_cast<std::size_t>(k) * cols + c;
+                if (integer)
+                    iacc += static_cast<std::int64_t>(aq[abase + k]) *
+                            bq[bo];
+                else
+                    acc += as[abase + k] * bs[bo];
+            }
+            double facc = integer
+                ? static_cast<double>(iacc) * inQuant_.scale *
+                      wQuant_.scale
+                : static_cast<double>(acc);
+            out[flat] = writeback(facc * scale_, 0.0f);
+        }
+    }
+    return out;
+}
+
+std::size_t
+MatMulAB::weightCount(const std::vector<const Tensor *> &ins) const
+{
+    checkInputs(ins);
+    return ins[1]->size();
+}
+
+float
+MatMulAB::weightAt(const std::vector<const Tensor *> &ins,
+                   std::size_t idx) const
+{
+    panic_if(idx >= ins[1]->size(), "B index out of range");
+    return (*ins[1])[idx];
+}
+
+std::vector<NeuronIndex>
+MatMulAB::inputConsumers(const std::vector<const Tensor *> &ins,
+                         std::size_t elem) const
+{
+    checkInputs(ins);
+    const Tensor &a = *ins[0];
+    NeuronIndex e = a.indexOf(elem);
+    int out_cols = transB_ ? ins[1]->h() : ins[1]->c();
+    // An A element feeds every neuron of its output row.
+    std::vector<NeuronIndex> out;
+    out.reserve(out_cols);
+    for (int j = 0; j < out_cols; ++j)
+        out.push_back({e.n, e.h, 0, j});
+    return out;
+}
+
+std::vector<NeuronIndex>
+MatMulAB::weightConsumers(const std::vector<const Tensor *> &ins,
+                          std::size_t widx) const
+{
+    checkInputs(ins);
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    NeuronIndex e = b.indexOf(widx);
+    int col = transB_ ? e.h : e.c;
+    // A B element feeds every neuron of its output column, in all
+    // batches of A.
+    std::vector<NeuronIndex> out;
+    for (int n = 0; n < a.n(); ++n)
+        for (int i = 0; i < a.h(); ++i)
+            out.push_back({n, i, 0, col});
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Two-operand matrix multiplication (MatMulAB), used by attention.
+ *
+ * A has shape (N, Ha, 1, Ca) and B has shape (1, Hb, 1, Cb); both
+ * operands are activations.  In the accelerator, the B operand streams
+ * through the weight port, so FIdelity's fault models treat B elements
+ * as "weights".  With transB the layer computes A * B^T (rows of B are
+ * the reduction vectors), otherwise A * B.
+ */
+
+#ifndef FIDELITY_NN_MATMUL_HH
+#define FIDELITY_NN_MATMUL_HH
+
+#include "nn/layer.hh"
+
+namespace fidelity
+{
+
+/** Batched A*B (or A*B^T) where both operands come from the graph. */
+class MatMulAB : public MacLayer
+{
+  public:
+    /**
+     * @param name Layer name.
+     * @param trans_b Compute A * B^T instead of A * B.
+     * @param scale Constant multiplied into every output (e.g. the
+     *              1/sqrt(d) attention scaling); applied at writeback.
+     */
+    MatMulAB(std::string name, bool trans_b, float scale = 1.0f);
+
+    LayerKind kind() const override { return LayerKind::MatMul; }
+
+    using Layer::forward;
+    int numInputs() const override { return 2; }
+
+    bool transB() const { return transB_; }
+
+    /** Constant output scaling applied at writeback. */
+    float outScale() const { return scale_; }
+
+    Tensor makeOutput(const std::vector<const Tensor *> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins) const override;
+
+    std::size_t
+    weightCount(const std::vector<const Tensor *> &ins) const override;
+    float weightAt(const std::vector<const Tensor *> &ins,
+                   std::size_t idx) const override;
+
+    std::vector<NeuronIndex>
+    inputConsumers(const std::vector<const Tensor *> &ins,
+                   std::size_t elem) const override;
+    std::vector<NeuronIndex>
+    weightConsumers(const std::vector<const Tensor *> &ins,
+                    std::size_t widx) const override;
+
+    float computeNeuron(const std::vector<const Tensor *> &ins,
+                        const NeuronIndex &out,
+                        const OperandSub *sub) const override;
+
+    int reductionLength() const override { return lastReduction_; }
+    bool hasBias() const override { return false; }
+
+  private:
+    void checkInputs(const std::vector<const Tensor *> &ins) const;
+
+    bool transB_;
+    float scale_;
+    mutable int lastReduction_ = 0;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_NN_MATMUL_HH

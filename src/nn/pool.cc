@@ -1,0 +1,115 @@
+#include "nn/pool.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "tensor/bitops.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+/** FP16 execution rounds every produced activation through binary16. */
+void
+roundForPrecision(Tensor &t, Precision p)
+{
+    if (p == Precision::FP16)
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = roundToHalf(t[i]);
+}
+
+} // namespace
+
+Pool::Pool(std::string name, Mode mode, int window, int stride, int pad)
+    : Layer(std::move(name)), mode_(mode), window_(window),
+      stride_(stride > 0 ? stride : window), pad_(pad)
+{
+    fatal_if(window <= 0, "pool ", name_, ": window must be positive");
+    fatal_if(pad < 0, "pool ", name_, ": negative padding");
+}
+
+Tensor
+Pool::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "pool expects one input");
+    const Tensor &x = *ins[0];
+    int oh = (x.h() + 2 * pad_ - window_) / stride_ + 1;
+    int ow = (x.w() + 2 * pad_ - window_) / stride_ + 1;
+    fatal_if(oh <= 0 || ow <= 0, "pool ", name_,
+             ": window larger than input ", x.shapeStr());
+    return Tensor(x.n(), oh, ow, x.c());
+}
+
+Tensor
+Pool::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &x = *ins[0];
+    Tensor out = makeOutput(ins);
+    for (int n = 0; n < out.n(); ++n) {
+        for (int oh = 0; oh < out.h(); ++oh) {
+            for (int ow = 0; ow < out.w(); ++ow) {
+                for (int c = 0; c < out.c(); ++c) {
+                    float acc = mode_ == Mode::Max
+                        ? -std::numeric_limits<float>::infinity()
+                        : 0.0f;
+                    for (int ph = 0; ph < window_; ++ph) {
+                        for (int pw = 0; pw < window_; ++pw) {
+                            int ih = oh * stride_ - pad_ + ph;
+                            int iw = ow * stride_ - pad_ + pw;
+                            float v = 0.0f;
+                            if (ih >= 0 && ih < x.h() && iw >= 0 &&
+                                iw < x.w())
+                                v = x.at(n, ih, iw, c);
+                            if (mode_ == Mode::Max)
+                                acc = std::max(acc, v);
+                            else
+                                acc += v;
+                        }
+                    }
+                    if (mode_ == Mode::Avg)
+                        acc /= static_cast<float>(window_ * window_);
+                    out.at(n, oh, ow, c) = acc;
+                }
+            }
+        }
+    }
+    roundForPrecision(out, precision_);
+    return out;
+}
+
+GlobalAvgPool::GlobalAvgPool(std::string name)
+    : Layer(std::move(name))
+{
+}
+
+Tensor
+GlobalAvgPool::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "pool expects one input");
+    const Tensor &x = *ins[0];
+    return Tensor(x.n(), 1, 1, x.c());
+}
+
+Tensor
+GlobalAvgPool::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &x = *ins[0];
+    Tensor out = makeOutput(ins);
+    double denom = static_cast<double>(x.h()) * x.w();
+    for (int n = 0; n < x.n(); ++n) {
+        for (int c = 0; c < x.c(); ++c) {
+            double acc = 0.0;
+            for (int h = 0; h < x.h(); ++h)
+                for (int w = 0; w < x.w(); ++w)
+                    acc += x.at(n, h, w, c);
+            out.at(n, 0, 0, c) = static_cast<float>(acc / denom);
+        }
+    }
+    roundForPrecision(out, precision_);
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,53 @@
+#include "nn/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+Softmax::Softmax(std::string name)
+    : Layer(std::move(name))
+{
+}
+
+Tensor
+Softmax::makeOutput(const std::vector<const Tensor *> &ins) const
+{
+    panic_if(ins.size() != 1, "softmax expects one input");
+    const Tensor &x = *ins[0];
+    return Tensor(x.n(), x.h(), x.w(), x.c());
+}
+
+Tensor
+Softmax::forward(const std::vector<const Tensor *> &ins) const
+{
+    const Tensor &x = *ins[0];
+    Tensor out = makeOutput(ins);
+    for (int n = 0; n < x.n(); ++n) {
+        for (int h = 0; h < x.h(); ++h) {
+            for (int w = 0; w < x.w(); ++w) {
+                float mx = -std::numeric_limits<float>::infinity();
+                for (int c = 0; c < x.c(); ++c)
+                    mx = std::max(mx, x.at(n, h, w, c));
+                // NaN inputs (possible under fault injection) make the
+                // whole distribution NaN, which downstream metrics treat
+                // as an output error.
+                double denom = 0.0;
+                for (int c = 0; c < x.c(); ++c)
+                    denom += std::exp(
+                        static_cast<double>(x.at(n, h, w, c) - mx));
+                for (int c = 0; c < x.c(); ++c) {
+                    double e = std::exp(
+                        static_cast<double>(x.at(n, h, w, c) - mx));
+                    out.at(n, h, w, c) = static_cast<float>(e / denom);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Numerically stable softmax over the channel axis.
+ */
+
+#ifndef FIDELITY_NN_SOFTMAX_HH
+#define FIDELITY_NN_SOFTMAX_HH
+
+#include "nn/layer.hh"
+
+namespace fidelity
+{
+
+/** Softmax applied independently at every (n, h, w) position. */
+class Softmax : public Layer
+{
+  public:
+    explicit Softmax(std::string name);
+
+    LayerKind kind() const override { return LayerKind::Softmax; }
+
+    using Layer::forward;
+
+    Tensor makeOutput(const std::vector<const Tensor *> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins) const override;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_NN_SOFTMAX_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a framework bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef FIDELITY_SIM_LOGGING_HH
+#define FIDELITY_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace fidelity
+{
+
+/** Terminate with a framework-bug diagnostic (calls std::abort). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error diagnostic (calls std::exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print a status message to stdout. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+/** Concatenate a heterogeneous argument pack into one message string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace fidelity
+
+#define panic(...) \
+    ::fidelity::panicImpl(__FILE__, __LINE__, \
+                          ::fidelity::detail::concat(__VA_ARGS__))
+
+#define fatal(...) \
+    ::fidelity::fatalImpl(__FILE__, __LINE__, \
+                          ::fidelity::detail::concat(__VA_ARGS__))
+
+#define warn(...) \
+    ::fidelity::warnImpl(::fidelity::detail::concat(__VA_ARGS__))
+
+#define inform(...) \
+    ::fidelity::informImpl(::fidelity::detail::concat(__VA_ARGS__))
+
+/** Panic unless a framework invariant holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** Fatal unless a user-facing precondition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // FIDELITY_SIM_LOGGING_HH

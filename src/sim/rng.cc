@@ -1,0 +1,142 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+constexpr std::uint64_t pcgMult = 6364136223846793005ULL;
+constexpr std::uint64_t pcgInc = 1442695040888963407ULL;
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Standard PCG32 seeding: advance once around the seed so that
+    // nearby seeds diverge immediately.
+    state_ = 0;
+    next32();
+    state_ += seed;
+    next32();
+}
+
+std::uint32_t
+Rng::next32()
+{
+    std::uint64_t old = state_;
+    state_ = old * pcgMult + pcgInc;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint64_t
+Rng::next64()
+{
+    return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+}
+
+std::uint32_t
+Rng::below(std::uint32_t bound)
+{
+    panic_if(bound == 0, "Rng::below requires bound > 0");
+    // Lemire-style rejection to remove modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = next32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    panic_if(lo > hi, "Rng::range requires lo <= hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit span
+        return static_cast<std::int64_t>(next64());
+    // 64-bit rejection sampling.
+    std::uint64_t threshold = (-span) % span;
+    for (;;) {
+        std::uint64_t r = next64();
+        if (r >= threshold)
+            return lo + static_cast<std::int64_t>(r % span);
+    }
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::normal()
+{
+    if (haveCachedNormal_) {
+        haveCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    cachedNormal_ = mag * std::sin(2.0 * M_PI * u2);
+    haveCachedNormal_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        panic_if(w < 0.0, "Rng::weighted requires non-negative weights");
+        total += w;
+    }
+    panic_if(total <= 0.0, "Rng::weighted requires a positive weight sum");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+} // namespace fidelity

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for fault-site sampling.
+ *
+ * Every stochastic decision in the framework (fault-site selection, bit
+ * position, injection cycle, random control-fault values) draws from an
+ * explicitly seeded Rng so campaigns are exactly reproducible.  The core
+ * generator is PCG32 (O'Neill), which is small, fast, and statistically
+ * sound for this purpose.
+ */
+
+#ifndef FIDELITY_SIM_RNG_HH
+#define FIDELITY_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fidelity
+{
+
+/** PCG32-based random number generator with convenience draws. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; stream constant fixed. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+    /** Next raw 32-bit draw. */
+    std::uint32_t next32();
+
+    /** Next raw 64-bit draw (two 32-bit draws). */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound) without modulo bias. Bound > 0. */
+    std::uint32_t below(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal draw (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Pick a uniformly random element index of a non-empty container. */
+    template <typename Container>
+    std::size_t
+    pick(const Container &c)
+    {
+        return below(static_cast<std::uint32_t>(c.size()));
+    }
+
+    /**
+     * Sample an index according to non-negative weights.
+     * @param weights Non-negative weights, at least one strictly positive.
+     * @return Index drawn with probability weight[i] / sum(weights).
+     */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (for per-worker streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t state_;
+    bool haveCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_RNG_HH

@@ -1,0 +1,121 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+void
+Proportion::add(bool success)
+{
+    trials_ += 1;
+    if (success)
+        successes_ += 1;
+}
+
+void
+Proportion::add(std::uint64_t successes, std::uint64_t trials)
+{
+    panic_if(successes > trials, "Proportion batch has successes > trials");
+    successes_ += successes;
+    trials_ += trials;
+}
+
+double
+Proportion::mean() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+double
+Proportion::halfWidth(double z) const
+{
+    if (trials_ == 0)
+        return 0.0;
+    double n = static_cast<double>(trials_);
+    double p = mean();
+    double z2 = z * z;
+    return (z / (1.0 + z2 / n)) *
+           std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+}
+
+double
+Proportion::lower(double z) const
+{
+    if (trials_ == 0)
+        return 0.0;
+    double n = static_cast<double>(trials_);
+    double p = mean();
+    double z2 = z * z;
+    double centre = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+    return std::max(0.0, centre - halfWidth(z));
+}
+
+double
+Proportion::upper(double z) const
+{
+    if (trials_ == 0)
+        return 1.0;
+    double n = static_cast<double>(trials_);
+    double p = mean();
+    double z2 = z * z;
+    double centre = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+    return std::min(1.0, centre + halfWidth(z));
+}
+
+std::string
+Proportion::str() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << std::fixed << mean() << " [" << lower() << ", " << upper()
+       << "] (n=" << trials_ << ")";
+    return os.str();
+}
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_ += 1;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::uint64_t
+samplesForHalfWidth(double p, double half_width, double z)
+{
+    panic_if(half_width <= 0.0, "half_width must be positive");
+    double n = z * z * p * (1.0 - p) / (half_width * half_width);
+    return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+} // namespace fidelity

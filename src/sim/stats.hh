@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight statistics helpers for fault-injection campaigns.
+ *
+ * The paper reports proportions (masking probabilities, failure rates)
+ * estimated from statistical fault injection with 95% confidence
+ * intervals; Proportion implements the Wilson interval used to size and
+ * report those estimates.  RunningStat accumulates streaming moments for
+ * perturbation-magnitude studies (Key result 5).
+ */
+
+#ifndef FIDELITY_SIM_STATS_HH
+#define FIDELITY_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fidelity
+{
+
+/** A Bernoulli proportion estimated from counted trials. */
+class Proportion
+{
+  public:
+    /** Record one trial outcome. */
+    void add(bool success);
+
+    /** Record a batch of trials. */
+    void add(std::uint64_t successes, std::uint64_t trials);
+
+    std::uint64_t successes() const { return successes_; }
+    std::uint64_t trials() const { return trials_; }
+
+    /** Point estimate successes/trials (0 when no trials). */
+    double mean() const;
+
+    /** Wilson score interval half-width at the given z (default 95%). */
+    double halfWidth(double z = 1.96) const;
+
+    /** Lower bound of the Wilson interval, clamped to [0, 1]. */
+    double lower(double z = 1.96) const;
+
+    /** Upper bound of the Wilson interval, clamped to [0, 1]. */
+    double upper(double z = 1.96) const;
+
+    /** Render as "p [lo, hi] (n=...)" for reports. */
+    std::string str() const;
+
+  private:
+    std::uint64_t successes_ = 0;
+    std::uint64_t trials_ = 0;
+};
+
+/** Streaming mean/variance/min/max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Number of Bernoulli samples needed so a proportion estimate around p
+ * has the given absolute half-width at the given z.
+ */
+std::uint64_t samplesForHalfWidth(double p, double half_width,
+                                  double z = 1.96);
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_STATS_HH

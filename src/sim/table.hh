@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * rows of text; Table gives them a consistent aligned rendering.
+ */
+
+#ifndef FIDELITY_SIM_TABLE_HH
+#define FIDELITY_SIM_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fidelity
+{
+
+/** A simple column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for cells). */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer cell. */
+    static std::string num(std::uint64_t v);
+
+    /** Format a percentage cell, e.g. 0.123 -> "12.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print an underlined section heading (used between bench sections). */
+void printHeading(std::ostream &os, const std::string &title);
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_TABLE_HH

@@ -1,0 +1,131 @@
+#include "tensor/bitops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "tensor/float16.hh"
+
+namespace fidelity
+{
+
+int
+reprBits(Repr repr)
+{
+    switch (repr) {
+      case Repr::FP16:
+        return 16;
+      case Repr::FP32:
+        return 32;
+      case Repr::INT8:
+        return 8;
+      case Repr::INT16:
+        return 16;
+      case Repr::INT32:
+        return 32;
+    }
+    panic("unknown Repr");
+}
+
+const char *
+reprName(Repr repr)
+{
+    switch (repr) {
+      case Repr::FP16:
+        return "FP16";
+      case Repr::FP32:
+        return "FP32";
+      case Repr::INT8:
+        return "INT8";
+      case Repr::INT16:
+        return "INT16";
+      case Repr::INT32:
+        return "INT32";
+    }
+    panic("unknown Repr");
+}
+
+float
+flipBit(float x, Repr repr, int bit)
+{
+    panic_if(bit < 0 || bit >= reprBits(repr),
+             "bit ", bit, " out of range for ", reprName(repr));
+    return flipBits(x, repr, 1u << bit);
+}
+
+float
+flipBits(float x, Repr repr, std::uint32_t mask)
+{
+    int bits = reprBits(repr);
+    panic_if(bits < 32 && (mask >> bits) != 0,
+             "flip mask exceeds the width of ", reprName(repr));
+    switch (repr) {
+      case Repr::FP16: {
+        std::uint16_t h = floatToHalfBits(x);
+        h = static_cast<std::uint16_t>(h ^ mask);
+        return halfBitsToFloat(h);
+      }
+      case Repr::FP32: {
+        std::uint32_t u;
+        std::memcpy(&u, &x, sizeof(u));
+        u ^= mask;
+        float out;
+        std::memcpy(&out, &u, sizeof(out));
+        return out;
+      }
+      case Repr::INT8:
+      case Repr::INT16:
+      case Repr::INT32: {
+        auto q = static_cast<std::int32_t>(std::lrintf(
+            std::clamp(x, -2147483648.0f, 2147483520.0f)));
+        return static_cast<float>(flipBitsInt(q, repr, mask));
+      }
+    }
+    panic("unknown Repr");
+}
+
+std::int32_t
+flipBitInt(std::int32_t q, Repr repr, int bit)
+{
+    panic_if(bit < 0 || bit >= reprBits(repr),
+             "bit ", bit, " out of range for ", reprName(repr));
+    return flipBitsInt(q, repr, 1u << bit);
+}
+
+std::int32_t
+flipBitsInt(std::int32_t q, Repr repr, std::uint32_t mask)
+{
+    int bits = reprBits(repr);
+    panic_if(bits < 32 && (mask >> bits) != 0,
+             "flip mask exceeds the width of ", reprName(repr));
+    switch (repr) {
+      case Repr::INT8: {
+        auto b = static_cast<std::uint8_t>(q);
+        b = static_cast<std::uint8_t>(b ^ mask);
+        return static_cast<std::int8_t>(b);
+      }
+      case Repr::INT16: {
+        auto b = static_cast<std::uint16_t>(q);
+        b = static_cast<std::uint16_t>(b ^ mask);
+        return static_cast<std::int16_t>(b);
+      }
+      case Repr::INT32: {
+        auto b = static_cast<std::uint32_t>(q);
+        b ^= mask;
+        return static_cast<std::int32_t>(b);
+      }
+      case Repr::FP16:
+      case Repr::FP32:
+        panic("flipBitsInt applied to a floating representation");
+    }
+    panic("unknown Repr");
+}
+
+float
+roundToHalf(float x)
+{
+    return halfBitsToFloat(floatToHalfBits(x));
+}
+
+} // namespace fidelity

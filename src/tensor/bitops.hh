@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit-flip utilities on the numeric representations the datapath holds.
+ *
+ * FIdelity's datapath fault models are "one random bit-flip at one
+ * randomly chosen <variable>": the flip happens in the *hardware
+ * representation* (binary16 word, INT8/INT16 two's-complement word, or
+ * the FP32 partial-sum register), not in the abstract real value.  These
+ * helpers perform those flips and report the resulting real value.
+ */
+
+#ifndef FIDELITY_TENSOR_BITOPS_HH
+#define FIDELITY_TENSOR_BITOPS_HH
+
+#include <cstdint>
+
+namespace fidelity
+{
+
+/** Numeric representation a datapath word is stored in. */
+enum class Repr
+{
+    FP16,  //!< IEEE binary16 operand/output words
+    FP32,  //!< FP32 partial-sum/accumulator registers
+    INT8,  //!< 8-bit two's-complement operands
+    INT16, //!< 16-bit two's-complement operands
+    INT32, //!< 32-bit accumulator in integer pipelines
+};
+
+/** Number of bits in the given representation. */
+int reprBits(Repr repr);
+
+/** Human-readable name ("FP16", ...). */
+const char *reprName(Repr repr);
+
+/**
+ * Flip one bit of value x as stored in representation repr.
+ *
+ * FP16/INT8/INT16 first round/clamp x into the representation (that is
+ * what the flip-flop actually held), flip the bit, and widen back.
+ *
+ * @param x Real value held by the flip-flop.
+ * @param repr Storage representation of the flip-flop.
+ * @param bit Bit position in [0, reprBits(repr)).
+ * @return The corrupted value, widened back to FP32.
+ */
+float flipBit(float x, Repr repr, int bit);
+
+/**
+ * Flip one bit of an integer word with the representation's width.
+ * Used by the integer accelerator pipelines where values are already
+ * quantised integers.
+ */
+std::int32_t flipBitInt(std::int32_t q, Repr repr, int bit);
+
+/**
+ * Flip a set of bits (given as a mask) of value x as stored in
+ * representation repr — the paper's "multiple single-cycle bit-flips
+ * in a single register" abstraction.  A single conversion round trip
+ * applies all flips atomically (sequential single-bit flips would
+ * canonicalise intermediate NaN payloads).
+ */
+float flipBits(float x, Repr repr, std::uint32_t mask);
+
+/** Mask-flip of an integer word (see flipBits). */
+std::int32_t flipBitsInt(std::int32_t q, Repr repr, std::uint32_t mask);
+
+/** Round an FP32 value through binary16 and back (RNE). */
+float roundToHalf(float x);
+
+} // namespace fidelity
+
+#endif // FIDELITY_TENSOR_BITOPS_HH

@@ -1,0 +1,135 @@
+#include "tensor/float16.hh"
+
+#include <cstring>
+
+namespace fidelity
+{
+
+std::uint16_t
+floatToHalfBits(float f)
+{
+    std::uint32_t x;
+    std::memcpy(&x, &f, sizeof(x));
+
+    std::uint32_t sign = (x >> 16) & 0x8000u;
+    std::uint32_t exp = (x >> 23) & 0xffu;
+    std::uint32_t mant = x & 0x7fffffu;
+
+    if (exp == 0xffu) {
+        // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+        if (mant != 0)
+            return static_cast<std::uint16_t>(sign | 0x7e00u);
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    // Unbiased exponent.
+    int e = static_cast<int>(exp) - 127;
+
+    if (e > 15) {
+        // Overflows half range -> infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    if (e >= -14) {
+        // Normal half. Round 23-bit mantissa to 10 bits (RNE).
+        std::uint32_t half_exp = static_cast<std::uint32_t>(e + 15);
+        std::uint32_t mant10 = mant >> 13;
+        std::uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (mant10 & 1u))) {
+            mant10 += 1;
+            if (mant10 == 0x400u) { // mantissa overflow bumps exponent
+                mant10 = 0;
+                half_exp += 1;
+                if (half_exp == 31)
+                    return static_cast<std::uint16_t>(sign | 0x7c00u);
+            }
+        }
+        return static_cast<std::uint16_t>(sign | (half_exp << 10) | mant10);
+    }
+
+    if (e >= -25) {
+        // Subnormal half. Implicit leading 1 joins the mantissa, then
+        // shift right by the subnormal amount with RNE.
+        std::uint32_t full = mant | 0x800000u;
+        int shift = -e - 14 + 13; // 13 for 23->10 plus subnormal offset
+        std::uint32_t mant10 = full >> shift;
+        std::uint32_t rem_mask = (1u << shift) - 1;
+        std::uint32_t rem = full & rem_mask;
+        std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (mant10 & 1u)))
+            mant10 += 1; // may carry into exponent 1, which is correct
+        return static_cast<std::uint16_t>(sign | mant10);
+    }
+
+    // Underflows to signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+halfBitsToFloat(std::uint16_t h)
+{
+    std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    std::uint32_t exp = (h >> 10) & 0x1fu;
+    std::uint32_t mant = h & 0x3ffu;
+
+    std::uint32_t out;
+    if (exp == 0) {
+        if (mant == 0) {
+            out = sign; // signed zero
+        } else {
+            // Subnormal: normalise.
+            int e = -1;
+            std::uint32_t m = mant;
+            do {
+                m <<= 1;
+                e += 1;
+            } while (!(m & 0x400u));
+            m &= 0x3ffu;
+            std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
+            out = sign | (fexp << 23) | (m << 13);
+        }
+    } else if (exp == 31) {
+        out = sign | 0x7f800000u | (mant << 13); // inf / NaN
+    } else {
+        std::uint32_t fexp = exp + (127 - 15);
+        out = sign | (fexp << 23) | (mant << 13);
+    }
+
+    float f;
+    std::memcpy(&f, &out, sizeof(f));
+    return f;
+}
+
+Half
+Half::fromBits(std::uint16_t bits)
+{
+    Half h;
+    h.bits_ = bits;
+    return h;
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7fffu) == 0x7c00u;
+}
+
+bool
+Half::isNan() const
+{
+    return ((bits_ >> 10) & 0x1fu) == 0x1fu && (bits_ & 0x3ffu) != 0;
+}
+
+bool
+Half::isZero() const
+{
+    return (bits_ & 0x7fffu) == 0;
+}
+
+float
+halfMax()
+{
+    return 65504.0f;
+}
+
+} // namespace fidelity

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 (half precision).
+ *
+ * NVDLA's FP16 datapath stores operands and outputs as binary16 words;
+ * FIdelity's datapath fault models flip bits of exactly those words.  We
+ * therefore need a bit-exact half type: values travel as 16-bit patterns
+ * and all conversions use round-to-nearest-even, matching hardware
+ * converters.  Arithmetic is performed by converting to float; the
+ * accelerator model accumulates in FP32 and rounds once at writeback,
+ * which is the convention both the nn engine and the accel simulator
+ * share so faulty-neuron values can be compared bitwise.
+ */
+
+#ifndef FIDELITY_TENSOR_FLOAT16_HH
+#define FIDELITY_TENSOR_FLOAT16_HH
+
+#include <cstdint>
+
+namespace fidelity
+{
+
+/** Convert an FP32 value to a binary16 bit pattern (RNE, with inf/NaN). */
+std::uint16_t floatToHalfBits(float f);
+
+/** Convert a binary16 bit pattern to FP32 exactly. */
+float halfBitsToFloat(std::uint16_t h);
+
+/** A bit-exact IEEE-754 binary16 value. */
+class Half
+{
+  public:
+    /** Zero-initialised half. */
+    Half() : bits_(0) {}
+
+    /** Round an FP32 value to half (RNE). */
+    explicit Half(float f) : bits_(floatToHalfBits(f)) {}
+
+    /** Wrap an existing bit pattern. */
+    static Half fromBits(std::uint16_t bits);
+
+    /** The raw 16-bit pattern. */
+    std::uint16_t bits() const { return bits_; }
+
+    /** Exact widening conversion to FP32. */
+    float toFloat() const { return halfBitsToFloat(bits_); }
+
+    /** True for +/- infinity. */
+    bool isInf() const;
+
+    /** True for any NaN pattern. */
+    bool isNan() const;
+
+    /** True for +0 or -0. */
+    bool isZero() const;
+
+    /** Bitwise equality (distinguishes -0 from +0 and NaN payloads). */
+    bool operator==(const Half &o) const { return bits_ == o.bits_; }
+    bool operator!=(const Half &o) const { return bits_ != o.bits_; }
+
+  private:
+    std::uint16_t bits_;
+};
+
+/** Largest finite half value (65504). */
+float halfMax();
+
+} // namespace fidelity
+
+#endif // FIDELITY_TENSOR_FLOAT16_HH

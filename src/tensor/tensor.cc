@@ -1,0 +1,115 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+bool
+NeuronIndex::operator<(const NeuronIndex &o) const
+{
+    if (n != o.n)
+        return n < o.n;
+    if (h != o.h)
+        return h < o.h;
+    if (w != o.w)
+        return w < o.w;
+    return c < o.c;
+}
+
+std::string
+NeuronIndex::str() const
+{
+    std::ostringstream os;
+    os << "(" << n << "," << h << "," << w << "," << c << ")";
+    return os.str();
+}
+
+Tensor::Tensor(int n, int h, int w, int c)
+    : n_(n), h_(h), w_(w), c_(c)
+{
+    panic_if(n <= 0 || h <= 0 || w <= 0 || c <= 0,
+             "Tensor dimensions must be positive, got ", n, "x", h, "x",
+             w, "x", c);
+    data_.assign(static_cast<std::size_t>(n) * h * w * c, 0.0f);
+}
+
+std::size_t
+Tensor::offset(int n, int h, int w, int c) const
+{
+    panic_if(n < 0 || n >= n_ || h < 0 || h >= h_ || w < 0 || w >= w_ ||
+             c < 0 || c >= c_,
+             "Tensor index (", n, ",", h, ",", w, ",", c,
+             ") out of bounds for shape ", shapeStr());
+    return ((static_cast<std::size_t>(n) * h_ + h) * w_ + w) * c_ + c;
+}
+
+NeuronIndex
+Tensor::indexOf(std::size_t flat) const
+{
+    panic_if(flat >= data_.size(), "flat index out of bounds");
+    NeuronIndex i;
+    i.c = static_cast<int>(flat % c_);
+    flat /= c_;
+    i.w = static_cast<int>(flat % w_);
+    flat /= w_;
+    i.h = static_cast<int>(flat % h_);
+    flat /= h_;
+    i.n = static_cast<int>(flat);
+    return i;
+}
+
+float &
+Tensor::at(int n, int h, int w, int c)
+{
+    return data_[offset(n, h, w, c)];
+}
+
+float
+Tensor::at(int n, int h, int w, int c) const
+{
+    return data_[offset(n, h, w, c)];
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+bool
+Tensor::sameShape(const Tensor &o) const
+{
+    return n_ == o.n_ && h_ == o.h_ && w_ == o.w_ && c_ == o.c_;
+}
+
+std::size_t
+Tensor::argmax() const
+{
+    panic_if(data_.empty(), "argmax of empty tensor");
+    return static_cast<std::size_t>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float
+Tensor::absMax() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::string
+Tensor::shapeStr() const
+{
+    std::ostringstream os;
+    os << n_ << "x" << h_ << "x" << w_ << "x" << c_;
+    return os.str();
+}
+
+} // namespace fidelity

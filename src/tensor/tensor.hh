@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A minimal dense NHWC tensor of FP32 values.
+ *
+ * All layers carry FP32 storage; precision modes (FP16/INT16/INT8) are
+ * applied by the layers themselves by rounding operands through the
+ * target representation, matching how the accelerator's datapath holds
+ * values in the narrower formats while the framework observes them as
+ * real numbers.
+ */
+
+#ifndef FIDELITY_TENSOR_TENSOR_HH
+#define FIDELITY_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fidelity
+{
+
+/** Logical position of an output neuron: (batch, height, width, chan). */
+struct NeuronIndex
+{
+    int n = 0;
+    int h = 0;
+    int w = 0;
+    int c = 0;
+
+    bool operator==(const NeuronIndex &o) const = default;
+
+    /** Lexicographic order so neuron sets can be sorted/deduplicated. */
+    bool operator<(const NeuronIndex &o) const;
+
+    std::string str() const;
+};
+
+/** Dense 4-D (N, H, W, C) FP32 tensor; lower-rank data uses H=W=1 etc. */
+class Tensor
+{
+  public:
+    /** Empty tensor. */
+    Tensor() = default;
+
+    /** Allocate a zero-filled tensor of the given shape. */
+    Tensor(int n, int h, int w, int c);
+
+    int n() const { return n_; }
+    int h() const { return h_; }
+    int w() const { return w_; }
+    int c() const { return c_; }
+
+    /** Total number of elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Flat offset of (n, h, w, c) in NHWC layout. */
+    std::size_t offset(int n, int h, int w, int c) const;
+
+    /** Inverse of offset(): recover the 4-D index of a flat offset. */
+    NeuronIndex indexOf(std::size_t flat) const;
+
+    float &at(int n, int h, int w, int c);
+    float at(int n, int h, int w, int c) const;
+
+    float &at(const NeuronIndex &i) { return at(i.n, i.h, i.w, i.c); }
+    float at(const NeuronIndex &i) const { return at(i.n, i.h, i.w, i.c); }
+
+    /** Flat element access. */
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Fill every element with the given value. */
+    void fill(float v);
+
+    /** True if shapes match. */
+    bool sameShape(const Tensor &o) const;
+
+    /** Flat index of the maximum element (ties -> first). */
+    std::size_t argmax() const;
+
+    /** Absolute maximum over all elements (0 for empty). */
+    float absMax() const;
+
+    /** Shape as "NxHxWxC" for diagnostics. */
+    std::string shapeStr() const;
+
+  private:
+    int n_ = 0, h_ = 0, w_ = 0, c_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_TENSOR_TENSOR_HH

@@ -1,0 +1,65 @@
+#include "workloads/data.hh"
+
+#include <cmath>
+
+namespace fidelity
+{
+
+Tensor
+makeImageInput(std::uint64_t seed, int n, int h, int w, int c)
+{
+    Rng rng(seed);
+    Tensor out(n, h, w, c);
+    const int blobs = 6;
+    for (int b = 0; b < n; ++b) {
+        for (int ch = 0; ch < c; ++ch) {
+            // Sum of Gaussian blobs gives smooth spatial structure.
+            for (int k = 0; k < blobs; ++k) {
+                double cx = rng.uniform(0.0, w);
+                double cy = rng.uniform(0.0, h);
+                double amp = rng.uniform(-1.5, 1.5);
+                double sigma = rng.uniform(1.0, 3.0);
+                for (int y = 0; y < h; ++y) {
+                    for (int x = 0; x < w; ++x) {
+                        double d2 = (x - cx) * (x - cx) +
+                                    (y - cy) * (y - cy);
+                        out.at(b, y, x, ch) += static_cast<float>(
+                            amp * std::exp(-d2 / (2.0 * sigma * sigma)));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+makeSequenceInput(std::uint64_t seed, int steps, int dim)
+{
+    Rng rng(seed);
+    Tensor out(1, steps, 1, dim);
+    for (auto &v : out.data())
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    return out;
+}
+
+Tensor
+makeSensorInput(std::uint64_t seed, int steps, int channels)
+{
+    Rng rng(seed);
+    Tensor out(1, steps, 1, channels);
+    // A slow drift plus noise per channel, like IMU traces.
+    for (int c = 0; c < channels; ++c) {
+        double phase = rng.uniform(0.0, 6.28);
+        double freq = rng.uniform(0.2, 1.0);
+        double amp = rng.uniform(0.5, 1.5);
+        for (int t = 0; t < steps; ++t) {
+            out.at(0, t, 0, c) = static_cast<float>(
+                amp * std::sin(phase + freq * t) +
+                rng.normal(0.0, 0.2));
+        }
+    }
+    return out;
+}
+
+} // namespace fidelity

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Synthetic input generation for the study's workloads.
+ *
+ * Inputs are deterministic given a seed.  Images are smooth random
+ * fields (sums of Gaussian blobs) rather than white noise so that
+ * convolution activations have realistic spatial correlation; sequence
+ * inputs are drawn per-position.  The correctness metrics compare
+ * faulty output against the fault-free output of the same network on
+ * the same input, so no labelled dataset is required (see DESIGN.md).
+ */
+
+#ifndef FIDELITY_WORKLOADS_DATA_HH
+#define FIDELITY_WORKLOADS_DATA_HH
+
+#include "sim/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace fidelity
+{
+
+/** A smooth random image batch (N, H, W, C) with values ~[-2, 2]. */
+Tensor makeImageInput(std::uint64_t seed, int n, int h, int w, int c);
+
+/** A random embedded token sequence (1, steps, 1, dim). */
+Tensor makeSequenceInput(std::uint64_t seed, int steps, int dim);
+
+/** A sensor-style multivariate time series (1, steps, 1, channels). */
+Tensor makeSensorInput(std::uint64_t seed, int steps, int channels);
+
+} // namespace fidelity
+
+#endif // FIDELITY_WORKLOADS_DATA_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Application correctness metrics (Table IV of the paper).
+ *
+ * Image classification uses Top-1 label match against the fault-free
+ * execution.  The Transformer uses a BLEU-style score of the faulty
+ * decoded sequence against the fault-free sequence, accepted within a
+ * 10% or 20% band.  Yolo uses a detection F-score against the
+ * fault-free detections, accepted within the same bands.  Any NaN in
+ * the final output is an application error.
+ */
+
+#ifndef FIDELITY_WORKLOADS_METRICS_HH
+#define FIDELITY_WORKLOADS_METRICS_HH
+
+#include <vector>
+
+#include "core/injector.hh"
+#include "tensor/tensor.hh"
+
+namespace fidelity
+{
+
+/** Top-1 classification metric. */
+CorrectnessFn top1Metric();
+
+/**
+ * BLEU-band metric for sequence outputs: decode argmax tokens per
+ * position and require BLEU(golden, faulty) >= 1 - tolerance.
+ */
+CorrectnessFn bleuMetric(double tolerance);
+
+/**
+ * Detection-band metric: decode grid detections and require the
+ * F-score of the faulty detections against the fault-free ones to stay
+ * >= 1 - tolerance.
+ */
+CorrectnessFn detectionMetric(double tolerance);
+
+/** Argmax token per sequence position (softmax output over C). */
+std::vector<int> decodeTokens(const Tensor &out);
+
+/**
+ * BLEU-style score in [0, 1]: geometric mean of modified n-gram
+ * precisions (n = 1..4) with brevity penalty.
+ */
+double bleuScore(const std::vector<int> &reference,
+                 const std::vector<int> &hypothesis);
+
+/** One decoded grid detection. */
+struct Detection
+{
+    int cellH = 0;
+    int cellW = 0;
+    int cls = 0;
+    float x = 0, y = 0, w = 0, h = 0;
+};
+
+/**
+ * Decode a (1, H, W, 5 + classes) detection head: a cell detects when
+ * sigmoid(channel 0) exceeds the threshold; channels 1-4 are the box,
+ * the rest class logits.
+ */
+std::vector<Detection> decodeDetections(const Tensor &out,
+                                        float obj_threshold = 0.5f);
+
+/**
+ * F-score of hypothesis detections against reference detections; a
+ * match requires the same cell and class with box parameters within
+ * `box_tol` in every coordinate.
+ */
+double detectionScore(const std::vector<Detection> &reference,
+                      const std::vector<Detection> &hypothesis,
+                      float box_tol = 0.1f);
+
+/** True if any value is NaN or infinite. */
+bool hasInvalidValues(const Tensor &t);
+
+} // namespace fidelity
+
+#endif // FIDELITY_WORKLOADS_METRICS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The study's DNN workloads (Table III / Table IV of the paper).
+ *
+ * Each builder produces a scaled-down but structurally faithful network
+ * of its family: Inception (parallel-branch modules with channel
+ * concatenation), ResNet (residual blocks), MobileNet (depthwise
+ * separable blocks), Yolo (leaky-ReLU backbone with a grid detection
+ * head), a Transformer encoder (attention + FFN with residuals), and an
+ * unrolled LSTM.  Weights are He-initialised from a seed; correctness
+ * metrics compare faulty output against the same network's fault-free
+ * output, so trained weights are not required for the resilience
+ * behaviour under study (see DESIGN.md).
+ */
+
+#ifndef FIDELITY_WORKLOADS_MODELS_HH
+#define FIDELITY_WORKLOADS_MODELS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/network.hh"
+#include "tensor/tensor.hh"
+
+namespace fidelity
+{
+
+/** Builders return the network; inputs come from defaultInputFor(). */
+Network buildInception(std::uint64_t seed);
+Network buildResNet(std::uint64_t seed);
+Network buildMobileNet(std::uint64_t seed);
+Network buildYolo(std::uint64_t seed);
+Network buildTransformer(std::uint64_t seed);
+Network buildLstm(std::uint64_t seed);
+
+/** Build a study network by name (see studyNetworkNames()). */
+Network buildNetwork(const std::string &name, std::uint64_t seed);
+
+/** Names accepted by buildNetwork(). */
+const std::vector<std::string> &studyNetworkNames();
+
+/** The canonical input tensor for a study network. */
+Tensor defaultInputFor(const std::string &name, std::uint64_t seed);
+
+/**
+ * One standalone layer of Table III used for framework validation,
+ * together with its (owned) input tensors.
+ */
+struct ValidationWorkload
+{
+    std::string name;
+    std::unique_ptr<MacLayer> layer;
+    std::vector<Tensor> inputs;
+
+    /** Borrowed input pointers in layer order. */
+    std::vector<const Tensor *> ins() const;
+};
+
+/**
+ * The six validation layers of Table III: conv3x3 layers in the style
+ * of Inception / ResNet / Yolo residual blocks, the Transformer
+ * feed-forward FC, the attention MatMul, and the LSTM gate FC.  All
+ * run in FP16, as in the paper.
+ */
+std::vector<ValidationWorkload>
+buildValidationWorkloads(std::uint64_t seed,
+                         Precision precision = Precision::FP16);
+
+} // namespace fidelity
+
+#endif // FIDELITY_WORKLOADS_MODELS_HH

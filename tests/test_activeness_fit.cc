@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests of the activeness analysis (Eq. 1) and the FIT computation
+ * (Eq. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activeness.hh"
+#include "core/fit.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+LayerTiming
+timing(std::uint64_t fetch, std::uint64_t mac, std::uint64_t drain)
+{
+    LayerTiming t;
+    t.fetchCycles = fetch;
+    t.macCycles = mac;
+    t.drainCycles = drain;
+    t.totalCycles = fetch + mac + drain;
+    return t;
+}
+
+} // namespace
+
+TEST(Activeness, ClassFractionsSumToOne)
+{
+    ActivenessModel am;
+    for (FFCategory cat : allFFCategories()) {
+        for (Precision p : {Precision::FP16, Precision::INT8}) {
+            double sum =
+                am.classFraction(cat, InactiveClass::ComponentNotUsed,
+                                 p) +
+                am.classFraction(cat, InactiveClass::SignalNotUsed, p) +
+                am.classFraction(cat, InactiveClass::TemporallyNotUsed,
+                                 p);
+            EXPECT_NEAR(sum, 1.0, 1e-12)
+                << ffCategoryName(cat) << " " << precisionName(p);
+        }
+    }
+}
+
+TEST(Activeness, GlobalControlAlwaysActive)
+{
+    ActivenessModel am;
+    LayerTiming t = timing(100, 100, 100);
+    EXPECT_DOUBLE_EQ(
+        am.probInactive(FFCategory::GlobalControl, Precision::FP16, t),
+        0.0);
+}
+
+TEST(Activeness, FetchBoundLayerIdlesMacFFs)
+{
+    ActivenessModel am;
+    am.componentUnusedFrac = 0.0;
+    LayerTiming fetch_bound = timing(900, 90, 10);
+    LayerTiming compute_bound = timing(10, 900, 90);
+    double idle_fetch_bound = am.probInactive(
+        FFCategory::OperandInput, Precision::FP16, fetch_bound);
+    double idle_compute_bound = am.probInactive(
+        FFCategory::OperandInput, Precision::FP16, compute_bound);
+    EXPECT_GT(idle_fetch_bound, idle_compute_bound);
+}
+
+TEST(Activeness, Eq1HandComputed)
+{
+    ActivenessModel am;
+    am.componentUnusedFrac = 0.1;
+    // FP16 -> otherModeFrac = 0.15; PreBufInput temporal inactivity
+    // = 1 - fetch fraction = 1 - 0.25 = 0.75.
+    LayerTiming t = timing(250, 650, 100);
+    double want = 0.1 * 1.0 + 0.15 * 1.0 + (1.0 - 0.25) * 0.75;
+    EXPECT_NEAR(am.probInactive(FFCategory::PreBufInput,
+                                Precision::FP16, t),
+                want, 1e-12);
+}
+
+TEST(Activeness, IntegerModeIdlesMoreDatapath)
+{
+    ActivenessModel am;
+    LayerTiming t = timing(100, 800, 100);
+    double fp = am.probInactive(FFCategory::OperandWeight,
+                                Precision::FP16, t);
+    double i8 = am.probInactive(FFCategory::OperandWeight,
+                                Precision::INT8, t);
+    EXPECT_GT(i8, fp);
+}
+
+TEST(Activeness, ProbabilityIsClamped)
+{
+    ActivenessModel am;
+    am.componentUnusedFrac = 0.9;
+    LayerTiming t = timing(1000, 0, 0);
+    for (FFCategory cat : allFFCategories()) {
+        double p = am.probInactive(cat, Precision::INT8, t);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Fit, RawTotalMatchesHandComputation)
+{
+    FitParams p;
+    p.rawFitPerMb = 600.0;
+    p.nff = 8.0 * 1024.0 * 1024.0; // exactly 1 MB of FFs
+    EXPECT_NEAR(p.rawFitTotal(), 600.0, 1e-9);
+}
+
+TEST(Fit, Eq2HandComputedSingleLayer)
+{
+    FitParams p;
+    p.rawFitPerMb = 600.0;
+    p.nff = 8.0 * 1024.0 * 1024.0; // raw total = 600
+
+    LayerFitInput l;
+    l.execTime = 100.0;
+    // Make everything masked except global control.
+    for (std::size_t c = 0; c < allFFCategories().size(); ++c) {
+        l.stats[c].probInactive = 0.0;
+        l.stats[c].probSwMask = 1.0;
+    }
+    auto gidx = static_cast<std::size_t>(FFCategory::GlobalControl);
+    l.stats[gidx].probSwMask = 0.0;
+
+    FitBreakdown fit = acceleratorFit(p, {l});
+    EXPECT_NEAR(fit.global, 600.0 * 0.113, 1e-9);
+    EXPECT_NEAR(fit.datapath, 0.0, 1e-12);
+    EXPECT_NEAR(fit.local, 0.0, 1e-12);
+}
+
+TEST(Fit, ExecTimeWeighting)
+{
+    FitParams p;
+    p.nff = 8.0 * 1024.0 * 1024.0;
+
+    LayerFitInput masked, unmasked;
+    masked.execTime = 900.0;
+    unmasked.execTime = 100.0;
+    for (std::size_t c = 0; c < allFFCategories().size(); ++c) {
+        masked.stats[c].probSwMask = 1.0;
+        unmasked.stats[c].probSwMask = 0.0;
+    }
+    auto gidx = static_cast<std::size_t>(FFCategory::GlobalControl);
+    masked.stats[gidx].probSwMask = 0.0;
+    // The masked layer dominates execution: its global contribution is
+    // weighted 0.9, the unmasked layer's full contribution 0.1.
+    FitBreakdown fit = acceleratorFit(p, {masked, unmasked});
+    EXPECT_NEAR(fit.global, 600.0 * 0.113, 1e-9);
+    EXPECT_NEAR(fit.total(),
+                600.0 * 0.113 * 0.9 + 600.0 * 0.1 + 600.0 * 0.113 * 0.1 -
+                    600.0 * 0.113 * 0.1,
+                1e-9);
+}
+
+TEST(Fit, InactivityReducesFit)
+{
+    FitParams p;
+    LayerFitInput l;
+    l.execTime = 1.0;
+    FitBreakdown base = acceleratorFit(p, {l});
+    for (auto &s : l.stats)
+        s.probInactive = 0.5;
+    FitBreakdown halved = acceleratorFit(p, {l});
+    EXPECT_NEAR(halved.total(), base.total() * 0.5, 1e-9);
+}
+
+TEST(Fit, MaskingReducesFit)
+{
+    FitParams p;
+    LayerFitInput l;
+    l.execTime = 1.0;
+    FitBreakdown base = acceleratorFit(p, {l});
+    for (auto &s : l.stats)
+        s.probSwMask = 0.9;
+    FitBreakdown masked = acceleratorFit(p, {l});
+    EXPECT_NEAR(masked.total(), base.total() * 0.1, 1e-9);
+}
+
+TEST(Fit, ProtectGlobalZeroesGlobalShare)
+{
+    FitParams p;
+    LayerFitInput l;
+    l.execTime = 1.0;
+    FitBreakdown base = acceleratorFit(p, {l});
+    FitParams prot = p;
+    prot.protectGlobal = true;
+    FitBreakdown protected_fit = acceleratorFit(prot, {l});
+    EXPECT_DOUBLE_EQ(protected_fit.global, 0.0);
+    EXPECT_NEAR(protected_fit.datapath, base.datapath, 1e-12);
+    EXPECT_NEAR(protected_fit.local, base.local, 1e-12);
+}
+
+TEST(Fit, BreakdownSumsToTotal)
+{
+    FitParams p;
+    LayerFitInput l;
+    l.execTime = 2.0;
+    for (std::size_t c = 0; c < allFFCategories().size(); ++c)
+        l.stats[c].probSwMask = 0.3 + 0.05 * c;
+    FitBreakdown fit = acceleratorFit(p, {l});
+    EXPECT_NEAR(fit.total(), fit.datapath + fit.local + fit.global,
+                1e-12);
+    EXPECT_GT(fit.datapath, 0.0);
+    EXPECT_GT(fit.local, 0.0);
+    EXPECT_GT(fit.global, 0.0);
+}
+
+TEST(FitDeath, RequiresLayers)
+{
+    FitParams p;
+    EXPECT_DEATH((void)acceleratorFit(p, {}), "at least one layer");
+}

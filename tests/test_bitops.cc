@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit and property tests for representation-level bit flips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "sim/rng.hh"
+#include "tensor/bitops.hh"
+#include "tensor/float16.hh"
+
+using namespace fidelity;
+
+TEST(Bitops, ReprWidths)
+{
+    EXPECT_EQ(reprBits(Repr::FP16), 16);
+    EXPECT_EQ(reprBits(Repr::FP32), 32);
+    EXPECT_EQ(reprBits(Repr::INT8), 8);
+    EXPECT_EQ(reprBits(Repr::INT16), 16);
+    EXPECT_EQ(reprBits(Repr::INT32), 32);
+}
+
+TEST(Bitops, ReprNames)
+{
+    EXPECT_STREQ(reprName(Repr::FP16), "FP16");
+    EXPECT_STREQ(reprName(Repr::INT8), "INT8");
+}
+
+TEST(Bitops, Fp16SignFlip)
+{
+    EXPECT_EQ(flipBit(1.0f, Repr::FP16, 15), -1.0f);
+    EXPECT_EQ(flipBit(-2.5f, Repr::FP16, 15), 2.5f);
+}
+
+TEST(Bitops, Fp16ExponentFlipDoubles)
+{
+    // Flipping exponent bit 10 of 1.0 (0x3c00 -> 0x3800) gives 0.5.
+    EXPECT_EQ(flipBit(1.0f, Repr::FP16, 10), 0.5f);
+    // Flipping bit 14 of 1.0 (0x3c00 -> 0x7c00) gives +inf.
+    EXPECT_TRUE(std::isinf(flipBit(1.0f, Repr::FP16, 14)));
+}
+
+TEST(Bitops, Fp32SignFlip)
+{
+    EXPECT_EQ(flipBit(3.25f, Repr::FP32, 31), -3.25f);
+}
+
+TEST(Bitops, Fp32MantissaLsb)
+{
+    float x = 1.0f;
+    float y = flipBit(x, Repr::FP32, 0);
+    EXPECT_NE(x, y);
+    EXPECT_NEAR(y, x, 0x1p-22f);
+}
+
+TEST(Bitops, IntFlipsMatchTwosComplement)
+{
+    EXPECT_EQ(flipBitInt(0, Repr::INT8, 0), 1);
+    EXPECT_EQ(flipBitInt(0, Repr::INT8, 7), -128);
+    EXPECT_EQ(flipBitInt(-1, Repr::INT8, 7), 127);
+    EXPECT_EQ(flipBitInt(5, Repr::INT16, 1), 7);
+    EXPECT_EQ(flipBitInt(0, Repr::INT16, 15), -32768);
+    EXPECT_EQ(flipBitInt(0, Repr::INT32, 31),
+              std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Bitops, FlipTwiceIsIdentityFp16)
+{
+    // Property: flipping the same bit twice restores the stored value.
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        float x = roundToHalf(static_cast<float>(rng.normal(0, 10)));
+        int bit = static_cast<int>(rng.below(16));
+        float once = flipBit(x, Repr::FP16, bit);
+        if (std::isnan(once))
+            continue; // NaN payloads canonicalise; involution not owed
+        float twice = flipBit(once, Repr::FP16, bit);
+        EXPECT_EQ(floatToHalfBits(twice), floatToHalfBits(x));
+    }
+}
+
+TEST(Bitops, FlipTwiceIsIdentityInt)
+{
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        auto q = static_cast<std::int32_t>(rng.range(-128, 127));
+        int bit = static_cast<int>(rng.below(8));
+        EXPECT_EQ(flipBitInt(flipBitInt(q, Repr::INT8, bit), Repr::INT8,
+                             bit),
+                  q);
+    }
+}
+
+TEST(Bitops, FlipChangesExactlyOneBit)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        float x = static_cast<float>(rng.normal(0, 5));
+        int bit = static_cast<int>(rng.below(32));
+        float y = flipBit(x, Repr::FP32, bit);
+        std::uint32_t xb, yb;
+        std::memcpy(&xb, &x, 4);
+        std::memcpy(&yb, &y, 4);
+        EXPECT_EQ(xb ^ yb, 1u << bit);
+    }
+}
+
+TEST(Bitops, RoundToHalfIdempotent)
+{
+    Rng rng(6);
+    for (int i = 0; i < 2000; ++i) {
+        float x = static_cast<float>(rng.normal(0, 100));
+        float r = roundToHalf(x);
+        EXPECT_EQ(roundToHalf(r), r);
+    }
+}
+
+TEST(BitopsDeath, BitOutOfRange)
+{
+    EXPECT_DEATH((void)flipBit(1.0f, Repr::FP16, 16), "out of range");
+    EXPECT_DEATH((void)flipBitInt(1, Repr::INT8, 8), "out of range");
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of the end-to-end campaign orchestration (FIdelity's flow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+CampaignConfig
+smallConfig()
+{
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = 12;
+    cfg.seed = 5;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Campaign, RunsOnResNet)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignResult res =
+        runCampaign(net, x, top1Metric(), smallConfig());
+
+    EXPECT_EQ(res.network, "resnet");
+    EXPECT_GT(res.totalInjections, 0u);
+    EXPECT_GT(res.fit.total(), 0.0);
+    EXPECT_EQ(res.layerInputs.size(), net.macNodes().size());
+    EXPECT_EQ(res.cells.size(),
+              net.macNodes().size() * allFFCategories().size());
+}
+
+TEST(Campaign, GlobalDominatesUnprotected)
+{
+    // Global-control FFs never mask, so with DNN-level masking being
+    // substantial everywhere else, the global share dominates.
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignResult res =
+        runCampaign(net, x, top1Metric(), smallConfig());
+    EXPECT_GT(res.fit.global, res.fit.local);
+}
+
+TEST(Campaign, ProtectedVariantDropsGlobal)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignResult res =
+        runCampaign(net, x, top1Metric(), smallConfig());
+    EXPECT_DOUBLE_EQ(res.fitGlobalProtected.global, 0.0);
+    EXPECT_NEAR(res.fitGlobalProtected.datapath, res.fit.datapath,
+                1e-12);
+    EXPECT_LT(res.fitGlobalProtected.total(), res.fit.total());
+}
+
+TEST(Campaign, GlobalMaskingProbabilityIsZero)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignResult res =
+        runCampaign(net, x, top1Metric(), smallConfig());
+    for (const LayerFitInput &l : res.layerInputs) {
+        auto gidx = static_cast<std::size_t>(FFCategory::GlobalControl);
+        EXPECT_DOUBLE_EQ(l.stats[gidx].probSwMask, 0.0);
+        EXPECT_DOUBLE_EQ(l.stats[gidx].probInactive, 0.0);
+    }
+}
+
+TEST(Campaign, DeterministicForSeed)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignResult a = runCampaign(net, x, top1Metric(), smallConfig());
+    CampaignResult b = runCampaign(net, x, top1Metric(), smallConfig());
+    EXPECT_DOUBLE_EQ(a.fit.total(), b.fit.total());
+    EXPECT_EQ(a.singleNeuronSamples.size(),
+              b.singleNeuronSamples.size());
+}
+
+TEST(Campaign, LooserMetricLowersFit)
+{
+    Network net = buildYolo(3);
+    Tensor x = defaultInputFor("yolo", 4);
+    CampaignConfig cfg = smallConfig();
+    cfg.samplesPerCategory = 40;
+    CampaignResult tight =
+        runCampaign(net, x, detectionMetric(0.10), cfg);
+    CampaignResult loose =
+        runCampaign(net, x, detectionMetric(0.20), cfg);
+    // The looser band masks at least as many faults.
+    EXPECT_LE(loose.fitGlobalProtected.total(),
+              tight.fitGlobalProtected.total() + 1e-9);
+}
+
+TEST(Campaign, CollectsSingleNeuronSamples)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = smallConfig();
+    cfg.samplesPerCategory = 30;
+    CampaignResult res = runCampaign(net, x, top1Metric(), cfg);
+    EXPECT_GT(res.singleNeuronSamples.size(), 0u);
+    for (const auto &[delta, failed] : res.singleNeuronSamples)
+        EXPECT_GE(delta, 0.0);
+}
+
+TEST(Campaign, TimingLayerHandlesDepthwise)
+{
+    Network net = buildMobileNet(3);
+    Tensor x = defaultInputFor("mobilenet", 4);
+    auto acts = net.forwardAll(x);
+    for (NodeId node : net.macNodes()) {
+        EngineLayer el = timingLayer(net, node, acts);
+        LayerTiming t = estimateTiming(NvdlaConfig{}, el);
+        EXPECT_GT(t.totalCycles, 0u);
+        EXPECT_GT(t.macCycles, 0u);
+    }
+}
+
+TEST(Campaign, TransformerWithBleuMetric)
+{
+    Network net = buildTransformer(3);
+    Tensor x = defaultInputFor("transformer", 4);
+    CampaignConfig cfg = smallConfig();
+    cfg.samplesPerCategory = 8;
+    CampaignResult res = runCampaign(net, x, bleuMetric(0.10), cfg);
+    EXPECT_GT(res.fit.total(), 0.0);
+}

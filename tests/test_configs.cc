@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Cross-configuration generality tests: FIdelity claims broad
+ * applicability across accelerator designs, so the engine's golden
+ * equivalence and the software fault models' exactness must hold for
+ * other MAC-array geometries (k, t), not just the paper's k = 4,
+ * t = 16 case study.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/validation.hh"
+#include "nn/init.hh"
+#include "workloads/data.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+struct ConfigCase
+{
+    int k;
+    int t;
+};
+
+class PerConfig : public ::testing::TestWithParam<ConfigCase>
+{
+  protected:
+    NvdlaConfig
+    config() const
+    {
+        NvdlaConfig cfg;
+        cfg.k = GetParam().k;
+        cfg.t = GetParam().t;
+        return cfg;
+    }
+};
+
+bool
+bitEqual(float a, float b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return a == b;
+}
+
+std::unique_ptr<Conv2D>
+makeConv(Precision p, Tensor &x)
+{
+    Rng rng(77);
+    ConvSpec spec;
+    spec.inC = 8;
+    spec.outC = 24; // deliberately not a multiple of most k^2 values
+    spec.kh = 3;
+    spec.kw = 3;
+    spec.pad = 1;
+    auto conv = std::make_unique<Conv2D>(
+        "c", spec, heWeights(rng, 9u * 8 * 24, 72),
+        smallBiases(rng, 24));
+    x = makeImageInput(5, 1, 7, 7, 8); // 49 positions: partial blocks
+    conv->setPrecision(p);
+    return conv;
+}
+
+} // namespace
+
+TEST_P(PerConfig, GoldenOutputIndependentOfGeometry)
+{
+    // The array geometry changes the schedule, not the arithmetic: the
+    // engine must still match the nn layer bit for bit.
+    Tensor x(1, 1, 1, 1);
+    auto conv = makeConv(Precision::FP16, x);
+    std::vector<const Tensor *> ins{&x};
+    Tensor want = conv->forward(ins);
+
+    NvdlaFi fi(config(), engineLayerFromConv(*conv, x), x);
+    const Tensor &got = fi.golden().output;
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_TRUE(bitEqual(got[i], want[i])) << i;
+}
+
+TEST_P(PerConfig, ValidationStaysExact)
+{
+    Tensor x(1, 1, 1, 1);
+    auto conv = makeConv(Precision::FP16, x);
+    std::vector<const Tensor *> ins{&x};
+
+    Validator val(config(), *conv, ins);
+    Rng rng(31);
+    int disagreements = 0, mismatches = 0, both = 0;
+    for (int i = 0; i < 250; ++i) {
+        CaseResult cr = val.runOne(rng);
+        if (cr.category == FFCategory::GlobalControl)
+            continue;
+        disagreements += cr.rtlMasked != cr.predMasked;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            both += 1;
+            if (cr.site.ff.cls != FFClass::LocalValid)
+                mismatches += !(cr.setMatch && cr.valueMatch);
+            else
+                mismatches += !cr.setMatch;
+        }
+    }
+    EXPECT_EQ(disagreements, 0) << "k=" << GetParam().k;
+    EXPECT_EQ(mismatches, 0) << "k=" << GetParam().k;
+    EXPECT_GT(both, 20);
+}
+
+TEST_P(PerConfig, OperandFaultWidthTracksGeometry)
+{
+    // The RF-16 patterns are really RF-k^2 and RF-t patterns.
+    Tensor x(1, 1, 1, 1);
+    auto conv = makeConv(Precision::FP16, x);
+    std::vector<const Tensor *> ins{&x};
+    NvdlaConfig cfg = config();
+    NvdlaFi fi(cfg, engineLayerFromConv(*conv, x), x);
+
+    Rng rng(3);
+    std::size_t max_input = 0, max_weight = 0;
+    for (int i = 0; i < 200; ++i) {
+        FaultSite si = fi.sampleSiteDirected(FFClass::OperandInput, rng);
+        RtlOutcome oi = fi.inject(si);
+        if (!oi.timeout && !oi.anomaly)
+            max_input = std::max(max_input, oi.faulty.size());
+        FaultSite sw = fi.sampleSiteDirected(FFClass::WeightHold, rng);
+        RtlOutcome ow = fi.inject(sw);
+        if (!ow.timeout && !ow.anomaly)
+            max_weight = std::max(max_weight, ow.faulty.size());
+    }
+    EXPECT_LE(max_input, static_cast<std::size_t>(cfg.macs()));
+    EXPECT_LE(max_weight, static_cast<std::size_t>(cfg.t));
+    // The geometry bound is approached (capped by the 24 output
+    // channels when k^2 exceeds them).
+    std::size_t reach = std::min<std::size_t>(cfg.macs(), 24);
+    EXPECT_GT(max_input, reach / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PerConfig,
+                         ::testing::Values(ConfigCase{2, 4},
+                                           ConfigCase{4, 16},
+                                           ConfigCase{8, 8},
+                                           ConfigCase{3, 5}));
+
+TEST(Configs, Int16ValidationExact)
+{
+    Tensor x(1, 1, 1, 1);
+    auto conv = makeConv(Precision::INT16, x);
+    std::vector<const Tensor *> ins{&x};
+    // Calibrate quant ranges from an FP32 pass.
+    conv->setPrecision(Precision::FP32);
+    Tensor g = conv->forward(ins);
+    conv->calibrate(ins, g);
+    conv->setPrecision(Precision::INT16);
+
+    NvdlaConfig cfg;
+    Validator val(cfg, *conv, ins);
+    Rng rng(13);
+    int disagreements = 0, mismatches = 0, both = 0;
+    for (int i = 0; i < 250; ++i) {
+        CaseResult cr = val.runOne(rng);
+        if (cr.category == FFCategory::GlobalControl)
+            continue;
+        disagreements += cr.rtlMasked != cr.predMasked;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            both += 1;
+            if (cr.site.ff.cls != FFClass::LocalValid)
+                mismatches += !(cr.setMatch && cr.valueMatch);
+        }
+    }
+    EXPECT_EQ(disagreements, 0);
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_GT(both, 10);
+}

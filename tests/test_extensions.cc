@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Edge-case tests for the extension features: memory-fault timing
+ * corners, directed output-path validation, and the value-bounding
+ * co-design knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/memory_faults.hh"
+#include "core/validation.hh"
+#include "nn/activation.hh"
+#include "nn/fc.hh"
+#include "nn/init.hh"
+#include "nn/network.hh"
+#include "nn/softmax.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+struct ConvFixture
+{
+    ConvSpec spec;
+    std::unique_ptr<Conv2D> conv;
+    Tensor x;
+    std::vector<const Tensor *> ins;
+
+    ConvFixture()
+        : x(1, 6, 6, 8)
+    {
+        Rng rng(29);
+        spec.inC = 8;
+        spec.outC = 16;
+        spec.kh = 3;
+        spec.kw = 3;
+        spec.pad = 1;
+        conv = std::make_unique<Conv2D>(
+            "c", spec, heWeights(rng, 9u * 8 * 16, 72),
+            smallBiases(rng, 16));
+        conv->setPrecision(Precision::FP16);
+        for (auto &v : x.data())
+            v = static_cast<float>(rng.normal(0, 1));
+        ins = {&x};
+    }
+};
+
+} // namespace
+
+TEST(Extensions, MemFaultBeforeLoadIsOverwritten)
+{
+    // A CBUF word corrupted before the fetch writes it is overwritten
+    // by the load: architecturally masked.
+    ConvFixture f;
+    NvdlaConfig cfg;
+    NvdlaFi fi(cfg, engineLayerFromConv(*f.conv, f.x), f.x);
+
+    MemFault mf;
+    mf.weightRegion = true;
+    mf.addr = 0;    // weight word 0 is written at fetch cycle 2
+    mf.mask = 0x8000;
+    mf.cycle = 1;   // corrupt before the write lands
+    RtlOutcome out = fi.injectMem({mf});
+    EXPECT_TRUE(out.masked());
+}
+
+TEST(Extensions, MemFaultAfterLastUseIsMasked)
+{
+    // Corrupting an input word after the compute finished reading it
+    // changes nothing.
+    ConvFixture f;
+    NvdlaConfig cfg;
+    NvdlaFi fi(cfg, engineLayerFromConv(*f.conv, f.x), f.x);
+
+    MemFault mf;
+    mf.weightRegion = false;
+    mf.addr = 0;
+    mf.mask = 0x8000;
+    mf.cycle = fi.goldenCycles(); // the final cycle
+    RtlOutcome out = fi.injectMem({mf});
+    EXPECT_TRUE(out.masked());
+}
+
+TEST(Extensions, DirectedOutputRegCasesMatch)
+{
+    ConvFixture f;
+    NvdlaConfig cfg;
+    Validator val(cfg, *f.conv, f.ins);
+    Rng rng(3);
+    int non_masked = 0, mismatches = 0;
+    for (int i = 0; i < 120; ++i) {
+        CaseResult cr = val.runOneDirected(FFClass::OutputReg, rng);
+        if (cr.rtlMasked != cr.predMasked)
+            mismatches += 1;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            non_masked += 1;
+            EXPECT_EQ(cr.rtlCount, 1);
+            mismatches += !(cr.setMatch && cr.valueMatch);
+        }
+    }
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_GT(non_masked, 40);
+}
+
+TEST(Extensions, DirectedBiasRegCasesMatch)
+{
+    ConvFixture f;
+    NvdlaConfig cfg;
+    Validator val(cfg, *f.conv, f.ins);
+    Rng rng(5);
+    int non_masked = 0, mismatches = 0;
+    for (int i = 0; i < 120; ++i) {
+        CaseResult cr = val.runOneDirected(FFClass::BiasReg, rng);
+        if (cr.rtlMasked != cr.predMasked)
+            mismatches += 1;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            non_masked += 1;
+            mismatches += !(cr.setMatch && cr.valueMatch);
+        }
+    }
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_GT(non_masked, 10);
+}
+
+TEST(Extensions, DirectedSamplingLandsInLivePhases)
+{
+    ConvFixture f;
+    NvdlaConfig cfg;
+    NvdlaFi fi(cfg, engineLayerFromConv(*f.conv, f.x), f.x);
+    Rng rng(7);
+    for (int i = 0; i < 60; ++i) {
+        FaultSite s = fi.sampleSiteDirected(FFClass::OperandInput, rng);
+        EXPECT_EQ(fi.context(s).phase, EnginePhase::Mac);
+        FaultSite w = fi.sampleSiteDirected(FFClass::FetchWeight, rng);
+        EXPECT_EQ(fi.context(w).phase, EnginePhase::FetchW);
+        FaultSite d = fi.sampleSiteDirected(FFClass::LocalMuxSel, rng);
+        EXPECT_EQ(fi.context(d).phase, EnginePhase::Drain);
+    }
+}
+
+TEST(Extensions, GlobalSiteActivenessRules)
+{
+    ConvFixture f;
+    NvdlaConfig cfg;
+    Validator val(cfg, *f.conv, f.ins);
+
+    // Config registers are always live.
+    FaultSite cfg_site;
+    cfg_site.ff = {FFClass::GlobalConfig,
+                   static_cast<int>(ConfigReg::OutC), 0, 0};
+    cfg_site.cycle = 5;
+    EXPECT_TRUE(val.globalSiteActive(cfg_site));
+
+    // The fetch counter is live during fetch, dead during drain.
+    const auto &trace = val.fi().golden().trace;
+    std::uint64_t fetch_cycle = 0, drain_cycle = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].phase == EnginePhase::FetchW && !fetch_cycle)
+            fetch_cycle = i + 1;
+        if (trace[i].phase == EnginePhase::Drain && !drain_cycle)
+            drain_cycle = i + 1;
+    }
+    FaultSite cnt_site;
+    cnt_site.ff = {FFClass::GlobalCounter,
+                   static_cast<int>(CounterReg::Fetch), 0, 0};
+    cnt_site.cycle = fetch_cycle;
+    EXPECT_TRUE(val.globalSiteActive(cnt_site));
+    cnt_site.cycle = drain_cycle;
+    EXPECT_FALSE(val.globalSiteActive(cnt_site));
+}
+
+namespace
+{
+
+Network
+makeClassifier(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("cls");
+    NodeId fc1 = net.add(std::make_unique<FC>("fc1", 8, 16,
+                                              heWeights(rng, 128, 8),
+                                              smallBiases(rng, 16)),
+                         0);
+    NodeId act = net.add(std::make_unique<Activation>(
+                             "relu", Activation::Func::ReLU),
+                         fc1);
+    NodeId fc2 = net.add(std::make_unique<FC>("fc2", 16, 5,
+                                              heWeights(rng, 80, 16),
+                                              smallBiases(rng, 5)),
+                         act);
+    net.add(std::make_unique<Softmax>("sm"), fc2);
+    net.setPrecision(Precision::FP16);
+    return net;
+}
+
+} // namespace
+
+TEST(Extensions, TighterBoundFailsLessOften)
+{
+    // Bounding is not pointwise monotone against the unbounded run
+    // (the range checker substitutes the bound for NaN, which a
+    // downstream ReLU would otherwise have zeroed), but within the
+    // mechanism a tighter bound injects a smaller perturbation, so
+    // its failure rate cannot statistically exceed a looser bound's.
+    Network net = makeClassifier(1);
+    Rng drng(2);
+    Tensor x(1, 1, 1, 8);
+    for (auto &v : x.data())
+        v = static_cast<float>(drng.normal(0, 1));
+    Injector inj(net, x, NvdlaConfig{});
+    auto macs = net.macNodes();
+
+    int failures_tight = 0, failures_loose = 0;
+    Rng a(9), b(9);
+    for (int i = 0; i < 1500; ++i) {
+        InjectionRecord rt = inj.inject(macs[0], FFCategory::OutputPsum,
+                                        top1Metric(), a, 10.0);
+        InjectionRecord rl = inj.inject(macs[0], FFCategory::OutputPsum,
+                                        top1Metric(), b, 2000.0);
+        failures_tight += !rt.masked;
+        failures_loose += !rl.masked;
+    }
+    EXPECT_LE(failures_tight,
+              failures_loose + failures_loose / 5 + 3);
+    EXPECT_GT(failures_loose, 0);
+}
+
+TEST(Extensions, ValueBoundingFlushesNonFinite)
+{
+    // A NaN-producing local-control fault must not reach the output
+    // when bounding is on.
+    Network net = makeClassifier(3);
+    Rng drng(4);
+    Tensor x(1, 1, 1, 8);
+    for (auto &v : x.data())
+        v = static_cast<float>(drng.normal(0, 1));
+    Injector inj(net, x, NvdlaConfig{});
+    auto macs = net.macNodes();
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        InjectionRecord rec = inj.inject(
+            macs[1], FFCategory::LocalControl,
+            [](const Tensor &, const Tensor &faulty) {
+                return !hasInvalidValues(faulty);
+            },
+            rng, 100.0);
+        // With bounding, no experiment may leak NaN/Inf to the output.
+        EXPECT_TRUE(rec.masked);
+    }
+}
+
+TEST(Extensions, MultiBitOperandFlipsCompose)
+{
+    // A two-bit mask flip equals the XOR of the pattern, not two
+    // sequential value-level flips.
+    QuantParams qp = calibrateAbsMax(2.0, 8);
+    float x = 1.25f;
+    float both = FaultModels::flipStoredOperandMask(
+        x, Precision::INT8, qp, 0b101);
+    std::int32_t q = quantize(x, qp);
+    EXPECT_EQ(both,
+              dequantize(static_cast<std::int8_t>(
+                             static_cast<std::uint8_t>(q) ^ 0b101),
+                         qp));
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit and property tests for the software binary16 implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "sim/rng.hh"
+#include "tensor/float16.hh"
+
+using namespace fidelity;
+
+TEST(Float16, KnownEncodings)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3c00);
+    EXPECT_EQ(floatToHalfBits(-1.0f), 0xbc00);
+    EXPECT_EQ(floatToHalfBits(2.0f), 0x4000);
+    EXPECT_EQ(floatToHalfBits(0.5f), 0x3800);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7bff);
+    EXPECT_EQ(floatToHalfBits(1.5f), 0x3e00);
+}
+
+TEST(Float16, KnownDecodings)
+{
+    EXPECT_EQ(halfBitsToFloat(0x3c00), 1.0f);
+    EXPECT_EQ(halfBitsToFloat(0xc000), -2.0f);
+    EXPECT_EQ(halfBitsToFloat(0x7bff), 65504.0f);
+    EXPECT_EQ(halfBitsToFloat(0x0001), 0x1p-24f); // smallest subnormal
+    EXPECT_EQ(halfBitsToFloat(0x0400), 0x1p-14f); // smallest normal
+}
+
+TEST(Float16, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalfBits(65536.0f), 0x7c00);
+    EXPECT_EQ(floatToHalfBits(-1e10f), 0xfc00);
+    EXPECT_TRUE(std::isinf(halfBitsToFloat(0x7c00)));
+}
+
+TEST(Float16, InfAndNanPropagate)
+{
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(floatToHalfBits(inf), 0x7c00);
+    EXPECT_EQ(floatToHalfBits(-inf), 0xfc00);
+    std::uint16_t nan_bits =
+        floatToHalfBits(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(Half::fromBits(nan_bits).isNan());
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(0x7e00)));
+}
+
+TEST(Float16, UnderflowToZero)
+{
+    EXPECT_EQ(floatToHalfBits(1e-10f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-1e-10f), 0x8000);
+}
+
+TEST(Float16, SubnormalRoundTrip)
+{
+    // Every subnormal pattern must survive a half->float->half trip.
+    for (std::uint16_t bits = 1; bits < 0x0400; ++bits) {
+        float f = halfBitsToFloat(bits);
+        EXPECT_EQ(floatToHalfBits(f), bits) << "bits=" << bits;
+    }
+}
+
+TEST(Float16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+    // (1 + 2^-10); RNE picks the even mantissa (1.0).
+    EXPECT_EQ(floatToHalfBits(1.0f + 0x1p-11f), 0x3c00);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE picks the
+    // even mantissa 1+2^-9 (0x3c02).
+    EXPECT_EQ(floatToHalfBits(1.0f + 3 * 0x1p-11f), 0x3c02);
+    // Slightly above the halfway point rounds up.
+    EXPECT_EQ(floatToHalfBits(1.0f + 0x1p-11f + 0x1p-20f), 0x3c01);
+}
+
+TEST(Float16, MantissaRoundingCanCarryIntoExponent)
+{
+    // The largest value below 2.0 that rounds up crosses a binade.
+    float almost_two = 2.0f - 0x1p-11f;
+    EXPECT_EQ(floatToHalfBits(almost_two), 0x4000);
+}
+
+TEST(Float16, AllFinitePatternsRoundTrip)
+{
+    // Property: conversion to float and back is the identity for every
+    // one of the 63488 finite half patterns.
+    for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+        auto b = static_cast<std::uint16_t>(bits);
+        Half h = Half::fromBits(b);
+        if (h.isNan())
+            continue; // NaN payloads may canonicalise
+        float f = halfBitsToFloat(b);
+        EXPECT_EQ(floatToHalfBits(f), b) << "bits=" << bits;
+    }
+}
+
+TEST(Float16, RoundingIsMonotonic)
+{
+    // Property: x <= y implies half(x) <= half(y) on random pairs.
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        float x = static_cast<float>(rng.normal(0.0, 100.0));
+        float y = static_cast<float>(rng.normal(0.0, 100.0));
+        if (x > y)
+            std::swap(x, y);
+        EXPECT_LE(halfBitsToFloat(floatToHalfBits(x)),
+                  halfBitsToFloat(floatToHalfBits(y)));
+    }
+}
+
+TEST(Float16, RoundingErrorBounded)
+{
+    // Property: relative rounding error <= 2^-11 for normal values.
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        float x = static_cast<float>(
+            rng.uniform(0x1p-14, 60000.0) *
+            (rng.chance(0.5) ? 1.0 : -1.0));
+        float r = halfBitsToFloat(floatToHalfBits(x));
+        EXPECT_LE(std::fabs(r - x), std::fabs(x) * 0x1p-10f)
+            << "x=" << x;
+    }
+}
+
+TEST(Half, Predicates)
+{
+    EXPECT_TRUE(Half(0.0f).isZero());
+    EXPECT_TRUE(Half(-0.0f).isZero());
+    EXPECT_FALSE(Half(1.0f).isZero());
+    EXPECT_TRUE(Half::fromBits(0x7c00).isInf());
+    EXPECT_FALSE(Half::fromBits(0x7c00).isNan());
+    EXPECT_TRUE(Half::fromBits(0x7c01).isNan());
+    EXPECT_EQ(Half(1.0f), Half::fromBits(0x3c00));
+    EXPECT_NE(Half(1.0f), Half(-1.0f));
+}
+
+TEST(Half, MaxValue)
+{
+    EXPECT_EQ(halfMax(), 65504.0f);
+    EXPECT_EQ(Half(halfMax()).bits(), 0x7bff);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests of the selective-protection planner and multi-bit fault
+ * support (paper extensions: Architectural Insights, and the
+ * multiple-bit-flips-in-one-register abstraction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/protection.hh"
+#include "core/validation.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+/** One layer with uniform masking except always-failing global. */
+std::vector<LayerFitInput>
+syntheticLayers(double mask)
+{
+    LayerFitInput l;
+    l.execTime = 1.0;
+    for (auto &s : l.stats)
+        s.probSwMask = mask;
+    l.stats[static_cast<int>(FFCategory::GlobalControl)].probSwMask =
+        0.0;
+    return {l};
+}
+
+} // namespace
+
+TEST(Protection, NoProtectionNeededWhenUnderTarget)
+{
+    auto layers = syntheticLayers(0.99999);
+    FitParams p;
+    ProtectionPlan plan = planSelectiveProtection(p, layers, 100.0);
+    EXPECT_TRUE(plan.meetsTarget);
+    EXPECT_DOUBLE_EQ(plan.ffShare, 0.0);
+    for (bool b : plan.protect)
+        EXPECT_FALSE(b);
+}
+
+TEST(Protection, GlobalIsProtectedFirst)
+{
+    // Global control dominates an unprotected design, so the greedy
+    // plan must pick it first.
+    auto layers = syntheticLayers(0.99);
+    FitParams p;
+    FitBreakdown base = acceleratorFit(p, layers);
+    ProtectionPlan plan =
+        planSelectiveProtection(p, layers, base.total() * 0.5);
+    EXPECT_TRUE(
+        plan.protect[static_cast<int>(FFCategory::GlobalControl)]);
+}
+
+TEST(Protection, PlanMeetsReachableTarget)
+{
+    auto layers = syntheticLayers(0.9);
+    FitParams p;
+    ProtectionPlan plan = planSelectiveProtection(p, layers, 0.5);
+    EXPECT_TRUE(plan.meetsTarget);
+    EXPECT_LE(plan.fit.total(), 0.5);
+    EXPECT_GT(plan.ffShare, 0.0);
+    EXPECT_LE(plan.ffShare, 1.0);
+}
+
+TEST(Protection, FullProtectionReachesZero)
+{
+    auto layers = syntheticLayers(0.0);
+    FitParams p;
+    ProtectionPlan plan = planSelectiveProtection(p, layers, 1e-9);
+    // Everything with a contribution gets protected.
+    EXPECT_TRUE(plan.meetsTarget);
+    EXPECT_NEAR(plan.fit.total(), 0.0, 1e-12);
+    EXPECT_NEAR(plan.ffShare, 1.0, 1e-12);
+}
+
+TEST(Protection, MaskedFitMatchesManualAdjustment)
+{
+    auto layers = syntheticLayers(0.5);
+    FitParams p;
+    std::array<bool, numFFCategories> protect{};
+    protect[static_cast<int>(FFCategory::OutputPsum)] = true;
+    FitBreakdown with = acceleratorFitWithProtection(p, layers, protect);
+    FitBreakdown base = acceleratorFit(p, layers);
+    double psum_contrib = p.rawFitTotal() *
+                          ffCategoryShare(FFCategory::OutputPsum) * 0.5;
+    EXPECT_NEAR(base.total() - with.total(), psum_contrib, 1e-9);
+}
+
+TEST(Protection, ContributionsSumToTotal)
+{
+    auto layers = syntheticLayers(0.7);
+    FitParams p;
+    auto contribs = categoryFitContributions(p, layers);
+    double sum = 0.0;
+    for (double c : contribs)
+        sum += c;
+    EXPECT_NEAR(sum, acceleratorFit(p, layers).total(), 1e-9);
+}
+
+TEST(ProtectionDeath, RejectsBadTarget)
+{
+    auto layers = syntheticLayers(0.5);
+    FitParams p;
+    EXPECT_DEATH((void)planSelectiveProtection(p, layers, 0.0),
+                 "positive");
+}
+
+TEST(MultiBit, FFRefMaskCombinesBits)
+{
+    FFRef ff;
+    ff.bit = 3;
+    ff.extraMask = 0x11;
+    EXPECT_EQ(ff.mask(), 0x19u);
+    ff.extraMask = 0;
+    EXPECT_EQ(ff.mask(), 0x8u);
+}
+
+TEST(MultiBit, ValidationMatchesEngineWithTwoBitFlips)
+{
+    // The paper's abstraction covers multiple bit-flips in a single
+    // register; the software models must stay exact.
+    auto workloads = buildValidationWorkloads(41);
+    NvdlaConfig cfg;
+    Validator val(cfg, *workloads[1].layer, workloads[1].ins());
+    Rng rng(3);
+
+    int checked = 0, mismatches = 0, disagreements = 0;
+    while (checked < 150) {
+        FaultSite site = val.fi().sampleSite(rng);
+        // Add a second random bit to the flip mask.
+        int bits = val.fi().engine().ffBits(site.ff.cls);
+        if (bits < 2)
+            continue;
+        int extra = static_cast<int>(rng.below(bits));
+        if (extra == site.ff.bit)
+            continue;
+        site.ff.extraMask = 1u << extra;
+        if (site.ff.cls == FFClass::LocalValid ||
+            site.ff.cls == FFClass::LocalMuxSel ||
+            site.ff.cls == FFClass::GlobalConfig ||
+            site.ff.cls == FFClass::GlobalCounter)
+            continue; // single-bit state / statistical classes
+        checked += 1;
+
+        RtlOutcome rtl =
+            const_cast<NvdlaFi &>(val.fi()).inject(site);
+        Prediction pred = val.predict(site);
+        bool pred_masked = pred.kind == Prediction::Kind::Masked;
+        if (rtl.masked() != pred_masked) {
+            disagreements += 1;
+            continue;
+        }
+        if (rtl.masked())
+            continue;
+        // Compare sets and values.
+        std::vector<std::size_t> rtl_flats;
+        for (const FaultyNeuron &f : rtl.faulty)
+            rtl_flats.push_back(f.flat);
+        std::vector<std::size_t> pf = pred.flats;
+        std::sort(pf.begin(), pf.end());
+        if (pf != rtl_flats) {
+            mismatches += 1;
+            continue;
+        }
+        for (std::size_t i = 0; i < pred.flats.size(); ++i) {
+            auto it = std::lower_bound(rtl_flats.begin(),
+                                       rtl_flats.end(), pred.flats[i]);
+            const FaultyNeuron &f = rtl.faulty[static_cast<std::size_t>(
+                it - rtl_flats.begin())];
+            bool same = f.faulty == pred.values[i] ||
+                        (std::isnan(f.faulty) &&
+                         std::isnan(pred.values[i]));
+            if (!same)
+                mismatches += 1;
+        }
+    }
+    EXPECT_EQ(disagreements, 0);
+    EXPECT_EQ(mismatches, 0);
+}

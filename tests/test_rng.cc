@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the PCG32-based Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+using namespace fidelity;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next32() == b.next32())
+            same += 1;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint32_t bound : {1u, 2u, 3u, 16u, 1000u, 0x80000000u}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(3);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo = hit_lo || v == -3;
+        hit_hi = hit_hi || v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-2.5, 4.0);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 4.0);
+    }
+}
+
+TEST(Rng, NormalMomentsAreSane)
+{
+    Rng rng(19);
+    const int n = 40000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams)
+{
+    Rng rng(23);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            hits += 1;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(31);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.weighted(w)] += 1;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(55);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next32() == b.next32())
+            same += 1;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, PickIndexInRange)
+{
+    Rng rng(61);
+    std::vector<int> v(13);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(rng.pick(v), v.size());
+}

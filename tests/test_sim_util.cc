@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of the reporting utilities (Table rendering) and the
+ * performance-model properties used by the activeness analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "accel/perf_model.hh"
+#include "sim/table.hh"
+
+using namespace fidelity;
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Both rows rendered on their own lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(Table::pct(0.1234), "12.3%");
+    EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"x"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableDeath, RowArityMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(Table, HeadingUnderlinesTitle)
+{
+    std::ostringstream os;
+    printHeading(os, "Hello");
+    EXPECT_NE(os.str().find("Hello\n====="), std::string::npos);
+}
+
+namespace
+{
+
+EngineLayer
+convLayer(int in_c, int hw, int out_c)
+{
+    EngineLayer el;
+    el.kind = EngineLayer::Kind::Conv;
+    el.inC = in_c;
+    el.inH = hw;
+    el.inW = hw;
+    el.outC = out_c;
+    el.outH = hw;
+    el.outW = hw;
+    el.kh = 3;
+    el.kw = 3;
+    el.pad = 1;
+    el.weights.assign(static_cast<std::size_t>(9) * in_c * out_c, 0.0f);
+    return el;
+}
+
+} // namespace
+
+TEST(PerfModel, FractionsSumToOne)
+{
+    NvdlaConfig cfg;
+    LayerTiming t = estimateTiming(cfg, convLayer(8, 8, 32));
+    EXPECT_NEAR(t.fetchActiveFrac() + t.macActiveFrac() +
+                    t.drainActiveFrac(),
+                1.0, 1e-12);
+    EXPECT_EQ(t.totalCycles,
+              t.fetchCycles + t.macCycles + t.drainCycles);
+}
+
+TEST(PerfModel, MoreChannelsMoreCycles)
+{
+    NvdlaConfig cfg;
+    LayerTiming small = estimateTiming(cfg, convLayer(8, 8, 16));
+    LayerTiming big = estimateTiming(cfg, convLayer(8, 8, 64));
+    EXPECT_GT(big.totalCycles, small.totalCycles);
+    EXPECT_GT(big.macCycles, small.macCycles);
+}
+
+TEST(PerfModel, FetchShareGrowsWithInputVolume)
+{
+    NvdlaConfig cfg;
+    // A 1x1-output layer is fetch-bound; a large layer is MAC-bound.
+    EngineLayer fetch_bound = convLayer(64, 4, 16);
+    EngineLayer mac_bound = convLayer(4, 16, 64);
+    EXPECT_GT(estimateTiming(cfg, fetch_bound).fetchActiveFrac(),
+              estimateTiming(cfg, mac_bound).fetchActiveFrac());
+}
+
+TEST(PerfModel, RedOverrideShrinksMacCycles)
+{
+    NvdlaConfig cfg;
+    EngineLayer full = convLayer(16, 8, 16);
+    EngineLayer depthwise = full;
+    depthwise.redOverride = 9; // per-group depth of a depthwise conv
+    EXPECT_LT(estimateTiming(cfg, depthwise).macCycles,
+              estimateTiming(cfg, full).macCycles);
+}
+
+TEST(PerfModel, MatMulTiming)
+{
+    NvdlaConfig cfg;
+    EngineLayer mm;
+    mm.kind = EngineLayer::Kind::MatMul;
+    mm.rows = 10;
+    mm.red = 12;
+    mm.cols = 20;
+    mm.weights.assign(12u * 20, 0.0f);
+    LayerTiming t = estimateTiming(cfg, mm);
+    EXPECT_GT(t.totalCycles, 0u);
+    // Fetch covers both operands: 240 weights + 120 inputs + 2.
+    EXPECT_EQ(t.fetchCycles, 240u + 1 + 120u + 1);
+}

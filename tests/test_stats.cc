@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for Proportion / RunningStat / sample sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+using namespace fidelity;
+
+TEST(Proportion, EmptyDefaults)
+{
+    Proportion p;
+    EXPECT_EQ(p.trials(), 0u);
+    EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(p.lower(), 0.0);
+    EXPECT_DOUBLE_EQ(p.upper(), 1.0);
+}
+
+TEST(Proportion, MeanTracksCounts)
+{
+    Proportion p;
+    for (int i = 0; i < 30; ++i)
+        p.add(i % 3 == 0);
+    EXPECT_EQ(p.trials(), 30u);
+    EXPECT_EQ(p.successes(), 10u);
+    EXPECT_NEAR(p.mean(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Proportion, BatchAdd)
+{
+    Proportion p;
+    p.add(40, 100);
+    EXPECT_DOUBLE_EQ(p.mean(), 0.4);
+}
+
+TEST(Proportion, IntervalContainsMean)
+{
+    Proportion p;
+    p.add(37, 120);
+    EXPECT_LT(p.lower(), p.mean());
+    EXPECT_GT(p.upper(), p.mean());
+    EXPECT_GE(p.lower(), 0.0);
+    EXPECT_LE(p.upper(), 1.0);
+}
+
+TEST(Proportion, IntervalShrinksWithSamples)
+{
+    Proportion small, big;
+    small.add(5, 10);
+    big.add(500, 1000);
+    EXPECT_GT(small.halfWidth(), big.halfWidth());
+}
+
+TEST(Proportion, WilsonMatchesKnownValue)
+{
+    // p = 0.5, n = 100, z = 1.96 -> interval about [0.404, 0.596].
+    Proportion p;
+    p.add(50, 100);
+    EXPECT_NEAR(p.lower(), 0.404, 0.005);
+    EXPECT_NEAR(p.upper(), 0.596, 0.005);
+}
+
+TEST(Proportion, ExtremesClamped)
+{
+    Proportion all;
+    all.add(10, 10);
+    EXPECT_LE(all.upper(), 1.0);
+    EXPECT_GT(all.lower(), 0.5);
+
+    Proportion none;
+    none.add(0, 10);
+    EXPECT_GE(none.lower(), 0.0);
+    EXPECT_LT(none.upper(), 0.5);
+}
+
+TEST(Proportion, StrMentionsCounts)
+{
+    Proportion p;
+    p.add(3, 7);
+    EXPECT_NE(p.str().find("n=7"), std::string::npos);
+}
+
+TEST(RunningStat, MomentsOfKnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSizing, MatchesClosedForm)
+{
+    // n = z^2 p (1-p) / e^2; p=0.5, e=0.05, z=1.96 -> 384.16 -> 385.
+    EXPECT_EQ(samplesForHalfWidth(0.5, 0.05), 385u);
+}
+
+TEST(SampleSizing, SmallerWidthNeedsMore)
+{
+    EXPECT_GT(samplesForHalfWidth(0.5, 0.01),
+              samplesForHalfWidth(0.5, 0.05));
+}

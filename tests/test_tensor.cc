@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the NHWC tensor and NeuronIndex.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+using namespace fidelity;
+
+TEST(NeuronIndex, OrderingIsLexicographic)
+{
+    NeuronIndex a{0, 1, 2, 3};
+    NeuronIndex b{0, 1, 2, 4};
+    NeuronIndex c{0, 1, 3, 0};
+    NeuronIndex d{1, 0, 0, 0};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(c, d);
+    EXPECT_FALSE(b < a);
+    EXPECT_EQ(a, (NeuronIndex{0, 1, 2, 3}));
+}
+
+TEST(NeuronIndex, Str)
+{
+    EXPECT_EQ((NeuronIndex{1, 2, 3, 4}).str(), "(1,2,3,4)");
+}
+
+TEST(Tensor, ShapeAndSize)
+{
+    Tensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.n(), 2);
+    EXPECT_EQ(t.h(), 3);
+    EXPECT_EQ(t.w(), 4);
+    EXPECT_EQ(t.c(), 5);
+    EXPECT_EQ(t.size(), 120u);
+    EXPECT_EQ(t.shapeStr(), "2x3x4x5");
+}
+
+TEST(Tensor, ZeroInitialised)
+{
+    Tensor t(1, 2, 2, 2);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, OffsetIsNHWC)
+{
+    Tensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.offset(0, 0, 0, 0), 0u);
+    EXPECT_EQ(t.offset(0, 0, 0, 1), 1u);
+    EXPECT_EQ(t.offset(0, 0, 1, 0), 5u);
+    EXPECT_EQ(t.offset(0, 1, 0, 0), 20u);
+    EXPECT_EQ(t.offset(1, 0, 0, 0), 60u);
+    EXPECT_EQ(t.offset(1, 2, 3, 4), 119u);
+}
+
+TEST(Tensor, IndexOfInvertsOffset)
+{
+    Tensor t(2, 3, 4, 5);
+    for (int n = 0; n < 2; ++n)
+        for (int h = 0; h < 3; ++h)
+            for (int w = 0; w < 4; ++w)
+                for (int c = 0; c < 5; ++c) {
+                    NeuronIndex i = t.indexOf(t.offset(n, h, w, c));
+                    EXPECT_EQ(i, (NeuronIndex{n, h, w, c}));
+                }
+}
+
+TEST(Tensor, AtReadsAndWrites)
+{
+    Tensor t(1, 2, 2, 3);
+    t.at(0, 1, 0, 2) = 7.5f;
+    EXPECT_EQ(t.at(0, 1, 0, 2), 7.5f);
+    EXPECT_EQ(t[t.offset(0, 1, 0, 2)], 7.5f);
+    NeuronIndex i{0, 1, 0, 2};
+    EXPECT_EQ(t.at(i), 7.5f);
+}
+
+TEST(Tensor, FillAndAbsMax)
+{
+    Tensor t(1, 2, 2, 1);
+    t.fill(-3.0f);
+    EXPECT_EQ(t.absMax(), 3.0f);
+    t.at(0, 0, 1, 0) = 4.5f;
+    EXPECT_EQ(t.absMax(), 4.5f);
+}
+
+TEST(Tensor, Argmax)
+{
+    Tensor t(1, 1, 1, 6);
+    t[2] = 1.0f;
+    t[4] = 2.0f;
+    EXPECT_EQ(t.argmax(), 4u);
+    t[0] = 2.0f; // ties break to the first element
+    EXPECT_EQ(t.argmax(), 0u);
+}
+
+TEST(Tensor, SameShape)
+{
+    Tensor a(1, 2, 3, 4), b(1, 2, 3, 4), c(1, 2, 3, 5);
+    EXPECT_TRUE(a.sameShape(b));
+    EXPECT_FALSE(a.sameShape(c));
+}
+
+TEST(TensorDeath, OutOfBoundsPanics)
+{
+    Tensor t(1, 2, 2, 2);
+    EXPECT_DEATH((void)t.offset(0, 2, 0, 0), "out of bounds");
+    EXPECT_DEATH((void)t.offset(0, 0, 0, -1), "out of bounds");
+}
+
+TEST(TensorDeath, BadShapePanics)
+{
+    EXPECT_DEATH(Tensor(0, 1, 1, 1), "positive");
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Framework validation tests (Sec. IV): the software fault models must
+ * agree with the cycle-level engine on masking, faulty-neuron sets,
+ * values, and generation order for every sampled fault site.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/validation.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+struct WorkloadCase
+{
+    int index;
+    const char *name;
+};
+
+class ValidatePerWorkload : public ::testing::TestWithParam<WorkloadCase>
+{
+};
+
+} // namespace
+
+TEST(Validation, CategoryMappingCoversEveryClass)
+{
+    EXPECT_EQ(categoryOfFFClass(FFClass::FetchInput),
+              FFCategory::PreBufInput);
+    EXPECT_EQ(categoryOfFFClass(FFClass::FetchWeight),
+              FFCategory::PreBufWeight);
+    EXPECT_EQ(categoryOfFFClass(FFClass::OperandInput),
+              FFCategory::OperandInput);
+    EXPECT_EQ(categoryOfFFClass(FFClass::WeightStage),
+              FFCategory::OperandWeight);
+    EXPECT_EQ(categoryOfFFClass(FFClass::WeightHold),
+              FFCategory::OperandWeight);
+    EXPECT_EQ(categoryOfFFClass(FFClass::Psum), FFCategory::OutputPsum);
+    EXPECT_EQ(categoryOfFFClass(FFClass::OutputReg),
+              FFCategory::OutputPsum);
+    EXPECT_EQ(categoryOfFFClass(FFClass::BiasReg),
+              FFCategory::OutputPsum);
+    EXPECT_EQ(categoryOfFFClass(FFClass::LocalValid),
+              FFCategory::LocalControl);
+    EXPECT_EQ(categoryOfFFClass(FFClass::LocalMuxSel),
+              FFCategory::LocalControl);
+    EXPECT_EQ(categoryOfFFClass(FFClass::GlobalConfig),
+              FFCategory::GlobalControl);
+    EXPECT_EQ(categoryOfFFClass(FFClass::GlobalCounter),
+              FFCategory::GlobalControl);
+}
+
+TEST_P(ValidatePerWorkload, ModelsMatchEngineExactly)
+{
+    auto workloads = buildValidationWorkloads(31);
+    auto &w = workloads[GetParam().index];
+    ASSERT_EQ(w.name, GetParam().name);
+
+    NvdlaConfig cfg;
+    Validator val(cfg, *w.layer, w.ins());
+    Rng rng(101 + GetParam().index);
+    const int samples = 400;
+
+    int disagreements = 0, set_mismatch = 0, value_mismatch = 0,
+        order_mismatch = 0, both = 0;
+    for (int i = 0; i < samples; ++i) {
+        CaseResult cr = val.runOne(rng);
+        if (cr.category == FFCategory::GlobalControl)
+            continue; // global is statistical, checked separately
+        if (cr.rtlMasked != cr.predMasked)
+            disagreements += 1;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            both += 1;
+            set_mismatch += !cr.setMatch;
+            if (cr.setMatch && cr.site.ff.cls != FFClass::LocalValid)
+                value_mismatch += !cr.valueMatch;
+            order_mismatch += cr.setMatch && !cr.orderMatch;
+        }
+    }
+    EXPECT_EQ(disagreements, 0);
+    EXPECT_EQ(set_mismatch, 0);
+    EXPECT_EQ(value_mismatch, 0);
+    EXPECT_EQ(order_mismatch, 0);
+    // The tiny single-row lstm-fc layer is fetch-dominated, so most
+    // sampled sites are inactive; still require a handful of live ones.
+    int min_cases = GetParam().index == 4 ? 3 : 20;
+    EXPECT_GT(both, min_cases)
+        << "sampling produced too few non-masked cases";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableThree, ValidatePerWorkload,
+    ::testing::Values(WorkloadCase{0, "inception-conv3x3"},
+                      WorkloadCase{1, "resnet-conv3x3"},
+                      WorkloadCase{2, "transformer-fc"},
+                      WorkloadCase{3, "attention-matmul"},
+                      WorkloadCase{4, "lstm-fc"},
+                      WorkloadCase{5, "yolo-conv3x3"}));
+
+TEST(Validation, GlobalControlMostlyFails)
+{
+    auto workloads = buildValidationWorkloads(33);
+    NvdlaConfig cfg;
+    Validator val(cfg, *workloads[0].layer, workloads[0].ins());
+    Rng rng(7);
+
+    int cases = 0, non_masked = 0;
+    while (cases < 120) {
+        CaseResult cr = val.runOne(rng);
+        if (cr.category != FFCategory::GlobalControl)
+            continue;
+        cases += 1;
+        non_masked += !cr.rtlMasked;
+    }
+    // The paper observes ~90% of active global-control faults fail;
+    // our engine should see a clear majority too.
+    EXPECT_GT(static_cast<double>(non_masked) / cases, 0.5);
+}
+
+TEST(Validation, ReportAggregatesConsistently)
+{
+    auto workloads = buildValidationWorkloads(35);
+    NvdlaConfig cfg;
+    Validator val(cfg, *workloads[1].layer, workloads[1].ins());
+    Rng rng(13);
+    ValidationReport rep = val.run(300, rng);
+    EXPECT_EQ(rep.totalCases, 300u);
+
+    std::uint64_t sum = 0, non_masked = 0;
+    for (FFCategory cat : allFFCategories()) {
+        const CategoryValidation &cv = rep.forCategory(cat);
+        sum += cv.cases;
+        non_masked += cv.rtlNonMasked;
+        EXPECT_LE(cv.setMatch, cv.bothNonMasked);
+        EXPECT_LE(cv.valueMatch, cv.setMatch);
+    }
+    EXPECT_EQ(sum, rep.totalCases);
+    EXPECT_EQ(non_masked, rep.totalNonMasked);
+}
+
+TEST(Validation, IntegerPrecisionAlsoValidates)
+{
+    // The bit-exact agreement must hold in INT8 mode as well.
+    auto workloads = buildValidationWorkloads(37, Precision::INT8);
+    NvdlaConfig cfg;
+    Validator val(cfg, *workloads[1].layer, workloads[1].ins());
+    Rng rng(17);
+    int disagreements = 0, mismatches = 0, both = 0;
+    for (int i = 0; i < 300; ++i) {
+        CaseResult cr = val.runOne(rng);
+        if (cr.category == FFCategory::GlobalControl)
+            continue;
+        disagreements += cr.rtlMasked != cr.predMasked;
+        if (!cr.rtlMasked && !cr.predMasked) {
+            both += 1;
+            if (cr.site.ff.cls != FFClass::LocalValid)
+                mismatches += !(cr.setMatch && cr.valueMatch);
+        }
+    }
+    EXPECT_EQ(disagreements, 0);
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_GT(both, 10);
+}
+
+TEST(Validation, PredictionIsDeterministic)
+{
+    auto workloads = buildValidationWorkloads(39);
+    NvdlaConfig cfg;
+    Validator val(cfg, *workloads[0].layer, workloads[0].ins());
+    Rng rng(19);
+    for (int i = 0; i < 20; ++i) {
+        FaultSite site = val.fi().sampleSite(rng);
+        Prediction a = val.predict(site);
+        Prediction b = val.predict(site);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.flats, b.flats);
+        EXPECT_EQ(a.values, b.values);
+    }
+}
