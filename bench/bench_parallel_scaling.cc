@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Campaign-throughput scaling of the parallel injection engine.
+ *
+ * Runs the same ResNet-style campaign at 1/2/4/8 worker threads and
+ * reports injections/sec, speedup over the single-thread run, and a
+ * result checksum demonstrating that the CampaignResult is identical
+ * for every thread count (the engine's determinism contract).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "sim/thread_pool.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+namespace
+{
+
+/** Order-sensitive digest of the campaign's numeric identity. */
+std::uint64_t
+resultChecksum(const CampaignResult &res)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(res.totalInjections);
+    for (const CellResult &cell : res.cells) {
+        mix(cell.masked.successes());
+        mix(cell.masked.trials());
+    }
+    for (const auto &[delta, failed] : res.singleNeuronSamples) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(delta));
+        std::memcpy(&bits, &delta, sizeof(bits));
+        mix(bits);
+        mix(failed ? 1 : 0);
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int samples = scaledSamples(120);
+    const std::string network = "resnet";
+
+    Network net = buildNetwork(network, 2020);
+    Tensor input = defaultInputFor(network, 2021);
+    net.setPrecision(Precision::FP16);
+
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = samples;
+    cfg.seed = 2027;
+
+    printHeading(std::cout, "Parallel campaign scaling (" + network +
+                                ", FP16, " + std::to_string(samples) +
+                                " samples per layer/category)");
+    std::cout << "hardware threads: " << ThreadPool::hardwareThreads()
+              << "\n\n";
+
+    Table t({"threads", "wall s", "inj/s", "speedup", "checksum"});
+    double base_time = 0.0;
+    std::uint64_t base_checksum = 0;
+    bool all_identical = true;
+    for (int threads : {1, 2, 4, 8}) {
+        cfg.numThreads = threads;
+        CampaignResult res;
+        double secs = timeSeconds([&] {
+            res = runCampaign(net, input, top1Metric(), cfg);
+        });
+        std::uint64_t checksum = resultChecksum(res);
+        if (threads == 1) {
+            base_time = secs;
+            base_checksum = checksum;
+        }
+        all_identical = all_identical && checksum == base_checksum;
+        double rate = static_cast<double>(res.totalInjections) / secs;
+        char digest[20];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      static_cast<unsigned long long>(checksum));
+        t.addRow({std::to_string(threads), Table::num(secs, 2),
+                  Table::num(rate, 0), Table::num(base_time / secs, 2),
+                  digest});
+    }
+    t.print(std::cout);
+    std::cout << (all_identical
+                      ? "\nresults bit-identical across thread counts\n"
+                      : "\nERROR: results differ across thread counts\n")
+              << std::flush;
+    return all_identical ? 0 : 1;
+}

@@ -7,12 +7,15 @@
  *
  * Usage:
  *   resilience_cli [network] [precision] [metric] [samples] [target]
+ *                  [threads]
  *
  *   network   inception | resnet | mobilenet | yolo | transformer | rnn
  *   precision fp16 | int16 | int8            (default fp16)
  *   metric    top1 | bleu10 | bleu20 | det10 | det20  (default top1)
  *   samples   per (layer, category)          (default 200)
  *   target    FIT budget for protection plan (default 0.2)
+ *   threads   injection worker threads; 0 = all hardware threads
+ *             (default 0; the result is identical for any value)
  */
 
 #include <cstdlib>
@@ -73,6 +76,7 @@ main(int argc, char **argv)
     CorrectnessFn metric = parseMetric(metric_name);
     int samples = argc > 4 ? std::atoi(argv[4]) : 200;
     double target = argc > 5 ? std::atof(argv[5]) : 0.2;
+    int threads = argc > 6 ? std::atoi(argv[6]) : 0;
 
     Network net = buildNetwork(network, 2020);
     Tensor input = defaultInputFor(network, 2021);
@@ -83,6 +87,8 @@ main(int argc, char **argv)
     CampaignConfig cfg;
     cfg.samplesPerCategory = samples;
     cfg.seed = 17;
+    cfg.numThreads = threads;
+    cfg.progress = true;
 
     std::cout << "analysing " << network << " ("
               << precisionName(precision) << ", " << metric_name << ", "

@@ -1,10 +1,16 @@
 #include "core/campaign.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
 #include "accel/nvdla_fi.hh"
 #include "nn/conv.hh"
 #include "nn/fc.hh"
 #include "nn/matmul.hh"
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace fidelity
 {
@@ -49,58 +55,146 @@ timingLayer(const Network &net, NodeId node,
     panic("node ", node, " is not a MAC layer");
 }
 
+namespace
+{
+
+/** One unit of the injection fan-out: a run of samples of one
+ *  (layer, category) cell with its own forked RNG stream. */
+struct Shard
+{
+    std::size_t cell = 0; //!< index into CampaignResult::cells
+    NodeId node = 0;
+    FFCategory category = FFCategory::OutputPsum;
+    int samples = 0;
+    Rng rng;
+};
+
+/** Private accumulators of one shard, merged in shard-plan order. */
+struct ShardOutput
+{
+    std::uint64_t maskedCount = 0;
+    std::uint64_t trials = 0;
+    std::vector<std::pair<double, bool>> singleNeuronSamples;
+};
+
+} // namespace
+
 CampaignResult
 runCampaign(const Network &net, const Tensor &input,
             const CorrectnessFn &correct, const CampaignConfig &cfg)
 {
+    auto wall_start = std::chrono::steady_clock::now();
+
     CampaignResult result;
     result.network = net.name();
     result.precision = net.precision();
 
+    // Also warms the MAC layers' precision-converted weight caches, a
+    // precondition of concurrent Injector::inject calls.
     Injector injector(net, input, cfg.accel);
-    Rng rng(cfg.seed);
 
     std::vector<NodeId> nodes = net.macNodes();
     fatal_if(nodes.empty(), "network ", net.name(), " has no MAC layers");
+    fatal_if(cfg.shardGrain <= 0, "campaign shardGrain must be > 0, got ",
+             cfg.shardGrain);
 
+    // Shard plan: node-major, Table II category order, sample runs of
+    // at most shardGrain.  The master stream is consumed only by the
+    // forks, in plan order, so the streams each sample draws from are
+    // a function of (seed, shardGrain) alone — never the thread count.
+    Rng master(cfg.seed);
     const auto &cats = allFFCategories();
+    std::vector<Shard> shards;
+    for (NodeId node : nodes) {
+        for (FFCategory cat : cats) {
+            std::size_t cell_idx = result.cells.size();
+            CellResult cell;
+            cell.node = node;
+            cell.category = cat;
+            if (cat == FFCategory::GlobalControl) {
+                // By definition Prob_SWmask(global, r) = 0.
+                cell.masked.add(0, 1);
+                result.cells.push_back(std::move(cell));
+                continue;
+            }
+            result.cells.push_back(std::move(cell));
+            for (int s = 0; s < cfg.samplesPerCategory;
+                 s += cfg.shardGrain) {
+                Shard sh;
+                sh.cell = cell_idx;
+                sh.node = node;
+                sh.category = cat;
+                sh.samples =
+                    std::min(cfg.shardGrain, cfg.samplesPerCategory - s);
+                sh.rng = master.fork();
+                shards.push_back(std::move(sh));
+            }
+        }
+    }
+
+    // Fan the shards out over the pool.  Workers only read the shared
+    // injector/network state and write their own ShardOutput slot, so
+    // no locking is needed on the result path.
+    std::vector<ShardOutput> outputs(shards.size());
+    std::atomic<std::uint64_t> injections_done{0};
+    std::atomic<std::size_t> shards_done{0};
+    ThreadPool pool(cfg.numThreads);
+    pool.forEach(shards.size(), [&](std::size_t i) {
+        Shard &sh = shards[i];
+        ShardOutput &out = outputs[i];
+        for (int s = 0; s < sh.samples; ++s) {
+            InjectionRecord rec = injector.inject(
+                sh.node, sh.category, correct, sh.rng,
+                cfg.outputClampAbs);
+            out.maskedCount += rec.masked ? 1 : 0;
+            out.trials += 1;
+            if (rec.numFaultyNeurons == 1 &&
+                isDatapathCategory(sh.category)) {
+                out.singleNeuronSamples.emplace_back(rec.maxAbsDelta,
+                                                     !rec.masked);
+            }
+        }
+        std::uint64_t inj =
+            injections_done.fetch_add(out.trials,
+                                      std::memory_order_relaxed) +
+            out.trials;
+        std::size_t done =
+            shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (cfg.progress) {
+            inform("campaign ", net.name(), ": shard ", done, "/",
+                   shards.size(), " done, ", inj, " injections");
+        }
+    });
+
+    // Deterministic merge: shard-plan order, integer accumulators.
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardOutput &out = outputs[i];
+        result.cells[shards[i].cell].masked.add(out.maskedCount,
+                                                out.trials);
+        result.totalInjections += out.trials;
+        result.singleNeuronSamples.insert(
+            result.singleNeuronSamples.end(),
+            out.singleNeuronSamples.begin(),
+            out.singleNeuronSamples.end());
+    }
+
+    // Per-layer timing and FIT inputs from the merged cells (stored
+    // node-major in category order by the planning loop above).
+    std::size_t cell_idx = 0;
     for (NodeId node : nodes) {
         EngineLayer el = timingLayer(net, node, injector.goldenActs());
         LayerTiming timing = estimateTiming(cfg.accel, el);
 
         LayerFitInput lfi;
         lfi.execTime = static_cast<double>(timing.totalCycles);
-
         for (std::size_t c = 0; c < cats.size(); ++c) {
-            FFCategory cat = cats[c];
-            CellResult cell;
-            cell.node = node;
-            cell.category = cat;
-
-            if (cat == FFCategory::GlobalControl) {
-                // By definition Prob_SWmask(global, r) = 0.
-                cell.masked.add(0, 1);
-            } else {
-                for (int s = 0; s < cfg.samplesPerCategory; ++s) {
-                    InjectionRecord rec =
-                        injector.inject(node, cat, correct, rng,
-                                        cfg.outputClampAbs);
-                    cell.masked.add(rec.masked);
-                    result.totalInjections += 1;
-                    if (rec.numFaultyNeurons == 1 &&
-                        isDatapathCategory(cat)) {
-                        result.singleNeuronSamples.emplace_back(
-                            rec.maxAbsDelta, !rec.masked);
-                    }
-                }
-            }
-
+            const CellResult &cell = result.cells[cell_idx++];
             lfi.stats[c].probSwMask =
-                cat == FFCategory::GlobalControl ? 0.0
-                                                 : cell.masked.mean();
+                cats[c] == FFCategory::GlobalControl
+                    ? 0.0
+                    : cell.masked.mean();
             lfi.stats[c].probInactive = cfg.activeness.probInactive(
-                cat, net.precision(), timing);
-            result.cells.push_back(std::move(cell));
+                cats[c], net.precision(), timing);
         }
         result.layerInputs.push_back(lfi);
     }
@@ -110,6 +204,18 @@ runCampaign(const Network &net, const Tensor &input,
     protected_params.protectGlobal = true;
     result.fitGlobalProtected =
         acceleratorFit(protected_params, result.layerInputs);
+
+    if (cfg.progress) {
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+        double rate = wall > 0.0
+            ? static_cast<double>(result.totalInjections) / wall
+            : 0.0;
+        inform("campaign ", net.name(), ": ", result.totalInjections,
+               " injections in ", wall, " s (", rate, " inj/s, ",
+               pool.size(), " threads, ", shards.size(), " shards)");
+    }
     return result;
 }
 

@@ -38,6 +38,27 @@ struct CampaignConfig
      */
     double outputClampAbs = 0.0;
 
+    /**
+     * Worker threads for the injection fan-out; 0 selects every
+     * hardware thread.  The result is bit-identical for any value —
+     * shard boundaries and RNG streams depend only on the seed and
+     * shardGrain, never on the thread count.
+     */
+    int numThreads = 1;
+
+    /**
+     * Samples per shard when the (layer, category, sample) space is
+     * partitioned.  Part of the campaign's deterministic identity: the
+     * shard plan fixes which Rng::fork() stream each sample draws
+     * from, so changing the grain (unlike the thread count) changes
+     * the sampled faults.
+     */
+    int shardGrain = 32;
+
+    /** Emit per-shard progress lines and an end-of-campaign summary
+     *  (injections/sec, wall time, thread count) through sim/logging. */
+    bool progress = false;
+
     NvdlaConfig accel;
     FitParams fit;
     ActivenessModel activeness;
@@ -73,10 +94,20 @@ struct CampaignResult
 /**
  * Run the full FIdelity flow on one network.
  *
+ * The injection space is partitioned into shards of at most
+ * cfg.shardGrain samples of one (layer, category) cell; each shard
+ * draws from its own Rng::fork() stream (forked from the master seed
+ * in shard-plan order) and accumulates into private counters, which
+ * are merged in shard-plan order afterwards.  Shards execute on a
+ * ThreadPool of cfg.numThreads workers; because neither the plan nor
+ * the streams depend on the worker count, the CampaignResult is
+ * bit-identical for every cfg.numThreads, including 1.
+ *
  * @param net The network (precision already set; calibrate() already
  *            run when using an integer mode).
  * @param input Network input.
- * @param correct Application correctness metric.
+ * @param correct Application correctness metric.  Must be safe to
+ *            invoke concurrently (the supplied metrics are stateless).
  * @param cfg Campaign knobs.
  */
 CampaignResult runCampaign(const Network &net, const Tensor &input,

@@ -58,10 +58,17 @@ class Injector
     /**
      * Run one experiment at the given MAC node with the given model.
      *
+     * Safe to call concurrently from multiple threads against the same
+     * Injector: the golden activations are only read, forwardFrom
+     * allocates per-call scratch, and each caller supplies its own Rng
+     * stream.  The constructor must have completed first (it warms the
+     * layers' precision-converted weight caches).
+     *
      * @param clamp_abs When > 0, model the value-bounding co-design
      *        of Key result 5: a hardware range checker saturates every
-     *        written-back neuron into [-clamp_abs, clamp_abs] and
-     *        flushes non-finite values to the bound, limiting the
+     *        written-back neuron into [-clamp_abs, clamp_abs],
+     *        saturates infinities to the bound of their own sign, and
+     *        flushes NaN to zero (see boundValue), limiting the
      *        perturbation a fault can inject.
      */
     InjectionRecord inject(NodeId node, FFCategory cat,
@@ -78,8 +85,23 @@ class Injector
     FaultModels models_;
 };
 
-/** Top-1 classification metric: argmax of final output must match. */
+/**
+ * Top-1 classification metric: the predicted class (argmax of the
+ * final output) must match.  NaN elements are treated as invalid
+ * scores that can never win the argmax — a NaN only breaks the match
+ * when it displaces the golden top-1 — and infinities order as usual.
+ * When every element of an output is NaN its prediction is undefined;
+ * two undefined predictions compare equal.
+ */
 bool top1Match(const Tensor &golden, const Tensor &faulty);
+
+/**
+ * Range-checker co-design transfer function (Key result 5): saturate a
+ * written-back value into [-clamp_abs, clamp_abs].  Infinities keep
+ * their sign (saturating to the matching bound); NaN — which has no
+ * meaningful sign — is flushed to zero by policy.
+ */
+float boundValue(float v, double clamp_abs);
 
 } // namespace fidelity
 

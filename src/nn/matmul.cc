@@ -46,7 +46,7 @@ MatMulAB::computeNeuron(const std::vector<const Tensor *> &ins,
     const Tensor &a = *ins[0];
     const Tensor &b = *ins[1];
     int red = a.c();
-    lastReduction_ = red;
+    lastReduction_.store(red, std::memory_order_relaxed);
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
     const float *ad = a.data().data();
@@ -115,7 +115,7 @@ MatMulAB::forward(const std::vector<const Tensor *> &ins) const
     const Tensor &a = *ins[0];
     const Tensor &b = *ins[1];
     int red = a.c();
-    lastReduction_ = red;
+    lastReduction_.store(red, std::memory_order_relaxed);
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
 

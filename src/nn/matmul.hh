@@ -12,6 +12,8 @@
 #ifndef FIDELITY_NN_MATMUL_HH
 #define FIDELITY_NN_MATMUL_HH
 
+#include <atomic>
+
 #include "nn/layer.hh"
 
 namespace fidelity
@@ -58,7 +60,11 @@ class MatMulAB : public MacLayer
                         const NeuronIndex &out,
                         const OperandSub *sub) const override;
 
-    int reductionLength() const override { return lastReduction_; }
+    int
+    reductionLength() const override
+    {
+        return lastReduction_.load(std::memory_order_relaxed);
+    }
     bool hasBias() const override { return false; }
 
   private:
@@ -66,7 +72,12 @@ class MatMulAB : public MacLayer
 
     bool transB_;
     float scale_;
-    mutable int lastReduction_ = 0;
+
+    // Recorded on every forward()/computeNeuron() so reductionLength()
+    // has a defined value; the reduction depth is fixed by the input
+    // shapes, so concurrent recorders always store the same number —
+    // relaxed atomics make that benign race a defined one.
+    mutable std::atomic<int> lastReduction_ = 0;
 };
 
 } // namespace fidelity

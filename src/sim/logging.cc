@@ -2,9 +2,20 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace fidelity
 {
+
+namespace
+{
+
+// Campaign workers log concurrently; serialising each message keeps
+// whole lines atomic on the stream (iostreams only guarantee absence
+// of data races between insertions, not line integrity).
+std::mutex ioMutex;
+
+} // namespace
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -25,13 +36,15 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    std::lock_guard<std::mutex> lock(ioMutex);
+    std::cerr << "warn: " + msg + "\n" << std::flush;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    std::lock_guard<std::mutex> lock(ioMutex);
+    std::cout << "info: " + msg + "\n" << std::flush;
 }
 
 } // namespace fidelity

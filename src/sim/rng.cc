@@ -133,6 +133,12 @@ Rng::weighted(const std::vector<double> &weights)
     return weights.size() - 1;
 }
 
+void
+Rng::panicIfEmptyPick(std::uint64_t n)
+{
+    panic_if(n == 0, "Rng::pick on an empty container");
+}
+
 Rng
 Rng::fork()
 {

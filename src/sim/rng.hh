@@ -52,12 +52,22 @@ class Rng
     /** Bernoulli draw with probability p of true. */
     bool chance(double p);
 
-    /** Pick a uniformly random element index of a non-empty container. */
+    /**
+     * Pick a uniformly random element index of a non-empty container.
+     * Panics (naming this call site) on an empty container; containers
+     * larger than 2^32 - 1 elements are routed through the 64-bit
+     * range() draw instead of being truncated.
+     */
     template <typename Container>
     std::size_t
     pick(const Container &c)
     {
-        return below(static_cast<std::uint32_t>(c.size()));
+        const auto n = static_cast<std::uint64_t>(c.size());
+        panicIfEmptyPick(n);
+        if (n <= 0xffffffffULL)
+            return below(static_cast<std::uint32_t>(n));
+        return static_cast<std::size_t>(
+            range(0, static_cast<std::int64_t>(n - 1)));
     }
 
     /**
@@ -71,6 +81,10 @@ class Rng
     Rng fork();
 
   private:
+    /** Out-of-line empty-container check so this header stays
+     *  independent of the logging macros. */
+    static void panicIfEmptyPick(std::uint64_t n);
+
     std::uint64_t state_;
     bool haveCachedNormal_ = false;
     double cachedNormal_ = 0.0;

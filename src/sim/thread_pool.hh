@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel campaign work.
+ *
+ * Fault-injection campaigns fan out over independent (layer, category,
+ * sample) shards; the pool runs those shards on a fixed set of worker
+ * threads with a shared task queue.  Exceptions thrown inside a task are
+ * captured and rethrown to the caller through the task's future, so a
+ * panic-free error path (e.g. std::bad_alloc under memory pressure)
+ * surfaces on the submitting thread instead of terminating a worker.
+ */
+
+#ifndef FIDELITY_SIM_THREAD_POOL_HH
+#define FIDELITY_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fidelity
+{
+
+/** A fixed pool of worker threads draining one task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the workers.
+     * @param num_threads Worker count; 0 selects hardwareThreads().
+     */
+    explicit ThreadPool(int num_threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one task.  The returned future becomes ready when the
+     * task finishes; if the task threw, future.get() rethrows the
+     * exception on the caller's thread.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run fn(i) for every i in [0, n) across the pool and wait for all
+     * of them.  Every task is allowed to finish even when one throws;
+     * the first exception (in index order) is then rethrown.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Concurrency the hardware advertises (at least 1). */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_THREAD_POOL_HH

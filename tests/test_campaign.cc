@@ -87,6 +87,86 @@ TEST(Campaign, DeterministicForSeed)
               b.singleNeuronSamples.size());
 }
 
+TEST(Campaign, ResultInvariantUnderThreadCount)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = smallConfig();
+    cfg.samplesPerCategory = 20;
+    cfg.shardGrain = 8; // several shards per cell
+
+    std::vector<CampaignResult> runs;
+    for (int threads : {1, 2, 8}) {
+        cfg.numThreads = threads;
+        runs.push_back(runCampaign(net, x, top1Metric(), cfg));
+    }
+
+    const CampaignResult &ref = runs[0];
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        const CampaignResult &got = runs[r];
+        // FIT breakdown, bit-identical.
+        EXPECT_EQ(got.fit.datapath, ref.fit.datapath);
+        EXPECT_EQ(got.fit.local, ref.fit.local);
+        EXPECT_EQ(got.fit.global, ref.fit.global);
+        EXPECT_EQ(got.fitGlobalProtected.total(),
+                  ref.fitGlobalProtected.total());
+
+        EXPECT_EQ(got.totalInjections, ref.totalInjections);
+
+        // Per-cell masked counts.
+        ASSERT_EQ(got.cells.size(), ref.cells.size());
+        for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+            EXPECT_EQ(got.cells[i].node, ref.cells[i].node);
+            EXPECT_EQ(got.cells[i].category, ref.cells[i].category);
+            EXPECT_EQ(got.cells[i].masked.successes(),
+                      ref.cells[i].masked.successes());
+            EXPECT_EQ(got.cells[i].masked.trials(),
+                      ref.cells[i].masked.trials());
+        }
+
+        // Perturbation samples, including their merge order.
+        ASSERT_EQ(got.singleNeuronSamples.size(),
+                  ref.singleNeuronSamples.size());
+        for (std::size_t i = 0; i < ref.singleNeuronSamples.size(); ++i)
+            EXPECT_EQ(got.singleNeuronSamples[i],
+                      ref.singleNeuronSamples[i]);
+    }
+}
+
+TEST(Campaign, ZeroThreadsSelectsHardwareAndMatches)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = smallConfig();
+    cfg.samplesPerCategory = 8;
+
+    cfg.numThreads = 1;
+    CampaignResult serial = runCampaign(net, x, top1Metric(), cfg);
+    cfg.numThreads = 0; // auto
+    CampaignResult parallel = runCampaign(net, x, top1Metric(), cfg);
+
+    EXPECT_EQ(serial.fit.total(), parallel.fit.total());
+    EXPECT_EQ(serial.totalInjections, parallel.totalInjections);
+}
+
+TEST(Campaign, ShardGrainIsPartOfTheSampleIdentity)
+{
+    // Different grains select different forked streams, so the
+    // statistics may move; the sample count must not.
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = smallConfig();
+    cfg.samplesPerCategory = 20;
+
+    cfg.shardGrain = 8;
+    CampaignResult a = runCampaign(net, x, top1Metric(), cfg);
+    cfg.shardGrain = 100; // one shard per cell
+    CampaignResult b = runCampaign(net, x, top1Metric(), cfg);
+    EXPECT_EQ(a.totalInjections, b.totalInjections);
+    for (const CellResult &cell : a.cells)
+        EXPECT_LE(cell.masked.trials(), 20u + 1u);
+}
+
 TEST(Campaign, LooserMetricLowersFit)
 {
     Network net = buildYolo(3);

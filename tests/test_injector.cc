@@ -150,13 +150,93 @@ TEST(Injector, Top1DetectsLabelFlips)
     EXPECT_FALSE(top1Match(golden, flipped));
 }
 
-TEST(Injector, Top1RejectsNan)
+TEST(Injector, Top1IgnoresNanOffTheWinningPosition)
 {
+    // A NaN at a position that cannot decide top-1 must not flag the
+    // fault: the predicted class is unchanged.
     Tensor golden(1, 1, 1, 3);
     golden[1] = 1.0f;
     Tensor faulty = golden;
     faulty[2] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(top1Match(golden, faulty));
+}
+
+TEST(Injector, Top1RejectsNanDisplacingTheWinner)
+{
+    Tensor golden(1, 1, 1, 3);
+    golden[0] = 0.1f;
+    golden[1] = 1.0f;
+    golden[2] = 0.5f;
+    // The winning score turns NaN: its class can no longer win, the
+    // prediction moves to class 2 — an application error.
+    Tensor faulty = golden;
+    faulty[1] = std::numeric_limits<float>::quiet_NaN();
     EXPECT_FALSE(top1Match(golden, faulty));
+}
+
+TEST(Injector, Top1ToleratesGoldenNanAtSameIndex)
+{
+    // A NaN the golden output already contains is not the fault's
+    // doing; matching NaN positions with an unchanged winner pass.
+    Tensor golden(1, 1, 1, 3);
+    golden[0] = std::numeric_limits<float>::quiet_NaN();
+    golden[1] = 1.0f;
+    golden[2] = 0.5f;
+    Tensor faulty = golden;
+    EXPECT_TRUE(top1Match(golden, faulty));
+}
+
+TEST(Injector, Top1InfinityOrdersNormally)
+{
+    Tensor golden(1, 1, 1, 3);
+    golden[1] = 1.0f;
+    // +inf is a valid, orderable score: it wins top-1 and flips the
+    // prediction to class 0.
+    Tensor faulty = golden;
+    faulty[0] = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(top1Match(golden, faulty));
+    // -inf never wins; prediction unchanged.
+    Tensor low = golden;
+    low[0] = -std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(top1Match(golden, low));
+}
+
+TEST(Injector, Top1AllNanOutputsCompareEqual)
+{
+    Tensor golden(1, 1, 1, 2);
+    golden[0] = 1.0f;
+    golden[1] = 0.0f;
+    Tensor all_nan(1, 1, 1, 2);
+    all_nan[0] = std::numeric_limits<float>::quiet_NaN();
+    all_nan[1] = std::numeric_limits<float>::quiet_NaN();
+    // Defined vs undefined prediction: an error.
+    EXPECT_FALSE(top1Match(golden, all_nan));
+    // Undefined vs undefined: the metric has no basis to differ.
+    EXPECT_TRUE(top1Match(all_nan, all_nan));
+}
+
+TEST(Injector, BoundValuePreservesNegativeOverflowSign)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    // Regression: -inf used to saturate to +clamp, silently flipping
+    // the sign of negatively overflowed faulty values.
+    EXPECT_EQ(boundValue(-inf, 100.0), -100.0f);
+    EXPECT_EQ(boundValue(inf, 100.0), 100.0f);
+}
+
+TEST(Injector, BoundValueFlushesNanToZero)
+{
+    EXPECT_EQ(boundValue(std::numeric_limits<float>::quiet_NaN(),
+                         100.0),
+              0.0f);
+}
+
+TEST(Injector, BoundValueSaturatesFiniteValues)
+{
+    EXPECT_EQ(boundValue(250.0f, 100.0), 100.0f);
+    EXPECT_EQ(boundValue(-250.0f, 100.0), -100.0f);
+    EXPECT_EQ(boundValue(42.0f, 100.0), 42.0f);
+    EXPECT_EQ(boundValue(-42.0f, 100.0), -42.0f);
 }
 
 TEST(Injector, DeterministicGivenSeed)

@@ -161,3 +161,36 @@ TEST(Rng, PickIndexInRange)
     for (int i = 0; i < 200; ++i)
         EXPECT_LT(rng.pick(v), v.size());
 }
+
+TEST(Rng, PickPanicsOnEmptyContainerNamingTheCaller)
+{
+    Rng rng(67);
+    std::vector<int> empty;
+    EXPECT_DEATH((void)rng.pick(empty), "Rng::pick");
+}
+
+TEST(Rng, PickHandles64BitSizes)
+{
+    // A container type whose size() exceeds 32 bits: pick() must not
+    // truncate it to uint32_t (which once made huge sizes alias small
+    // ones — size 2^32 truncated to 0 and died inside below(0)).
+    struct Huge
+    {
+        std::uint64_t n;
+        std::uint64_t size() const { return n; }
+        bool empty() const { return n == 0; }
+    };
+
+    Rng rng(71);
+    const std::uint64_t size = (1ULL << 32) + 5;
+    bool above32 = false;
+    for (int i = 0; i < 64; ++i) {
+        std::size_t idx = rng.pick(Huge{size});
+        EXPECT_LT(idx, size);
+        above32 = above32 || idx > 0xffffffffULL;
+    }
+    // The regression case: size 2^32 exactly used to truncate to 0.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_LT(rng.pick(Huge{1ULL << 32}), 1ULL << 32);
+    (void)above32; // indices above 2^32 are possible but not certain
+}
