@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_activeness.dir/bench_ablation_activeness.cc.o"
+  "CMakeFiles/bench_ablation_activeness.dir/bench_ablation_activeness.cc.o.d"
+  "bench_ablation_activeness"
+  "bench_ablation_activeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_activeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

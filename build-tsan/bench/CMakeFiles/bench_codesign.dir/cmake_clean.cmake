@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codesign.dir/bench_codesign.cc.o"
+  "CMakeFiles/bench_codesign.dir/bench_codesign.cc.o.d"
+  "bench_codesign"
+  "bench_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cnn_fit.dir/bench_fig4_cnn_fit.cc.o"
+  "CMakeFiles/bench_fig4_cnn_fit.dir/bench_fig4_cnn_fit.cc.o.d"
+  "bench_fig4_cnn_fit"
+  "bench_fig4_cnn_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cnn_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_transformer_yolo_fit.dir/bench_fig5_transformer_yolo_fit.cc.o"
+  "CMakeFiles/bench_fig5_transformer_yolo_fit.dir/bench_fig5_transformer_yolo_fit.cc.o.d"
+  "bench_fig5_transformer_yolo_fit"
+  "bench_fig5_transformer_yolo_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_transformer_yolo_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

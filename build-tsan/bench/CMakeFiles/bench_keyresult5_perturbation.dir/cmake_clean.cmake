@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keyresult5_perturbation.dir/bench_keyresult5_perturbation.cc.o"
+  "CMakeFiles/bench_keyresult5_perturbation.dir/bench_keyresult5_perturbation.cc.o.d"
+  "bench_keyresult5_perturbation"
+  "bench_keyresult5_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyresult5_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

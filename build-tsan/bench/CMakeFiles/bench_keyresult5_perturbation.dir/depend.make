@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_keyresult5_perturbation.
+# This may be replaced when dependencies are built.

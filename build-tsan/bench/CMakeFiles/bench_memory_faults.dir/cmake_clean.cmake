@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_faults.dir/bench_memory_faults.cc.o"
+  "CMakeFiles/bench_memory_faults.dir/bench_memory_faults.cc.o.d"
+  "bench_memory_faults"
+  "bench_memory_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

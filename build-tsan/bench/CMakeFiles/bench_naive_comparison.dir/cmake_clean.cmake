@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_comparison.dir/bench_naive_comparison.cc.o"
+  "CMakeFiles/bench_naive_comparison.dir/bench_naive_comparison.cc.o.d"
+  "bench_naive_comparison"
+  "bench_naive_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

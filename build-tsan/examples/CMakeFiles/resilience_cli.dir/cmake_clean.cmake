@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_cli.dir/resilience_cli.cpp.o"
+  "CMakeFiles/resilience_cli.dir/resilience_cli.cpp.o.d"
+  "resilience_cli"
+  "resilience_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

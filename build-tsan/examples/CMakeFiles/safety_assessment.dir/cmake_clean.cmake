@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_assessment.dir/safety_assessment.cpp.o"
+  "CMakeFiles/safety_assessment.dir/safety_assessment.cpp.o.d"
+  "safety_assessment"
+  "safety_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/eyeriss.cc" "src/CMakeFiles/fidelity.dir/accel/eyeriss.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/accel/eyeriss.cc.o.d"
+  "/root/repo/src/accel/ff.cc" "src/CMakeFiles/fidelity.dir/accel/ff.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/accel/ff.cc.o.d"
+  "/root/repo/src/accel/nvdla_config.cc" "src/CMakeFiles/fidelity.dir/accel/nvdla_config.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/accel/nvdla_config.cc.o.d"
+  "/root/repo/src/accel/nvdla_core.cc" "src/CMakeFiles/fidelity.dir/accel/nvdla_core.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/accel/nvdla_core.cc.o.d"
+  "/root/repo/src/accel/nvdla_fi.cc" "src/CMakeFiles/fidelity.dir/accel/nvdla_fi.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/accel/nvdla_fi.cc.o.d"
+  "/root/repo/src/accel/perf_model.cc" "src/CMakeFiles/fidelity.dir/accel/perf_model.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/accel/perf_model.cc.o.d"
+  "/root/repo/src/core/activeness.cc" "src/CMakeFiles/fidelity.dir/core/activeness.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/activeness.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/CMakeFiles/fidelity.dir/core/campaign.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/campaign.cc.o.d"
+  "/root/repo/src/core/fault_models.cc" "src/CMakeFiles/fidelity.dir/core/fault_models.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/fault_models.cc.o.d"
+  "/root/repo/src/core/ff_descriptors.cc" "src/CMakeFiles/fidelity.dir/core/ff_descriptors.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/ff_descriptors.cc.o.d"
+  "/root/repo/src/core/fit.cc" "src/CMakeFiles/fidelity.dir/core/fit.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/fit.cc.o.d"
+  "/root/repo/src/core/injector.cc" "src/CMakeFiles/fidelity.dir/core/injector.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/injector.cc.o.d"
+  "/root/repo/src/core/memory_faults.cc" "src/CMakeFiles/fidelity.dir/core/memory_faults.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/memory_faults.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/CMakeFiles/fidelity.dir/core/naive.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/naive.cc.o.d"
+  "/root/repo/src/core/protection.cc" "src/CMakeFiles/fidelity.dir/core/protection.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/protection.cc.o.d"
+  "/root/repo/src/core/reuse_factor.cc" "src/CMakeFiles/fidelity.dir/core/reuse_factor.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/reuse_factor.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/CMakeFiles/fidelity.dir/core/validation.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/core/validation.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/fidelity.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/fidelity.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/fidelity.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/elementwise.cc" "src/CMakeFiles/fidelity.dir/nn/elementwise.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/elementwise.cc.o.d"
+  "/root/repo/src/nn/fc.cc" "src/CMakeFiles/fidelity.dir/nn/fc.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/fc.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/fidelity.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/fidelity.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/fidelity.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/matmul.cc" "src/CMakeFiles/fidelity.dir/nn/matmul.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/matmul.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/fidelity.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/CMakeFiles/fidelity.dir/nn/pool.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/pool.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/CMakeFiles/fidelity.dir/nn/softmax.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/nn/softmax.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/fidelity.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/fidelity.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/fidelity.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/fidelity.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/sim/table.cc.o.d"
+  "/root/repo/src/sim/thread_pool.cc" "src/CMakeFiles/fidelity.dir/sim/thread_pool.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/sim/thread_pool.cc.o.d"
+  "/root/repo/src/tensor/bitops.cc" "src/CMakeFiles/fidelity.dir/tensor/bitops.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/tensor/bitops.cc.o.d"
+  "/root/repo/src/tensor/float16.cc" "src/CMakeFiles/fidelity.dir/tensor/float16.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/tensor/float16.cc.o.d"
+  "/root/repo/src/tensor/quant.cc" "src/CMakeFiles/fidelity.dir/tensor/quant.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/tensor/quant.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/fidelity.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/workloads/data.cc" "src/CMakeFiles/fidelity.dir/workloads/data.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/workloads/data.cc.o.d"
+  "/root/repo/src/workloads/metrics.cc" "src/CMakeFiles/fidelity.dir/workloads/metrics.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/workloads/metrics.cc.o.d"
+  "/root/repo/src/workloads/models.cc" "src/CMakeFiles/fidelity.dir/workloads/models.cc.o" "gcc" "src/CMakeFiles/fidelity.dir/workloads/models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activeness_fit.dir/test_activeness_fit.cc.o"
+  "CMakeFiles/test_activeness_fit.dir/test_activeness_fit.cc.o.d"
+  "test_activeness_fit"
+  "test_activeness_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activeness_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

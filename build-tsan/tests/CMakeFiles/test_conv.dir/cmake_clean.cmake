@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv.dir/test_conv.cc.o"
+  "CMakeFiles/test_conv.dir/test_conv.cc.o.d"
+  "test_conv"
+  "test_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_models.dir/test_fault_models.cc.o"
+  "CMakeFiles/test_fault_models.dir/test_fault_models.cc.o.d"
+  "test_fault_models"
+  "test_fault_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fc_matmul.dir/test_fc_matmul.cc.o"
+  "CMakeFiles/test_fc_matmul.dir/test_fc_matmul.cc.o.d"
+  "test_fc_matmul"
+  "test_fc_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fc_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

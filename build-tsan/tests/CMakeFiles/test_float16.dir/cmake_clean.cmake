@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float16.dir/test_float16.cc.o"
+  "CMakeFiles/test_float16.dir/test_float16.cc.o.d"
+  "test_float16"
+  "test_float16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

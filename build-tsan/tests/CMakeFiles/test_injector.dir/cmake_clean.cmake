@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_injector.dir/test_injector.cc.o"
+  "CMakeFiles/test_injector.dir/test_injector.cc.o.d"
+  "test_injector"
+  "test_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

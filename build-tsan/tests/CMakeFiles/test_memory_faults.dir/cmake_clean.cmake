@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_faults.dir/test_memory_faults.cc.o"
+  "CMakeFiles/test_memory_faults.dir/test_memory_faults.cc.o.d"
+  "test_memory_faults"
+  "test_memory_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

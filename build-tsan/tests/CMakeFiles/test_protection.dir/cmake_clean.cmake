@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protection.dir/test_protection.cc.o"
+  "CMakeFiles/test_protection.dir/test_protection.cc.o.d"
+  "test_protection"
+  "test_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

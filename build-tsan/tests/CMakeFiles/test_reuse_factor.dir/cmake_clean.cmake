@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_factor.dir/test_reuse_factor.cc.o"
+  "CMakeFiles/test_reuse_factor.dir/test_reuse_factor.cc.o.d"
+  "test_reuse_factor"
+  "test_reuse_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

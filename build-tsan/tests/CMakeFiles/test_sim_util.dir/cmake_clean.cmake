@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_util.dir/test_sim_util.cc.o"
+  "CMakeFiles/test_sim_util.dir/test_sim_util.cc.o.d"
+  "test_sim_util"
+  "test_sim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
