@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense vs. incremental injection throughput.
+ *
+ * Runs the same campaign twice per CNN — once with the dense
+ * forwardFrom re-execution and once with the fault-cone incremental
+ * engine — at an equal thread count and seed, and reports the
+ * injections/sec speedup together with a checksum proving the two
+ * CampaignResults are bit-identical (the engine's correctness
+ * contract: incrementality is purely a performance knob).
+ */
+
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "sim/thread_pool.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+int
+main()
+{
+    const int samples = scaledSamples(40);
+    const int threads = static_cast<int>(ThreadPool::hardwareThreads());
+
+    printHeading(std::cout,
+                 "Incremental fault-cone engine speedup (FP16, " +
+                     std::to_string(samples) +
+                     " samples per layer/category, " +
+                     std::to_string(threads) + " threads)");
+
+    Table t({"network", "dense s", "incr s", "dense inj/s",
+             "incr inj/s", "speedup", "identical"});
+    std::vector<ThroughputRecord> records;
+    bool all_identical = true;
+    double best_speedup = 0.0;
+    for (const std::string network : {"resnet", "mobilenet",
+                                      "inception"}) {
+        Network net = buildNetwork(network, 2020);
+        Tensor input = defaultInputFor(network, 2021);
+        net.setPrecision(Precision::FP16);
+
+        CampaignConfig cfg;
+        cfg.samplesPerCategory = samples;
+        cfg.seed = 2027;
+        cfg.numThreads = threads;
+
+        double secs[2] = {0.0, 0.0};
+        std::uint64_t checksum[2] = {0, 0};
+        std::uint64_t injections = 0;
+        for (int mode = 0; mode < 2; ++mode) {
+            cfg.incremental = mode == 1;
+            CampaignResult res;
+            secs[mode] = timeSeconds([&] {
+                res = runCampaign(net, input, top1Metric(), cfg);
+            });
+            checksum[mode] = campaignChecksum(res);
+            injections = res.totalInjections;
+
+            ThroughputRecord rec;
+            rec.bench = "incremental_speedup";
+            rec.network = network;
+            rec.mode = cfg.incremental ? "incremental" : "dense";
+            rec.threads = threads;
+            rec.injections = injections;
+            rec.wallSeconds = secs[mode];
+            records.push_back(rec);
+        }
+        bool identical = checksum[0] == checksum[1];
+        all_identical = all_identical && identical;
+        double speedup = secs[1] > 0.0 ? secs[0] / secs[1] : 0.0;
+        best_speedup = std::max(best_speedup, speedup);
+        double dense_rate = static_cast<double>(injections) / secs[0];
+        double incr_rate = static_cast<double>(injections) / secs[1];
+        t.addRow({network, Table::num(secs[0], 2),
+                  Table::num(secs[1], 2), Table::num(dense_rate, 0),
+                  Table::num(incr_rate, 0), Table::num(speedup, 2),
+                  identical ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    writeThroughputJson("incremental_speedup", records);
+
+    std::cout << (all_identical
+                      ? "\nresults bit-identical between dense and "
+                        "incremental modes\n"
+                      : "\nERROR: dense and incremental results "
+                        "differ\n");
+    std::printf("best speedup: %.2fx (target >= 3x at paper-scale "
+                "samples)\n",
+                best_speedup);
+    std::cout << std::flush;
+    return all_identical ? 0 : 1;
+}

@@ -10,42 +10,12 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 
 #include "bench/common.hh"
 #include "sim/thread_pool.hh"
 
 using namespace fidelity;
 using namespace fidelity::bench;
-
-namespace
-{
-
-/** Order-sensitive digest of the campaign's numeric identity. */
-std::uint64_t
-resultChecksum(const CampaignResult &res)
-{
-    std::uint64_t h = 1469598103934665603ULL; // FNV-1a
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ULL;
-    };
-    mix(res.totalInjections);
-    for (const CellResult &cell : res.cells) {
-        mix(cell.masked.successes());
-        mix(cell.masked.trials());
-    }
-    for (const auto &[delta, failed] : res.singleNeuronSamples) {
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(delta));
-        std::memcpy(&bits, &delta, sizeof(bits));
-        mix(bits);
-        mix(failed ? 1 : 0);
-    }
-    return h;
-}
-
-} // namespace
 
 int
 main()
@@ -71,13 +41,14 @@ main()
     double base_time = 0.0;
     std::uint64_t base_checksum = 0;
     bool all_identical = true;
+    std::vector<ThroughputRecord> records;
     for (int threads : {1, 2, 4, 8}) {
         cfg.numThreads = threads;
         CampaignResult res;
         double secs = timeSeconds([&] {
             res = runCampaign(net, input, top1Metric(), cfg);
         });
-        std::uint64_t checksum = resultChecksum(res);
+        std::uint64_t checksum = campaignChecksum(res);
         if (threads == 1) {
             base_time = secs;
             base_checksum = checksum;
@@ -90,8 +61,17 @@ main()
         t.addRow({std::to_string(threads), Table::num(secs, 2),
                   Table::num(rate, 0), Table::num(base_time / secs, 2),
                   digest});
+        ThroughputRecord rec;
+        rec.bench = "parallel_scaling";
+        rec.network = network;
+        rec.mode = cfg.incremental ? "incremental" : "dense";
+        rec.threads = threads;
+        rec.injections = res.totalInjections;
+        rec.wallSeconds = secs;
+        records.push_back(rec);
     }
     t.print(std::cout);
+    writeThroughputJson("parallel_scaling", records);
     std::cout << (all_identical
                       ? "\nresults bit-identical across thread counts\n"
                       : "\nERROR: results differ across thread counts\n")

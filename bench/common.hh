@@ -12,9 +12,14 @@
 #define FIDELITY_BENCH_COMMON_HH
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/campaign.hh"
 #include "sim/table.hh"
@@ -65,6 +70,102 @@ runStudyCampaign(const std::string &network, Precision precision,
     cfg.samplesPerCategory = samples;
     cfg.seed = seed + 7;
     return runCampaign(net, input, metric, cfg);
+}
+
+/**
+ * Order-sensitive digest of a campaign's numeric identity: every
+ * per-cell counter and every single-neuron sample, FNV-1a mixed.  Two
+ * campaigns with equal checksums produced bit-identical results —
+ * the cross-thread-count and dense-vs-incremental equality proofs.
+ */
+inline std::uint64_t
+campaignChecksum(const CampaignResult &res)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(res.totalInjections);
+    for (const CellResult &cell : res.cells) {
+        mix(cell.masked.successes());
+        mix(cell.masked.trials());
+    }
+    for (const auto &[delta, failed] : res.singleNeuronSamples) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(delta));
+        std::memcpy(&bits, &delta, sizeof(bits));
+        mix(bits);
+        mix(failed ? 1 : 0);
+    }
+    return h;
+}
+
+/** One machine-readable throughput measurement. */
+struct ThroughputRecord
+{
+    std::string bench;    //!< producing binary, e.g. "parallel_scaling"
+    std::string network;
+    std::string mode;     //!< "dense" or "incremental"
+    int threads = 1;
+    std::uint64_t injections = 0;
+    double wallSeconds = 0.0;
+
+    double
+    injPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(injections) / wallSeconds
+            : 0.0;
+    }
+};
+
+/**
+ * Merge this bench's throughput records into
+ * BENCH_injection_throughput.json (one JSON object per line inside a
+ * plain array).  Records from other benches already in the file are
+ * preserved; any previous records of `bench` are replaced, so each
+ * binary owns its rows and re-runs stay idempotent.
+ */
+inline void
+writeThroughputJson(const std::string &bench,
+                    const std::vector<ThroughputRecord> &records,
+                    const std::string &path =
+                        "BENCH_injection_throughput.json")
+{
+    // Keep other benches' lines.  The file is line-oriented by
+    // construction, so a substring probe of the "bench" field is
+    // enough to identify ownership.
+    std::vector<std::string> kept;
+    {
+        std::ifstream in(path);
+        std::string line;
+        const std::string own = "\"bench\": \"" + bench + "\"";
+        while (std::getline(in, line)) {
+            if (line.find('{') == std::string::npos)
+                continue;
+            if (line.find(own) != std::string::npos)
+                continue;
+            if (line.back() == ',')
+                line.pop_back();
+            kept.push_back(line);
+        }
+    }
+    for (const ThroughputRecord &r : records) {
+        std::ostringstream os;
+        os << "  {\"bench\": \"" << bench << "\", \"network\": \""
+           << r.network << "\", \"mode\": \"" << r.mode
+           << "\", \"threads\": " << r.threads
+           << ", \"injections\": " << r.injections
+           << ", \"wall_s\": " << r.wallSeconds
+           << ", \"inj_per_s\": " << r.injPerSec() << "}";
+        kept.push_back(os.str());
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << "[\n";
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
+    out << "]\n";
 }
 
 /** Format a FIT breakdown row: datapath / local / global / total. */

@@ -138,14 +138,31 @@ runCampaign(const Network &net, const Tensor &input,
     std::vector<ShardOutput> outputs(shards.size());
     std::atomic<std::uint64_t> injections_done{0};
     std::atomic<std::size_t> shards_done{0};
+    // Progress throttle: one line at most every progressEverySec,
+    // claimed by CAS so exactly one worker logs per window.
+    std::atomic<std::int64_t> last_log_ns{0};
+    const std::int64_t log_period_ns = static_cast<std::int64_t>(
+        std::max(cfg.progressEverySec, 0.0) * 1e9);
     ThreadPool pool(cfg.numThreads);
     pool.forEach(shards.size(), [&](std::size_t i) {
+        // One incremental engine per worker thread: its scratch
+        // activations and replacement buffer are reused across every
+        // injection the worker runs, keeping the hot loop
+        // allocation-free at steady state.
+        thread_local IncrementalEngine worker_engine;
+        IncrementalEngine *engine = nullptr;
+        if (cfg.incremental) {
+            IncrementalOptions opt;
+            opt.denseThreshold = cfg.incrementalDenseThreshold;
+            worker_engine.setOptions(opt);
+            engine = &worker_engine;
+        }
         Shard &sh = shards[i];
         ShardOutput &out = outputs[i];
         for (int s = 0; s < sh.samples; ++s) {
             InjectionRecord rec = injector.inject(
                 sh.node, sh.category, correct, sh.rng,
-                cfg.outputClampAbs);
+                cfg.outputClampAbs, engine);
             out.maskedCount += rec.masked ? 1 : 0;
             out.trials += 1;
             if (rec.numFaultyNeurons == 1 &&
@@ -160,9 +177,20 @@ runCampaign(const Network &net, const Tensor &input,
             out.trials;
         std::size_t done =
             shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (cfg.progress) {
-            inform("campaign ", net.name(), ": shard ", done, "/",
-                   shards.size(), " done, ", inj, " injections");
+        if (cfg.progress && done < shards.size()) {
+            std::int64_t now = std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() -
+                                   wall_start)
+                                   .count();
+            std::int64_t prev =
+                last_log_ns.load(std::memory_order_relaxed);
+            if (now - prev >= log_period_ns &&
+                last_log_ns.compare_exchange_strong(
+                    prev, now, std::memory_order_relaxed)) {
+                inform("campaign ", net.name(), ": shard ", done, "/",
+                       shards.size(), " done, ", inj, " injections");
+            }
         }
     });
 

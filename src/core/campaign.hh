@@ -55,9 +55,25 @@ struct CampaignConfig
      */
     int shardGrain = 32;
 
-    /** Emit per-shard progress lines and an end-of-campaign summary
+    /** Emit throttled progress lines (at most one per progressEverySec
+     *  seconds, from a single call site) and an end-of-campaign summary
      *  (injections/sec, wall time, thread count) through sim/logging. */
     bool progress = false;
+
+    /** Minimum seconds between two progress lines. */
+    double progressEverySec = 1.0;
+
+    /**
+     * Use the incremental fault-cone engine in the injection hot path
+     * (sparse delta propagation + early masking exit + per-worker
+     * scratch reuse).  The CampaignResult is bit-identical to the
+     * dense path; this is purely a performance knob.
+     */
+    bool incremental = true;
+
+    /** Cone-volume fraction of a layer output above which that layer
+     *  falls back to the dense kernel. */
+    double incrementalDenseThreshold = 0.5;
 
     NvdlaConfig accel;
     FitParams fit;

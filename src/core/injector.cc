@@ -1,6 +1,7 @@
 #include "core/injector.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -43,7 +44,7 @@ boundValue(float v, double clamp_abs)
 
 InjectionRecord
 Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
-                 Rng &rng, double clamp_abs) const
+                 Rng &rng, double clamp_abs, IncrementalEngine *engine) const
 {
     InjectionRecord rec;
     rec.category = cat;
@@ -65,6 +66,31 @@ Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
     rec.maxAbsDelta = app.maxAbsDelta;
     if (app.masked()) {
         rec.masked = true;
+        return rec;
+    }
+
+    if (engine) {
+        // Incremental fast path: build the corrupted activation in the
+        // engine's reusable buffer, track the bounding box of neurons
+        // whose stored bits actually changed, and re-execute only that
+        // cone.  Bit-identical to the dense branch below.
+        const Tensor &golden = acts_[node];
+        Tensor &corrupted = engine->replacementBuffer();
+        corrupted = golden;
+        Region fault;
+        for (std::size_t i = 0; i < app.neurons.size(); ++i) {
+            float v = app.values[i];
+            if (clamp_abs > 0.0)
+                v = boundValue(v, clamp_abs);
+            corrupted.at(app.neurons[i]) = v;
+            if (std::bit_cast<std::uint32_t>(v) !=
+                std::bit_cast<std::uint32_t>(golden.at(app.neurons[i])))
+                fault.include(app.neurons[i]);
+        }
+        const Tensor &final_out =
+            engine->run(net_, node, corrupted, fault, acts_);
+        rec.masked = correct(goldenOutput(), final_out);
+        rec.earlyExit = engine->lastStats().earlyMasked;
         return rec;
     }
 

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "core/fault_models.hh"
+#include "nn/incremental.hh"
 #include "nn/network.hh"
 #include "sim/rng.hh"
 
@@ -38,6 +39,10 @@ struct InjectionRecord
     bool globalFailure = false;
     int numFaultyNeurons = 0;
     double maxAbsDelta = 0.0; //!< layer-level perturbation magnitude
+
+    /** Incremental engine only: the delta died before the output and
+     *  downstream layers were skipped (the early masking exit). */
+    bool earlyExit = false;
 };
 
 /** Fault-injection engine bound to one network + input. */
@@ -70,10 +75,15 @@ class Injector
      *        saturates infinities to the bound of their own sign, and
      *        flushes NaN to zero (see boundValue), limiting the
      *        perturbation a fault can inject.
+     * @param engine Optional incremental re-execution engine (one per
+     *        calling thread): the corrupted-cone fast path, bit-
+     *        identical to the dense recompute.  Null selects the dense
+     *        Network::forwardFrom path.
      */
     InjectionRecord inject(NodeId node, FFCategory cat,
                            const CorrectnessFn &correct, Rng &rng,
-                           double clamp_abs = 0.0) const;
+                           double clamp_abs = 0.0,
+                           IncrementalEngine *engine = nullptr) const;
 
     const FaultModels &models() const { return models_; }
     const Network &network() const { return net_; }

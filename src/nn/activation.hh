@@ -31,6 +31,14 @@ class Activation : public Layer
     Tensor makeOutput(const std::vector<const Tensor *> &ins) const override;
     Tensor forward(const std::vector<const Tensor *> &ins) const override;
 
+    /** Element-wise: the cone is the input box itself. */
+    Region propagateRegion(const std::vector<const Tensor *> &ins,
+                           int inputIdx, const Region &in,
+                           const Tensor &out) const override;
+
+    void forwardRegion(const std::vector<const Tensor *> &ins,
+                       const Region &region, Tensor &out) const override;
+
     /** Apply the scalar function (exposed for the accelerator model). */
     float apply(float x) const;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 #include "tensor/bitops.hh"
 
@@ -189,14 +190,13 @@ Conv2D::forward(const std::vector<const Tensor *> &ins) const
     if (!wCacheValid_)
         refreshWeightCache();
 
-    std::vector<float> xs;
-    std::vector<std::int32_t> xq;
+    Arena &arena = Arena::local();
+    auto xs = arena.floats(integer ? 0 : x.size());
+    auto xq = arena.ints(integer ? x.size() : 0);
     if (integer) {
-        xq.resize(x.size());
         for (std::size_t i = 0; i < x.size(); ++i)
             xq[i] = quantInput(x[i]);
     } else {
-        xs.resize(x.size());
         for (std::size_t i = 0; i < x.size(); ++i)
             xs[i] = storeInput(x[i]);
     }
@@ -257,6 +257,99 @@ Conv2D::forward(const std::vector<const Tensor *> &ins) const
         }
     }
     return out;
+}
+
+Region
+Conv2D::propagateRegion(const std::vector<const Tensor *> &ins, int,
+                        const Region &in, const Tensor &out) const
+{
+    checkInput(ins);
+    if (in.empty())
+        return Region{};
+    auto [h0, h1] = windowCone(in.h0, in.h1, spec_.kh, spec_.stride,
+                               spec_.pad, spec_.dilation, out.h());
+    auto [w0, w1] = windowCone(in.w0, in.w1, spec_.kw, spec_.stride,
+                               spec_.pad, spec_.dilation, out.w());
+    // A changed input channel reaches every output channel of its
+    // group.
+    int cpg = spec_.inC / spec_.groups;
+    int opg = spec_.outC / spec_.groups;
+    int g0 = in.c0 / cpg;
+    int g1 = (in.c1 - 1) / cpg;
+    Region r{in.n0, in.n1, h0, h1, w0, w1, g0 * opg, (g1 + 1) * opg};
+    return r.clipped(out);
+}
+
+void
+Conv2D::forwardRegion(const std::vector<const Tensor *> &ins,
+                      const Region &region, Tensor &out) const
+{
+    // The loop body mirrors forward() exactly — operands pass through
+    // the same store/quant conversions and accumulate in the same
+    // (ci, kh, kw) order — restricted to the requested output box.
+    checkInput(ins);
+    const Tensor &x = *ins[0];
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (!wCacheValid_)
+        refreshWeightCache();
+
+    const int cpg = spec_.inC / spec_.groups;
+    const int opg = spec_.outC / spec_.groups;
+    const int xh = x.h(), xw = x.w(), xc = x.c();
+    const float *xd = x.data().data();
+    const std::int32_t zero_q = integer ? quantInput(0.0f) : 0;
+    const float zero_s = integer ? 0.0f : storeInput(0.0f);
+
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int oh = region.h0; oh < region.h1; ++oh) {
+            for (int ow = region.w0; ow < region.w1; ++ow) {
+                for (int oc = region.c0; oc < region.c1; ++oc) {
+                    int g = oc / opg;
+                    float acc = 0.0f;
+                    std::int64_t iacc = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec_.kh; ++kh) {
+                            int ih = oh * spec_.stride - spec_.pad +
+                                     kh * spec_.dilation;
+                            for (int kw = 0; kw < spec_.kw; ++kw) {
+                                int iw = ow * spec_.stride - spec_.pad +
+                                         kw * spec_.dilation;
+                                bool ok = ih >= 0 && ih < xh &&
+                                          iw >= 0 && iw < xw;
+                                std::size_t xo = ok
+                                    ? ((static_cast<std::size_t>(n) *
+                                            xh + ih) * xw + iw) * xc + ci
+                                    : 0;
+                                std::size_t wi =
+                                    ((static_cast<std::size_t>(kh) *
+                                          spec_.kw + kw) * cpg + cig) *
+                                        spec_.outC + oc;
+                                if (integer) {
+                                    std::int32_t xv =
+                                        ok ? quantInput(xd[xo]) : zero_q;
+                                    iacc +=
+                                        static_cast<std::int64_t>(xv) *
+                                        wQuant32_[wi];
+                                } else {
+                                    float xv =
+                                        ok ? storeInput(xd[xo]) : zero_s;
+                                    acc += xv * wStored_[wi];
+                                }
+                            }
+                        }
+                    }
+                    double facc = integer
+                        ? static_cast<double>(iacc) * inQuant_.scale *
+                              wQuant_.scale
+                        : static_cast<double>(acc);
+                    float b = spec_.bias ? bias_[oc] : 0.0f;
+                    out.at(n, oh, ow, oc) = writeback(facc, b);
+                }
+            }
+        }
+    }
 }
 
 std::size_t

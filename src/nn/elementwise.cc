@@ -1,5 +1,7 @@
 #include "nn/elementwise.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "tensor/bitops.hh"
 
@@ -58,6 +60,42 @@ Elementwise::forward(const std::vector<const Tensor *> &ins) const
     return out;
 }
 
+Region
+Elementwise::propagateRegion(const std::vector<const Tensor *> &, int,
+                             const Region &in, const Tensor &out) const
+{
+    return in.clipped(out);
+}
+
+void
+Elementwise::forwardRegion(const std::vector<const Tensor *> &ins,
+                           const Region &region, Tensor &out) const
+{
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    bool half = precision_ == Precision::FP16;
+    for (int n = region.n0; n < region.n1; ++n)
+        for (int h = region.h0; h < region.h1; ++h)
+            for (int w = region.w0; w < region.w1; ++w)
+                for (int c = region.c0; c < region.c1; ++c) {
+                    float av = a.at(n, h, w, c);
+                    float bv = b.at(n, h, w, c);
+                    float v = 0.0f;
+                    switch (op_) {
+                      case Op::Add:
+                        v = av + bv;
+                        break;
+                      case Op::Mul:
+                        v = av * bv;
+                        break;
+                      case Op::Sub:
+                        v = av - bv;
+                        break;
+                    }
+                    out.at(n, h, w, c) = half ? roundToHalf(v) : v;
+                }
+}
+
 ConcatC::ConcatC(std::string name)
     : Layer(std::move(name))
 {
@@ -92,6 +130,36 @@ ConcatC::forward(const std::vector<const Tensor *> &ins) const
         }
     }
     return out;
+}
+
+Region
+ConcatC::propagateRegion(const std::vector<const Tensor *> &ins,
+                         int inputIdx, const Region &in,
+                         const Tensor &out) const
+{
+    if (in.empty())
+        return Region{};
+    Region r = in;
+    if (inputIdx == 1) {
+        r.c0 += ins[0]->c();
+        r.c1 += ins[0]->c();
+    }
+    return r.clipped(out);
+}
+
+void
+ConcatC::forwardRegion(const std::vector<const Tensor *> &ins,
+                       const Region &region, Tensor &out) const
+{
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    for (int n = region.n0; n < region.n1; ++n)
+        for (int h = region.h0; h < region.h1; ++h)
+            for (int w = region.w0; w < region.w1; ++w)
+                for (int c = region.c0; c < region.c1; ++c)
+                    out.at(n, h, w, c) = c < a.c()
+                        ? a.at(n, h, w, c)
+                        : b.at(n, h, w, c - a.c());
 }
 
 Slice::Slice(std::string name, Axis axis, int offset, int length)
@@ -130,6 +198,40 @@ Slice::forward(const std::vector<const Tensor *> &ins) const
     return out;
 }
 
+Region
+Slice::propagateRegion(const std::vector<const Tensor *> &, int,
+                       const Region &in, const Tensor &out) const
+{
+    if (in.empty())
+        return Region{};
+    Region r = in;
+    if (axis_ == Axis::H) {
+        r.h0 = std::max(in.h0, offset_) - offset_;
+        r.h1 = std::min(in.h1, offset_ + length_) - offset_;
+    } else {
+        r.c0 = std::max(in.c0, offset_) - offset_;
+        r.c1 = std::min(in.c1, offset_ + length_) - offset_;
+    }
+    if (r.empty())
+        return Region{};
+    return r.clipped(out);
+}
+
+void
+Slice::forwardRegion(const std::vector<const Tensor *> &ins,
+                     const Region &region, Tensor &out) const
+{
+    const Tensor &x = *ins[0];
+    for (int n = region.n0; n < region.n1; ++n)
+        for (int h = region.h0; h < region.h1; ++h)
+            for (int w = region.w0; w < region.w1; ++w)
+                for (int c = region.c0; c < region.c1; ++c) {
+                    int sh = axis_ == Axis::H ? h + offset_ : h;
+                    int sc = axis_ == Axis::C ? c + offset_ : c;
+                    out.at(n, h, w, c) = x.at(n, sh, w, sc);
+                }
+}
+
 ScaleShift::ScaleShift(std::string name, float scale, float shift)
     : Layer(std::move(name)), scale_(scale), shift_(shift)
 {
@@ -152,6 +254,28 @@ ScaleShift::forward(const std::vector<const Tensor *> &ins) const
         out[i] = scale_ * x[i] + shift_;
     roundForPrecision(out, precision_);
     return out;
+}
+
+Region
+ScaleShift::propagateRegion(const std::vector<const Tensor *> &, int,
+                            const Region &in, const Tensor &out) const
+{
+    return in.clipped(out);
+}
+
+void
+ScaleShift::forwardRegion(const std::vector<const Tensor *> &ins,
+                          const Region &region, Tensor &out) const
+{
+    const Tensor &x = *ins[0];
+    bool half = precision_ == Precision::FP16;
+    for (int n = region.n0; n < region.n1; ++n)
+        for (int h = region.h0; h < region.h1; ++h)
+            for (int w = region.w0; w < region.w1; ++w)
+                for (int c = region.c0; c < region.c1; ++c) {
+                    float v = scale_ * x.at(n, h, w, c) + shift_;
+                    out.at(n, h, w, c) = half ? roundToHalf(v) : v;
+                }
 }
 
 } // namespace fidelity

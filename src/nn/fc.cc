@@ -1,5 +1,6 @@
 #include "nn/fc.hh"
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 
 namespace fidelity
@@ -127,14 +128,13 @@ FC::forward(const std::vector<const Tensor *> &ins) const
     if (!wCacheValid_)
         refreshWeightCache();
 
-    std::vector<float> xs;
-    std::vector<std::int32_t> xq;
+    Arena &arena = Arena::local();
+    auto xs = arena.floats(integer ? 0 : x.size());
+    auto xq = arena.ints(integer ? x.size() : 0);
     if (integer) {
-        xq.resize(x.size());
         for (std::size_t i = 0; i < x.size(); ++i)
             xq[i] = quantInput(x[i]);
     } else {
-        xs.resize(x.size());
         for (std::size_t i = 0; i < x.size(); ++i)
             xs[i] = storeInput(x[i]);
     }

@@ -72,6 +72,20 @@ Layer::calibrate(const std::vector<const Tensor *> &, const Tensor &)
 {
 }
 
+Region
+Layer::propagateRegion(const std::vector<const Tensor *> &, int,
+                       const Region &, const Tensor &out) const
+{
+    return Region::full(out);
+}
+
+void
+Layer::forwardRegion(const std::vector<const Tensor *> &ins,
+                     const Region &, Tensor &out) const
+{
+    out = forward(ins);
+}
+
 MacLayer::MacLayer(std::string name)
     : Layer(std::move(name))
 {

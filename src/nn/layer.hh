@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/region.hh"
 #include "tensor/quant.hh"
 #include "tensor/tensor.hh"
 
@@ -132,6 +133,35 @@ class Layer
      */
     virtual void calibrate(const std::vector<const Tensor *> &ins,
                            const Tensor &out);
+
+    /**
+     * Fault-cone propagation: a conservative bounding box of the output
+     * elements that can change when graph input `inputIdx` changes only
+     * inside `in`.  Spatially local layers override this with their
+     * receptive cone; the default declares the layer globally mixing
+     * (the whole output changes), which makes the incremental engine
+     * fall back to a dense recompute.
+     *
+     * @param ins The layer's inputs (shapes define the mapping).
+     * @param inputIdx Which graph input `in` refers to.
+     * @param in Changed region of that input (non-empty, in range).
+     * @param out The golden output (shape reference only).
+     */
+    virtual Region propagateRegion(const std::vector<const Tensor *> &ins,
+                                   int inputIdx, const Region &in,
+                                   const Tensor &out) const;
+
+    /**
+     * Recompute only `region` of the output, in place.  `out` must have
+     * the layer's output shape and already hold values that are correct
+     * outside the region (the engine seeds it with the golden
+     * activation).  Every element inside the region must be
+     * bit-identical to what forward() would produce on the same inputs
+     * — same operand conversions, same canonical accumulation order.
+     * The default recomputes densely via forward().
+     */
+    virtual void forwardRegion(const std::vector<const Tensor *> &ins,
+                               const Region &region, Tensor &out) const;
 
     /** Set the execution precision (refreshes precision-derived state). */
     void

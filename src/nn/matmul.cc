@@ -1,5 +1,6 @@
 #include "nn/matmul.hh"
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 
 namespace fidelity
@@ -119,20 +120,19 @@ MatMulAB::forward(const std::vector<const Tensor *> &ins) const
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
 
-    std::vector<float> as, bs;
-    std::vector<std::int32_t> aq, bq;
+    Arena &arena = Arena::local();
+    auto as = arena.floats(integer ? 0 : a.size());
+    auto bs = arena.floats(integer ? 0 : b.size());
+    auto aq = arena.ints(integer ? a.size() : 0);
+    auto bq = arena.ints(integer ? b.size() : 0);
     if (integer) {
-        aq.resize(a.size());
         for (std::size_t i = 0; i < a.size(); ++i)
             aq[i] = quantInput(a[i]);
-        bq.resize(b.size());
         for (std::size_t i = 0; i < b.size(); ++i)
             bq[i] = quantWeight(b[i]);
     } else {
-        as.resize(a.size());
         for (std::size_t i = 0; i < a.size(); ++i)
             as[i] = storeInput(a[i]);
-        bs.resize(b.size());
         for (std::size_t i = 0; i < b.size(); ++i)
             bs[i] = storeWeight(b[i]);
     }

@@ -6,7 +6,8 @@ namespace fidelity
 {
 
 Network::Network(std::string name)
-    : name_(std::move(name))
+    : name_(std::move(name)),
+      macOpsCache_(std::make_unique<MacOpsCache>())
 {
     // Node 0 is the external input.
     nodes_.push_back(Node{nullptr, {}});
@@ -167,20 +168,38 @@ Network::macNodes() const
 }
 
 std::uint64_t
-Network::totalMacOps(const Tensor &input) const
+Network::totalMacOps(const std::vector<Tensor> &acts) const
 {
-    std::vector<Tensor> acts = forwardAll(input);
+    panic_if(acts.size() != nodes_.size(),
+             "activation count mismatch in totalMacOps");
     std::uint64_t total = 0;
     for (NodeId id : macNodes()) {
         const auto *mac = dynamic_cast<const MacLayer *>(&layer(id));
-        auto ins = gatherInputs(id, acts);
-        // Touch the reduction length via one neuron recompute so
-        // MatMulAB has a defined value.
-        if (acts[id].size() > 0)
+        // MatMulAB derives its reduction length from the last
+        // execution; touch one neuron only if it has never run.
+        if (mac->reductionLength() == 0 && acts[id].size() > 0) {
+            auto ins = gatherInputs(id, acts);
             mac->computeNeuron(ins, acts[id].indexOf(0), nullptr);
+        }
         total += acts[id].size() *
                  static_cast<std::uint64_t>(mac->reductionLength());
     }
+    return total;
+}
+
+std::uint64_t
+Network::totalMacOps(const Tensor &input) const
+{
+    std::array<int, 4> key{input.n(), input.h(), input.w(), input.c()};
+    {
+        std::lock_guard<std::mutex> lock(macOpsCache_->mutex);
+        for (const auto &[k, v] : macOpsCache_->entries)
+            if (k == key)
+                return v;
+    }
+    std::uint64_t total = totalMacOps(forwardAll(input));
+    std::lock_guard<std::mutex> lock(macOpsCache_->mutex);
+    macOpsCache_->entries.emplace_back(key, total);
     return total;
 }
 

@@ -80,6 +80,57 @@ Pool::forward(const std::vector<const Tensor *> &ins) const
     return out;
 }
 
+Region
+Pool::propagateRegion(const std::vector<const Tensor *> &, int,
+                      const Region &in, const Tensor &out) const
+{
+    if (in.empty())
+        return Region{};
+    auto [h0, h1] = windowCone(in.h0, in.h1, window_, stride_, pad_, 1,
+                               out.h());
+    auto [w0, w1] = windowCone(in.w0, in.w1, window_, stride_, pad_, 1,
+                               out.w());
+    Region r{in.n0, in.n1, h0, h1, w0, w1, in.c0, in.c1};
+    return r.clipped(out);
+}
+
+void
+Pool::forwardRegion(const std::vector<const Tensor *> &ins,
+                    const Region &region, Tensor &out) const
+{
+    // Mirrors forward() per element, including the FP16 rounding pass.
+    const Tensor &x = *ins[0];
+    bool half = precision_ == Precision::FP16;
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int oh = region.h0; oh < region.h1; ++oh) {
+            for (int ow = region.w0; ow < region.w1; ++ow) {
+                for (int c = region.c0; c < region.c1; ++c) {
+                    float acc = mode_ == Mode::Max
+                        ? -std::numeric_limits<float>::infinity()
+                        : 0.0f;
+                    for (int ph = 0; ph < window_; ++ph) {
+                        for (int pw = 0; pw < window_; ++pw) {
+                            int ih = oh * stride_ - pad_ + ph;
+                            int iw = ow * stride_ - pad_ + pw;
+                            float v = 0.0f;
+                            if (ih >= 0 && ih < x.h() && iw >= 0 &&
+                                iw < x.w())
+                                v = x.at(n, ih, iw, c);
+                            if (mode_ == Mode::Max)
+                                acc = std::max(acc, v);
+                            else
+                                acc += v;
+                        }
+                    }
+                    if (mode_ == Mode::Avg)
+                        acc /= static_cast<float>(window_ * window_);
+                    out.at(n, oh, ow, c) = half ? roundToHalf(acc) : acc;
+                }
+            }
+        }
+    }
+}
+
 GlobalAvgPool::GlobalAvgPool(std::string name)
     : Layer(std::move(name))
 {
@@ -110,6 +161,35 @@ GlobalAvgPool::forward(const std::vector<const Tensor *> &ins) const
     }
     roundForPrecision(out, precision_);
     return out;
+}
+
+Region
+GlobalAvgPool::propagateRegion(const std::vector<const Tensor *> &, int,
+                               const Region &in, const Tensor &out) const
+{
+    if (in.empty())
+        return Region{};
+    Region r{in.n0, in.n1, 0, 1, 0, 1, in.c0, in.c1};
+    return r.clipped(out);
+}
+
+void
+GlobalAvgPool::forwardRegion(const std::vector<const Tensor *> &ins,
+                             const Region &region, Tensor &out) const
+{
+    const Tensor &x = *ins[0];
+    bool half = precision_ == Precision::FP16;
+    double denom = static_cast<double>(x.h()) * x.w();
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int c = region.c0; c < region.c1; ++c) {
+            double acc = 0.0;
+            for (int h = 0; h < x.h(); ++h)
+                for (int w = 0; w < x.w(); ++w)
+                    acc += x.at(n, h, w, c);
+            float v = static_cast<float>(acc / denom);
+            out.at(n, 0, 0, c) = half ? roundToHalf(v) : v;
+        }
+    }
 }
 
 } // namespace fidelity

@@ -1,0 +1,31 @@
+#include "sim/arena.hh"
+
+namespace fidelity
+{
+
+std::size_t
+Arena::bytesHeld() const
+{
+    std::size_t bytes = 0;
+    for (const auto &b : floatPool_)
+        bytes += b.capacity() * sizeof(float);
+    for (const auto &b : intPool_)
+        bytes += b.capacity() * sizeof(std::int32_t);
+    return bytes;
+}
+
+void
+Arena::clear()
+{
+    floatPool_.clear();
+    intPool_.clear();
+}
+
+Arena &
+Arena::local()
+{
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace fidelity

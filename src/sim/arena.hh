@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Per-thread scratch-buffer arena for the injection hot path.
+ *
+ * Every software fault injection re-executes part of a network, and the
+ * layer kernels need transient conversion buffers (operands rounded
+ * into the active precision's stored form).  Allocating those per call
+ * dominates small-layer injections, so each worker thread owns an
+ * arena of pooled buffers: a lease checks a buffer out, the kernel uses
+ * it, and destruction returns the storage — with its grown capacity —
+ * to the pool.  Steady-state campaigns therefore run the conversion
+ * paths without touching the allocator.
+ *
+ * The arena is intentionally thread-local (Arena::local()): leases are
+ * only ever used within one kernel invocation on the leasing thread,
+ * so no synchronisation is needed.
+ */
+
+#ifndef FIDELITY_SIM_ARENA_HH
+#define FIDELITY_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fidelity
+{
+
+/** Pool of reusable scratch buffers owned by one worker thread. */
+class Arena
+{
+  public:
+    Arena() = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * RAII checkout of a pooled vector<T>.  The buffer is sized to the
+     * request (contents unspecified — callers overwrite) and returned
+     * to the owning arena, capacity intact, on destruction.
+     */
+    template <typename T>
+    class Lease
+    {
+      public:
+        Lease(Arena &arena, std::vector<T> &&buf)
+            : arena_(&arena), buf_(std::move(buf))
+        {
+        }
+
+        ~Lease()
+        {
+            if (arena_)
+                arena_->give(std::move(buf_));
+        }
+
+        Lease(Lease &&o) noexcept
+            : arena_(std::exchange(o.arena_, nullptr)),
+              buf_(std::move(o.buf_))
+        {
+        }
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        Lease &operator=(Lease &&) = delete;
+
+        T *data() { return buf_.data(); }
+        const T *data() const { return buf_.data(); }
+        std::size_t size() const { return buf_.size(); }
+        T &operator[](std::size_t i) { return buf_[i]; }
+        const T &operator[](std::size_t i) const { return buf_[i]; }
+        std::vector<T> &vec() { return buf_; }
+
+      private:
+        Arena *arena_;
+        std::vector<T> buf_;
+    };
+
+    /** Check out a float buffer of n elements. */
+    Lease<float> floats(std::size_t n) { return lease(floatPool_, n); }
+
+    /** Check out an int32 buffer of n elements. */
+    Lease<std::int32_t>
+    ints(std::size_t n)
+    {
+        return lease(intPool_, n);
+    }
+
+    /** Buffers currently parked in the pools. */
+    std::size_t
+    pooledBuffers() const
+    {
+        return floatPool_.size() + intPool_.size();
+    }
+
+    /** Bytes of capacity held by parked buffers. */
+    std::size_t bytesHeld() const;
+
+    /** Checkouts that reused pooled storage. */
+    std::uint64_t reuses() const { return reuses_; }
+
+    /** Checkouts that had to create a fresh buffer. */
+    std::uint64_t allocations() const { return allocations_; }
+
+    /** Drop all pooled storage (buffers on lease are unaffected). */
+    void clear();
+
+    /** The calling thread's arena, created on first use. */
+    static Arena &local();
+
+  private:
+    template <typename T>
+    Lease<T>
+    lease(std::vector<std::vector<T>> &pool, std::size_t n)
+    {
+        std::vector<T> buf;
+        if (!pool.empty()) {
+            buf = std::move(pool.back());
+            pool.pop_back();
+            ++reuses_;
+        } else {
+            ++allocations_;
+        }
+        buf.resize(n);
+        return Lease<T>(*this, std::move(buf));
+    }
+
+    void give(std::vector<float> &&buf)
+    {
+        floatPool_.push_back(std::move(buf));
+    }
+
+    void give(std::vector<std::int32_t> &&buf)
+    {
+        intPool_.push_back(std::move(buf));
+    }
+
+    std::vector<std::vector<float>> floatPool_;
+    std::vector<std::vector<std::int32_t>> intPool_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_ARENA_HH

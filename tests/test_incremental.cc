@@ -1,0 +1,472 @@
+/**
+ * @file
+ * The incremental re-execution engine's correctness contract.
+ *
+ * Region algebra and windowCone unit tests; brute-force checks that
+ * every layer's propagateRegion is conservative (no output the fault
+ * can reach escapes the cone); differential tests asserting the engine
+ * is bit-identical to Network::forwardFrom across FP32/FP16/INT8 on a
+ * multi-branch DAG with grouped/dilated/strided/padded convolutions;
+ * the early masking exit; the per-thread arena; and full
+ * dense-vs-incremental campaign equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "core/campaign.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/elementwise.hh"
+#include "nn/fc.hh"
+#include "nn/incremental.hh"
+#include "nn/init.hh"
+#include "nn/network.hh"
+#include "nn/pool.hh"
+#include "nn/region.hh"
+#include "sim/arena.hh"
+#include "sim/rng.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+Tensor
+randomTensor(std::uint64_t seed, int n, int h, int w, int c)
+{
+    Rng rng(seed);
+    Tensor t(n, h, w, c);
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.normal(0, 1));
+    return t;
+}
+
+bool
+bitIdentical(const Tensor &a, const Tensor &b)
+{
+    if (!a.sameShape(b))
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::bit_cast<std::uint32_t>(a[i]) !=
+            std::bit_cast<std::uint32_t>(b[i]))
+            return false;
+    return true;
+}
+
+std::unique_ptr<Conv2D>
+makeConv(std::string name, const ConvSpec &spec, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::size_t wcount = static_cast<std::size_t>(spec.kh) * spec.kw *
+                         (spec.inC / spec.groups) * spec.outC;
+    int fan_in = spec.kh * spec.kw * (spec.inC / spec.groups);
+    return std::make_unique<Conv2D>(
+        std::move(name), spec, heWeights(rng, wcount, fan_in),
+        spec.bias ? smallBiases(rng, spec.outC) : std::vector<float>{});
+}
+
+/**
+ * A small CNN exercising every spatially-local layer the engine
+ * propagates through: padded, grouped (depthwise), dilated, and
+ * strided convolutions on two parallel branches, elementwise add,
+ * scale, channel concat, slice, max pooling, global average pooling,
+ * and a (globally-mixing) FC head.
+ */
+Network
+makeBranchy(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("branchy");
+    NodeId c1 = net.add(
+        makeConv("c1", {.inC = 4, .outC = 8, .pad = 1}, seed + 1), 0);
+    NodeId r1 = net.add(
+        std::make_unique<Activation>("relu1", Activation::Func::ReLU),
+        c1);
+    NodeId dw = net.add(
+        makeConv("dw", {.inC = 8, .outC = 8, .pad = 1, .groups = 8},
+                 seed + 2),
+        r1);
+    NodeId dil = net.add(
+        makeConv("dil", {.inC = 8, .outC = 8, .pad = 2, .dilation = 2},
+                 seed + 3),
+        r1);
+    NodeId add = net.add(std::make_unique<Elementwise>(
+                             "add", Elementwise::Op::Add),
+                         std::vector<NodeId>{dw, dil});
+    NodeId ss = net.add(
+        std::make_unique<ScaleShift>("ss", 0.5f, 0.1f), add);
+    NodeId cat = net.add(std::make_unique<ConcatC>("cat"),
+                         std::vector<NodeId>{add, ss});
+    NodeId sl = net.add(
+        std::make_unique<Slice>("sl", Slice::Axis::C, 4, 8), cat);
+    NodeId p = net.add(
+        std::make_unique<Pool>("pool", Pool::Mode::Max, 2, 2), sl);
+    NodeId c2 = net.add(
+        makeConv("c2", {.inC = 8, .outC = 8, .stride = 2, .pad = 1},
+                 seed + 4),
+        p);
+    NodeId gap = net.add(std::make_unique<GlobalAvgPool>("gap"), c2);
+    net.add(std::make_unique<FC>("fc", 8, 5, heWeights(rng, 40, 8),
+                                 smallBiases(rng, 5)),
+            gap);
+    return net;
+}
+
+} // namespace
+
+TEST(Region, BasicsAndAlgebra)
+{
+    Region r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.volume(), 0u);
+
+    r.include({0, 2, 3, 1});
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.volume(), 1u);
+    EXPECT_TRUE(r.contains({0, 2, 3, 1}));
+    EXPECT_FALSE(r.contains({0, 2, 3, 2}));
+    EXPECT_EQ(r, Region::of({0, 2, 3, 1}));
+
+    r.include({0, 4, 1, 3});
+    EXPECT_EQ(r.volume(), 1u * 3 * 3 * 3);
+    EXPECT_TRUE(r.contains({0, 3, 2, 2}));
+
+    Region o = Region::of({1, 0, 0, 0});
+    o.merge(r);
+    EXPECT_TRUE(o.contains({0, 2, 3, 1}));
+    EXPECT_TRUE(o.contains({1, 0, 0, 0}));
+
+    Tensor t(1, 4, 4, 2);
+    EXPECT_TRUE(Region::full(t).covers(t));
+    EXPECT_EQ(Region::full(t).volume(), t.size());
+    Region clipped = o.clipped(t);
+    EXPECT_EQ(clipped.n1, 1);
+    EXPECT_EQ(clipped.h1, 4);
+    EXPECT_EQ(clipped.c1, 2);
+    // Merging an empty region is a no-op.
+    Region e;
+    Region before = clipped;
+    clipped.merge(e);
+    EXPECT_EQ(clipped, before);
+}
+
+TEST(Region, WindowConeMatchesBruteForce)
+{
+    // For every (kernel, stride, pad, dilation) combination, and every
+    // input span, the cone must contain every output window that reads
+    // an input index in the span.  With dilation 1 the cone is exact;
+    // dilated windows have holes between taps, so the interval-based
+    // cone may conservatively include outputs that skip the span.
+    for (int k : {1, 2, 3, 5}) {
+        for (int stride : {1, 2, 3}) {
+            for (int pad : {0, 1, 2}) {
+                for (int dil : {1, 2}) {
+                    int in_dim = 9;
+                    int reach = (k - 1) * dil;
+                    int out_dim =
+                        (in_dim + 2 * pad - reach - 1) / stride + 1;
+                    if (out_dim <= 0)
+                        continue;
+                    for (int in0 = 0; in0 < in_dim; ++in0) {
+                        for (int in1 = in0 + 1; in1 <= in_dim; ++in1) {
+                            auto [lo, hi] = windowCone(
+                                in0, in1, k, stride, pad, dil, out_dim);
+                            for (int o = 0; o < out_dim; ++o) {
+                                bool reads = false;
+                                for (int t = 0; t < k; ++t) {
+                                    int i = o * stride - pad + t * dil;
+                                    reads = reads ||
+                                            (i >= in0 && i < in1);
+                                }
+                                bool in_cone = o >= lo && o < hi;
+                                if (dil == 1)
+                                    EXPECT_EQ(reads, in_cone)
+                                        << "k=" << k << " s=" << stride
+                                        << " p=" << pad << " d=" << dil
+                                        << " span=[" << in0 << ","
+                                        << in1 << ") out=" << o;
+                                else
+                                    EXPECT_TRUE(!reads || in_cone)
+                                        << "k=" << k << " s=" << stride
+                                        << " p=" << pad << " d=" << dil
+                                        << " span=[" << in0 << ","
+                                        << in1 << ") out=" << o;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Region, PropagateIsConservativePerLayer)
+{
+    // Perturb one input element, recompute the layer densely, and
+    // check every output that changed lies inside the propagated cone.
+    Tensor x = randomTensor(11, 1, 8, 8, 4);
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(
+        makeConv("plain", {.inC = 4, .outC = 6, .pad = 1}, 21));
+    layers.push_back(makeConv(
+        "strided",
+        {.inC = 4, .outC = 6, .kh = 5, .kw = 5, .stride = 2, .pad = 2},
+        22));
+    layers.push_back(makeConv(
+        "dilated", {.inC = 4, .outC = 4, .pad = 2, .dilation = 2}, 23));
+    layers.push_back(makeConv(
+        "grouped", {.inC = 4, .outC = 8, .pad = 1, .groups = 2}, 24));
+    layers.push_back(makeConv(
+        "depthwise", {.inC = 4, .outC = 4, .pad = 1, .groups = 4}, 25));
+    layers.push_back(makeConv("nopad", {.inC = 4, .outC = 4}, 26));
+    layers.push_back(
+        std::make_unique<Pool>("max", Pool::Mode::Max, 2, 2));
+    layers.push_back(
+        std::make_unique<Pool>("avgpad", Pool::Mode::Avg, 3, 2, 1));
+    layers.push_back(std::make_unique<GlobalAvgPool>("gap"));
+    layers.push_back(std::make_unique<Activation>(
+        "leaky", Activation::Func::LeakyReLU));
+    layers.push_back(
+        std::make_unique<Slice>("slice", Slice::Axis::C, 1, 2));
+    layers.push_back(
+        std::make_unique<ScaleShift>("scale", 2.0f, -1.0f));
+
+    Rng rng(31);
+    for (const auto &layer : layers) {
+        std::vector<const Tensor *> ins{&x};
+        Tensor golden = layer->forward(ins);
+        for (int trial = 0; trial < 12; ++trial) {
+            NeuronIndex at = x.indexOf(rng.below(static_cast<std::uint32_t>(x.size())));
+            Tensor fx = x;
+            fx.at(at) += 10.0f;
+            std::vector<const Tensor *> fins{&fx};
+            Tensor faulty = layer->forward(fins);
+            Region cone = layer->propagateRegion(ins, 0,
+                                                 Region::of(at), golden);
+            for (std::size_t i = 0; i < golden.size(); ++i) {
+                if (std::bit_cast<std::uint32_t>(golden[i]) ==
+                    std::bit_cast<std::uint32_t>(faulty[i]))
+                    continue;
+                EXPECT_TRUE(cone.contains(golden.indexOf(i)))
+                    << layer->name() << ": changed output "
+                    << golden.indexOf(i).str() << " outside cone "
+                    << cone.str() << " for fault at " << at.str();
+            }
+        }
+    }
+}
+
+TEST(Region, ConcatPropagatesBothInputs)
+{
+    Tensor a = randomTensor(41, 1, 4, 4, 3);
+    Tensor b = randomTensor(42, 1, 4, 4, 2);
+    ConcatC cat("cat");
+    std::vector<const Tensor *> ins{&a, &b};
+    Tensor out = cat.forward(ins);
+    Region ra = cat.propagateRegion(ins, 0, Region::of({0, 1, 2, 1}),
+                                    out);
+    EXPECT_TRUE(ra.contains({0, 1, 2, 1}));
+    Region rb = cat.propagateRegion(ins, 1, Region::of({0, 1, 2, 1}),
+                                    out);
+    EXPECT_TRUE(rb.contains({0, 1, 2, 4})); // shifted by a.c()
+    EXPECT_FALSE(rb.contains({0, 1, 2, 1}));
+}
+
+TEST(Incremental, ForwardRegionPatchMatchesDense)
+{
+    // forwardRegion over the full region must reproduce forward()
+    // bit-for-bit in every precision (same kernels, same order).
+    Tensor x = randomTensor(51, 1, 6, 6, 4);
+    for (Precision p : {Precision::FP32, Precision::FP16,
+                        Precision::INT8}) {
+        auto conv = makeConv(
+            "conv", {.inC = 4, .outC = 6, .pad = 1, .groups = 2}, 52);
+        conv->setPrecision(p);
+        std::vector<const Tensor *> ins{&x};
+        if (p == Precision::INT8) {
+            Tensor out = conv->forward(ins);
+            conv->calibrate(ins, out);
+        }
+        Tensor golden = conv->forward(ins);
+        Tensor patched(golden.n(), golden.h(), golden.w(), golden.c());
+        patched.fill(-777.0f);
+        conv->forwardRegion(ins, Region::full(golden), patched);
+        EXPECT_TRUE(bitIdentical(golden, patched))
+            << "precision " << static_cast<int>(p);
+    }
+}
+
+TEST(Incremental, BitIdenticalToForwardFromAcrossPrecisions)
+{
+    Tensor input = randomTensor(61, 1, 8, 8, 4);
+    for (Precision p : {Precision::FP32, Precision::FP16,
+                        Precision::INT8}) {
+        Network net = makeBranchy(60);
+        net.setPrecision(p);
+        if (p == Precision::INT8)
+            net.calibrate(input);
+        auto acts = net.forwardAll(input);
+        IncrementalEngine engine;
+        Rng rng(62);
+        for (NodeId node : net.macNodes()) {
+            const Tensor &golden = acts[node];
+            for (int trial = 0; trial < 8; ++trial) {
+                Tensor corrupted = golden;
+                Region fault;
+                int faults = 1 + static_cast<int>(
+                                     rng.below(3));
+                for (int f = 0; f < faults; ++f) {
+                    NeuronIndex at =
+                        golden.indexOf(rng.below(static_cast<std::uint32_t>(golden.size())));
+                    float v = trial == 0
+                        ? std::numeric_limits<float>::quiet_NaN()
+                        : static_cast<float>(rng.normal(0, 64));
+                    corrupted.at(at) = v;
+                    if (std::bit_cast<std::uint32_t>(v) !=
+                        std::bit_cast<std::uint32_t>(golden.at(at)))
+                        fault.include(at);
+                }
+                Tensor dense = net.forwardFrom(node, corrupted, acts);
+                const Tensor &fast =
+                    engine.run(net, node, corrupted, fault, acts);
+                EXPECT_TRUE(bitIdentical(dense, fast))
+                    << "node " << node << " trial " << trial
+                    << " precision " << static_cast<int>(p);
+            }
+        }
+    }
+}
+
+TEST(Incremental, DisabledEngineStillBitIdentical)
+{
+    // enabled=false degrades every layer to dense recompute inside the
+    // engine; the contract holds trivially and exercises that path.
+    Tensor input = randomTensor(71, 1, 8, 8, 4);
+    Network net = makeBranchy(70);
+    auto acts = net.forwardAll(input);
+    IncrementalOptions opt;
+    opt.enabled = false;
+    IncrementalEngine engine(opt);
+    NodeId node = net.macNodes().front();
+    Tensor corrupted = acts[node];
+    NeuronIndex at = corrupted.indexOf(7);
+    corrupted.at(at) = 1000.0f;
+    Tensor dense = net.forwardFrom(node, corrupted, acts);
+    const Tensor &fast = engine.run(net, node, corrupted,
+                                    Region::of(at), acts);
+    EXPECT_TRUE(bitIdentical(dense, fast));
+    EXPECT_EQ(engine.lastStats().layersIncremental, 0);
+}
+
+TEST(Incremental, EarlyMaskingExitSkipsDownstream)
+{
+    // Corrupt a neuron whose golden value is negative to a different
+    // negative value: the ReLU right after the conv flushes both to
+    // +0.0, the delta dies, and every layer past the ReLU is skipped.
+    Tensor input = randomTensor(81, 1, 8, 8, 4);
+    Network net = makeBranchy(80);
+    auto acts = net.forwardAll(input);
+    NodeId node = net.macNodes().front(); // c1, feeds relu1
+    const Tensor &golden = acts[node];
+    std::size_t neg = golden.size();
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+        if (golden[i] < -0.5f) {
+            neg = i;
+            break;
+        }
+    }
+    ASSERT_LT(neg, golden.size()) << "no negative conv output";
+
+    Tensor corrupted = golden;
+    NeuronIndex at = golden.indexOf(neg);
+    corrupted.at(at) = -1234.5f;
+
+    IncrementalEngine engine;
+    const Tensor &fast =
+        engine.run(net, node, corrupted, Region::of(at), acts);
+    EXPECT_TRUE(engine.lastStats().earlyMasked);
+    EXPECT_GT(engine.lastStats().layersSkipped, 0);
+    EXPECT_TRUE(bitIdentical(acts[net.outputNode()], fast));
+    // The dense path agrees, just slower.
+    Tensor dense = net.forwardFrom(node, corrupted, acts);
+    EXPECT_TRUE(bitIdentical(dense, fast));
+
+    // An injection whose bits never change is masked immediately.
+    const Tensor &same =
+        engine.run(net, node, golden, Region::of(at), acts);
+    EXPECT_TRUE(engine.lastStats().earlyMasked);
+    EXPECT_TRUE(bitIdentical(acts[net.outputNode()], same));
+}
+
+TEST(Arena, LeasesReuseCapacity)
+{
+    Arena arena;
+    {
+        auto f = arena.floats(64);
+        EXPECT_EQ(f.size(), 64u);
+        f[0] = 1.0f;
+        f[63] = 2.0f;
+        EXPECT_EQ(arena.allocations(), 1u);
+        EXPECT_EQ(arena.pooledBuffers(), 0u);
+    }
+    EXPECT_EQ(arena.pooledBuffers(), 1u);
+    {
+        auto f = arena.floats(32); // shrinking reuses the same buffer
+        EXPECT_EQ(f.size(), 32u);
+        EXPECT_EQ(arena.reuses(), 1u);
+        auto g = arena.floats(16); // concurrent lease: fresh buffer
+        EXPECT_EQ(arena.allocations(), 2u);
+        auto i = arena.ints(8);
+        EXPECT_EQ(i.size(), 8u);
+    }
+    EXPECT_EQ(arena.pooledBuffers(), 3u);
+    EXPECT_GT(arena.bytesHeld(), 0u);
+    arena.clear();
+    EXPECT_EQ(arena.pooledBuffers(), 0u);
+    EXPECT_EQ(arena.bytesHeld(), 0u);
+    // The thread-local arena is a singleton per thread.
+    EXPECT_EQ(&Arena::local(), &Arena::local());
+}
+
+TEST(Campaign, DenseAndIncrementalResultsIdentical)
+{
+    Network net = makeBranchy(90);
+    net.setPrecision(Precision::FP16);
+    Tensor input = randomTensor(91, 1, 8, 8, 4);
+
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = 8;
+    cfg.seed = 92;
+    cfg.numThreads = 2;
+
+    cfg.incremental = false;
+    CampaignResult dense = runCampaign(net, input, top1Match, cfg);
+    cfg.incremental = true;
+    CampaignResult fast = runCampaign(net, input, top1Match, cfg);
+
+    EXPECT_EQ(dense.totalInjections, fast.totalInjections);
+    ASSERT_EQ(dense.cells.size(), fast.cells.size());
+    for (std::size_t i = 0; i < dense.cells.size(); ++i) {
+        EXPECT_EQ(dense.cells[i].masked.successes(),
+                  fast.cells[i].masked.successes());
+        EXPECT_EQ(dense.cells[i].masked.trials(),
+                  fast.cells[i].masked.trials());
+    }
+    ASSERT_EQ(dense.singleNeuronSamples.size(),
+              fast.singleNeuronSamples.size());
+    for (std::size_t i = 0; i < dense.singleNeuronSamples.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                      dense.singleNeuronSamples[i].first),
+                  std::bit_cast<std::uint64_t>(
+                      fast.singleNeuronSamples[i].first));
+        EXPECT_EQ(dense.singleNeuronSamples[i].second,
+                  fast.singleNeuronSamples[i].second);
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(dense.fit.total()),
+              std::bit_cast<std::uint64_t>(fast.fit.total()));
+}
