@@ -1,22 +1,305 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the framework's hot kernels:
- * forward convolution, single-neuron recomputation, engine cycle rate,
- * software fault-model application, and the RNG.
+ * Kernel throughput and kernel-identity harness.
+ *
+ * Phase 1 measures per-layer-type MAC throughput (GFLOP/s, counting
+ * 2 ops per MAC) three ways, writing all to
+ * BENCH_kernel_throughput.json so the speedup is recorded from one
+ * machine and one binary:
+ *
+ *  - backend "<isa>" (e.g. "avx2"): the packed block kernels with the
+ *    intrinsic backend — the production forward path;
+ *  - backend "scalar": the per-neuron scalar reference
+ *    (computeNeuron() over every output), which is the execution
+ *    model the engine used before the kernel layer existed and still
+ *    uses for single-neuron probes — the speedup baseline;
+ *  - backend "scalar-block": the block kernels with the scalar twin
+ *    backend (runtime toggle off), isolating what the pack/block
+ *    restructure contributes without hand-written intrinsics.  On
+ *    hosts where the compiler auto-vectorizes the twin's lane arrays
+ *    this leg can approach the intrinsic one; it is a correctness
+ *    reference, not the baseline.
+ *
+ * All three outputs are compared bit-for-bit as a side effect.
+ *
+ * Phase 2 runs a small injection campaign twice — SIMD on and off —
+ * and exits non-zero if the campaign checksums differ: the CI smoke
+ * gate for the kernels' bit-identity contract.
+ *
+ * Phase 3 hands over to the original google-benchmark micros
+ * (forward conv, single-neuron recompute, engine cycle rate, fault
+ * models, RNG); `--benchmark_filter=^$` skips them for smoke runs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
 #include "accel/nvdla_fi.hh"
+#include "bench/common.hh"
 #include "core/fault_models.hh"
 #include "nn/conv.hh"
+#include "nn/fc.hh"
 #include "nn/init.hh"
+#include "nn/layer.hh"
+#include "nn/matmul.hh"
 #include "sim/rng.hh"
+#include "simd/simd.hh"
 
 using namespace fidelity;
 
 namespace
 {
+
+/** A layer with its inputs and the MAC count of one forward pass. */
+struct KernelCase
+{
+    std::string name;
+    std::unique_ptr<Layer> layer;
+    std::vector<Tensor> inputs;
+    std::int64_t macs = 0;
+
+    std::vector<const Tensor *>
+    ins() const
+    {
+        std::vector<const Tensor *> p;
+        for (const Tensor &t : inputs)
+            p.push_back(&t);
+        return p;
+    }
+};
+
+Tensor
+randomTensor(Rng &rng, int n, int h, int w, int c)
+{
+    Tensor t(n, h, w, c);
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.normal(0, 1));
+    return t;
+}
+
+KernelCase
+convCase(const std::string &name, int hw, int inC, int outC, int k,
+         int groups = 1)
+{
+    Rng rng(11);
+    KernelCase kc;
+    kc.name = name;
+    ConvSpec spec;
+    spec.inC = inC;
+    spec.outC = outC;
+    spec.kh = spec.kw = k;
+    spec.pad = k / 2;
+    spec.groups = groups;
+    std::size_t nw = static_cast<std::size_t>(k) * k *
+                     (inC / groups) * outC;
+    auto conv = std::make_unique<Conv2D>(
+        name, spec, heWeights(rng, nw, k * k * inC / groups),
+        smallBiases(rng, outC));
+    kc.inputs.push_back(randomTensor(rng, 1, hw, hw, inC));
+    Tensor out = conv->makeOutput({&kc.inputs[0]});
+    kc.macs = static_cast<std::int64_t>(out.size()) *
+              conv->reductionLength();
+    kc.layer = std::move(conv);
+    return kc;
+}
+
+KernelCase
+fcCase(const std::string &name, int inC, int units)
+{
+    Rng rng(13);
+    KernelCase kc;
+    kc.name = name;
+    auto fc = std::make_unique<FC>(
+        name, inC, units,
+        heWeights(rng, static_cast<std::size_t>(inC) * units, inC),
+        smallBiases(rng, units));
+    kc.inputs.push_back(randomTensor(rng, 1, 4, 1, inC));
+    kc.macs = static_cast<std::int64_t>(4) * units * inC;
+    kc.layer = std::move(fc);
+    return kc;
+}
+
+KernelCase
+matmulCase(const std::string &name, int rows, int red, int cols,
+           bool transB)
+{
+    Rng rng(17);
+    KernelCase kc;
+    kc.name = name;
+    kc.layer = std::make_unique<MatMulAB>(name, transB, 1.0f);
+    kc.inputs.push_back(randomTensor(rng, 1, rows, 1, red));
+    kc.inputs.push_back(transB ? randomTensor(rng, 1, cols, 1, red)
+                               : randomTensor(rng, 1, red, 1, cols));
+    kc.macs = static_cast<std::int64_t>(rows) * red * cols;
+    return kc;
+}
+
+bool
+bitIdentical(const Tensor &a, const Tensor &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+/** Forward repeatedly for >= minSeconds; returns per-pass seconds. */
+double
+timeForward(const KernelCase &kc, double minSeconds)
+{
+    auto ins = kc.ins();
+    kc.layer->forward(ins); // warm up; builds weight packs
+    int iters = 0;
+    double elapsed = 0.0;
+    while (elapsed < minSeconds) {
+        elapsed += bench::timeSeconds([&] {
+            for (int i = 0; i < 4; ++i)
+                benchmark::DoNotOptimize(kc.layer->forward(ins));
+        });
+        iters += 4;
+    }
+    return elapsed / iters;
+}
+
+/** One forward pass through the per-neuron scalar reference path. */
+Tensor
+neuronForward(const KernelCase &kc)
+{
+    auto ins = kc.ins();
+    const auto *mac = dynamic_cast<const MacLayer *>(kc.layer.get());
+    Tensor out = kc.layer->makeOutput(ins);
+    for (int n = 0; n < out.n(); ++n)
+        for (int h = 0; h < out.h(); ++h)
+            for (int w = 0; w < out.w(); ++w)
+                for (int c = 0; c < out.c(); ++c)
+                    out.at(n, h, w, c) = mac->computeNeuron(
+                        ins, NeuronIndex{n, h, w, c}, nullptr);
+    return out;
+}
+
+/** Time the per-neuron reference like timeForward(). */
+double
+timeNeuronForward(const KernelCase &kc, double minSeconds)
+{
+    int iters = 0;
+    double elapsed = 0.0;
+    while (elapsed < minSeconds) {
+        elapsed += bench::timeSeconds(
+            [&] { benchmark::DoNotOptimize(neuronForward(kc)); });
+        ++iters;
+    }
+    return elapsed / iters;
+}
+
+struct DtypeSpec
+{
+    const char *name;
+    Precision precision;
+};
+
+constexpr DtypeSpec kDtypes[] = {
+    {"fp32", Precision::FP32},
+    {"fp16", Precision::FP16},
+    {"int8", Precision::INT8},
+    {"int16", Precision::INT16},
+};
+
+int
+runThroughput()
+{
+    const double minSeconds =
+        0.05 * bench::scaledSamples(10) / 10.0;
+    std::vector<KernelCase> cases;
+    cases.push_back(convCase("conv3x3", 16, 32, 64, 3));
+    cases.push_back(convCase("conv1x1", 16, 64, 64, 1));
+    cases.push_back(fcCase("fc", 256, 256));
+    cases.push_back(matmulCase("matmul", 64, 64, 64, false));
+
+    std::vector<bench::KernelThroughputRecord> records;
+    int failures = 0;
+    for (KernelCase &kc : cases) {
+        for (const DtypeSpec &dt : kDtypes) {
+            kc.layer->setPrecision(dt.precision);
+            if (dt.precision == Precision::INT8 ||
+                dt.precision == Precision::INT16) {
+                auto ins = kc.ins();
+                Tensor ref = kc.layer->forward(ins);
+                kc.layer->calibrate(ins, ref);
+            }
+
+            simd::setEnabled(true);
+            Tensor outSimd = kc.layer->forward(kc.ins());
+            double tSimd = timeForward(kc, minSeconds);
+            simd::setEnabled(false);
+            Tensor outTwin = kc.layer->forward(kc.ins());
+            double tTwin = timeForward(kc, minSeconds);
+            simd::setEnabled(true);
+            Tensor outRef = neuronForward(kc);
+            double tRef = timeNeuronForward(kc, minSeconds);
+
+            if (!bitIdentical(outSimd, outTwin)) {
+                std::cerr << "FAIL: " << kc.name << " " << dt.name
+                          << ": SIMD and scalar-twin outputs differ\n";
+                ++failures;
+            }
+            if (!bitIdentical(outSimd, outRef)) {
+                std::cerr << "FAIL: " << kc.name << " " << dt.name
+                          << ": SIMD and per-neuron outputs differ\n";
+                ++failures;
+            }
+
+            auto gflops = [&](double sec) {
+                return 2.0 * static_cast<double>(kc.macs) / sec / 1e9;
+            };
+            records.push_back({"bench_kernels", kc.name, dt.name,
+                               simd::backendName(), gflops(tSimd),
+                               tSimd});
+            records.push_back({"bench_kernels", kc.name, dt.name,
+                               "scalar", gflops(tRef), tRef});
+            records.push_back({"bench_kernels", kc.name, dt.name,
+                               "scalar-block", gflops(tTwin), tTwin});
+            std::cout << kc.name << " " << dt.name << ": simd "
+                      << gflops(tSimd) << " GFLOP/s, scalar "
+                      << gflops(tRef) << " GFLOP/s, scalar-block "
+                      << gflops(tTwin) << " GFLOP/s ("
+                      << tRef / tSimd << "x vs scalar)\n";
+        }
+    }
+    bench::writeKernelThroughputJson("bench_kernels", records);
+    std::cout << "wrote BENCH_kernel_throughput.json ("
+              << simd::backendName() << " vs scalar)\n";
+    return failures;
+}
+
+int
+runChecksumGate()
+{
+    // Whole-campaign identity: golden runs, fault injection, the
+    // incremental engine, and the metric all ride on the kernels, so
+    // equal checksums mean the backend toggle changed nothing.
+    int samples = bench::scaledSamples(20);
+    int failures = 0;
+    for (const DtypeSpec &dt : kDtypes) {
+        simd::setEnabled(true);
+        std::uint64_t withSimd = bench::campaignChecksum(
+            bench::runStudyCampaign("resnet", dt.precision,
+                                    top1Metric(), samples));
+        simd::setEnabled(false);
+        std::uint64_t scalar = bench::campaignChecksum(
+            bench::runStudyCampaign("resnet", dt.precision,
+                                    top1Metric(), samples));
+        simd::setEnabled(true);
+        std::cout << "campaign checksum resnet " << dt.name
+                  << ": simd " << std::hex << withSimd << ", scalar "
+                  << scalar << std::dec
+                  << (withSimd == scalar ? " (equal)\n"
+                                         : " MISMATCH\n");
+        if (withSimd != scalar)
+            ++failures;
+    }
+    return failures;
+}
 
 struct ConvSetup
 {
@@ -138,4 +421,20 @@ BENCHMARK(BM_RngDraws);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    int failures = runThroughput();
+    failures += runChecksumGate();
+    if (failures) {
+        std::cerr << failures
+                  << " SIMD-vs-scalar identity failure(s)\n";
+        return 1;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

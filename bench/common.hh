@@ -121,17 +121,16 @@ struct ThroughputRecord
 };
 
 /**
- * Merge this bench's throughput records into
- * BENCH_injection_throughput.json (one JSON object per line inside a
- * plain array).  Records from other benches already in the file are
- * preserved; any previous records of `bench` are replaced, so each
- * binary owns its rows and re-runs stay idempotent.
+ * Merge-by-bench line writer shared by the BENCH_*.json trajectory
+ * files (one JSON object per line inside a plain array).  Lines from
+ * other benches already in `path` are preserved; any previous lines of
+ * `bench` are replaced, so each binary owns its rows and re-runs stay
+ * idempotent.  `rows` are fully-rendered object lines that must embed
+ * `"bench": "<bench>"`.
  */
 inline void
-writeThroughputJson(const std::string &bench,
-                    const std::vector<ThroughputRecord> &records,
-                    const std::string &path =
-                        "BENCH_injection_throughput.json")
+mergeJsonLines(const std::string &path, const std::string &bench,
+               const std::vector<std::string> &rows)
 {
     // Keep other benches' lines.  The file is line-oriented by
     // construction, so a substring probe of the "bench" field is
@@ -151,6 +150,22 @@ writeThroughputJson(const std::string &bench,
             kept.push_back(line);
         }
     }
+    kept.insert(kept.end(), rows.begin(), rows.end());
+    std::ofstream out(path, std::ios::trunc);
+    out << "[\n";
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
+    out << "]\n";
+}
+
+/** Merge this bench's throughput records into the trajectory file. */
+inline void
+writeThroughputJson(const std::string &bench,
+                    const std::vector<ThroughputRecord> &records,
+                    const std::string &path =
+                        "BENCH_injection_throughput.json")
+{
+    std::vector<std::string> rows;
     for (const ThroughputRecord &r : records) {
         std::ostringstream os;
         os << "  {\"bench\": \"" << bench << "\", \"network\": \""
@@ -159,13 +174,40 @@ writeThroughputJson(const std::string &bench,
            << ", \"injections\": " << r.injections
            << ", \"wall_s\": " << r.wallSeconds
            << ", \"inj_per_s\": " << r.injPerSec() << "}";
-        kept.push_back(os.str());
+        rows.push_back(os.str());
     }
-    std::ofstream out(path, std::ios::trunc);
-    out << "[\n";
-    for (std::size_t i = 0; i < kept.size(); ++i)
-        out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
-    out << "]\n";
+    mergeJsonLines(path, bench, rows);
+}
+
+/** One per-kernel throughput measurement (scalar vs SIMD). */
+struct KernelThroughputRecord
+{
+    std::string bench;   //!< producing binary, e.g. "bench_kernels"
+    std::string kernel;  //!< "conv3x3", "fc", "matmul", ...
+    std::string dtype;   //!< "fp32", "fp16", "int8", "int16"
+    std::string backend; //!< simd::backendName() or "scalar"
+    double gflops = 0.0; //!< MAC throughput, 2*macs/seconds/1e9
+    double wallSeconds = 0.0;
+};
+
+/** Merge per-kernel GFLOP/s records into the kernel trajectory file. */
+inline void
+writeKernelThroughputJson(const std::string &bench,
+                          const std::vector<KernelThroughputRecord> &records,
+                          const std::string &path =
+                              "BENCH_kernel_throughput.json")
+{
+    std::vector<std::string> rows;
+    for (const KernelThroughputRecord &r : records) {
+        std::ostringstream os;
+        os << "  {\"bench\": \"" << bench << "\", \"kernel\": \""
+           << r.kernel << "\", \"dtype\": \"" << r.dtype
+           << "\", \"backend\": \"" << r.backend
+           << "\", \"gflops\": " << r.gflops
+           << ", \"wall_s\": " << r.wallSeconds << "}";
+        rows.push_back(os.str());
+    }
+    mergeJsonLines(path, bench, rows);
 }
 
 /** Format a FIT breakdown row: datapath / local / global / total. */

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "simd/convert.hh"
+#include "simd/simd.hh"
 #include "tensor/bitops.hh"
 
 namespace fidelity
@@ -42,11 +44,32 @@ Activation::forward(const std::vector<const Tensor *> &ins) const
 {
     const Tensor &x = *ins[0];
     Tensor out = makeOutput(ins);
-    bool half = precision_ == Precision::FP16;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        float v = apply(x[i]);
-        out[i] = half ? roundToHalf(v) : v;
+    const float *xd = x.data().data();
+    float *od = out.data().data();
+    const std::size_t sz = x.size();
+    if (func_ == Func::ReLU || func_ == Func::LeakyReLU) {
+        // x > 0 ? x : {0, alpha*x} — the ordered-GT select matches the
+        // scalar ternary exactly (NaN takes the negative branch).
+        simd::dispatch([&](auto bk) {
+            using B = decltype(bk);
+            constexpr int L = B::kF32Lanes;
+            auto va = B::f32broadcast(alpha_);
+            std::size_t i = 0;
+            for (; i + L <= sz; i += L) {
+                auto vx = B::f32load(xd + i);
+                auto neg = func_ == Func::ReLU ? B::f32zero()
+                                               : B::f32mul(va, vx);
+                B::f32store(od + i, B::f32selectGtZero(vx, vx, neg));
+            }
+            for (; i < sz; ++i)
+                od[i] = apply(xd[i]);
+        });
+    } else {
+        for (std::size_t i = 0; i < sz; ++i)
+            od[i] = apply(xd[i]);
     }
+    if (precision_ == Precision::FP16)
+        simd::roundToHalfBatch(od, od, sz);
     return out;
 }
 

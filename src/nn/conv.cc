@@ -1,13 +1,161 @@
 #include "nn/conv.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/arena.hh"
 #include "sim/logging.hh"
+#include "simd/convert.hh"
+#include "simd/pack.hh"
+#include "simd/simd.hh"
 #include "tensor/bitops.hh"
 
 namespace fidelity
 {
+
+namespace
+{
+
+/**
+ * Float-mode block kernel over one output region.
+ *
+ * Vectorizes across output-channel lanes: each lane accumulates its
+ * own output in the canonical (ci, kh, kw) order with an unfused
+ * multiply-add per term, so every lane is bit-identical to the scalar
+ * kernel and to computeNeuron().  `loadX(n, ih, iw, ci)` returns the
+ * stored-form operand (the zero stored-form when out of range), and
+ * `wb(acc, oc)` applies bias and the writeback path.
+ *
+ * The operands for one output pixel are gathered into `xg` (caller
+ * scratch of `cpg * kh * kw` elements) once per group, so the tap
+ * index arithmetic, padding tests, and operand conversions are not
+ * repeated for every lane block — the per-block loop is a pure
+ * broadcast/load/mul-add stream over the packed weights.
+ */
+template <class B, class LoadX, class WB>
+void
+convRegionFloat(const ConvSpec &spec, int cpg, int opg,
+                const float *packed, const Region &r, Tensor &out,
+                float *xg, LoadX loadX, WB wb)
+{
+    constexpr int L = B::kF32Lanes;
+    const int blocksPerGroup = simd::packBlocks(opg, L);
+    const std::size_t redLen =
+        static_cast<std::size_t>(cpg) * spec.kh * spec.kw;
+    const std::size_t blkStride = redLen * L;
+    const std::size_t gStride = blocksPerGroup * blkStride;
+    const int g0 = r.c0 / opg;
+    const int g1 = (r.c1 - 1) / opg;
+
+    float lanes[L];
+    for (int n = r.n0; n < r.n1; ++n) {
+        for (int oh = r.h0; oh < r.h1; ++oh) {
+            for (int ow = r.w0; ow < r.w1; ++ow) {
+                std::size_t base = out.offset(n, oh, ow, 0);
+                for (int g = g0; g <= g1; ++g) {
+                    std::size_t t = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec.kh; ++kh) {
+                            int ih = oh * spec.stride - spec.pad +
+                                     kh * spec.dilation;
+                            for (int kw = 0; kw < spec.kw; ++kw) {
+                                int iw = ow * spec.stride - spec.pad +
+                                         kw * spec.dilation;
+                                xg[t++] = loadX(n, ih, iw, ci);
+                            }
+                        }
+                    }
+                    int lo = std::max(r.c0, g * opg);
+                    int hi = std::min(r.c1, (g + 1) * opg);
+                    int b0 = (lo - g * opg) / L;
+                    int b1 = (hi - 1 - g * opg) / L;
+                    for (int blk = b0; blk <= b1; ++blk) {
+                        const float *wrow =
+                            packed + g * gStride + blk * blkStride;
+                        auto acc = B::f32zero();
+                        for (std::size_t k = 0; k < redLen; ++k) {
+                            acc = B::f32mulAcc(acc,
+                                               B::f32broadcast(xg[k]),
+                                               B::f32load(wrow));
+                            wrow += L;
+                        }
+                        B::f32store(lanes, acc);
+                        int ocb = g * opg + blk * L;
+                        int s = std::max(lo, ocb);
+                        int e = std::min(hi, ocb + L);
+                        for (int oc = s; oc < e; ++oc)
+                            out[base + oc] =
+                                wb(static_cast<double>(lanes[oc - ocb]),
+                                   oc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Integer-mode twin: int64 lane accumulators over int32 operands. */
+template <class B, class LoadX, class WB>
+void
+convRegionInt(const ConvSpec &spec, int cpg, int opg,
+              const std::int32_t *packed, const Region &r, Tensor &out,
+              std::int32_t *xg, LoadX loadX, WB wb)
+{
+    constexpr int L = B::kI64Lanes;
+    const int blocksPerGroup = simd::packBlocks(opg, L);
+    const std::size_t redLen =
+        static_cast<std::size_t>(cpg) * spec.kh * spec.kw;
+    const std::size_t blkStride = redLen * L;
+    const std::size_t gStride = blocksPerGroup * blkStride;
+    const int g0 = r.c0 / opg;
+    const int g1 = (r.c1 - 1) / opg;
+
+    std::int64_t lanes[L];
+    for (int n = r.n0; n < r.n1; ++n) {
+        for (int oh = r.h0; oh < r.h1; ++oh) {
+            for (int ow = r.w0; ow < r.w1; ++ow) {
+                std::size_t base = out.offset(n, oh, ow, 0);
+                for (int g = g0; g <= g1; ++g) {
+                    std::size_t t = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec.kh; ++kh) {
+                            int ih = oh * spec.stride - spec.pad +
+                                     kh * spec.dilation;
+                            for (int kw = 0; kw < spec.kw; ++kw) {
+                                int iw = ow * spec.stride - spec.pad +
+                                         kw * spec.dilation;
+                                xg[t++] = loadX(n, ih, iw, ci);
+                            }
+                        }
+                    }
+                    int lo = std::max(r.c0, g * opg);
+                    int hi = std::min(r.c1, (g + 1) * opg);
+                    int b0 = (lo - g * opg) / L;
+                    int b1 = (hi - 1 - g * opg) / L;
+                    for (int blk = b0; blk <= b1; ++blk) {
+                        const std::int32_t *wrow =
+                            packed + g * gStride + blk * blkStride;
+                        auto acc = B::i64zero();
+                        for (std::size_t k = 0; k < redLen; ++k) {
+                            acc = B::i64mulAcc(acc, xg[k], wrow);
+                            wrow += L;
+                        }
+                        B::i64store(lanes, acc);
+                        int ocb = g * opg + blk * L;
+                        int s = std::max(lo, ocb);
+                        int e = std::min(hi, ocb + L);
+                        for (int oc = s; oc < e; ++oc)
+                            out[base + oc] = wb(lanes[oc - ocb], oc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
 
 Conv2D::Conv2D(std::string name, const ConvSpec &spec,
                std::vector<float> weights, std::vector<float> bias)
@@ -31,6 +179,9 @@ Conv2D::Conv2D(std::string name, const ConvSpec &spec,
         fatal_if(!bias_.empty(), "conv ", name_,
                  ": bias data given but spec.bias is false");
     }
+    // Immutable weights pack once, here; the quantised modes repack
+    // lazily through onQuantChanged().
+    packWeights();
 }
 
 int
@@ -161,101 +312,138 @@ Conv2D::computeNeuron(const std::vector<const Tensor *> &ins,
 }
 
 void
-Conv2D::refreshWeightCache() const
+Conv2D::packWeights() const
 {
+    // Convert the raw weights into the active precision's stored form
+    // (vectorized batch converters), then scatter into the lane-
+    // blocked [g][ocBlock][cig][kh][kw][lane] layout the block kernels
+    // stream.
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
+    const int cpg = spec_.inC / spec_.groups;
+    const int opg = spec_.outC / spec_.groups;
+    const int khw = spec_.kh * spec_.kw;
+    const int redLen = cpg * khw;
+    Arena &arena = Arena::local();
+
+    auto origIndex = [&](int g, int k, int c) {
+        int cig = k / khw;
+        int kh = (k % khw) / spec_.kw;
+        int kw = k % spec_.kw;
+        return ((static_cast<std::size_t>(kh) * spec_.kw + kw) * cpg +
+                cig) * spec_.outC + g * opg + c;
+    };
+
     if (integer) {
-        wQuant32_.resize(weights_.size());
-        for (std::size_t i = 0; i < weights_.size(); ++i)
-            wQuant32_[i] = quantWeight(weights_[i]);
+        constexpr int L = simd::kI64Lanes;
+        auto tmp = arena.ints(weights_.size());
+        simd::quantizeBatch(weights_.data(), tmp.data(),
+                            weights_.size(), wQuant_);
+        std::size_t gStride = simd::packSize(redLen, opg, L);
+        wPackI_.resize(gStride * spec_.groups);
+        wPackF_.clear();
+        for (int g = 0; g < spec_.groups; ++g)
+            simd::packLaneBlocked(
+                redLen, opg, L,
+                [&](int k, int c) { return tmp[origIndex(g, k, c)]; },
+                wPackI_.data() + g * gStride);
     } else {
-        wStored_.resize(weights_.size());
-        for (std::size_t i = 0; i < weights_.size(); ++i)
-            wStored_[i] = storeWeight(weights_[i]);
+        constexpr int L = simd::kF32Lanes;
+        const float *src = weights_.data();
+        Arena::Lease<float> tmp = arena.floats(
+            precision_ == Precision::FP16 ? weights_.size() : 0);
+        if (precision_ == Precision::FP16) {
+            simd::roundToHalfBatch(weights_.data(), tmp.data(),
+                                   weights_.size());
+            src = tmp.data();
+        }
+        std::size_t gStride = simd::packSize(redLen, opg, L);
+        wPackF_.resize(gStride * spec_.groups);
+        wPackI_.clear();
+        for (int g = 0; g < spec_.groups; ++g)
+            simd::packLaneBlocked(
+                redLen, opg, L,
+                [&](int k, int c) { return src[origIndex(g, k, c)]; },
+                wPackF_.data() + g * gStride);
     }
-    wCacheValid_ = true;
+    wPackValid_ = true;
 }
 
 Tensor
 Conv2D::forward(const std::vector<const Tensor *> &ins) const
 {
     // Fast path, bit-identical to computeNeuron(): operands are
-    // converted into their stored form once, then accumulated in the
-    // canonical (ci, kh, kw) order with the same arithmetic.
+    // converted into their stored form once, then lane blocks of
+    // output channels accumulate in the canonical (ci, kh, kw) order
+    // with the same arithmetic.
     Tensor out = makeOutput(ins);
     const Tensor &x = *ins[0];
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
-    if (!wCacheValid_)
-        refreshWeightCache();
+    if (!wPackValid_)
+        packWeights();
 
+    const std::size_t redLen = static_cast<std::size_t>(spec_.kh) *
+                               spec_.kw * (spec_.inC / spec_.groups);
     Arena &arena = Arena::local();
-    auto xs = arena.floats(integer ? 0 : x.size());
+    auto xs = arena.floats(
+        integer || precision_ == Precision::FP32 ? 0 : x.size());
     auto xq = arena.ints(integer ? x.size() : 0);
+    auto xgF = arena.floats(integer ? 0 : redLen);
+    auto xgI = arena.ints(integer ? redLen : 0);
+    const float *xf = x.data().data();
     if (integer) {
-        for (std::size_t i = 0; i < x.size(); ++i)
-            xq[i] = quantInput(x[i]);
-    } else {
-        for (std::size_t i = 0; i < x.size(); ++i)
-            xs[i] = storeInput(x[i]);
+        simd::quantizeBatch(xf, xq.data(), x.size(), inQuant_);
+    } else if (precision_ == Precision::FP16) {
+        simd::roundToHalfBatch(xf, xs.data(), x.size());
+        xf = xs.data();
     }
 
     const int cpg = spec_.inC / spec_.groups;
     const int opg = spec_.outC / spec_.groups;
     const int xh = x.h(), xw = x.w(), xc = x.c();
-    const std::int32_t zero_q = integer ? quantInput(0.0f) : 0;
-    const float zero_s = integer ? 0.0f : storeInput(0.0f);
+    const Region full = Region::full(out);
+    auto biasAt = [&](int oc) {
+        return spec_.bias ? bias_[oc] : 0.0f;
+    };
 
-    std::size_t flat = 0;
-    for (int n = 0; n < out.n(); ++n) {
-        for (int oh = 0; oh < out.h(); ++oh) {
-            for (int ow = 0; ow < out.w(); ++ow) {
-                for (int oc = 0; oc < out.c(); ++oc, ++flat) {
-                    int g = oc / opg;
-                    float acc = 0.0f;
-                    std::int64_t iacc = 0;
-                    for (int cig = 0; cig < cpg; ++cig) {
-                        int ci = g * cpg + cig;
-                        for (int kh = 0; kh < spec_.kh; ++kh) {
-                            int ih = oh * spec_.stride - spec_.pad +
-                                     kh * spec_.dilation;
-                            for (int kw = 0; kw < spec_.kw; ++kw) {
-                                int iw = ow * spec_.stride - spec_.pad +
-                                         kw * spec_.dilation;
-                                bool ok = ih >= 0 && ih < xh &&
-                                          iw >= 0 && iw < xw;
-                                std::size_t xo = ok
-                                    ? ((static_cast<std::size_t>(n) *
-                                            xh + ih) * xw + iw) * xc + ci
-                                    : 0;
-                                std::size_t wi =
-                                    ((static_cast<std::size_t>(kh) *
-                                          spec_.kw + kw) * cpg + cig) *
-                                        spec_.outC + oc;
-                                if (integer) {
-                                    std::int32_t xv =
-                                        ok ? xq[xo] : zero_q;
-                                    iacc +=
-                                        static_cast<std::int64_t>(xv) *
-                                        wQuant32_[wi];
-                                } else {
-                                    float xv = ok ? xs[xo] : zero_s;
-                                    acc += xv * wStored_[wi];
-                                }
-                            }
-                        }
-                    }
-                    double facc = integer
-                        ? static_cast<double>(iacc) * inQuant_.scale *
-                              wQuant_.scale
-                        : static_cast<double>(acc);
-                    float b = spec_.bias ? bias_[oc] : 0.0f;
-                    out[flat] = writeback(facc, b);
-                }
-            }
+    simd::dispatch([&](auto b) {
+        using B = decltype(b);
+        if (integer) {
+            const std::int32_t *xqd = xq.data();
+            const std::int32_t zero_q = quantInput(0.0f);
+            convRegionInt<B>(
+                spec_, cpg, opg, wPackI_.data(), full, out, xgI.data(),
+                [&](int n, int ih, int iw, int ci) {
+                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                    return ok
+                        ? xqd[((static_cast<std::size_t>(n) * xh + ih) *
+                                   xw + iw) * xc + ci]
+                        : zero_q;
+                },
+                [&](std::int64_t iacc, int oc) {
+                    // Left-associated like computeNeuron: the double
+                    // rounding order is part of the bit contract.
+                    return writeback(static_cast<double>(iacc) *
+                                         inQuant_.scale * wQuant_.scale,
+                                     biasAt(oc));
+                });
+        } else {
+            const float zero_s = storeInput(0.0f);
+            convRegionFloat<B>(
+                spec_, cpg, opg, wPackF_.data(), full, out, xgF.data(),
+                [&](int n, int ih, int iw, int ci) {
+                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                    return ok
+                        ? xf[((static_cast<std::size_t>(n) * xh + ih) *
+                                  xw + iw) * xc + ci]
+                        : zero_s;
+                },
+                [&](double acc, int oc) {
+                    return writeback(acc, biasAt(oc));
+                });
         }
-    }
+    });
     return out;
 }
 
@@ -284,72 +472,71 @@ void
 Conv2D::forwardRegion(const std::vector<const Tensor *> &ins,
                       const Region &region, Tensor &out) const
 {
-    // The loop body mirrors forward() exactly — operands pass through
-    // the same store/quant conversions and accumulate in the same
-    // (ci, kh, kw) order — restricted to the requested output box.
+    // Same block kernels as forward(), restricted to the requested
+    // output box; operands convert on the fly (once per broadcast
+    // term, not once per output channel).
     checkInput(ins);
+    if (region.empty())
+        return;
     const Tensor &x = *ins[0];
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
-    if (!wCacheValid_)
-        refreshWeightCache();
+    if (!wPackValid_)
+        packWeights();
 
     const int cpg = spec_.inC / spec_.groups;
     const int opg = spec_.outC / spec_.groups;
     const int xh = x.h(), xw = x.w(), xc = x.c();
     const float *xd = x.data().data();
-    const std::int32_t zero_q = integer ? quantInput(0.0f) : 0;
-    const float zero_s = integer ? 0.0f : storeInput(0.0f);
+    const std::size_t redLen =
+        static_cast<std::size_t>(spec_.kh) * spec_.kw * cpg;
+    Arena &arena = Arena::local();
+    auto xgF = arena.floats(integer ? 0 : redLen);
+    auto xgI = arena.ints(integer ? redLen : 0);
+    auto biasAt = [&](int oc) {
+        return spec_.bias ? bias_[oc] : 0.0f;
+    };
 
-    for (int n = region.n0; n < region.n1; ++n) {
-        for (int oh = region.h0; oh < region.h1; ++oh) {
-            for (int ow = region.w0; ow < region.w1; ++ow) {
-                for (int oc = region.c0; oc < region.c1; ++oc) {
-                    int g = oc / opg;
-                    float acc = 0.0f;
-                    std::int64_t iacc = 0;
-                    for (int cig = 0; cig < cpg; ++cig) {
-                        int ci = g * cpg + cig;
-                        for (int kh = 0; kh < spec_.kh; ++kh) {
-                            int ih = oh * spec_.stride - spec_.pad +
-                                     kh * spec_.dilation;
-                            for (int kw = 0; kw < spec_.kw; ++kw) {
-                                int iw = ow * spec_.stride - spec_.pad +
-                                         kw * spec_.dilation;
-                                bool ok = ih >= 0 && ih < xh &&
-                                          iw >= 0 && iw < xw;
-                                std::size_t xo = ok
-                                    ? ((static_cast<std::size_t>(n) *
-                                            xh + ih) * xw + iw) * xc + ci
-                                    : 0;
-                                std::size_t wi =
-                                    ((static_cast<std::size_t>(kh) *
-                                          spec_.kw + kw) * cpg + cig) *
-                                        spec_.outC + oc;
-                                if (integer) {
-                                    std::int32_t xv =
-                                        ok ? quantInput(xd[xo]) : zero_q;
-                                    iacc +=
-                                        static_cast<std::int64_t>(xv) *
-                                        wQuant32_[wi];
-                                } else {
-                                    float xv =
-                                        ok ? storeInput(xd[xo]) : zero_s;
-                                    acc += xv * wStored_[wi];
-                                }
-                            }
-                        }
-                    }
-                    double facc = integer
-                        ? static_cast<double>(iacc) * inQuant_.scale *
-                              wQuant_.scale
-                        : static_cast<double>(acc);
-                    float b = spec_.bias ? bias_[oc] : 0.0f;
-                    out.at(n, oh, ow, oc) = writeback(facc, b);
-                }
-            }
+    simd::dispatch([&](auto b) {
+        using B = decltype(b);
+        if (integer) {
+            const std::int32_t zero_q = quantInput(0.0f);
+            convRegionInt<B>(
+                spec_, cpg, opg, wPackI_.data(), region, out,
+                xgI.data(),
+                [&](int n, int ih, int iw, int ci) {
+                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                    return ok
+                        ? quantInput(
+                              xd[((static_cast<std::size_t>(n) * xh +
+                                   ih) * xw + iw) * xc + ci])
+                        : zero_q;
+                },
+                [&](std::int64_t iacc, int oc) {
+                    // Left-associated like computeNeuron: the double
+                    // rounding order is part of the bit contract.
+                    return writeback(static_cast<double>(iacc) *
+                                         inQuant_.scale * wQuant_.scale,
+                                     biasAt(oc));
+                });
+        } else {
+            const float zero_s = storeInput(0.0f);
+            convRegionFloat<B>(
+                spec_, cpg, opg, wPackF_.data(), region, out,
+                xgF.data(),
+                [&](int n, int ih, int iw, int ci) {
+                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                    return ok
+                        ? storeInput(
+                              xd[((static_cast<std::size_t>(n) * xh +
+                                   ih) * xw + iw) * xc + ci])
+                        : zero_s;
+                },
+                [&](double acc, int oc) {
+                    return writeback(acc, biasAt(oc));
+                });
         }
-    }
+    });
 }
 
 std::size_t

@@ -94,25 +94,27 @@ class Conv2D : public MacLayer
     int outDim(int in_dim, int k) const;
 
   protected:
-    void onQuantChanged() override { wCacheValid_ = false; }
+    void onQuantChanged() override { wPackValid_ = false; }
 
   private:
     /** Validate the shape of the input tensor. */
     void checkInput(const std::vector<const Tensor *> &ins) const;
 
-    /** Re-derive the precision-converted weight cache. */
-    void refreshWeightCache() const;
+    /** Re-pack weights into the lane-blocked kernel layout. */
+    void packWeights() const;
 
     ConvSpec spec_;
     std::vector<float> weights_;
     std::vector<float> bias_;
 
-    // forward() fast path: weights pre-converted into the active
+    // Kernel fast path: weights pre-converted into the active
     // precision's stored form (bit-identical to storeWeight /
-    // quantWeight per element).
-    mutable bool wCacheValid_ = false;
-    mutable std::vector<float> wStored_;
-    mutable std::vector<std::int32_t> wQuant32_;
+    // quantWeight per element) and packed lane-blocked per group
+    // (see simd/pack.hh).  Built at construction; precision or
+    // quantisation changes invalidate and repack lazily.
+    mutable bool wPackValid_ = false;
+    mutable std::vector<float> wPackF_;
+    mutable std::vector<std::int32_t> wPackI_;
 };
 
 } // namespace fidelity

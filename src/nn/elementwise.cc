@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "simd/convert.hh"
+#include "simd/simd.hh"
 #include "tensor/bitops.hh"
 
 namespace fidelity
@@ -15,8 +17,8 @@ void
 roundForPrecision(Tensor &t, Precision p)
 {
     if (p == Precision::FP16)
-        for (std::size_t i = 0; i < t.size(); ++i)
-            t[i] = roundToHalf(t[i]);
+        simd::roundToHalfBatch(t.data().data(), t.data().data(),
+                               t.size());
 }
 
 } // namespace
@@ -43,19 +45,27 @@ Elementwise::forward(const std::vector<const Tensor *> &ins) const
     const Tensor &a = *ins[0];
     const Tensor &b = *ins[1];
     Tensor out = makeOutput(ins);
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        switch (op_) {
-          case Op::Add:
-            out[i] = a[i] + b[i];
-            break;
-          case Op::Mul:
-            out[i] = a[i] * b[i];
-            break;
-          case Op::Sub:
-            out[i] = a[i] - b[i];
-            break;
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *od = out.data().data();
+    const std::size_t sz = a.size();
+    simd::dispatch([&](auto bk) {
+        using B = decltype(bk);
+        constexpr int L = B::kF32Lanes;
+        std::size_t i = 0;
+        for (; i + L <= sz; i += L) {
+            auto va = B::f32load(ad + i);
+            auto vb = B::f32load(bd + i);
+            auto v = op_ == Op::Add ? B::f32add(va, vb)
+                   : op_ == Op::Mul ? B::f32mul(va, vb)
+                                    : B::f32sub(va, vb);
+            B::f32store(od + i, v);
         }
-    }
+        for (; i < sz; ++i)
+            od[i] = op_ == Op::Add ? ad[i] + bd[i]
+                  : op_ == Op::Mul ? ad[i] * bd[i]
+                                   : ad[i] - bd[i];
+    });
     roundForPrecision(out, precision_);
     return out;
 }
@@ -250,8 +260,22 @@ ScaleShift::forward(const std::vector<const Tensor *> &ins) const
 {
     const Tensor &x = *ins[0];
     Tensor out = makeOutput(ins);
-    for (std::size_t i = 0; i < x.size(); ++i)
-        out[i] = scale_ * x[i] + shift_;
+    const float *xd = x.data().data();
+    float *od = out.data().data();
+    const std::size_t sz = x.size();
+    simd::dispatch([&](auto bk) {
+        using B = decltype(bk);
+        constexpr int L = B::kF32Lanes;
+        auto vs = B::f32broadcast(scale_);
+        auto vt = B::f32broadcast(shift_);
+        std::size_t i = 0;
+        for (; i + L <= sz; i += L)
+            B::f32store(od + i,
+                        B::f32add(B::f32mul(vs, B::f32load(xd + i)),
+                                  vt));
+        for (; i < sz; ++i)
+            od[i] = scale_ * xd[i] + shift_;
+    });
     roundForPrecision(out, precision_);
     return out;
 }

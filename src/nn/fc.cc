@@ -2,6 +2,8 @@
 
 #include "sim/arena.hh"
 #include "sim/logging.hh"
+#include "simd/convert.hh"
+#include "simd/gemm.hh"
 
 namespace fidelity
 {
@@ -19,6 +21,9 @@ FC::FC(std::string name, int in_c, int units, std::vector<float> weights,
     fatal_if(!bias_.empty() &&
              bias_.size() != static_cast<std::size_t>(units),
              "fc ", name_, ": bias size mismatch");
+    // Immutable weights pack once, here; the quantised modes repack
+    // lazily through onQuantChanged().
+    packWeights();
 }
 
 void
@@ -101,20 +106,42 @@ FC::computeNeuron(const std::vector<const Tensor *> &ins,
 }
 
 void
-FC::refreshWeightCache() const
+FC::packWeights() const
 {
+    // Stored-form conversion + lane-blocked scatter (see Conv2D).
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
+    Arena &arena = Arena::local();
+    auto get = [&](const auto *src) {
+        return [src, this](int k, int c) {
+            return src[static_cast<std::size_t>(k) * units_ + c];
+        };
+    };
     if (integer) {
-        wQuant32_.resize(weights_.size());
-        for (std::size_t i = 0; i < weights_.size(); ++i)
-            wQuant32_[i] = quantWeight(weights_[i]);
+        constexpr int L = simd::kI64Lanes;
+        auto tmp = arena.ints(weights_.size());
+        simd::quantizeBatch(weights_.data(), tmp.data(),
+                            weights_.size(), wQuant_);
+        wPackI_.resize(simd::packSize(inC_, units_, L));
+        wPackF_.clear();
+        simd::packLaneBlocked(inC_, units_, L, get(tmp.data()),
+                              wPackI_.data());
     } else {
-        wStored_.resize(weights_.size());
-        for (std::size_t i = 0; i < weights_.size(); ++i)
-            wStored_[i] = storeWeight(weights_[i]);
+        constexpr int L = simd::kF32Lanes;
+        const float *src = weights_.data();
+        Arena::Lease<float> tmp = arena.floats(
+            precision_ == Precision::FP16 ? weights_.size() : 0);
+        if (precision_ == Precision::FP16) {
+            simd::roundToHalfBatch(weights_.data(), tmp.data(),
+                                   weights_.size());
+            src = tmp.data();
+        }
+        wPackF_.resize(simd::packSize(inC_, units_, L));
+        wPackI_.clear();
+        simd::packLaneBlocked(inC_, units_, L, get(src),
+                              wPackF_.data());
     }
-    wCacheValid_ = true;
+    wPackValid_ = true;
 }
 
 Tensor
@@ -125,44 +152,43 @@ FC::forward(const std::vector<const Tensor *> &ins) const
     const Tensor &x = *ins[0];
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
-    if (!wCacheValid_)
-        refreshWeightCache();
+    if (!wPackValid_)
+        packWeights();
 
     Arena &arena = Arena::local();
-    auto xs = arena.floats(integer ? 0 : x.size());
+    auto xs = arena.floats(
+        integer || precision_ == Precision::FP32 ? 0 : x.size());
     auto xq = arena.ints(integer ? x.size() : 0);
+    const float *xf = x.data().data();
     if (integer) {
-        for (std::size_t i = 0; i < x.size(); ++i)
-            xq[i] = quantInput(x[i]);
-    } else {
-        for (std::size_t i = 0; i < x.size(); ++i)
-            xs[i] = storeInput(x[i]);
+        simd::quantizeBatch(xf, xq.data(), x.size(), inQuant_);
+    } else if (precision_ == Precision::FP16) {
+        simd::roundToHalfBatch(xf, xs.data(), x.size());
+        xf = xs.data();
     }
 
     std::size_t positions = x.size() / inC_;
-    std::size_t flat = 0;
-    for (std::size_t pos = 0; pos < positions; ++pos) {
-        std::size_t xbase = pos * inC_;
-        for (int u = 0; u < units_; ++u, ++flat) {
-            float acc = 0.0f;
-            std::int64_t iacc = 0;
-            for (int ci = 0; ci < inC_; ++ci) {
-                std::size_t wi =
-                    static_cast<std::size_t>(ci) * units_ + u;
-                if (integer)
-                    iacc += static_cast<std::int64_t>(xq[xbase + ci]) *
-                            wQuant32_[wi];
-                else
-                    acc += xs[xbase + ci] * wStored_[wi];
-            }
-            double facc = integer
-                ? static_cast<double>(iacc) * inQuant_.scale *
-                      wQuant_.scale
-                : static_cast<double>(acc);
-            float b = bias_.empty() ? 0.0f : bias_[u];
-            out[flat] = writeback(facc, b);
+    auto biasAt = [&](int u) {
+        return bias_.empty() ? 0.0f : bias_[u];
+    };
+    simd::dispatch([&](auto b) {
+        using B = decltype(b);
+        if (integer) {
+            simd::denseInt<B>(
+                xq.data(), positions, inC_, units_, wPackI_.data(),
+                out.data().data(), [&](std::int64_t iacc, int u) {
+                    return writeback(static_cast<double>(iacc) *
+                                         inQuant_.scale * wQuant_.scale,
+                                     biasAt(u));
+                });
+        } else {
+            simd::denseFloat<B>(
+                xf, positions, inC_, units_, wPackF_.data(),
+                out.data().data(), [&](double acc, int u) {
+                    return writeback(acc, biasAt(u));
+                });
         }
-    }
+    });
     return out;
 }
 

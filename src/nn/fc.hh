@@ -66,23 +66,23 @@ class FC : public MacLayer
     const std::vector<float> &biasData() const { return bias_; }
 
   protected:
-    void onQuantChanged() override { wCacheValid_ = false; }
+    void onQuantChanged() override { wPackValid_ = false; }
 
   private:
     void checkInput(const std::vector<const Tensor *> &ins) const;
 
-    /** Re-derive the precision-converted weight cache. */
-    void refreshWeightCache() const;
+    /** Re-pack weights into the lane-blocked kernel layout. */
+    void packWeights() const;
 
     int inC_;
     int units_;
     std::vector<float> weights_; //!< [in_c][units] flat
     std::vector<float> bias_;
 
-    // forward() fast path (see Conv2D).
-    mutable bool wCacheValid_ = false;
-    mutable std::vector<float> wStored_;
-    mutable std::vector<std::int32_t> wQuant32_;
+    // Lane-blocked packed weight cache (see Conv2D).
+    mutable bool wPackValid_ = false;
+    mutable std::vector<float> wPackF_;
+    mutable std::vector<std::int32_t> wPackI_;
 };
 
 } // namespace fidelity

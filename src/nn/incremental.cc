@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "sim/logging.hh"
+#include "simd/simd.hh"
 
 namespace fidelity
 {
@@ -23,16 +24,26 @@ Region
 changedBox(const Tensor &a, const Tensor &b, const Region &within)
 {
     Region diff;
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    const std::size_t len = within.c1 - within.c0;
     for (int n = within.n0; n < within.n1; ++n) {
         for (int h = within.h0; h < within.h1; ++h) {
             for (int w = within.w0; w < within.w1; ++w) {
-                std::size_t base = a.offset(n, h, w, 0);
-                for (int c = within.c0; c < within.c1; ++c) {
-                    std::size_t i = base + c;
-                    if (std::bit_cast<std::uint32_t>(a[i]) !=
-                        std::bit_cast<std::uint32_t>(b[i]))
-                        diff.include({n, h, w, c});
-                }
+                // Only the first and last differing channel of a row
+                // matter for the box; block-compare scans find both
+                // without visiting every element.
+                std::size_t base = a.offset(n, h, w, within.c0);
+                std::size_t first =
+                    simd::firstBitDiff(ad + base, bd + base, len);
+                if (first == len)
+                    continue;
+                std::size_t last =
+                    simd::lastBitDiff(ad + base, bd + base, len);
+                diff.include(
+                    {n, h, w, within.c0 + static_cast<int>(first)});
+                diff.include(
+                    {n, h, w, within.c0 + static_cast<int>(last)});
             }
         }
     }

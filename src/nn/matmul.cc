@@ -2,6 +2,8 @@
 
 #include "sim/arena.hh"
 #include "sim/logging.hh"
+#include "simd/convert.hh"
+#include "simd/gemm.hh"
 
 namespace fidelity
 {
@@ -120,47 +122,64 @@ MatMulAB::forward(const std::vector<const Tensor *> &ins) const
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
 
-    Arena &arena = Arena::local();
-    auto as = arena.floats(integer ? 0 : a.size());
-    auto bs = arena.floats(integer ? 0 : b.size());
-    auto aq = arena.ints(integer ? a.size() : 0);
-    auto bq = arena.ints(integer ? b.size() : 0);
-    if (integer) {
-        for (std::size_t i = 0; i < a.size(); ++i)
-            aq[i] = quantInput(a[i]);
-        for (std::size_t i = 0; i < b.size(); ++i)
-            bq[i] = quantWeight(b[i]);
-    } else {
-        for (std::size_t i = 0; i < a.size(); ++i)
-            as[i] = storeInput(a[i]);
-        for (std::size_t i = 0; i < b.size(); ++i)
-            bs[i] = storeWeight(b[i]);
-    }
-
     int rows = a.n() * a.h();
     int cols = out.c();
-    std::size_t flat = 0;
-    for (int r = 0; r < rows; ++r) {
-        std::size_t abase = static_cast<std::size_t>(r) * red;
-        for (int c = 0; c < cols; ++c, ++flat) {
-            float acc = 0.0f;
-            std::int64_t iacc = 0;
-            for (int k = 0; k < red; ++k) {
-                std::size_t bo = transB_
-                    ? static_cast<std::size_t>(c) * red + k
-                    : static_cast<std::size_t>(k) * cols + c;
-                if (integer)
-                    iacc += static_cast<std::int64_t>(aq[abase + k]) *
-                            bq[bo];
-                else
-                    acc += as[abase + k] * bs[bo];
-            }
-            double facc = integer
-                ? static_cast<double>(iacc) * inQuant_.scale *
-                      wQuant_.scale
-                : static_cast<double>(acc);
-            out[flat] = writeback(facc * scale_, 0.0f);
+    auto bAt = [&](int k, int c) {
+        return transB_ ? static_cast<std::size_t>(c) * red + k
+                       : static_cast<std::size_t>(k) * cols + c;
+    };
+
+    // B is an activation, so its pack is per-call arena scratch
+    // rather than a persistent cache; the pack step also resolves
+    // transB so the kernel always streams [colBlock][k][L].
+    Arena &arena = Arena::local();
+    if (integer) {
+        constexpr int L = simd::kI64Lanes;
+        auto aq = arena.ints(a.size());
+        auto bq = arena.ints(b.size());
+        simd::quantizeBatch(a.data().data(), aq.data(), a.size(),
+                            inQuant_);
+        simd::quantizeBatch(b.data().data(), bq.data(), b.size(),
+                            wQuant_);
+        auto bp = arena.ints(simd::packSize(red, cols, L));
+        simd::packLaneBlocked(
+            red, cols, L,
+            [&](int k, int c) { return bq[bAt(k, c)]; }, bp.data());
+        simd::dispatch([&](auto bk) {
+            using B = decltype(bk);
+            simd::denseInt<B>(
+                aq.data(), rows, red, cols, bp.data(),
+                out.data().data(), [&](std::int64_t iacc, int) {
+                    double facc = static_cast<double>(iacc) *
+                                  inQuant_.scale * wQuant_.scale;
+                    return writeback(facc * scale_, 0.0f);
+                });
+        });
+    } else {
+        constexpr int L = simd::kF32Lanes;
+        bool half = precision_ == Precision::FP16;
+        auto as = arena.floats(half ? a.size() : 0);
+        auto bs = arena.floats(half ? b.size() : 0);
+        const float *af = a.data().data();
+        const float *bf = b.data().data();
+        if (half) {
+            simd::roundToHalfBatch(af, as.data(), a.size());
+            simd::roundToHalfBatch(bf, bs.data(), b.size());
+            af = as.data();
+            bf = bs.data();
         }
+        auto bp = arena.floats(simd::packSize(red, cols, L));
+        simd::packLaneBlocked(
+            red, cols, L,
+            [&](int k, int c) { return bf[bAt(k, c)]; }, bp.data());
+        simd::dispatch([&](auto bk) {
+            using B = decltype(bk);
+            simd::denseFloat<B>(
+                af, rows, red, cols, bp.data(), out.data().data(),
+                [&](double acc, int) {
+                    return writeback(acc * scale_, 0.0f);
+                });
+        });
     }
     return out;
 }

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Vectorized batch operand conversions, bit-identical to the scalar
+ * per-element paths (`roundToHalf`, `quantize`).
+ *
+ * The MAC layers convert a whole input tensor into the active
+ * precision's stored form before the dense kernel runs; these batch
+ * routines are that pass.  Each falls back to the scalar element
+ * function when the backend lacks the instruction (or when the runtime
+ * SIMD toggle is off), and the differential tests assert equality over
+ * adversarial bit patterns (NaN payloads, infinities, subnormals,
+ * round-to-nearest-even ties).
+ */
+
+#ifndef FIDELITY_SIMD_CONVERT_HH
+#define FIDELITY_SIMD_CONVERT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/quant.hh"
+
+namespace fidelity::simd
+{
+
+/**
+ * out[i] = roundToHalf(in[i]): round each float through binary16 and
+ * back (F16C when available).  NaNs canonicalise to sign | 0x7fc00000
+ * exactly like the scalar software conversion.  In-place is allowed.
+ */
+void roundToHalfBatch(const float *in, float *out, std::size_t n);
+
+/** out[i] = quantize(in[i], qp) (4-wide double path under AVX). */
+void quantizeBatch(const float *in, std::int32_t *out, std::size_t n,
+                   const QuantParams &qp);
+
+} // namespace fidelity::simd
+
+#endif // FIDELITY_SIMD_CONVERT_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lane-blocked dense kernels shared by the FC and MatMul layers.
+ *
+ * The input is a [positions][red] operand stream already converted to
+ * stored form; the weights are packed [colBlock][red][L] (see pack.hh).
+ * Lanes span independent output columns, each accumulating in the
+ * canonical reduction order with unfused multiply-adds — bit-identical
+ * to the scalar kernel and to computeNeuron().
+ */
+
+#ifndef FIDELITY_SIMD_GEMM_HH
+#define FIDELITY_SIMD_GEMM_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/pack.hh"
+#include "simd/simd.hh"
+
+namespace fidelity::simd
+{
+
+/**
+ * out[pos * cols + c] = wb(sum_k xs[pos * red + k] * packed[k, c], c)
+ * for every position and column; `wb(acc, c)` applies bias/writeback.
+ */
+template <class B, class WB>
+void
+denseFloat(const float *xs, std::size_t positions, int red, int cols,
+           const float *packed, float *out, WB wb)
+{
+    constexpr int L = B::kF32Lanes;
+    const int blocks = packBlocks(cols, L);
+    const std::size_t blkStride = static_cast<std::size_t>(red) * L;
+
+    float lanes[L];
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+        const float *xb = xs + pos * red;
+        float *ob = out + pos * cols;
+        for (int blk = 0; blk < blocks; ++blk) {
+            const float *wrow = packed + blk * blkStride;
+            auto acc = B::f32zero();
+            for (int k = 0; k < red; ++k) {
+                acc = B::f32mulAcc(acc, B::f32broadcast(xb[k]),
+                                   B::f32load(wrow));
+                wrow += L;
+            }
+            B::f32store(lanes, acc);
+            int e = std::min(cols - blk * L, L);
+            for (int l = 0; l < e; ++l)
+                ob[blk * L + l] =
+                    wb(static_cast<double>(lanes[l]), blk * L + l);
+        }
+    }
+}
+
+/** Integer twin: int64 lane accumulators over int32 operands. */
+template <class B, class WB>
+void
+denseInt(const std::int32_t *xq, std::size_t positions, int red, int cols,
+         const std::int32_t *packed, float *out, WB wb)
+{
+    constexpr int L = B::kI64Lanes;
+    const int blocks = packBlocks(cols, L);
+    const std::size_t blkStride = static_cast<std::size_t>(red) * L;
+
+    std::int64_t lanes[L];
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+        const std::int32_t *xb = xq + pos * red;
+        float *ob = out + pos * cols;
+        for (int blk = 0; blk < blocks; ++blk) {
+            const std::int32_t *wrow = packed + blk * blkStride;
+            auto acc = B::i64zero();
+            for (int k = 0; k < red; ++k) {
+                acc = B::i64mulAcc(acc, xb[k], wrow);
+                wrow += L;
+            }
+            B::i64store(lanes, acc);
+            int e = std::min(cols - blk * L, L);
+            for (int l = 0; l < e; ++l)
+                ob[blk * L + l] = wb(lanes[l], blk * L + l);
+        }
+    }
+}
+
+} // namespace fidelity::simd
+
+#endif // FIDELITY_SIMD_GEMM_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lane-blocked packing of MAC-layer weights.
+ *
+ * The vector kernels walk one output block's reduction as a contiguous
+ * stream: layout [colBlock][k][lane], where `cols` is the independent
+ * output dimension (output channels / FC units / matmul columns), `k`
+ * walks the canonical reduction order, and `lane` spans `L` adjacent
+ * output columns.  Columns are padded up to a multiple of L with
+ * zeros, so every block load is full-width and in-bounds; lanes beyond
+ * the real column count are computed and discarded.
+ *
+ * Packing happens once per layer at construction (FP32), and lazily
+ * again when the precision or quantisation ranges change — never in
+ * the per-forward hot loop.
+ */
+
+#ifndef FIDELITY_SIMD_PACK_HH
+#define FIDELITY_SIMD_PACK_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fidelity::simd
+{
+
+/** Number of lane-blocks covering `cols` at lane width `L`. */
+constexpr int
+packBlocks(int cols, int L)
+{
+    return (cols + L - 1) / L;
+}
+
+/** Packed element count for a [red][cols] weight matrix. */
+constexpr std::size_t
+packSize(int red, int cols, int L)
+{
+    return static_cast<std::size_t>(packBlocks(cols, L)) * red * L;
+}
+
+/**
+ * Scatter a logically [red][cols] source into [colBlock][red][L].
+ * `get(k, c)` returns the converted weight of reduction step k and
+ * output column c; out-of-range lanes are zero-filled.
+ */
+template <typename T, class Get>
+void
+packLaneBlocked(int red, int cols, int L, Get get, T *dst)
+{
+    std::size_t o = 0;
+    for (int cb = 0; cb < packBlocks(cols, L); ++cb)
+        for (int k = 0; k < red; ++k)
+            for (int l = 0; l < L; ++l, ++o) {
+                int c = cb * L + l;
+                dst[o] = c < cols ? get(k, c) : T{};
+            }
+}
+
+} // namespace fidelity::simd
+
+#endif // FIDELITY_SIMD_PACK_HH

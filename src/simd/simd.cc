@@ -1,0 +1,136 @@
+#include "simd/simd.hh"
+
+#include <atomic>
+#include <cstring>
+
+namespace fidelity::simd
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{true};
+
+} // namespace
+
+const char *
+backendName()
+{
+#if defined(FIDELITY_NO_SIMD)
+    return "scalar (FIDELITY_NO_SIMD)";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__SSE4_1__)
+    return "sse4.1";
+#elif defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+    return "sse2";
+#elif defined(FIDELITY_SIMD_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+inline bool
+bitsEqual(float a, float b)
+{
+    std::uint32_t ua, ub;
+    std::memcpy(&ua, &a, sizeof(ua));
+    std::memcpy(&ub, &b, sizeof(ub));
+    return ua == ub;
+}
+
+} // namespace
+
+std::size_t
+firstBitDiff(const float *a, const float *b, std::size_t n)
+{
+    std::size_t i = 0;
+#if !defined(FIDELITY_NO_SIMD) && defined(__AVX2__)
+    for (; i + 8 <= n; i += 8) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        __m256i eq = _mm256_cmpeq_epi32(va, vb);
+        std::uint32_t mask = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+        if (mask != 0xffu)
+            break;
+    }
+#elif !defined(FIDELITY_NO_SIMD) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64))
+    for (; i + 4 <= n; i += 4) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        __m128i eq = _mm_cmpeq_epi32(va, vb);
+        std::uint32_t mask = static_cast<std::uint32_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(eq)));
+        if (mask != 0xfu)
+            break;
+    }
+#endif
+    for (; i < n; ++i)
+        if (!bitsEqual(a[i], b[i]))
+            return i;
+    return n;
+}
+
+std::size_t
+lastBitDiff(const float *a, const float *b, std::size_t n)
+{
+    std::size_t i = n;
+#if !defined(FIDELITY_NO_SIMD) && defined(__AVX2__)
+    while (i >= 8) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i - 8));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i - 8));
+        __m256i eq = _mm256_cmpeq_epi32(va, vb);
+        std::uint32_t mask = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+        if (mask != 0xffu)
+            break;
+        i -= 8;
+    }
+#elif !defined(FIDELITY_NO_SIMD) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64))
+    while (i >= 4) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i - 4));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i - 4));
+        __m128i eq = _mm_cmpeq_epi32(va, vb);
+        std::uint32_t mask = static_cast<std::uint32_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(eq)));
+        if (mask != 0xfu)
+            break;
+        i -= 4;
+    }
+#endif
+    while (i > 0) {
+        --i;
+        if (!bitsEqual(a[i], b[i]))
+            return i;
+    }
+    return n;
+}
+
+} // namespace fidelity::simd

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Portable SIMD backend for the forward kernels.
+ *
+ * The hot kernels (conv / FC / matmul / elementwise) vectorize across
+ * *independent output elements* — output-channel lanes for the MAC
+ * layers — while each output's reduction keeps the canonical scalar
+ * accumulation order.  Per lane, every operation is the exact scalar
+ * operation (an unfused multiply followed by an add, never an FMA), so
+ * a vector kernel is bit-identical to the scalar kernel for any lane
+ * width, and identical across backends.
+ *
+ * Backends are selected at compile time from predefined macros:
+ * AVX2 > SSE2 > NEON > scalar, with `FIDELITY_NO_SIMD` as an escape
+ * hatch that forces the scalar backend everywhere.  A runtime toggle
+ * (`setEnabled`) additionally routes the kernels through the
+ * fixed-width scalar backend inside a SIMD build; the differential
+ * tests and the scalar-vs-SIMD benches use it to compare both paths in
+ * one binary.  Because lane width only affects how outputs are grouped
+ * — never the arithmetic of one output — the toggle cannot change
+ * results; tests assert that.
+ *
+ * The `Scalar` backend mirrors the active backend's lane counts so
+ * both consume the same lane-blocked packed-weight layout (see
+ * pack.hh).
+ */
+
+#ifndef FIDELITY_SIMD_SIMD_HH
+#define FIDELITY_SIMD_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(FIDELITY_NO_SIMD)
+#if defined(__AVX2__) || defined(__SSE2__) || defined(__SSE4_1__)
+#include <immintrin.h>
+#define FIDELITY_SIMD_X86 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define FIDELITY_SIMD_NEON 1
+#endif
+#endif
+
+namespace fidelity::simd
+{
+
+/**
+ * Fixed-width scalar backend: plain arrays and per-lane loops.  The
+ * reference semantics every vector backend must match bit-for-bit.
+ */
+template <int LF, int LI>
+struct ScalarBackendT
+{
+    static constexpr int kF32Lanes = LF;
+    static constexpr int kI64Lanes = LI;
+
+    struct F32
+    {
+        float v[LF];
+    };
+
+    static F32
+    f32zero()
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = 0.0f;
+        return r;
+    }
+
+    static F32
+    f32load(const float *p)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = p[i];
+        return r;
+    }
+
+    static F32
+    f32broadcast(float x)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = x;
+        return r;
+    }
+
+    /** acc + a*b per lane; multiply rounds before the add (no FMA). */
+    static F32
+    f32mulAcc(F32 acc, F32 a, F32 b)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i) {
+            float prod = a.v[i] * b.v[i];
+            r.v[i] = acc.v[i] + prod;
+        }
+        return r;
+    }
+
+    static F32
+    f32add(F32 a, F32 b)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+
+    static F32
+    f32sub(F32 a, F32 b)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = a.v[i] - b.v[i];
+        return r;
+    }
+
+    static F32
+    f32mul(F32 a, F32 b)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+
+    /** Per lane: x > 0 ? a : b (NaN lanes select b, like the scalar). */
+    static F32
+    f32selectGtZero(F32 x, F32 a, F32 b)
+    {
+        F32 r;
+        for (int i = 0; i < LF; ++i)
+            r.v[i] = x.v[i] > 0.0f ? a.v[i] : b.v[i];
+        return r;
+    }
+
+    static void
+    f32store(float *p, F32 v)
+    {
+        for (int i = 0; i < LF; ++i)
+            p[i] = v.v[i];
+    }
+
+    struct I64
+    {
+        std::int64_t v[LI];
+    };
+
+    static I64
+    i64zero()
+    {
+        I64 r;
+        for (int i = 0; i < LI; ++i)
+            r.v[i] = 0;
+        return r;
+    }
+
+    /** acc[l] += (int64)x * w[l] over kI64Lanes int32 weights. */
+    static I64
+    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
+    {
+        I64 r;
+        for (int i = 0; i < LI; ++i)
+            r.v[i] = acc.v[i] +
+                     static_cast<std::int64_t>(x) *
+                         static_cast<std::int64_t>(w[i]);
+        return r;
+    }
+
+    static void
+    i64store(std::int64_t *p, I64 v)
+    {
+        for (int i = 0; i < LI; ++i)
+            p[i] = v.v[i];
+    }
+};
+
+#if !defined(FIDELITY_NO_SIMD) && defined(__AVX2__)
+
+/** AVX2: 8 float lanes, 4 int64 MAC lanes. */
+struct Avx2Backend
+{
+    static constexpr int kF32Lanes = 8;
+    static constexpr int kI64Lanes = 4;
+
+    using F32 = __m256;
+
+    static F32 f32zero() { return _mm256_setzero_ps(); }
+    static F32 f32load(const float *p) { return _mm256_loadu_ps(p); }
+    static F32 f32broadcast(float x) { return _mm256_set1_ps(x); }
+
+    static F32
+    f32mulAcc(F32 acc, F32 a, F32 b)
+    {
+        // Deliberately mul-then-add: an FMA's single rounding would
+        // break bit-identity with the scalar kernels.
+        return _mm256_add_ps(acc, _mm256_mul_ps(a, b));
+    }
+
+    static F32 f32add(F32 a, F32 b) { return _mm256_add_ps(a, b); }
+    static F32 f32sub(F32 a, F32 b) { return _mm256_sub_ps(a, b); }
+    static F32 f32mul(F32 a, F32 b) { return _mm256_mul_ps(a, b); }
+
+    static F32
+    f32selectGtZero(F32 x, F32 a, F32 b)
+    {
+        // Ordered GT: NaN compares false and selects b, matching
+        // `x > 0 ? a : b` scalar semantics.
+        __m256 m = _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_GT_OQ);
+        return _mm256_blendv_ps(b, a, m);
+    }
+
+    static void f32store(float *p, F32 v) { _mm256_storeu_ps(p, v); }
+
+    using I64 = __m256i;
+
+    static I64 i64zero() { return _mm256_setzero_si256(); }
+
+    static I64
+    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
+    {
+        __m256i wv = _mm256_cvtepi32_epi64(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(w)));
+        // mul_epi32 reads the low signed 32 bits of each 64-bit lane;
+        // zero-extending x keeps exactly those bits.
+        __m256i xv = _mm256_set1_epi64x(
+            static_cast<std::int64_t>(static_cast<std::uint32_t>(x)));
+        return _mm256_add_epi64(acc, _mm256_mul_epi32(xv, wv));
+    }
+
+    static void
+    i64store(std::int64_t *p, I64 v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+};
+
+using Active = Avx2Backend;
+
+#elif !defined(FIDELITY_NO_SIMD) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64))
+
+/**
+ * SSE: 4 float lanes.  The signed 32x32->64 multiply needs SSE4.1
+ * (`_mm_mul_epi32`); under plain SSE2 the integer MAC stays scalar.
+ */
+struct Sse2Backend
+{
+    static constexpr int kF32Lanes = 4;
+#if defined(__SSE4_1__)
+    static constexpr int kI64Lanes = 2;
+#else
+    static constexpr int kI64Lanes = 4;
+#endif
+
+    using F32 = __m128;
+
+    static F32 f32zero() { return _mm_setzero_ps(); }
+    static F32 f32load(const float *p) { return _mm_loadu_ps(p); }
+    static F32 f32broadcast(float x) { return _mm_set1_ps(x); }
+
+    static F32
+    f32mulAcc(F32 acc, F32 a, F32 b)
+    {
+        return _mm_add_ps(acc, _mm_mul_ps(a, b));
+    }
+
+    static F32 f32add(F32 a, F32 b) { return _mm_add_ps(a, b); }
+    static F32 f32sub(F32 a, F32 b) { return _mm_sub_ps(a, b); }
+    static F32 f32mul(F32 a, F32 b) { return _mm_mul_ps(a, b); }
+
+    static F32
+    f32selectGtZero(F32 x, F32 a, F32 b)
+    {
+        __m128 m = _mm_cmpgt_ps(x, _mm_setzero_ps());
+        return _mm_or_ps(_mm_and_ps(m, a), _mm_andnot_ps(m, b));
+    }
+
+    static void f32store(float *p, F32 v) { _mm_storeu_ps(p, v); }
+
+#if defined(__SSE4_1__)
+    using I64 = __m128i;
+
+    static I64 i64zero() { return _mm_setzero_si128(); }
+
+    static I64
+    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
+    {
+        __m128i wv = _mm_cvtepi32_epi64(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(w)));
+        __m128i xv = _mm_set1_epi64x(
+            static_cast<std::int64_t>(static_cast<std::uint32_t>(x)));
+        return _mm_add_epi64(acc, _mm_mul_epi32(xv, wv));
+    }
+
+    static void
+    i64store(std::int64_t *p, I64 v)
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+#else
+    using ScalarI = ScalarBackendT<kF32Lanes, kI64Lanes>;
+    using I64 = ScalarI::I64;
+
+    static I64 i64zero() { return ScalarI::i64zero(); }
+
+    static I64
+    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
+    {
+        return ScalarI::i64mulAcc(acc, x, w);
+    }
+
+    static void i64store(std::int64_t *p, I64 v)
+    {
+        ScalarI::i64store(p, v);
+    }
+#endif
+};
+
+using Active = Sse2Backend;
+
+#elif !defined(FIDELITY_NO_SIMD) && defined(FIDELITY_SIMD_NEON)
+
+/** NEON: 4 float lanes, 2 int64 MAC lanes via vmlal_s32. */
+struct NeonBackend
+{
+    static constexpr int kF32Lanes = 4;
+    static constexpr int kI64Lanes = 2;
+
+    using F32 = float32x4_t;
+
+    static F32 f32zero() { return vdupq_n_f32(0.0f); }
+    static F32 f32load(const float *p) { return vld1q_f32(p); }
+    static F32 f32broadcast(float x) { return vdupq_n_f32(x); }
+
+    static F32
+    f32mulAcc(F32 acc, F32 a, F32 b)
+    {
+        // vmlaq may contract to a fused multiply-add; keep the rounding
+        // of the scalar kernel with an explicit mul + add.
+        return vaddq_f32(acc, vmulq_f32(a, b));
+    }
+
+    static F32 f32add(F32 a, F32 b) { return vaddq_f32(a, b); }
+    static F32 f32sub(F32 a, F32 b) { return vsubq_f32(a, b); }
+    static F32 f32mul(F32 a, F32 b) { return vmulq_f32(a, b); }
+
+    static F32
+    f32selectGtZero(F32 x, F32 a, F32 b)
+    {
+        uint32x4_t m = vcgtq_f32(x, vdupq_n_f32(0.0f));
+        return vbslq_f32(m, a, b);
+    }
+
+    static void f32store(float *p, F32 v) { vst1q_f32(p, v); }
+
+    using I64 = int64x2_t;
+
+    static I64 i64zero() { return vdupq_n_s64(0); }
+
+    static I64
+    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
+    {
+        return vmlal_s32(acc, vdup_n_s32(x), vld1_s32(w));
+    }
+
+    static void i64store(std::int64_t *p, I64 v) { vst1q_s64(p, v); }
+};
+
+using Active = NeonBackend;
+
+#else
+
+using Active = ScalarBackendT<4, 4>;
+
+#endif
+
+/** Scalar twin of the active backend (same lane counts, same layout). */
+using Scalar = ScalarBackendT<Active::kF32Lanes, Active::kI64Lanes>;
+
+/** Lane-blocked pack widths shared by every kernel and pack buffer. */
+inline constexpr int kF32Lanes = Active::kF32Lanes;
+inline constexpr int kI64Lanes = Active::kI64Lanes;
+
+/** Compile-time name of the active backend ("avx2", "sse2", ...). */
+const char *backendName();
+
+/**
+ * Runtime kill switch: when false, the kernels run their scalar-
+ * backend instantiation (bit-identical by construction).  Global, not
+ * thread-local — flip it only around single-threaded comparisons.
+ */
+bool enabled();
+void setEnabled(bool on);
+
+/**
+ * Dispatch a generic callable on the active backend, honouring the
+ * runtime toggle: `dispatch([&](auto b) { using B = decltype(b); ... })`.
+ */
+template <class Fn>
+decltype(auto)
+dispatch(Fn &&fn)
+{
+    if (enabled())
+        return fn(Active{});
+    return fn(Scalar{});
+}
+
+/**
+ * First index in [0, n) where a and b differ bit-for-bit, or n.
+ * Exact integer comparison (distinguishes -0.0/+0.0 and NaN payloads),
+ * used by the incremental engine's cone shrinking.
+ */
+std::size_t firstBitDiff(const float *a, const float *b, std::size_t n);
+
+/** Last differing index in [0, n), or n when the ranges are equal. */
+std::size_t lastBitDiff(const float *a, const float *b, std::size_t n);
+
+} // namespace fidelity::simd
+
+#endif // FIDELITY_SIMD_SIMD_HH

@@ -45,11 +45,8 @@ dequantize(std::int32_t q, const QuantParams &qp)
     return static_cast<float>(q * qp.scale);
 }
 
-std::int32_t
-clampToRange(std::int64_t v, const QuantParams &qp)
-{
-    return static_cast<std::int32_t>(
-        std::clamp<std::int64_t>(v, qp.qmin(), qp.qmax()));
-}
+// clampToRange moved to the header as a constexpr inline so the
+// compile-time tests can evaluate range edges; qmin()/qmax() are
+// likewise constexpr-safe.
 
 } // namespace fidelity

@@ -26,11 +26,19 @@ struct QuantParams
     int bits = 8;       //!< 8 or 16
 
     /** Largest representable quantised magnitude (e.g. 127 for INT8). */
-    std::int32_t qmax() const { return (1 << (bits - 1)) - 1; }
+    constexpr std::int32_t qmax() const { return (1 << (bits - 1)) - 1; }
 
     /** Most negative representable value (e.g. -128 for INT8). */
-    std::int32_t qmin() const { return -(1 << (bits - 1)); }
+    constexpr std::int32_t qmin() const { return -(1 << (bits - 1)); }
 };
+
+/** Clamp an int32 accumulator into the range of the given params. */
+constexpr std::int32_t
+clampToRange(std::int64_t v, const QuantParams &qp)
+{
+    std::int64_t lo = qp.qmin(), hi = qp.qmax();
+    return static_cast<std::int32_t>(v < lo ? lo : (v > hi ? hi : v));
+}
 
 /** Derive symmetric params from the absolute max of a value set. */
 QuantParams calibrate(const std::vector<float> &values, int bits);
@@ -43,9 +51,6 @@ std::int32_t quantize(float x, const QuantParams &qp);
 
 /** Dequantise one value. */
 float dequantize(std::int32_t q, const QuantParams &qp);
-
-/** Clamp an int32 accumulator into the range of the given params. */
-std::int32_t clampToRange(std::int64_t v, const QuantParams &qp);
 
 } // namespace fidelity
 

@@ -64,6 +64,35 @@ TEST(Quant, RoundToNearest)
     EXPECT_EQ(quantize(-2.6f, qp), -3);
 }
 
+TEST(Quant, RoundsHalfToEven)
+{
+    // Ties must break toward even codes (lrint under the default FP
+    // environment), not away from zero: the SIMD quantizeBatch path
+    // reproduces exactly this behaviour.
+    QuantParams qp = calibrateAbsMax(127.0, 8); // scale = 1
+    EXPECT_EQ(quantize(0.5f, qp), 0);
+    EXPECT_EQ(quantize(1.5f, qp), 2);
+    EXPECT_EQ(quantize(2.5f, qp), 2);
+    EXPECT_EQ(quantize(3.5f, qp), 4);
+    EXPECT_EQ(quantize(-0.5f, qp), 0);
+    EXPECT_EQ(quantize(-1.5f, qp), -2);
+    EXPECT_EQ(quantize(-2.5f, qp), -2);
+}
+
+TEST(Quant, RangeHelpersAreConstexpr)
+{
+    constexpr QuantParams q8{1.0, 8};
+    static_assert(q8.qmax() == 127);
+    static_assert(q8.qmin() == -128);
+    static_assert(clampToRange(1000, q8) == 127);
+    static_assert(clampToRange(-1000, q8) == -128);
+    static_assert(clampToRange(-5, q8) == -5);
+    constexpr QuantParams q16{1.0, 16};
+    static_assert(q16.qmax() == 32767);
+    static_assert(q16.qmin() == -32768);
+    SUCCEED();
+}
+
 TEST(Quant, QuantOfDequantIsIdentity)
 {
     // Property: every representable code survives dequant->quant.

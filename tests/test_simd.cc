@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Differential suite for the SIMD kernel layer: the vector backends
+ * must be bit-identical to the scalar backend everywhere.
+ *
+ * Covers the batch operand converters over adversarial bit patterns
+ * (NaN payloads, infinities, subnormals, signed zeros, RNE ties), the
+ * block-compare scans, dense forward passes of conv/FC/matmul across
+ * FP32/FP16/INT8/INT16 with odd (non-lane-multiple) shapes and
+ * grouped/dilated/strided convolutions, forwardRegion boxes that cut
+ * through lane blocks, the vectorized elementwise/activation paths,
+ * and whole-campaign equality with the backend toggle on and off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/elementwise.hh"
+#include "nn/fc.hh"
+#include "nn/init.hh"
+#include "nn/matmul.hh"
+#include "nn/network.hh"
+#include "nn/pool.hh"
+#include "simd/convert.hh"
+#include "simd/simd.hh"
+#include "sim/rng.hh"
+#include "tensor/bitops.hh"
+#include "tensor/quant.hh"
+#include "workloads/metrics.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+/** Restore the global backend toggle when a test scope ends. */
+struct SimdToggle
+{
+    bool saved = simd::enabled();
+    ~SimdToggle() { simd::setEnabled(saved); }
+};
+
+Tensor
+randomTensor(std::uint64_t seed, int n, int h, int w, int c)
+{
+    Rng rng(seed);
+    Tensor t(n, h, w, c);
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.normal(0, 1));
+    return t;
+}
+
+bool
+bitIdentical(const Tensor &a, const Tensor &b)
+{
+    if (!a.sameShape(b))
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::bit_cast<std::uint32_t>(a[i]) !=
+            std::bit_cast<std::uint32_t>(b[i]))
+            return false;
+    return true;
+}
+
+std::unique_ptr<Conv2D>
+makeConv(std::string name, const ConvSpec &spec, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::size_t wcount = static_cast<std::size_t>(spec.kh) * spec.kw *
+                         (spec.inC / spec.groups) * spec.outC;
+    int fan_in = spec.kh * spec.kw * (spec.inC / spec.groups);
+    return std::make_unique<Conv2D>(
+        std::move(name), spec, heWeights(rng, wcount, fan_in),
+        spec.bias ? smallBiases(rng, spec.outC) : std::vector<float>{});
+}
+
+void
+setupPrecision(Layer &layer, const std::vector<const Tensor *> &ins,
+               Precision p)
+{
+    layer.setPrecision(p);
+    if (p == Precision::INT8 || p == Precision::INT16) {
+        Tensor ref = layer.forward(ins);
+        layer.calibrate(ins, ref);
+    }
+}
+
+/** forward() with the toggle on and off; expects bitwise equality. */
+Tensor
+forwardBothWays(const Layer &layer,
+                const std::vector<const Tensor *> &ins)
+{
+    SimdToggle guard;
+    simd::setEnabled(true);
+    Tensor vec = layer.forward(ins);
+    simd::setEnabled(false);
+    Tensor ref = layer.forward(ins);
+    EXPECT_TRUE(bitIdentical(vec, ref));
+    return vec;
+}
+
+constexpr Precision kAllPrecisions[] = {
+    Precision::FP32, Precision::FP16, Precision::INT8,
+    Precision::INT16};
+
+/** Adversarial float patterns for the converter tests. */
+std::vector<float>
+adversarialFloats()
+{
+    std::vector<float> v;
+    auto bits = [](std::uint32_t u) { return std::bit_cast<float>(u); };
+    v.insert(v.end(),
+             {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, -0.5f, 65504.0f,
+              -65504.0f, 65520.0f, 70000.0f, 1e-8f, -1e-8f,
+              std::numeric_limits<float>::infinity(),
+              -std::numeric_limits<float>::infinity(),
+              std::numeric_limits<float>::quiet_NaN(),
+              bits(0x7fc00001u),   // NaN, payload bit set
+              bits(0xffc01234u),   // negative NaN, payload bits
+              bits(0x7f800001u),   // signalling NaN pattern
+              bits(0x00000001u),   // smallest subnormal
+              bits(0x807fffffu),   // largest negative subnormal
+              bits(0x33800000u),   // 2^-24: half-subnormal tie
+              bits(0x33800001u),   // just above the tie
+              1.00048828125f,      // halfway between half values
+              1.0009765625f, 2.5f, -2.5f, 3.5f, -3.5f});
+    // Pad to an odd length so vector blocks leave a scalar tail.
+    Rng rng(99);
+    while (v.size() < 61)
+        v.push_back(static_cast<float>(rng.normal(0, 100)));
+    return v;
+}
+
+CorrectnessFn
+top1Match()
+{
+    return top1Metric();
+}
+
+} // namespace
+
+TEST(SimdBackend, ScalarTwinSharesLaneCounts)
+{
+    EXPECT_EQ(simd::Scalar::kF32Lanes, simd::Active::kF32Lanes);
+    EXPECT_EQ(simd::Scalar::kI64Lanes, simd::Active::kI64Lanes);
+    EXPECT_NE(simd::backendName(), nullptr);
+}
+
+TEST(SimdBackend, ToggleRoundTrips)
+{
+    SimdToggle guard;
+    simd::setEnabled(false);
+    EXPECT_FALSE(simd::enabled());
+    simd::setEnabled(true);
+    EXPECT_TRUE(simd::enabled());
+}
+
+TEST(SimdBackend, BitDiffScansMatchReference)
+{
+    auto ref_first = [](const std::vector<float> &a,
+                        const std::vector<float> &b) {
+        for (std::size_t i = 0; i < a.size(); ++i)
+            if (std::bit_cast<std::uint32_t>(a[i]) !=
+                std::bit_cast<std::uint32_t>(b[i]))
+                return i;
+        return a.size();
+    };
+    auto ref_last = [](const std::vector<float> &a,
+                       const std::vector<float> &b) {
+        for (std::size_t i = a.size(); i > 0; --i)
+            if (std::bit_cast<std::uint32_t>(a[i - 1]) !=
+                std::bit_cast<std::uint32_t>(b[i - 1]))
+                return i - 1;
+        return a.size();
+    };
+    Rng rng(5);
+    for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 16u, 31u, 40u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<float> a(n), b;
+            for (auto &v : a)
+                v = static_cast<float>(rng.normal(0, 1));
+            b = a;
+            // Flip a random subset, sometimes none; include the
+            // bit-level oddballs numeric comparison would miss.
+            for (std::size_t i = 0; i < n; ++i) {
+                double r = rng.normal(0, 1);
+                if (r > 1.0)
+                    b[i] = -b[i];
+                else if (r < -1.5)
+                    b[i] = b[i] == 0.0f ? -0.0f : b[i];
+            }
+            if (trial == 0 && n > 0)
+                b[n - 1] = std::bit_cast<float>(
+                    std::bit_cast<std::uint32_t>(b[n - 1]) ^ 1u);
+            EXPECT_EQ(simd::firstBitDiff(a.data(), b.data(), n),
+                      ref_first(a, b));
+            EXPECT_EQ(simd::lastBitDiff(a.data(), b.data(), n),
+                      ref_last(a, b));
+        }
+    }
+    // Signed-zero and NaN-payload changes must count as differences.
+    std::vector<float> a{0.0f, std::bit_cast<float>(0x7fc00000u)};
+    std::vector<float> b{-0.0f, std::bit_cast<float>(0x7fc00001u)};
+    EXPECT_EQ(simd::firstBitDiff(a.data(), b.data(), 2), 0u);
+    EXPECT_EQ(simd::lastBitDiff(a.data(), b.data(), 2), 1u);
+}
+
+TEST(SimdConvert, RoundToHalfBatchMatchesScalar)
+{
+    SimdToggle guard;
+    std::vector<float> in = adversarialFloats();
+    std::vector<float> outVec(in.size()), outRef(in.size());
+    simd::setEnabled(true);
+    simd::roundToHalfBatch(in.data(), outVec.data(), in.size());
+    simd::setEnabled(false);
+    simd::roundToHalfBatch(in.data(), outRef.data(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(outVec[i]),
+                  std::bit_cast<std::uint32_t>(roundToHalf(in[i])))
+            << "element " << i;
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(outVec[i]),
+                  std::bit_cast<std::uint32_t>(outRef[i]))
+            << "element " << i;
+    }
+    // In-place operation is part of the contract.
+    std::vector<float> inplace = in;
+    simd::setEnabled(true);
+    simd::roundToHalfBatch(inplace.data(), inplace.data(),
+                           inplace.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(inplace[i]),
+                  std::bit_cast<std::uint32_t>(outVec[i]));
+}
+
+TEST(SimdConvert, QuantizeBatchMatchesScalar)
+{
+    SimdToggle guard;
+    std::vector<float> in = adversarialFloats();
+    for (int bits : {8, 16}) {
+        for (double absMax : {1.0, 3.7, 1000.0}) {
+            QuantParams qp = calibrateAbsMax(absMax, bits);
+            std::vector<std::int32_t> outVec(in.size()),
+                outRef(in.size());
+            simd::setEnabled(true);
+            simd::quantizeBatch(in.data(), outVec.data(), in.size(),
+                                qp);
+            simd::setEnabled(false);
+            simd::quantizeBatch(in.data(), outRef.data(), in.size(),
+                                qp);
+            for (std::size_t i = 0; i < in.size(); ++i) {
+                EXPECT_EQ(outVec[i], quantize(in[i], qp))
+                    << "bits " << bits << " element " << i;
+                EXPECT_EQ(outVec[i], outRef[i]);
+            }
+        }
+    }
+}
+
+TEST(SimdConvert, QuantizeBatchRoundsHalfToEven)
+{
+    // scale = 1 makes the tie points explicit: nearbyint under the
+    // default rounding mode takes 0.5 -> 0, 1.5 -> 2, 2.5 -> 2.
+    QuantParams qp;
+    qp.scale = 1.0;
+    qp.bits = 8;
+    std::vector<float> in{0.5f, 1.5f, 2.5f, 3.5f, -0.5f, -1.5f, -2.5f,
+                          -3.5f, 126.5f, 127.5f};
+    std::vector<std::int32_t> expect{0, 2, 2, 4, 0, -2, -2, -4, 126,
+                                     127};
+    std::vector<std::int32_t> out(in.size());
+    SimdToggle guard;
+    for (bool on : {true, false}) {
+        simd::setEnabled(on);
+        simd::quantizeBatch(in.data(), out.data(), in.size(), qp);
+        EXPECT_EQ(out, expect) << "simd " << on;
+    }
+}
+
+TEST(SimdKernels, ConvForwardMatchesScalarAcrossShapes)
+{
+    const ConvSpec specs[] = {
+        {.inC = 3, .outC = 13, .kh = 3, .kw = 3, .pad = 1},
+        {.inC = 5, .outC = 9, .kh = 1, .kw = 1, .bias = false},
+        {.inC = 8, .outC = 12, .kh = 3, .kw = 3, .stride = 2, .pad = 2,
+         .dilation = 2, .groups = 4},
+        {.inC = 6, .outC = 6, .kh = 3, .kw = 3, .pad = 1, .groups = 6},
+        {.inC = 4, .outC = 17, .kh = 2, .kw = 3, .stride = 2},
+    };
+    int seed = 300;
+    for (const ConvSpec &spec : specs) {
+        for (Precision p : kAllPrecisions) {
+            auto conv = makeConv("c", spec, seed);
+            Tensor x = randomTensor(seed + 1, 2, 7, 9, spec.inC);
+            std::vector<const Tensor *> ins{&x};
+            setupPrecision(*conv, ins, p);
+            Tensor out = forwardBothWays(*conv, ins);
+            // Anchor to the canonical definition: a sample of neurons
+            // must match computeNeuron exactly.
+            for (std::size_t flat = 0; flat < out.size();
+                 flat += out.size() / 23 + 1) {
+                NeuronIndex idx = out.indexOf(flat);
+                EXPECT_EQ(
+                    std::bit_cast<std::uint32_t>(out[flat]),
+                    std::bit_cast<std::uint32_t>(
+                        conv->computeNeuron(ins, idx, nullptr)))
+                    << "outC " << spec.outC << " flat " << flat;
+            }
+            ++seed;
+        }
+    }
+}
+
+TEST(SimdKernels, ConvForwardRegionMatchesAcrossBoxes)
+{
+    ConvSpec spec{.inC = 6, .outC = 18, .kh = 3, .kw = 3, .pad = 1,
+                  .groups = 2};
+    for (Precision p : kAllPrecisions) {
+        auto conv = makeConv("c", spec, 410);
+        Tensor x = randomTensor(411, 1, 8, 8, spec.inC);
+        std::vector<const Tensor *> ins{&x};
+        setupPrecision(*conv, ins, p);
+        Tensor golden = conv->forward(ins);
+
+        // Boxes chosen to slice lane blocks: single channel, a span
+        // crossing the block boundary, a cross-group span, full.
+        struct Box
+        {
+            int c0, c1;
+        };
+        for (const Box &box :
+             {Box{0, 1}, Box{3, 11}, Box{7, 18}, Box{0, 18}}) {
+            Region r{0, 1, 2, 6, 1, 7, box.c0, box.c1};
+            SimdToggle guard;
+            for (bool on : {true, false}) {
+                simd::setEnabled(on);
+                Tensor out = golden;
+                // Scribble inside the box to prove it is recomputed.
+                for (int h = r.h0; h < r.h1; ++h)
+                    for (int w = r.w0; w < r.w1; ++w)
+                        for (int c = r.c0; c < r.c1; ++c)
+                            out.at(0, h, w, c) = -1234.5f;
+                conv->forwardRegion(ins, r, out);
+                EXPECT_TRUE(bitIdentical(out, golden))
+                    << "box [" << box.c0 << ", " << box.c1
+                    << ") simd " << on;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, FcForwardMatchesScalar)
+{
+    Rng rng(500);
+    int inC = 7, units = 19;
+    FC fc("fc", inC, units,
+          heWeights(rng, static_cast<std::size_t>(inC) * units, inC),
+          smallBiases(rng, units));
+    Tensor x = randomTensor(501, 2, 3, 1, inC);
+    std::vector<const Tensor *> ins{&x};
+    for (Precision p : kAllPrecisions) {
+        setupPrecision(fc, ins, p);
+        Tensor out = forwardBothWays(fc, ins);
+        for (std::size_t flat = 0; flat < out.size(); flat += 5) {
+            NeuronIndex idx = out.indexOf(flat);
+            EXPECT_EQ(std::bit_cast<std::uint32_t>(out[flat]),
+                      std::bit_cast<std::uint32_t>(
+                          fc.computeNeuron(ins, idx, nullptr)));
+        }
+    }
+}
+
+TEST(SimdKernels, MatMulForwardMatchesScalar)
+{
+    for (bool transB : {false, true}) {
+        MatMulAB mm("mm", transB, 0.125f);
+        Tensor a = randomTensor(601, 2, 5, 1, 11);
+        Tensor b = transB ? randomTensor(602, 1, 13, 1, 11)
+                          : randomTensor(602, 1, 11, 1, 13);
+        std::vector<const Tensor *> ins{&a, &b};
+        for (Precision p : kAllPrecisions) {
+            setupPrecision(mm, ins, p);
+            Tensor out = forwardBothWays(mm, ins);
+            for (std::size_t flat = 0; flat < out.size(); flat += 7) {
+                NeuronIndex idx = out.indexOf(flat);
+                EXPECT_EQ(std::bit_cast<std::uint32_t>(out[flat]),
+                          std::bit_cast<std::uint32_t>(
+                              mm.computeNeuron(ins, idx, nullptr)))
+                    << "transB " << transB;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, ElementwiseAndActivationMatchScalar)
+{
+    // Length 21 leaves a scalar tail after any lane width; the NaN
+    // and signed-zero elements exercise the select semantics.
+    Tensor a = randomTensor(700, 1, 3, 7, 1);
+    Tensor b = randomTensor(701, 1, 3, 7, 1);
+    a.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    a.data()[1] = -0.0f;
+    a.data()[2] = 0.0f;
+    b.data()[3] = std::numeric_limits<float>::quiet_NaN();
+    std::vector<const Tensor *> ab{&a, &b};
+    std::vector<const Tensor *> only_a{&a};
+
+    std::vector<std::unique_ptr<Layer>> layers;
+    layers.push_back(std::make_unique<Elementwise>(
+        "add", Elementwise::Op::Add));
+    layers.push_back(std::make_unique<Elementwise>(
+        "mul", Elementwise::Op::Mul));
+    layers.push_back(std::make_unique<Elementwise>(
+        "sub", Elementwise::Op::Sub));
+    layers.push_back(std::make_unique<ScaleShift>("ss", -1.5f, 0.25f));
+    layers.push_back(std::make_unique<Activation>(
+        "relu", Activation::Func::ReLU));
+    layers.push_back(std::make_unique<Activation>(
+        "lrelu", Activation::Func::LeakyReLU, 0.1f));
+    layers.push_back(std::make_unique<Activation>(
+        "sigmoid", Activation::Func::Sigmoid));
+
+    for (auto &layer : layers) {
+        bool binary = layer->name() == "add" ||
+                      layer->name() == "mul" ||
+                      layer->name() == "sub";
+        const auto &ins = binary ? ab : only_a;
+        for (Precision p : {Precision::FP32, Precision::FP16}) {
+            layer->setPrecision(p);
+            forwardBothWays(*layer, ins);
+        }
+    }
+}
+
+TEST(SimdKernels, CampaignChecksumIdenticalWithToggle)
+{
+    Rng rng(800);
+    Network net("toggle");
+    NodeId c1 = net.add(
+        makeConv("c1", {.inC = 3, .outC = 11, .kh = 3, .kw = 3,
+                        .pad = 1},
+                 801),
+        0);
+    NodeId r1 = net.add(
+        std::make_unique<Activation>("relu", Activation::Func::ReLU),
+        c1);
+    NodeId c2 = net.add(
+        makeConv("c2", {.inC = 11, .outC = 8, .kh = 3, .kw = 3,
+                        .stride = 2, .groups = 1},
+                 802),
+        r1);
+    NodeId gap = net.add(std::make_unique<GlobalAvgPool>("gap"), c2);
+    net.add(std::make_unique<FC>("fc", 8, 5, heWeights(rng, 40, 8),
+                                 smallBiases(rng, 5)),
+            gap);
+
+    Tensor input = randomTensor(803, 1, 8, 8, 3);
+    for (Precision p : kAllPrecisions) {
+        net.setPrecision(p);
+        if (p == Precision::INT8 || p == Precision::INT16)
+            net.calibrate(input);
+
+        CampaignConfig cfg;
+        cfg.samplesPerCategory = 4;
+        cfg.seed = 804;
+
+        SimdToggle guard;
+        simd::setEnabled(true);
+        CampaignResult vec = runCampaign(net, input, top1Match(), cfg);
+        simd::setEnabled(false);
+        CampaignResult ref = runCampaign(net, input, top1Match(), cfg);
+
+        EXPECT_EQ(vec.totalInjections, ref.totalInjections);
+        ASSERT_EQ(vec.cells.size(), ref.cells.size());
+        for (std::size_t i = 0; i < vec.cells.size(); ++i) {
+            EXPECT_EQ(vec.cells[i].masked.successes(),
+                      ref.cells[i].masked.successes());
+            EXPECT_EQ(vec.cells[i].masked.trials(),
+                      ref.cells[i].masked.trials());
+        }
+        ASSERT_EQ(vec.singleNeuronSamples.size(),
+                  ref.singleNeuronSamples.size());
+        for (std::size_t i = 0; i < vec.singleNeuronSamples.size();
+             ++i) {
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                          vec.singleNeuronSamples[i].first),
+                      std::bit_cast<std::uint64_t>(
+                          ref.singleNeuronSamples[i].first));
+            EXPECT_EQ(vec.singleNeuronSamples[i].second,
+                      ref.singleNeuronSamples[i].second);
+        }
+    }
+}
+
+TEST(QuantConstexpr, RangesAndClampAreCompileTime)
+{
+    constexpr QuantParams q8{1.0, 8};
+    constexpr QuantParams q16{1.0, 16};
+    static_assert(q8.qmax() == 127);
+    static_assert(q8.qmin() == -128);
+    static_assert(q16.qmax() == 32767);
+    static_assert(q16.qmin() == -32768);
+    static_assert(clampToRange(1000, q8) == 127);
+    static_assert(clampToRange(-1000, q8) == -128);
+    static_assert(clampToRange(42, q8) == 42);
+    static_assert(clampToRange(40000, q16) == 32767);
+    EXPECT_EQ(clampToRange(-40000, q16), -32768);
+}
