@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Adaptive vs fixed sampling at equal statistical precision.
+ *
+ * For each study CNN the fixed-budget campaign (samplesPerCategory =
+ * 120 by default) is run first and its worst-cell Wilson half-width
+ * measured.  The adaptive engine is then asked to hit exactly that
+ * half-width as its per-cell target; because it retires easy
+ * (layer, category) cells as soon as their interval is tight enough it
+ * reaches the same precision with a fraction of the injections.
+ *
+ * The bench fails (non-zero exit) if any adaptive cell misses the
+ * target without hitting the sample cap, or if no network shows at
+ * least a 1.5x sample reduction.  Results are merged into
+ * BENCH_adaptive_sampling.json.
+ */
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+int
+main()
+{
+    const int samples = scaledSamples(120);
+    const double z = 1.96;
+
+    printHeading(std::cout,
+                 "Adaptive sampling vs fixed budget (" +
+                     std::to_string(samples) +
+                     " samples per layer/category baseline)");
+
+    Table t({"Network", "mode", "injections", "max half-width",
+             "wall s", "sample ratio"});
+    std::vector<AdaptiveRecord> records;
+    bool precision_ok = true;
+    double best_ratio = 0.0;
+
+    for (const char *name : {"resnet", "mobilenet"}) {
+        CampaignConfig fixed;
+        fixed.samplesPerCategory = samples;
+        fixed.seed = 2027;
+        CampaignResult fres;
+        double fsecs = timeSeconds([&] {
+            fres = runStudyCampaignCfg(name, Precision::FP16,
+                                       top1Metric(), fixed);
+        });
+        const double target = maxCellHalfWidth(fres, z);
+
+        CampaignConfig adaptive = fixed;
+        adaptive.targetHalfWidth = target;
+        adaptive.confidenceZ = z;
+        adaptive.minSamples = 32;
+        adaptive.maxSamplesPerCategory = samples * 32;
+        CampaignResult ares;
+        double asecs = timeSeconds([&] {
+            ares = runStudyCampaignCfg(name, Precision::FP16,
+                                       top1Metric(), adaptive);
+        });
+
+        // Every sampled cell must meet the target; the cap is sized
+        // far above the fixed budget so it cannot silently bail out.
+        for (const CellResult &cell : ares.cells) {
+            if (cell.category == FFCategory::GlobalControl ||
+                cell.masked.trials() == 0)
+                continue;
+            const bool capped =
+                cell.masked.trials() >=
+                static_cast<std::uint64_t>(adaptive.maxSamplesPerCategory);
+            if (!capped && cell.masked.halfWidth(z) > target) {
+                std::cout << "ERROR: node " << cell.node << " "
+                          << ffCategoryName(cell.category)
+                          << " missed the half-width target\n";
+                precision_ok = false;
+            }
+        }
+
+        const double ratio =
+            ares.totalInjections > 0
+                ? static_cast<double>(fres.totalInjections) /
+                      static_cast<double>(ares.totalInjections)
+                : 0.0;
+        best_ratio = std::max(best_ratio, ratio);
+
+        t.addRow({name, "fixed", std::to_string(fres.totalInjections),
+                  Table::num(maxCellHalfWidth(fres, z), 4),
+                  Table::num(fsecs, 2), "1.00"});
+        t.addRow({name, "adaptive", std::to_string(ares.totalInjections),
+                  Table::num(maxCellHalfWidth(ares, z), 4),
+                  Table::num(asecs, 2), Table::num(ratio, 2)});
+
+        AdaptiveRecord fr;
+        fr.bench = "adaptive_sampling";
+        fr.network = name;
+        fr.mode = "fixed";
+        fr.targetHalfWidth = target;
+        fr.confidenceZ = z;
+        fr.injections = fres.totalInjections;
+        fr.maxHalfWidth = maxCellHalfWidth(fres, z);
+        fr.wallSeconds = fsecs;
+        records.push_back(fr);
+
+        AdaptiveRecord ar = fr;
+        ar.mode = "adaptive";
+        ar.injections = ares.totalInjections;
+        ar.maxHalfWidth = maxCellHalfWidth(ares, z);
+        ar.wallSeconds = asecs;
+        records.push_back(ar);
+    }
+
+    t.print(std::cout);
+    writeAdaptiveJson("adaptive_sampling", records);
+
+    const bool ratio_ok = best_ratio >= 1.5;
+    std::cout << "\nbest sample reduction at equal precision: "
+              << Table::num(best_ratio, 2) << "x (gate: >= 1.5x)\n"
+              << (precision_ok ? ""
+                               : "ERROR: adaptive run missed its "
+                                 "half-width target\n")
+              << (ratio_ok ? ""
+                           : "ERROR: no network reached the 1.5x "
+                             "sample reduction\n")
+              << std::flush;
+    return precision_ok && ratio_ok ? 0 : 1;
+}

@@ -19,6 +19,14 @@ main()
 {
     int samples = scaledSamples(150);
 
+    // FIDELITY_TARGET_HW=<half-width> switches the campaigns to the
+    // adaptive engine: instead of a fixed per-category budget, every
+    // (layer, category) cell draws until its Wilson interval is at
+    // least that tight (capped at 32x the fixed budget).
+    double target_hw = 0.0;
+    if (const char *env = std::getenv("FIDELITY_TARGET_HW"))
+        target_hw = std::atof(env);
+
     printHeading(std::cout, "Table IV: experiment setup");
     Table setup({"Item", "Value"});
     setup.addRow({"Platform",
@@ -29,7 +37,10 @@ main()
     setup.addRow({"Raw FF FIT rate", "600 / MB"});
     setup.addRow({"FF census N_ff", "1.2e6 (estimated, adjustable)"});
     setup.addRow({"Samples per (layer, category)",
-                  std::to_string(samples)});
+                  target_hw > 0.0
+                      ? "adaptive (CI half-width <= " +
+                            std::to_string(target_hw) + ")"
+                      : std::to_string(samples)});
     setup.print(std::cout);
 
     printHeading(std::cout,
@@ -41,8 +52,15 @@ main()
     for (const char *name : {"inception", "resnet", "mobilenet"}) {
         for (Precision p : {Precision::FP16, Precision::INT16,
                             Precision::INT8}) {
+            CampaignConfig cfg;
+            cfg.samplesPerCategory = samples;
+            cfg.seed = 2027;
+            if (target_hw > 0.0) {
+                cfg.targetHalfWidth = target_hw;
+                cfg.maxSamplesPerCategory = samples * 32;
+            }
             CampaignResult res =
-                runStudyCampaign(name, p, top1Metric(), samples);
+                runStudyCampaignCfg(name, p, top1Metric(), cfg);
             injections += res.totalInjections;
             auto cells = fitCells(res.fit);
             t.addRow({name, precisionName(p), cells[0], cells[1],

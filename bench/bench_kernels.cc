@@ -282,11 +282,11 @@ runChecksumGate()
     int failures = 0;
     for (const DtypeSpec &dt : kDtypes) {
         simd::setEnabled(true);
-        std::uint64_t withSimd = bench::campaignChecksum(
+        std::uint64_t withSimd = campaignChecksum(
             bench::runStudyCampaign("resnet", dt.precision,
                                     top1Metric(), samples));
         simd::setEnabled(false);
-        std::uint64_t scalar = bench::campaignChecksum(
+        std::uint64_t scalar = campaignChecksum(
             bench::runStudyCampaign("resnet", dt.precision,
                                     top1Metric(), samples));
         simd::setEnabled(true);

@@ -74,7 +74,38 @@ main()
     writeThroughputJson("parallel_scaling", records);
     std::cout << (all_identical
                       ? "\nresults bit-identical across thread counts\n"
-                      : "\nERROR: results differ across thread counts\n")
+                      : "\nERROR: results differ across thread counts\n");
+
+    // Crash-safety leg: stop the same campaign mid-flight, snapshot,
+    // resume from the snapshot at a different thread count, and check
+    // the merged result is bit-identical to the uninterrupted runs.
+    const std::string ckpt = "bench_parallel_scaling.ckpt";
+    bool resume_identical = true;
+    for (int threads : {1, 8}) {
+        cfg.numThreads = threads;
+        cfg.checkpointPath = ckpt;
+        cfg.stopAfterShards = 64;
+        cfg.resumeFrom.clear();
+        CampaignResult part = runCampaign(net, input, top1Metric(), cfg);
+        if (part.complete) {
+            std::cout << "ERROR: time-sliced campaign finished early\n";
+            resume_identical = false;
+        }
+        cfg.stopAfterShards = 0;
+        cfg.resumeFrom = ckpt;
+        cfg.numThreads = threads == 1 ? 8 : 1; // resume elsewhere
+        CampaignResult res = runCampaign(net, input, top1Metric(), cfg);
+        resume_identical = resume_identical &&
+                           campaignChecksum(res) == base_checksum;
+        std::remove(ckpt.c_str());
+    }
+    cfg.checkpointPath.clear();
+    cfg.resumeFrom.clear();
+    std::cout << (resume_identical
+                      ? "checkpoint/resume bit-identical to "
+                        "uninterrupted runs\n"
+                      : "ERROR: resumed campaign diverged from the "
+                        "uninterrupted result\n")
               << std::flush;
-    return all_identical ? 0 : 1;
+    return all_identical && resume_identical ? 0 : 1;
 }

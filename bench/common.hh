@@ -11,6 +11,7 @@
 #ifndef FIDELITY_BENCH_COMMON_HH
 #define FIDELITY_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -72,33 +73,43 @@ runStudyCampaign(const std::string &network, Precision precision,
     return runCampaign(net, input, metric, cfg);
 }
 
+// campaignChecksum() — the bit-identity digest the benches gate on —
+// now lives in core/campaign.hh so the checkpoint/resume tests can
+// assert the same digest the benches report.
+
 /**
- * Order-sensitive digest of a campaign's numeric identity: every
- * per-cell counter and every single-neuron sample, FNV-1a mixed.  Two
- * campaigns with equal checksums produced bit-identical results —
- * the cross-thread-count and dense-vs-incremental equality proofs.
+ * Build, calibrate, and campaign one study network with a caller-built
+ * config (adaptive targets, checkpointing, ...).  The config's
+ * samplesPerCategory/seed are used as given.
  */
-inline std::uint64_t
-campaignChecksum(const CampaignResult &res)
+inline CampaignResult
+runStudyCampaignCfg(const std::string &network, Precision precision,
+                    const CorrectnessFn &metric, CampaignConfig cfg,
+                    std::uint64_t seed = 2020)
 {
-    std::uint64_t h = 1469598103934665603ULL; // FNV-1a
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ULL;
-    };
-    mix(res.totalInjections);
+    Network net = buildNetwork(network, seed);
+    Tensor input = defaultInputFor(network, seed + 1);
+    net.setPrecision(precision);
+    if (precision == Precision::INT16 || precision == Precision::INT8)
+        net.calibrate(input);
+    return runCampaign(net, input, metric, cfg);
+}
+
+/**
+ * Largest Wilson half-width over the sampled (non-GlobalControl)
+ * cells — the campaign's achieved per-cell confidence-interval width.
+ */
+inline double
+maxCellHalfWidth(const CampaignResult &res, double z = 1.96)
+{
+    double worst = 0.0;
     for (const CellResult &cell : res.cells) {
-        mix(cell.masked.successes());
-        mix(cell.masked.trials());
+        if (cell.category == FFCategory::GlobalControl ||
+            cell.masked.trials() == 0)
+            continue;
+        worst = std::max(worst, cell.masked.halfWidth(z));
     }
-    for (const auto &[delta, failed] : res.singleNeuronSamples) {
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(delta));
-        std::memcpy(&bits, &delta, sizeof(bits));
-        mix(bits);
-        mix(failed ? 1 : 0);
-    }
-    return h;
+    return worst;
 }
 
 /** One machine-readable throughput measurement. */
@@ -204,6 +215,41 @@ writeKernelThroughputJson(const std::string &bench,
            << r.kernel << "\", \"dtype\": \"" << r.dtype
            << "\", \"backend\": \"" << r.backend
            << "\", \"gflops\": " << r.gflops
+           << ", \"wall_s\": " << r.wallSeconds << "}";
+        rows.push_back(os.str());
+    }
+    mergeJsonLines(path, bench, rows);
+}
+
+/** One adaptive-vs-fixed sampling measurement. */
+struct AdaptiveRecord
+{
+    std::string bench;   //!< producing binary, e.g. "adaptive_sampling"
+    std::string network;
+    std::string mode;    //!< "fixed" or "adaptive"
+    double targetHalfWidth = 0.0; //!< CI half-width both modes achieve
+    double confidenceZ = 0.0;
+    std::uint64_t injections = 0;
+    double maxHalfWidth = 0.0;    //!< achieved worst-cell half-width
+    double wallSeconds = 0.0;
+};
+
+/** Merge adaptive-sampling records into their trajectory file. */
+inline void
+writeAdaptiveJson(const std::string &bench,
+                  const std::vector<AdaptiveRecord> &records,
+                  const std::string &path =
+                      "BENCH_adaptive_sampling.json")
+{
+    std::vector<std::string> rows;
+    for (const AdaptiveRecord &r : records) {
+        std::ostringstream os;
+        os << "  {\"bench\": \"" << bench << "\", \"network\": \""
+           << r.network << "\", \"mode\": \"" << r.mode
+           << "\", \"target_half_width\": " << r.targetHalfWidth
+           << ", \"z\": " << r.confidenceZ
+           << ", \"injections\": " << r.injections
+           << ", \"max_half_width\": " << r.maxHalfWidth
            << ", \"wall_s\": " << r.wallSeconds << "}";
         rows.push_back(os.str());
     }

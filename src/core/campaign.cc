@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "accel/nvdla_fi.hh"
 #include "nn/conv.hh"
 #include "nn/fc.hh"
 #include "nn/matmul.hh"
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -55,6 +59,61 @@ timingLayer(const Network &net, NodeId node,
     panic("node ", node, " is not a MAC layer");
 }
 
+std::uint64_t
+campaignChecksum(const CampaignResult &res)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(res.totalInjections);
+    for (const CellResult &cell : res.cells) {
+        mix(cell.masked.successes());
+        mix(cell.masked.trials());
+    }
+    for (const auto &[delta, failed] : res.singleNeuronSamples) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(delta));
+        std::memcpy(&bits, &delta, sizeof(bits));
+        mix(bits);
+        mix(failed ? 1 : 0);
+    }
+    return h;
+}
+
+std::uint64_t
+campaignConfigHash(const Network &net, const Tensor &input,
+                   const CampaignConfig &cfg)
+{
+    const bool adaptive = cfg.targetHalfWidth > 0.0;
+    HashMixer hm;
+    hm.mix(std::string("fidelity-campaign-v1"));
+    hm.mix(net.name());
+    hm.mix(static_cast<std::uint64_t>(net.precision()));
+    hm.mix(static_cast<std::uint64_t>(net.macNodes().size()));
+    hm.mix(static_cast<std::uint64_t>(numFFCategories));
+    hm.mix(cfg.seed);
+    hm.mix(static_cast<std::uint64_t>(cfg.shardGrain));
+    hm.mix(cfg.outputClampAbs);
+    hm.mix(static_cast<std::uint64_t>(adaptive ? 1 : 0));
+    if (adaptive) {
+        hm.mix(cfg.targetHalfWidth);
+        hm.mix(cfg.confidenceZ);
+        hm.mix(static_cast<std::uint64_t>(cfg.minSamples));
+        hm.mix(static_cast<std::uint64_t>(cfg.maxSamplesPerCategory));
+    } else {
+        hm.mix(static_cast<std::uint64_t>(cfg.samplesPerCategory));
+    }
+    hm.mix(static_cast<std::uint64_t>(input.n()));
+    hm.mix(static_cast<std::uint64_t>(input.h()));
+    hm.mix(static_cast<std::uint64_t>(input.w()));
+    hm.mix(static_cast<std::uint64_t>(input.c()));
+    for (float v : input.data())
+        hm.mix(static_cast<double>(v));
+    return hm.value();
+}
+
 namespace
 {
 
@@ -62,7 +121,8 @@ namespace
  *  (layer, category) cell with its own forked RNG stream. */
 struct Shard
 {
-    std::size_t cell = 0; //!< index into CampaignResult::cells
+    std::uint64_t ordinal = 0; //!< position in the deterministic plan
+    std::size_t cell = 0;      //!< index into CampaignResult::cells
     NodeId node = 0;
     FFCategory category = FFCategory::OutputPsum;
     int samples = 0;
@@ -76,6 +136,32 @@ struct ShardOutput
     std::uint64_t trials = 0;
     std::vector<std::pair<double, bool>> singleNeuronSamples;
 };
+
+/** Adaptive scheduling state of one (layer, category) cell. */
+struct CellSched
+{
+    bool eligible = false; //!< draws samples (i.e. not GlobalControl)
+    bool live = false;     //!< not yet retired
+    std::uint64_t successes = 0; //!< masked count over merged rounds
+    std::uint64_t trials = 0;
+
+    /** Per-cell fork chain (adaptive mode): shard streams fork from
+     *  here, so the cell's sample identity never depends on how long
+     *  any *other* cell stays live. */
+    Rng stream{0};
+};
+
+ShardRecord
+recordOf(const Shard &sh, const ShardOutput &out)
+{
+    ShardRecord r;
+    r.ordinal = sh.ordinal;
+    r.cell = sh.cell;
+    r.maskedCount = out.maskedCount;
+    r.trials = out.trials;
+    r.samples = out.singleNeuronSamples;
+    return r;
+}
 
 } // namespace
 
@@ -97,117 +183,359 @@ runCampaign(const Network &net, const Tensor &input,
     fatal_if(nodes.empty(), "network ", net.name(), " has no MAC layers");
     fatal_if(cfg.shardGrain <= 0, "campaign shardGrain must be > 0, got ",
              cfg.shardGrain);
+    fatal_if(cfg.targetHalfWidth < 0.0,
+             "campaign targetHalfWidth must be >= 0, got ",
+             cfg.targetHalfWidth);
+    const bool adaptive = cfg.targetHalfWidth > 0.0;
+    if (adaptive) {
+        fatal_if(cfg.confidenceZ <= 0.0,
+                 "campaign confidenceZ must be > 0, got ",
+                 cfg.confidenceZ);
+        fatal_if(cfg.minSamples <= 0,
+                 "campaign minSamples must be > 0, got ", cfg.minSamples);
+        fatal_if(cfg.maxSamplesPerCategory < cfg.minSamples,
+                 "campaign maxSamplesPerCategory (",
+                 cfg.maxSamplesPerCategory, ") must be >= minSamples (",
+                 cfg.minSamples, ")");
+    }
 
-    // Shard plan: node-major, Table II category order, sample runs of
-    // at most shardGrain.  The master stream is consumed only by the
-    // forks, in plan order, so the streams each sample draws from are
-    // a function of (seed, shardGrain) alone — never the thread count.
+    // Cell table: node-major, Table II category order.  GlobalControl
+    // cells never draw samples (Prob_SWmask(global, r) = 0 by
+    // definition); every other cell is schedulable.
     Rng master(cfg.seed);
     const auto &cats = allFFCategories();
-    std::vector<Shard> shards;
+    std::vector<CellSched> sched;
     for (NodeId node : nodes) {
         for (FFCategory cat : cats) {
-            std::size_t cell_idx = result.cells.size();
             CellResult cell;
             cell.node = node;
             cell.category = cat;
+            CellSched cs;
             if (cat == FFCategory::GlobalControl) {
-                // By definition Prob_SWmask(global, r) = 0.
                 cell.masked.add(0, 1);
-                result.cells.push_back(std::move(cell));
-                continue;
+            } else {
+                cs.eligible = true;
+                cs.live = true;
             }
             result.cells.push_back(std::move(cell));
-            for (int s = 0; s < cfg.samplesPerCategory;
-                 s += cfg.shardGrain) {
-                Shard sh;
-                sh.cell = cell_idx;
-                sh.node = node;
-                sh.category = cat;
-                sh.samples =
-                    std::min(cfg.shardGrain, cfg.samplesPerCategory - s);
-                sh.rng = master.fork();
-                shards.push_back(std::move(sh));
-            }
+            sched.push_back(cs);
+        }
+    }
+    if (adaptive) {
+        // The master stream is consumed once per eligible cell, in
+        // cell order, before any scheduling decision — so each cell's
+        // chain (and through it every one of its shard streams) is a
+        // function of (seed, cell index) alone, never of which other
+        // cells retired when, and never of the thread count.
+        for (CellSched &cs : sched)
+            if (cs.eligible)
+                cs.stream = master.fork();
+    }
+
+    // ----- Resume --------------------------------------------------
+    const std::uint64_t cfg_hash = campaignConfigHash(net, input, cfg);
+    CampaignSnapshot resume_snap;
+    std::unordered_map<std::uint64_t, const ShardRecord *> restored;
+    if (!cfg.resumeFrom.empty()) {
+        if (snapshotExists(cfg.resumeFrom)) {
+            resume_snap = readSnapshot(cfg.resumeFrom);
+            fatal_if(resume_snap.configHash != cfg_hash,
+                     "snapshot ", cfg.resumeFrom, " was written by a "
+                     "campaign with a different sample identity "
+                     "(config hash mismatch)");
+            for (const ShardRecord &r : resume_snap.shards)
+                restored.emplace(r.ordinal, &r);
+            if (cfg.progress)
+                inform("campaign ", net.name(), ": resuming from ",
+                       cfg.resumeFrom, " (", restored.size(),
+                       " shards journaled)");
+        } else if (cfg.progress) {
+            inform("campaign ", net.name(), ": no snapshot at ",
+                   cfg.resumeFrom, ", starting fresh");
         }
     }
 
-    // Fan the shards out over the pool.  Workers only read the shared
-    // injector/network state and write their own ShardOutput slot, so
-    // no locking is needed on the result path.
-    std::vector<ShardOutput> outputs(shards.size());
+    // ----- Execution -----------------------------------------------
+    std::vector<ShardRecord> archive; //!< completed shards, plan order
+    std::uint64_t next_ordinal = 0;
+    std::uint64_t executed_this_run = 0;
+    bool stopped = false;
+
     std::atomic<std::uint64_t> injections_done{0};
-    std::atomic<std::size_t> shards_done{0};
-    // Progress throttle: one line at most every progressEverySec,
-    // claimed by CAS so exactly one worker logs per window.
+    std::atomic<std::uint64_t> shards_done{0};
+    // Progress/checkpoint throttles: one action at most per window,
+    // claimed by CAS so exactly one worker acts per window.
     std::atomic<std::int64_t> last_log_ns{0};
+    std::atomic<std::int64_t> last_ckpt_ns{0};
+    std::mutex ckpt_mutex;
     const std::int64_t log_period_ns = static_cast<std::int64_t>(
         std::max(cfg.progressEverySec, 0.0) * 1e9);
-    ThreadPool pool(cfg.numThreads);
-    pool.forEach(shards.size(), [&](std::size_t i) {
-        // One incremental engine per worker thread: its scratch
-        // activations and replacement buffer are reused across every
-        // injection the worker runs, keeping the hot loop
-        // allocation-free at steady state.
-        thread_local IncrementalEngine worker_engine;
-        IncrementalEngine *engine = nullptr;
-        if (cfg.incremental) {
-            IncrementalOptions opt;
-            opt.denseThreshold = cfg.incrementalDenseThreshold;
-            worker_engine.setOptions(opt);
-            engine = &worker_engine;
-        }
-        Shard &sh = shards[i];
-        ShardOutput &out = outputs[i];
-        for (int s = 0; s < sh.samples; ++s) {
-            InjectionRecord rec = injector.inject(
-                sh.node, sh.category, correct, sh.rng,
-                cfg.outputClampAbs, engine);
-            out.maskedCount += rec.masked ? 1 : 0;
-            out.trials += 1;
-            if (rec.numFaultyNeurons == 1 &&
-                isDatapathCategory(sh.category)) {
-                out.singleNeuronSamples.emplace_back(rec.maxAbsDelta,
-                                                     !rec.masked);
-            }
-        }
-        std::uint64_t inj =
-            injections_done.fetch_add(out.trials,
-                                      std::memory_order_relaxed) +
-            out.trials;
-        std::size_t done =
-            shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (cfg.progress && done < shards.size()) {
-            std::int64_t now = std::chrono::duration_cast<
-                                   std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now() -
-                                   wall_start)
-                                   .count();
-            std::int64_t prev =
-                last_log_ns.load(std::memory_order_relaxed);
-            if (now - prev >= log_period_ns &&
-                last_log_ns.compare_exchange_strong(
-                    prev, now, std::memory_order_relaxed)) {
-                inform("campaign ", net.name(), ": shard ", done, "/",
-                       shards.size(), " done, ", inj, " injections");
-            }
-        }
-    });
+    const std::int64_t ckpt_period_ns = static_cast<std::int64_t>(
+        std::max(cfg.checkpointEverySec, 0.0) * 1e9);
+    auto now_ns = [&wall_start] {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - wall_start)
+            .count();
+    };
 
-    // Deterministic merge: shard-plan order, integer accumulators.
-    for (std::size_t i = 0; i < shards.size(); ++i) {
-        const ShardOutput &out = outputs[i];
-        result.cells[shards[i].cell].masked.add(out.maskedCount,
-                                                out.trials);
-        result.totalInjections += out.trials;
+    ThreadPool pool(cfg.numThreads);
+
+    // Execute one round of shards: restore what the snapshot already
+    // holds, fan the remainder out over the pool (honouring the
+    // stopAfterShards slice), and append everything completed to the
+    // archive.  Returns true when the slice limit cut the round short.
+    auto executeRound = [&](std::vector<Shard> &shards) -> bool {
+        const std::size_t n = shards.size();
+        std::vector<ShardOutput> outputs(n);
+        std::vector<std::atomic<bool>> done(n);
+
+        std::vector<std::size_t> pending;
+        pending.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto it = restored.find(shards[i].ordinal);
+            if (it == restored.end()) {
+                pending.push_back(i);
+                continue;
+            }
+            const ShardRecord &r = *it->second;
+            fatal_if(r.cell != shards[i].cell ||
+                         r.trials !=
+                             static_cast<std::uint64_t>(shards[i].samples),
+                     "snapshot shard ", r.ordinal,
+                     " does not match the replayed shard plan");
+            outputs[i].maskedCount = r.maskedCount;
+            outputs[i].trials = r.trials;
+            outputs[i].singleNeuronSamples = r.samples;
+            done[i].store(true, std::memory_order_relaxed);
+        }
+
+        bool stop_here = false;
+        if (cfg.stopAfterShards > 0) {
+            std::uint64_t left =
+                cfg.stopAfterShards > executed_this_run
+                    ? cfg.stopAfterShards - executed_this_run
+                    : 0;
+            if (pending.size() > left) {
+                pending.resize(static_cast<std::size_t>(left));
+                stop_here = true;
+            }
+        }
+
+        // Snapshot the completed shards: everything already archived
+        // (previous rounds) plus this round's done shards.  Runs on a
+        // worker mid-round (throttled) and on the submitting thread
+        // at round/stop boundaries; the mutex serialises writers.
+        auto writeCheckpoint = [&] {
+            std::lock_guard<std::mutex> lock(ckpt_mutex);
+            CampaignSnapshot snap;
+            snap.configHash = cfg_hash;
+            snap.shards = archive;
+            for (std::size_t i = 0; i < n; ++i)
+                if (done[i].load(std::memory_order_acquire))
+                    snap.shards.push_back(recordOf(shards[i],
+                                                   outputs[i]));
+            writeSnapshot(cfg.checkpointPath, snap);
+        };
+
+        pool.forEachOf(pending, [&](std::size_t i) {
+            // One incremental engine per worker thread: its scratch
+            // activations and replacement buffer are reused across
+            // every injection the worker runs, keeping the hot loop
+            // allocation-free at steady state.
+            thread_local IncrementalEngine worker_engine;
+            IncrementalEngine *engine = nullptr;
+            if (cfg.incremental) {
+                IncrementalOptions opt;
+                opt.denseThreshold = cfg.incrementalDenseThreshold;
+                worker_engine.setOptions(opt);
+                engine = &worker_engine;
+            }
+            Shard &sh = shards[i];
+            ShardOutput &out = outputs[i];
+            for (int s = 0; s < sh.samples; ++s) {
+                InjectionRecord rec = injector.inject(
+                    sh.node, sh.category, correct, sh.rng,
+                    cfg.outputClampAbs, engine);
+                out.maskedCount += rec.masked ? 1 : 0;
+                out.trials += 1;
+                if (rec.numFaultyNeurons == 1 &&
+                    isDatapathCategory(sh.category)) {
+                    out.singleNeuronSamples.emplace_back(
+                        rec.maxAbsDelta, !rec.masked);
+                }
+            }
+            done[i].store(true, std::memory_order_release);
+
+            std::uint64_t inj =
+                injections_done.fetch_add(out.trials,
+                                          std::memory_order_relaxed) +
+                out.trials;
+            std::uint64_t nth =
+                shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::int64_t now = now_ns();
+            if (cfg.progress) {
+                std::int64_t prev =
+                    last_log_ns.load(std::memory_order_relaxed);
+                if (now - prev >= log_period_ns &&
+                    last_log_ns.compare_exchange_strong(
+                        prev, now, std::memory_order_relaxed)) {
+                    inform("campaign ", net.name(), ": ", nth,
+                           " shards done this run, ", inj,
+                           " injections");
+                }
+            }
+            if (!cfg.checkpointPath.empty()) {
+                std::int64_t prev =
+                    last_ckpt_ns.load(std::memory_order_relaxed);
+                if (now - prev >= ckpt_period_ns &&
+                    last_ckpt_ns.compare_exchange_strong(
+                        prev, now, std::memory_order_relaxed)) {
+                    writeCheckpoint();
+                }
+            }
+        });
+        executed_this_run += pending.size();
+
+        for (std::size_t i = 0; i < n; ++i)
+            if (done[i].load(std::memory_order_acquire))
+                archive.push_back(recordOf(shards[i], outputs[i]));
+        return stop_here;
+    };
+
+    // Next-round quota of a live cell: aim at the total sample count
+    // that puts the cell's half-width on target (Wald inversion at
+    // the Wilson-centre estimate), floored at one shard and capped
+    // both geometrically (overshoot guard while the estimate is
+    // noisy) and by maxSamplesPerCategory.  Deterministic: depends
+    // only on the cell's merged counters.
+    auto nextQuota = [&](const CellSched &cs) -> int {
+        const double z = cfg.confidenceZ;
+        const double z2 = z * z;
+        double pw = (static_cast<double>(cs.successes) + z2 / 2.0) /
+                    (static_cast<double>(cs.trials) + z2);
+        std::uint64_t need =
+            samplesForHalfWidth(pw, cfg.targetHalfWidth, z);
+        std::uint64_t more = need > cs.trials ? need - cs.trials : 0;
+        const auto grain = static_cast<std::uint64_t>(cfg.shardGrain);
+        more = std::max(more, grain);
+        more = std::min(more, std::max(grain, 3 * cs.trials));
+        const auto cap =
+            static_cast<std::uint64_t>(cfg.maxSamplesPerCategory);
+        more = std::min(more, cap - cs.trials);
+        return static_cast<int>(more);
+    };
+
+    // Slice a cell's round quota into shards of at most shardGrain
+    // samples, forking each shard's stream from `chain` in order.
+    auto planCell = [&](std::vector<Shard> &shards, std::size_t cell,
+                        int quota, Rng &chain) {
+        for (int s = 0; s < quota; s += cfg.shardGrain) {
+            Shard sh;
+            sh.ordinal = next_ordinal++;
+            sh.cell = cell;
+            sh.node = result.cells[cell].node;
+            sh.category = result.cells[cell].category;
+            sh.samples = std::min(cfg.shardGrain, quota - s);
+            sh.rng = chain.fork();
+            shards.push_back(std::move(sh));
+        }
+    };
+
+    if (!adaptive) {
+        // Fixed schedule: the whole plan is one round.  The master
+        // stream is consumed only by the forks, in plan order, so the
+        // streams each sample draws from are a function of
+        // (seed, shardGrain, samplesPerCategory) alone.
+        std::vector<Shard> shards;
+        for (std::size_t cell = 0; cell < sched.size(); ++cell)
+            if (sched[cell].eligible)
+                planCell(shards, cell, cfg.samplesPerCategory, master);
+        result.rounds = 1;
+        stopped = executeRound(shards);
+    } else {
+        // Adaptive schedule: rounds of shards for the live cells,
+        // merged at a barrier; a cell retires once its Wilson
+        // half-width meets the target (or at the cap).
+        for (;;) {
+            std::vector<Shard> shards;
+            for (std::size_t cell = 0; cell < sched.size(); ++cell) {
+                CellSched &cs = sched[cell];
+                if (!cs.live)
+                    continue;
+                int quota = cs.trials == 0
+                                ? cfg.minSamples
+                                : nextQuota(cs);
+                planCell(shards, cell, quota, cs.stream);
+            }
+            if (shards.empty())
+                break;
+            result.rounds += 1;
+            stopped = executeRound(shards);
+            if (stopped)
+                break;
+
+            // Merge the round into the scheduling counters (the round
+            // is fully archived, so its records are the archive tail)
+            // and retire cells that reached the target or the cap.
+            for (auto it = archive.end() -
+                           static_cast<std::ptrdiff_t>(shards.size());
+                 it != archive.end(); ++it) {
+                CellSched &cs = sched[it->cell];
+                cs.successes += it->maskedCount;
+                cs.trials += it->trials;
+            }
+            for (CellSched &cs : sched) {
+                if (!cs.live)
+                    continue;
+                if (cs.trials >=
+                    static_cast<std::uint64_t>(
+                        cfg.maxSamplesPerCategory)) {
+                    cs.live = false;
+                    continue;
+                }
+                if (cs.trials < static_cast<std::uint64_t>(
+                                    cfg.minSamples))
+                    continue;
+                Proportion p;
+                p.add(cs.successes, cs.trials);
+                if (p.halfWidth(cfg.confidenceZ) <=
+                    cfg.targetHalfWidth)
+                    cs.live = false;
+            }
+        }
+    }
+    result.complete = !stopped;
+
+    // Deterministic merge: shard-plan (ordinal) order, integer
+    // accumulators.  Restored and freshly executed shards are
+    // indistinguishable here — the source of resume bit-identity.
+    for (const ShardRecord &r : archive) {
+        result.cells[r.cell].masked.add(r.maskedCount, r.trials);
+        result.totalInjections += r.trials;
         result.singleNeuronSamples.insert(
-            result.singleNeuronSamples.end(),
-            out.singleNeuronSamples.begin(),
-            out.singleNeuronSamples.end());
+            result.singleNeuronSamples.end(), r.samples.begin(),
+            r.samples.end());
+    }
+
+    // Final snapshot: mandatory after a stop (the remainder of the
+    // plan lives only here) and refreshed on completion so a re-run
+    // with resumeFrom = checkpointPath restores instantly.
+    if (!cfg.checkpointPath.empty()) {
+        CampaignSnapshot snap;
+        snap.configHash = cfg_hash;
+        snap.shards = archive;
+        writeSnapshot(cfg.checkpointPath, snap);
+    } else if (stopped && cfg.progress) {
+        warn("campaign ", net.name(), " stopped after ",
+             executed_this_run,
+             " shards with no checkpointPath; the partial work is "
+             "not recoverable");
     }
 
     // Per-layer timing and FIT inputs from the merged cells (stored
-    // node-major in category order by the planning loop above).
+    // node-major in category order by the planning loop above).  For
+    // a partial (stopped) run these are provisional: cells whose
+    // shards were cut off contribute their merged prefix only.
     std::size_t cell_idx = 0;
     for (NodeId node : nodes) {
         EngineLayer el = timingLayer(net, node, injector.goldenActs());
@@ -237,12 +565,16 @@ runCampaign(const Network &net, const Tensor &input,
         double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall_start)
                           .count();
+        std::uint64_t executed_inj =
+            injections_done.load(std::memory_order_relaxed);
         double rate = wall > 0.0
-            ? static_cast<double>(result.totalInjections) / wall
+            ? static_cast<double>(executed_inj) / wall
             : 0.0;
         inform("campaign ", net.name(), ": ", result.totalInjections,
-               " injections in ", wall, " s (", rate, " inj/s, ",
-               pool.size(), " threads, ", shards.size(), " shards)");
+               " injections merged (", executed_inj,
+               " run here) in ", wall, " s (", rate, " inj/s, ",
+               pool.size(), " threads, ", result.rounds, " rounds",
+               result.complete ? "" : ", PARTIAL", ")");
     }
     return result;
 }

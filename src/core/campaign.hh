@@ -75,6 +75,70 @@ struct CampaignConfig
      *  falls back to the dense kernel. */
     double incrementalDenseThreshold = 0.5;
 
+    // ----- Adaptive precision targeting ---------------------------
+    //
+    // The paper sizes its 46M-injection study so every reported
+    // probability carries a tight confidence interval; the adaptive
+    // scheduler inverts that: give it the interval, and each (layer,
+    // category) cell draws samples in rounds until its Wilson
+    // half-width meets the target, so samples flow to the cells that
+    // need them instead of a flat samplesPerCategory everywhere.
+
+    /**
+     * Target Wilson half-width per (layer, category) cell.  0 keeps
+     * the fixed samplesPerCategory schedule; > 0 switches to the
+     * adaptive round scheduler (samplesPerCategory is then ignored).
+     * Adaptive campaigns are bit-identical for any thread count, but
+     * use a different stream layout than fixed campaigns: each cell
+     * forks a private stream chain, so its samples are independent of
+     * every other cell's retirement round.
+     */
+    double targetHalfWidth = 0.0;
+
+    /** z of the target interval (1.96 = 95%, 2.576 = 99%). */
+    double confidenceZ = 1.96;
+
+    /** Samples every cell draws before it may retire (round 0 size);
+     *  guards against retiring on a lucky empty prefix. */
+    int minSamples = 32;
+
+    /** Hard per-cell cap in adaptive mode: a cell retires at the cap
+     *  even if its half-width still exceeds the target (rare-failure
+     *  cells near p = 1/2 would otherwise run long). */
+    int maxSamplesPerCategory = 1 << 16;
+
+    // ----- Crash-safe checkpoint / resume -------------------------
+
+    /**
+     * When non-empty, the campaign journals every completed shard to
+     * this snapshot file (atomic-rename replace) at least every
+     * checkpointEverySec seconds and once more on completion, so a
+     * killed campaign loses at most one checkpoint window of work.
+     */
+    std::string checkpointPath;
+
+    /** Minimum seconds between two mid-flight snapshot writes. */
+    double checkpointEverySec = 30.0;
+
+    /**
+     * When non-empty and the file exists, restore the journaled
+     * shards and execute only the remainder; the result is
+     * bit-identical to an uninterrupted run (the snapshot stores a
+     * config hash and refuses configs with a different sample
+     * identity).  A non-existent file starts fresh, so setting
+     * resumeFrom = checkpointPath gives an idempotent
+     * crash-restart loop.
+     */
+    std::string resumeFrom;
+
+    /**
+     * Execute at most this many shards in this process (0 = no
+     * limit), then snapshot and return with CampaignResult::complete
+     * = false.  Deterministic time-slicing for batch schedulers — and
+     * the hook the kill-and-resume tests use to "crash" mid-flight.
+     */
+    std::uint64_t stopAfterShards = 0;
+
     NvdlaConfig accel;
     FitParams fit;
     ActivenessModel activeness;
@@ -105,6 +169,13 @@ struct CampaignResult
     std::vector<std::pair<double, bool>> singleNeuronSamples;
 
     std::uint64_t totalInjections = 0;
+
+    /** False when stopAfterShards ended the run early; the partial
+     *  counters are merged, the rest lives in the snapshot. */
+    bool complete = true;
+
+    /** Scheduling rounds executed (1 for a fixed-schedule run). */
+    std::uint64_t rounds = 0;
 };
 
 /**
@@ -129,6 +200,29 @@ struct CampaignResult
 CampaignResult runCampaign(const Network &net, const Tensor &input,
                            const CorrectnessFn &correct,
                            const CampaignConfig &cfg);
+
+/**
+ * Order-sensitive digest of a campaign's numeric identity: every
+ * per-cell counter and every single-neuron sample, FNV-1a mixed.  Two
+ * campaigns with equal checksums produced bit-identical results — the
+ * cross-thread-count, dense-vs-incremental, and kill-and-resume
+ * equality proofs.
+ */
+std::uint64_t campaignChecksum(const CampaignResult &res);
+
+/**
+ * Fingerprint of the CampaignConfig fields that define a campaign's
+ * sample identity (seed, schedule, adaptive targets, clamp), the
+ * network's name/precision/layer census, and the input tensor's
+ * bits.  Stored in snapshots; a resume with a different fingerprint
+ * is refused.  Performance-only knobs (threads, incremental,
+ * progress, checkpoint cadence, stopAfterShards) do not participate.
+ * Network *weights* are identified only through name/seed-derived
+ * topology — resuming against a retrained same-name network is the
+ * caller's responsibility.
+ */
+std::uint64_t campaignConfigHash(const Network &net, const Tensor &input,
+                                 const CampaignConfig &cfg);
 
 /**
  * Describe a MAC layer to the performance model.  Grouped convolutions

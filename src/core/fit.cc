@@ -25,6 +25,7 @@ acceleratorFit(const FitParams &params,
     }
 
     FitBreakdown out;
+    const double raw_total = params.rawFitTotal();
     const auto &cats = allFFCategories();
     for (const LayerFitInput &l : layers) {
         double weight = l.execTime / total_time;
@@ -33,7 +34,7 @@ acceleratorFit(const FitParams &params,
             if (params.protectGlobal && cat == FFCategory::GlobalControl)
                 continue;
             const CategoryLayerStats &s = l.stats[c];
-            double contrib = params.rawFitTotal() * weight *
+            double contrib = raw_total * weight *
                              ffCategoryShare(cat) *
                              (1.0 - s.probInactive) *
                              (1.0 - s.probSwMask);

@@ -1,0 +1,146 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+void
+HashMixer::mix(std::uint64_t v)
+{
+    h_ ^= v;
+    h_ *= 1099511628211ULL;
+}
+
+void
+HashMixer::mix(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+}
+
+void
+HashMixer::mix(const std::string &s)
+{
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (char c : s)
+        mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+}
+
+namespace
+{
+
+// Eight magic bytes: format name + one version byte.  Snapshots are
+// host-endian — a checkpoint resumes on the machine (or at least the
+// architecture) that wrote it, which is the crash-recovery use case.
+constexpr char snapshotMagic[8] = {'F', 'I', 'D', 'C',
+                                   'K', 'P', 'T', '\x01'};
+
+void
+putU64(std::ofstream &out, std::uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint64_t
+getU64(std::ifstream &in, const std::string &path)
+{
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatal_if(!in, "snapshot ", path, " is truncated");
+    return v;
+}
+
+} // namespace
+
+void
+writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
+{
+    fatal_if(path.empty(), "snapshot path must not be empty");
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        fatal_if(!out, "cannot open snapshot temp file ", tmp);
+        out.write(snapshotMagic, sizeof(snapshotMagic));
+        putU64(out, snap.configHash);
+        putU64(out, snap.shards.size());
+        for (const ShardRecord &r : snap.shards) {
+            putU64(out, r.ordinal);
+            putU64(out, r.cell);
+            putU64(out, r.maskedCount);
+            putU64(out, r.trials);
+            putU64(out, r.samples.size());
+            for (const auto &[delta, failed] : r.samples) {
+                std::uint64_t bits;
+                static_assert(sizeof(bits) == sizeof(delta));
+                std::memcpy(&bits, &delta, sizeof(bits));
+                putU64(out, bits);
+                putU64(out, failed ? 1 : 0);
+            }
+        }
+        out.flush();
+        fatal_if(!out, "short write to snapshot temp file ", tmp);
+    }
+    // The atomic publish: readers see the old file or the new file.
+    fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+             "cannot rename ", tmp, " over ", path);
+}
+
+CampaignSnapshot
+readSnapshot(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open snapshot ", path);
+
+    char magic[sizeof(snapshotMagic)] = {};
+    in.read(magic, sizeof(magic));
+    fatal_if(!in ||
+                 std::memcmp(magic, snapshotMagic, sizeof(magic)) != 0,
+             "file ", path, " is not a fidelity campaign snapshot");
+
+    CampaignSnapshot snap;
+    snap.configHash = getU64(in, path);
+    std::uint64_t count = getU64(in, path);
+    snap.shards.reserve(count);
+    std::uint64_t prev_ordinal = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ShardRecord r;
+        r.ordinal = getU64(in, path);
+        fatal_if(i > 0 && r.ordinal <= prev_ordinal, "snapshot ", path,
+                 " has out-of-order shard ordinals");
+        prev_ordinal = r.ordinal;
+        r.cell = getU64(in, path);
+        r.maskedCount = getU64(in, path);
+        r.trials = getU64(in, path);
+        fatal_if(r.maskedCount > r.trials, "snapshot ", path,
+                 " has a shard with maskedCount > trials");
+        std::uint64_t nsamples = getU64(in, path);
+        fatal_if(nsamples > r.trials, "snapshot ", path,
+                 " has a shard with more samples than trials");
+        r.samples.reserve(nsamples);
+        for (std::uint64_t s = 0; s < nsamples; ++s) {
+            std::uint64_t bits = getU64(in, path);
+            double delta;
+            std::memcpy(&delta, &bits, sizeof(delta));
+            bool failed = getU64(in, path) != 0;
+            r.samples.emplace_back(delta, failed);
+        }
+        snap.shards.push_back(std::move(r));
+    }
+    return snap;
+}
+
+bool
+snapshotExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+} // namespace fidelity

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-safe campaign snapshots (checkpoint/resume).
+ *
+ * A multi-hour injection campaign must survive its process dying.  The
+ * campaign engine journals the outputs of every completed shard — the
+ * per-cell counters and perturbation samples, keyed by the shard's
+ * position in the deterministic shard plan — into a snapshot file that
+ * is replaced atomically (write-to-temp + rename), so a reader never
+ * observes a torn file.  Resuming rebuilds the shard plan from the
+ * config (the plan and every RNG stream are pure functions of the
+ * config), skips the journaled shards, and executes only the rest;
+ * the merged result is bit-identical to an uninterrupted run.
+ *
+ * A config hash stored in the snapshot guards against resuming with a
+ * config that would produce a different plan or different streams.
+ */
+
+#ifndef FIDELITY_SIM_CHECKPOINT_HH
+#define FIDELITY_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fidelity
+{
+
+/**
+ * FNV-1a mixer for building config fingerprints.  Doubles are mixed by
+ * bit pattern, so two configs hash equal only when the values that
+ * define the campaign's sample identity are bit-identical.
+ */
+class HashMixer
+{
+  public:
+    void mix(std::uint64_t v);
+    void mix(double v);
+    void mix(const std::string &s);
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+/** Journaled output of one completed shard of the shard plan. */
+struct ShardRecord
+{
+    std::uint64_t ordinal = 0; //!< position in the deterministic plan
+    std::uint64_t cell = 0;    //!< index into CampaignResult::cells
+    std::uint64_t maskedCount = 0;
+    std::uint64_t trials = 0;
+
+    /** (|delta|, caused output error) perturbation samples. */
+    std::vector<std::pair<double, bool>> samples;
+};
+
+/** Everything a campaign needs to restart mid-flight. */
+struct CampaignSnapshot
+{
+    /** Fingerprint of the sample-identity config fields. */
+    std::uint64_t configHash = 0;
+
+    /** Completed shards, sorted by ordinal. */
+    std::vector<ShardRecord> shards;
+};
+
+/**
+ * Persist a snapshot atomically: the bytes go to `path + ".tmp"`,
+ * which is then renamed over `path`.  On POSIX the rename is atomic,
+ * so a concurrent reader (or a crash between the two steps) sees
+ * either the old snapshot or the new one, never a prefix.
+ */
+void writeSnapshot(const std::string &path, const CampaignSnapshot &snap);
+
+/**
+ * Load a snapshot previously written by writeSnapshot.
+ * Fatals on a missing file, a foreign/truncated file, or an
+ * unsupported version; use snapshotExists() to probe first.
+ */
+CampaignSnapshot readSnapshot(const std::string &path);
+
+/** True when `path` exists (the resume-if-present probe). */
+bool snapshotExists(const std::string &path);
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_CHECKPOINT_HH

@@ -22,6 +22,12 @@ void
 Proportion::add(std::uint64_t successes, std::uint64_t trials)
 {
     panic_if(successes > trials, "Proportion batch has successes > trials");
+    // An unchecked wrap here would silently leave successes_ > trials_,
+    // making mean() > 1 and p(1-p) negative — every interval query
+    // would then return NaN.  Counter saturation is a framework bug
+    // (no campaign runs 2^64 trials), so fail loudly instead.
+    panic_if(trials > std::numeric_limits<std::uint64_t>::max() - trials_,
+             "Proportion trial counter overflow");
     successes_ += successes;
     trials_ += trials;
 }
@@ -37,6 +43,7 @@ Proportion::mean() const
 double
 Proportion::halfWidth(double z) const
 {
+    panic_if(z < 0.0, "z must be non-negative, got ", z);
     if (trials_ == 0)
         return 0.0;
     double n = static_cast<double>(trials_);
@@ -114,7 +121,14 @@ std::uint64_t
 samplesForHalfWidth(double p, double half_width, double z)
 {
     panic_if(half_width <= 0.0, "half_width must be positive");
+    panic_if(p < 0.0 || p > 1.0, "p must be a probability, got ", p);
+    panic_if(z <= 0.0, "z must be positive, got ", z);
     double n = z * z * p * (1.0 - p) / (half_width * half_width);
+    // Casting a double above 2^64 (tiny half_width) to uint64_t is
+    // undefined behaviour; saturate instead.
+    constexpr auto max64 = std::numeric_limits<std::uint64_t>::max();
+    if (n >= static_cast<double>(max64))
+        return max64;
     return static_cast<std::uint64_t>(std::ceil(n));
 }
 

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "core/campaign.hh"
 #include "workloads/metrics.hh"
 #include "workloads/models.hh"
@@ -215,4 +218,120 @@ TEST(Campaign, TransformerWithBleuMetric)
     cfg.samplesPerCategory = 8;
     CampaignResult res = runCampaign(net, x, bleuMetric(0.10), cfg);
     EXPECT_GT(res.fit.total(), 0.0);
+}
+
+namespace
+{
+
+CampaignConfig
+adaptiveSmall()
+{
+    CampaignConfig cfg;
+    cfg.seed = 5;
+    cfg.targetHalfWidth = 0.09;
+    cfg.confidenceZ = 1.96;
+    cfg.minSamples = 8;
+    cfg.maxSamplesPerCategory = 64;
+    cfg.shardGrain = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CampaignAdaptive, EveryCellMeetsTargetOrCap)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = adaptiveSmall();
+    CampaignResult res = runCampaign(net, x, top1Metric(), cfg);
+
+    EXPECT_TRUE(res.complete);
+    EXPECT_GE(res.rounds, 1u);
+    for (const CellResult &cell : res.cells) {
+        if (cell.category == FFCategory::GlobalControl)
+            continue;
+        const auto trials = cell.masked.trials();
+        EXPECT_GE(trials, static_cast<std::uint64_t>(cfg.minSamples));
+        EXPECT_LE(trials,
+                  static_cast<std::uint64_t>(cfg.maxSamplesPerCategory));
+        if (trials < static_cast<std::uint64_t>(cfg.maxSamplesPerCategory)) {
+            EXPECT_LE(cell.masked.halfWidth(cfg.confidenceZ),
+                      cfg.targetHalfWidth)
+                << "unretired cell below the cap";
+        }
+    }
+}
+
+TEST(CampaignAdaptive, SamplesFlowToHardCells)
+{
+    // Cells whose estimate sits near 0 or 1 retire at minSamples;
+    // cells near 1/2 must draw more to reach the same half-width.
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignResult res =
+        runCampaign(net, x, top1Metric(), adaptiveSmall());
+
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (const CellResult &cell : res.cells) {
+        if (cell.category == FFCategory::GlobalControl)
+            continue;
+        lo = std::min(lo, cell.masked.trials());
+        hi = std::max(hi, cell.masked.trials());
+    }
+    EXPECT_LT(lo, hi) << "adaptive schedule degenerated to uniform";
+}
+
+TEST(CampaignAdaptive, ResultInvariantUnderThreadCount)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = adaptiveSmall();
+
+    cfg.numThreads = 1;
+    CampaignResult ref = runCampaign(net, x, top1Metric(), cfg);
+    for (int threads : {2, 8}) {
+        cfg.numThreads = threads;
+        CampaignResult got = runCampaign(net, x, top1Metric(), cfg);
+        EXPECT_EQ(campaignChecksum(got), campaignChecksum(ref))
+            << threads << " threads";
+        EXPECT_EQ(got.rounds, ref.rounds);
+    }
+}
+
+TEST(CampaignAdaptive, TighterTargetDrawsMoreSamples)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = adaptiveSmall();
+    cfg.maxSamplesPerCategory = 256;
+    CampaignResult loose = runCampaign(net, x, top1Metric(), cfg);
+    cfg.targetHalfWidth = 0.045;
+    CampaignResult tight = runCampaign(net, x, top1Metric(), cfg);
+    EXPECT_GT(tight.totalInjections, loose.totalInjections);
+}
+
+TEST(CampaignAdaptive, RejectsNonsenseKnobs)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+
+    CampaignConfig bad = adaptiveSmall();
+    bad.minSamples = 0;
+    EXPECT_DEATH((void)runCampaign(net, x, top1Metric(), bad),
+                 "minSamples");
+
+    bad = adaptiveSmall();
+    bad.maxSamplesPerCategory = bad.minSamples - 1;
+    EXPECT_DEATH((void)runCampaign(net, x, top1Metric(), bad),
+                 "maxSamplesPerCategory");
+
+    bad = adaptiveSmall();
+    bad.confidenceZ = 0.0;
+    EXPECT_DEATH((void)runCampaign(net, x, top1Metric(), bad),
+                 "confidenceZ");
+
+    bad = adaptiveSmall();
+    bad.targetHalfWidth = -0.1;
+    EXPECT_DEATH((void)runCampaign(net, x, top1Metric(), bad),
+                 "targetHalfWidth");
 }

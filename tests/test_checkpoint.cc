@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume: snapshot round-trips and the
+ * kill-and-resume bit-identity contract — a campaign interrupted
+ * mid-flight and resumed from its snapshot in a fresh "process"
+ * produces a CampaignResult bit-identical (campaignChecksum) to an
+ * uninterrupted run, for any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hh"
+#include "sim/checkpoint.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+/** Unique snapshot path in gtest's temp dir; removed on destruction. */
+class ScopedSnapshotPath
+{
+  public:
+    explicit ScopedSnapshotPath(const std::string &name)
+        : path_(testing::TempDir() + "fidelity_" + name + ".ckpt")
+    {
+        std::remove(path_.c_str());
+    }
+
+    ~ScopedSnapshotPath()
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+CampaignConfig
+fixedConfig()
+{
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = 16;
+    cfg.shardGrain = 4;
+    cfg.seed = 11;
+    return cfg;
+}
+
+CampaignConfig
+adaptiveConfig()
+{
+    CampaignConfig cfg;
+    cfg.targetHalfWidth = 0.09;
+    cfg.confidenceZ = 1.96;
+    cfg.minSamples = 8;
+    cfg.maxSamplesPerCategory = 48;
+    cfg.shardGrain = 8;
+    cfg.seed = 11;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Snapshot, RoundTripIsBitExact)
+{
+    ScopedSnapshotPath path("roundtrip");
+
+    CampaignSnapshot snap;
+    snap.configHash = 0xdeadbeefcafef00dULL;
+    ShardRecord a;
+    a.ordinal = 0;
+    a.cell = 3;
+    a.maskedCount = 7;
+    a.trials = 12;
+    a.samples = {{0.1, true}, {1e-300, false}, {0.0, true}};
+    ShardRecord b;
+    b.ordinal = 5;
+    b.cell = 9;
+    b.maskedCount = 0;
+    b.trials = 4;
+    snap.shards = {a, b};
+
+    writeSnapshot(path.str(), snap);
+    EXPECT_TRUE(snapshotExists(path.str()));
+
+    CampaignSnapshot got = readSnapshot(path.str());
+    EXPECT_EQ(got.configHash, snap.configHash);
+    ASSERT_EQ(got.shards.size(), 2u);
+    EXPECT_EQ(got.shards[0].ordinal, 0u);
+    EXPECT_EQ(got.shards[0].cell, 3u);
+    EXPECT_EQ(got.shards[0].maskedCount, 7u);
+    EXPECT_EQ(got.shards[0].trials, 12u);
+    ASSERT_EQ(got.shards[0].samples.size(), 3u);
+    // Bit-exact doubles, including denormal-range values.
+    EXPECT_EQ(got.shards[0].samples[0], (std::pair<double, bool>{0.1, true}));
+    EXPECT_EQ(got.shards[0].samples[1],
+              (std::pair<double, bool>{1e-300, false}));
+    EXPECT_EQ(got.shards[1].ordinal, 5u);
+    EXPECT_TRUE(got.shards[1].samples.empty());
+}
+
+TEST(Snapshot, RewriteReplacesAtomically)
+{
+    ScopedSnapshotPath path("rewrite");
+
+    CampaignSnapshot first;
+    first.configHash = 1;
+    writeSnapshot(path.str(), first);
+
+    CampaignSnapshot second;
+    second.configHash = 2;
+    ShardRecord r;
+    r.ordinal = 0;
+    r.cell = 0;
+    r.trials = 1;
+    second.shards = {r};
+    writeSnapshot(path.str(), second);
+
+    CampaignSnapshot got = readSnapshot(path.str());
+    EXPECT_EQ(got.configHash, 2u);
+    EXPECT_EQ(got.shards.size(), 1u);
+    // The temp file was renamed away, not left behind.
+    EXPECT_FALSE(snapshotExists(path.str() + ".tmp"));
+}
+
+TEST(Snapshot, MissingFileProbesFalseAndReadFatals)
+{
+    ScopedSnapshotPath path("missing");
+    EXPECT_FALSE(snapshotExists(path.str()));
+    EXPECT_DEATH((void)readSnapshot(path.str()), "cannot open");
+}
+
+TEST(Snapshot, ForeignFileIsRejected)
+{
+    ScopedSnapshotPath path("foreign");
+    {
+        std::FILE *f = std::fopen(path.str().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("this is not a snapshot", f);
+        std::fclose(f);
+    }
+    EXPECT_DEATH((void)readSnapshot(path.str()),
+                 "not a fidelity campaign snapshot");
+}
+
+TEST(Checkpoint, StopAfterShardsReturnsPartial)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    ScopedSnapshotPath path("partial");
+
+    CampaignConfig cfg = fixedConfig();
+    cfg.checkpointPath = path.str();
+    cfg.stopAfterShards = 6;
+    CampaignResult partial = runCampaign(net, x, top1Metric(), cfg);
+
+    EXPECT_FALSE(partial.complete);
+    EXPECT_EQ(partial.totalInjections, 6u * 4u); // 6 shards of grain 4
+    EXPECT_TRUE(snapshotExists(path.str()));
+
+    CampaignSnapshot snap = readSnapshot(path.str());
+    EXPECT_EQ(snap.shards.size(), 6u);
+    EXPECT_EQ(snap.configHash, campaignConfigHash(net, x, cfg));
+}
+
+TEST(Checkpoint, KillAndResumeBitIdentityAcrossThreadCounts)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+
+    // The ground truth: one uninterrupted run.
+    CampaignResult whole = runCampaign(net, x, top1Metric(),
+                                       fixedConfig());
+    const std::uint64_t want = campaignChecksum(whole);
+
+    for (int threads : {1, 4, 8}) {
+        ScopedSnapshotPath path("kill_fixed_" +
+                                std::to_string(threads));
+
+        // Run a slice, then "crash" (drop every in-process state).
+        CampaignConfig cfg = fixedConfig();
+        cfg.numThreads = threads;
+        cfg.checkpointPath = path.str();
+        cfg.stopAfterShards = 10;
+        CampaignResult partial = runCampaign(net, x, top1Metric(), cfg);
+        ASSERT_FALSE(partial.complete);
+
+        // Fresh config, fresh injector, only the snapshot survives.
+        CampaignConfig resume = fixedConfig();
+        resume.numThreads = threads;
+        resume.checkpointPath = path.str();
+        resume.resumeFrom = path.str();
+        CampaignResult res = runCampaign(net, x, top1Metric(), resume);
+        EXPECT_TRUE(res.complete);
+        EXPECT_EQ(campaignChecksum(res), want)
+            << "resumed result diverged at " << threads << " threads";
+        EXPECT_EQ(res.totalInjections, whole.totalInjections);
+    }
+}
+
+TEST(Checkpoint, KillAndResumeBitIdentityAdaptive)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+
+    CampaignResult whole = runCampaign(net, x, top1Metric(),
+                                       adaptiveConfig());
+    const std::uint64_t want = campaignChecksum(whole);
+
+    for (int threads : {1, 4}) {
+        ScopedSnapshotPath path("kill_adaptive_" +
+                                std::to_string(threads));
+
+        CampaignConfig cfg = adaptiveConfig();
+        cfg.numThreads = threads;
+        cfg.checkpointPath = path.str();
+        cfg.stopAfterShards = 7;
+        CampaignResult partial = runCampaign(net, x, top1Metric(), cfg);
+        ASSERT_FALSE(partial.complete);
+
+        CampaignConfig resume = adaptiveConfig();
+        resume.numThreads = threads;
+        resume.checkpointPath = path.str();
+        resume.resumeFrom = path.str();
+        CampaignResult res = runCampaign(net, x, top1Metric(), resume);
+        EXPECT_TRUE(res.complete);
+        EXPECT_EQ(campaignChecksum(res), want)
+            << "adaptive resume diverged at " << threads << " threads";
+        EXPECT_EQ(res.rounds, whole.rounds);
+    }
+}
+
+TEST(Checkpoint, RepeatedSlicesConvergeToTheWholeRun)
+{
+    // The production crash-restart loop: run the same command with
+    // resumeFrom = checkpointPath until it reports complete.
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    ScopedSnapshotPath path("slices");
+
+    CampaignResult whole = runCampaign(net, x, top1Metric(),
+                                       fixedConfig());
+
+    CampaignResult res;
+    int slices = 0;
+    do {
+        CampaignConfig cfg = fixedConfig();
+        cfg.numThreads = 2;
+        cfg.checkpointPath = path.str();
+        cfg.resumeFrom = path.str();
+        cfg.stopAfterShards = 13;
+        res = runCampaign(net, x, top1Metric(), cfg);
+        ASSERT_LT(++slices, 100) << "slicing loop failed to converge";
+    } while (!res.complete);
+
+    EXPECT_GT(slices, 1) << "test wants at least one real interruption";
+    EXPECT_EQ(campaignChecksum(res), campaignChecksum(whole));
+}
+
+TEST(Checkpoint, CompleteSnapshotResumesWithoutExecuting)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    ScopedSnapshotPath path("complete");
+
+    CampaignConfig cfg = fixedConfig();
+    cfg.checkpointPath = path.str();
+    CampaignResult whole = runCampaign(net, x, top1Metric(), cfg);
+    ASSERT_TRUE(whole.complete);
+
+    // Everything restores; with a 1-shard budget the run could not
+    // have executed more than one shard, yet it completes.
+    CampaignConfig resume = fixedConfig();
+    resume.resumeFrom = path.str();
+    resume.stopAfterShards = 1;
+    CampaignResult res = runCampaign(net, x, top1Metric(), resume);
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(campaignChecksum(res), campaignChecksum(whole));
+}
+
+TEST(Checkpoint, ResumeRefusesForeignConfig)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    ScopedSnapshotPath path("mismatch");
+
+    CampaignConfig cfg = fixedConfig();
+    cfg.checkpointPath = path.str();
+    cfg.stopAfterShards = 3;
+    (void)runCampaign(net, x, top1Metric(), cfg);
+
+    CampaignConfig other = fixedConfig();
+    other.seed = cfg.seed + 1; // different sample identity
+    other.resumeFrom = path.str();
+    EXPECT_DEATH((void)runCampaign(net, x, top1Metric(), other),
+                 "config hash mismatch");
+}
+
+TEST(Checkpoint, MissingResumeFileStartsFresh)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    ScopedSnapshotPath path("fresh");
+
+    CampaignConfig cfg = fixedConfig();
+    cfg.resumeFrom = path.str(); // never written
+    CampaignResult res = runCampaign(net, x, top1Metric(), cfg);
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(campaignChecksum(res),
+              campaignChecksum(
+                  runCampaign(net, x, top1Metric(), fixedConfig())));
+}
+
+TEST(Checkpoint, ConfigHashSeparatesSampleIdentities)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+
+    CampaignConfig cfg = fixedConfig();
+    const std::uint64_t base = campaignConfigHash(net, x, cfg);
+
+    CampaignConfig seed = cfg;
+    seed.seed += 1;
+    EXPECT_NE(campaignConfigHash(net, x, seed), base);
+
+    CampaignConfig grain = cfg;
+    grain.shardGrain += 1;
+    EXPECT_NE(campaignConfigHash(net, x, grain), base);
+
+    CampaignConfig samples = cfg;
+    samples.samplesPerCategory += 1;
+    EXPECT_NE(campaignConfigHash(net, x, samples), base);
+
+    // Performance-only knobs keep the identity.
+    CampaignConfig perf = cfg;
+    perf.numThreads = 8;
+    perf.incremental = !perf.incremental;
+    perf.progress = true;
+    perf.stopAfterShards = 5;
+    perf.checkpointEverySec = 0.0;
+    EXPECT_EQ(campaignConfigHash(net, x, perf), base);
+
+    // A different input means different outcomes: refuse.
+    Tensor y = x;
+    y[0] += 1.0f;
+    EXPECT_NE(campaignConfigHash(net, y, cfg), base);
+
+    // Adaptive knobs only matter in adaptive mode.
+    CampaignConfig adaptive = cfg;
+    adaptive.targetHalfWidth = 0.05;
+    EXPECT_NE(campaignConfigHash(net, x, adaptive), base);
+    CampaignConfig adaptive2 = adaptive;
+    adaptive2.minSamples += 8;
+    EXPECT_NE(campaignConfigHash(net, x, adaptive2),
+              campaignConfigHash(net, x, adaptive));
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Golden-fixture regression for the FIT pipeline (Eq. 2).
+ *
+ * Two small accelerator configurations live as text fixtures under
+ * tests/fixtures/; each pins the full FitBreakdown (datapath / local /
+ * global) at %.17g precision.  The test reparses the fixture, re-runs
+ * acceleratorFit, and fails on any drift beyond 1e-12 — catching
+ * accidental reorderings or "harmless" refactors of the Eq. 2
+ * arithmetic.
+ *
+ * To regenerate after an *intentional* semantic change, run with
+ * FIDELITY_REGEN_FIXTURES=1; the test prints fresh `expect_*` lines to
+ * paste into the fixture and fails so the refresh cannot be silent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fit.hh"
+
+using namespace fidelity;
+
+#ifndef FIDELITY_FIXTURE_DIR
+#error "FIDELITY_FIXTURE_DIR must point at tests/fixtures"
+#endif
+
+namespace
+{
+
+struct Fixture
+{
+    FitParams params;
+    std::vector<LayerFitInput> layers;
+    FitBreakdown expect;
+};
+
+/** Strip comment lines, then tokenize the remainder. */
+std::vector<std::string>
+tokensOf(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+    std::vector<std::string> toks;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string t;
+        while (ls >> t)
+            toks.push_back(t);
+    }
+    return toks;
+}
+
+Fixture
+parseFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(FIDELITY_FIXTURE_DIR) + "/" + name;
+    std::vector<std::string> toks = tokensOf(path);
+
+    Fixture fx;
+    std::size_t i = 0;
+    auto next = [&]() -> std::string {
+        EXPECT_LT(i, toks.size()) << "fixture " << name << " truncated";
+        return i < toks.size() ? toks[i++] : std::string("0");
+    };
+    auto nextD = [&]() { return std::strtod(next().c_str(), nullptr); };
+
+    while (i < toks.size()) {
+        std::string key = next();
+        if (key == "raw_fit_per_mb") {
+            fx.params.rawFitPerMb = nextD();
+        } else if (key == "nff") {
+            fx.params.nff = nextD();
+        } else if (key == "protect_global") {
+            fx.params.protectGlobal = nextD() != 0.0;
+        } else if (key == "layer") {
+            LayerFitInput l;
+            l.execTime = nextD();
+            for (int c = 0; c < numFFCategories; ++c) {
+                l.stats[c].probInactive = nextD();
+                l.stats[c].probSwMask = nextD();
+            }
+            fx.layers.push_back(l);
+        } else if (key == "expect_datapath") {
+            fx.expect.datapath = nextD();
+        } else if (key == "expect_local") {
+            fx.expect.local = nextD();
+        } else if (key == "expect_global") {
+            fx.expect.global = nextD();
+        } else {
+            ADD_FAILURE() << "fixture " << name << ": unknown key '"
+                          << key << "'";
+            break;
+        }
+    }
+    return fx;
+}
+
+void
+checkGolden(const std::string &name)
+{
+    Fixture fx = parseFixture(name);
+    ASSERT_FALSE(fx.layers.empty());
+    FitBreakdown got = acceleratorFit(fx.params, fx.layers);
+
+    if (std::getenv("FIDELITY_REGEN_FIXTURES")) {
+        std::printf("expect_datapath %.17g\n", got.datapath);
+        std::printf("expect_local %.17g\n", got.local);
+        std::printf("expect_global %.17g\n", got.global);
+        FAIL() << name << ": regeneration mode, paste the lines above";
+    }
+
+    EXPECT_NEAR(got.datapath, fx.expect.datapath, 1e-12) << name;
+    EXPECT_NEAR(got.local, fx.expect.local, 1e-12) << name;
+    EXPECT_NEAR(got.global, fx.expect.global, 1e-12) << name;
+    EXPECT_NEAR(got.total(), fx.expect.total(), 1e-12) << name;
+}
+
+} // namespace
+
+TEST(FitGolden, SmallConfigA)
+{
+    checkGolden("fit_small_a.txt");
+}
+
+TEST(FitGolden, SmallConfigB)
+{
+    checkGolden("fit_small_b.txt");
+}
+
+TEST(FitGolden, FixturesAreNotTrivial)
+{
+    // Guard against a silently-zeroed fixture: both pinned totals must
+    // be positive, and config B protects global control so its global
+    // component must be exactly zero while A's is positive.
+    Fixture a = parseFixture("fit_small_a.txt");
+    Fixture b = parseFixture("fit_small_b.txt");
+    EXPECT_GT(a.expect.total(), 0.0);
+    EXPECT_GT(a.expect.global, 0.0);
+    EXPECT_GT(b.expect.total(), 0.0);
+    EXPECT_EQ(b.expect.global, 0.0);
+}

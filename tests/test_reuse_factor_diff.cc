@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Differential suite for Algorithm 1 (Reuse Factor Analysis).
+ *
+ * Property-based check: analyzeReuseFactor's RF / faulty-neuron
+ * locations / generation timestamps are compared against an
+ * independent brute-force cycle-level enumerator on hundreds of
+ * randomized small FF descriptors (variable type x pipeline stage x
+ * hold cycles x consumer fan-out).  The enumerator shares no code or
+ * data structure with the implementation under test: it flattens the
+ * descriptor into a cycle-ordered event list and reconstructs the
+ * unique-neuron set with ordered maps and an explicit sort, where the
+ * implementation appends via linear duplicate scans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/reuse_factor.hh"
+#include "sim/rng.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+/** Brute-force re-derivation of Algorithm 1's output. */
+RFResult
+bruteForceRF(const FFDescriptor &ff)
+{
+    // Step 1: flatten into the cycle-ordered event list the hardware
+    // would actually produce: loop-major, then unit, then in-effect
+    // cycle, then the unit's neuron list of that cycle.
+    std::vector<std::pair<NeuronIndex, int>> events; // (neuron, loop)
+    for (int l = 0; l < ff.ffValueCycles; ++l)
+        for (const ComputeUnitUse &use : ff.loops[l])
+            for (const auto &cycle_neurons : use.neurons)
+                for (const NeuronIndex &n : cycle_neurons)
+                    events.emplace_back(n, l);
+
+    // Step 2: first generation of each unique neuron via ordered maps
+    // (NeuronIndex::operator< keys), then sort the unique set back
+    // into first-generation order.
+    std::map<NeuronIndex, int> first_loop;
+    std::map<NeuronIndex, std::size_t> first_event;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &[n, l] = events[i];
+        if (!first_loop.count(n)) {
+            first_loop.emplace(n, l);
+            first_event.emplace(n, i);
+        }
+    }
+
+    std::vector<std::pair<std::size_t, TimedNeuron>> ordered;
+    ordered.reserve(first_loop.size());
+    for (const auto &[n, l] : first_loop)
+        ordered.push_back({first_event.at(n), TimedNeuron{n, l}});
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    RFResult out;
+    for (const auto &[pos, tn] : ordered)
+        out.faultyNeurons.push_back(tn);
+    out.rf = static_cast<int>(out.faultyNeurons.size());
+    return out;
+}
+
+/**
+ * Randomized small descriptor: 1-4 hold cycles, 0-3 consumers per
+ * loop, 0-3 in-effect cycles each, 0-4 neurons per cycle drawn from a
+ * tiny coordinate space so duplicate generation (the thing Algorithm 1
+ * must dedup) is common.
+ */
+FFDescriptor
+randomDescriptor(Rng &rng)
+{
+    FFDescriptor ff;
+    ff.type = static_cast<VarType>(rng.below(5));
+    ff.stage = static_cast<PipelineStage>(rng.below(4));
+    ff.ffValueCycles = 1 + static_cast<int>(rng.below(4));
+    ff.loops.resize(static_cast<std::size_t>(ff.ffValueCycles));
+    for (auto &loop : ff.loops) {
+        const std::uint32_t units = rng.below(4);
+        for (std::uint32_t u = 0; u < units; ++u) {
+            ComputeUnitUse use;
+            use.unit = static_cast<int>(u);
+            const std::uint32_t cycles = rng.below(4);
+            for (std::uint32_t y = 0; y < cycles; ++y) {
+                std::vector<NeuronIndex> cycle;
+                const std::uint32_t count = rng.below(5);
+                for (std::uint32_t k = 0; k < count; ++k) {
+                    NeuronIndex n;
+                    n.n = 0;
+                    n.h = static_cast<int>(rng.below(3));
+                    n.w = static_cast<int>(rng.below(3));
+                    n.c = static_cast<int>(rng.below(4));
+                    cycle.push_back(n);
+                }
+                use.neurons.push_back(std::move(cycle));
+            }
+            loop.push_back(std::move(use));
+        }
+    }
+    return ff;
+}
+
+/** All suffix sets sampleFaultyNeurons may legally return. */
+std::vector<std::vector<NeuronIndex>>
+possibleSampleSets(const FFDescriptor &ff, const RFResult &rf)
+{
+    std::vector<std::vector<NeuronIndex>> sets;
+    for (int p = 0; p < ff.ffValueCycles; ++p) {
+        std::vector<NeuronIndex> s;
+        for (const TimedNeuron &t : rf.faultyNeurons)
+            if (t.timestamp >= p)
+                s.push_back(t.neuron);
+        sets.push_back(std::move(s));
+    }
+    return sets;
+}
+
+} // namespace
+
+TEST(ReuseFactorDiff, MatchesBruteForceOn600RandomDescriptors)
+{
+    int nonzero_rf = 0, dedup_hit = 0;
+    for (int c = 0; c < 600; ++c) {
+        Rng rng(1000 + static_cast<std::uint64_t>(c));
+        FFDescriptor ff = randomDescriptor(rng);
+        RFResult got = analyzeReuseFactor(ff);
+        RFResult want = bruteForceRF(ff);
+
+        ASSERT_EQ(got.rf, want.rf) << "case " << c;
+        ASSERT_EQ(got.faultyNeurons.size(), want.faultyNeurons.size())
+            << "case " << c;
+        for (std::size_t i = 0; i < want.faultyNeurons.size(); ++i) {
+            EXPECT_EQ(got.faultyNeurons[i], want.faultyNeurons[i])
+                << "case " << c << " neuron " << i;
+        }
+
+        // Structural properties of Algorithm 1's output.
+        std::size_t event_count = 0;
+        for (const auto &loop : ff.loops)
+            for (const ComputeUnitUse &use : loop)
+                for (const auto &cyc : use.neurons)
+                    event_count += cyc.size();
+        EXPECT_LE(static_cast<std::size_t>(got.rf), event_count);
+        for (std::size_t i = 1; i < got.faultyNeurons.size(); ++i) {
+            // First-generation timestamps follow loop order.
+            EXPECT_LE(got.faultyNeurons[i - 1].timestamp,
+                      got.faultyNeurons[i].timestamp);
+        }
+        for (const TimedNeuron &t : got.faultyNeurons) {
+            EXPECT_GE(t.timestamp, 0);
+            EXPECT_LT(t.timestamp, ff.ffValueCycles);
+        }
+
+        if (got.rf > 0)
+            ++nonzero_rf;
+        if (static_cast<std::size_t>(got.rf) < event_count)
+            ++dedup_hit;
+    }
+    // The generator must actually exercise the interesting region:
+    // most cases produce faulty neurons, and duplicate generation
+    // (the dedup path) occurs in a sizable fraction.
+    EXPECT_GT(nonzero_rf, 400);
+    EXPECT_GT(dedup_hit, 200);
+}
+
+TEST(ReuseFactorDiff, SampledNeuronsAreALegalSuffixSet)
+{
+    for (int c = 0; c < 200; ++c) {
+        Rng gen(5000 + static_cast<std::uint64_t>(c));
+        FFDescriptor ff = randomDescriptor(gen);
+        RFResult rf = analyzeReuseFactor(ff);
+        auto legal = possibleSampleSets(ff, rf);
+
+        Rng sampler(77 + static_cast<std::uint64_t>(c));
+        for (int draw = 0; draw < 4; ++draw) {
+            std::vector<NeuronIndex> got =
+                sampleFaultyNeurons(ff, rf, sampler);
+            bool matched = false;
+            for (const auto &s : legal)
+                if (s == got) {
+                    matched = true;
+                    break;
+                }
+            EXPECT_TRUE(matched)
+                << "case " << c << " draw " << draw
+                << " returned a set no injection phase can produce";
+        }
+    }
+}
+
+TEST(ReuseFactorDiff, EmptyDescriptorsYieldRFZero)
+{
+    FFDescriptor ff;
+    ff.ffValueCycles = 3;
+    ff.loops.resize(3); // no compute units at all
+    RFResult got = analyzeReuseFactor(ff);
+    RFResult want = bruteForceRF(ff);
+    EXPECT_EQ(got.rf, 0);
+    EXPECT_EQ(want.rf, 0);
+    EXPECT_TRUE(got.faultyNeurons.empty());
+}
+
+TEST(ReuseFactorDiff, FullyDuplicateFanOutCollapsesToOneNeuron)
+{
+    // Every unit on every cycle of every loop produces the same
+    // neuron; RF must collapse to 1 with timestamp 0.
+    FFDescriptor ff;
+    ff.ffValueCycles = 4;
+    ff.loops.resize(4);
+    NeuronIndex n{0, 1, 2, 3};
+    for (auto &loop : ff.loops) {
+        for (int u = 0; u < 3; ++u) {
+            ComputeUnitUse use;
+            use.unit = u;
+            use.neurons = {{n, n}, {n}};
+            loop.push_back(use);
+        }
+    }
+    RFResult got = analyzeReuseFactor(ff);
+    ASSERT_EQ(got.rf, 1);
+    EXPECT_EQ(got.faultyNeurons[0].neuron, n);
+    EXPECT_EQ(got.faultyNeurons[0].timestamp, 0);
+    RFResult want = bruteForceRF(ff);
+    EXPECT_EQ(want.rf, 1);
+    EXPECT_EQ(want.faultyNeurons[0], got.faultyNeurons[0]);
+}

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "sim/stats.hh"
 
@@ -124,4 +126,113 @@ TEST(SampleSizing, SmallerWidthNeedsMore)
 {
     EXPECT_GT(samplesForHalfWidth(0.5, 0.01),
               samplesForHalfWidth(0.5, 0.05));
+}
+
+// ----- Adversarial edges (adaptive-campaign hardening) --------------
+
+TEST(ProportionEdge, NoTrialsAtAnyZ)
+{
+    Proportion p;
+    for (double z : {0.0, 1.96, 2.576, 10.0}) {
+        EXPECT_DOUBLE_EQ(p.halfWidth(z), 0.0);
+        EXPECT_DOUBLE_EQ(p.lower(z), 0.0);
+        EXPECT_DOUBLE_EQ(p.upper(z), 1.0);
+    }
+}
+
+TEST(ProportionEdge, AllSuccessesStaysFiniteAndOrdered)
+{
+    Proportion p;
+    p.add(10, 10);
+    for (double z : {1.96, 2.576}) {
+        double hw = p.halfWidth(z);
+        EXPECT_TRUE(std::isfinite(hw));
+        EXPECT_GT(hw, 0.0);
+        EXPECT_LE(p.lower(z), 1.0);
+        EXPECT_DOUBLE_EQ(p.upper(z), 1.0);
+        EXPECT_LT(p.lower(z), p.upper(z));
+    }
+}
+
+TEST(ProportionEdge, AllFailuresMirrorsAllSuccesses)
+{
+    Proportion yes, no;
+    yes.add(25, 25);
+    no.add(0, 25);
+    EXPECT_DOUBLE_EQ(yes.halfWidth(2.576), no.halfWidth(2.576));
+    EXPECT_NEAR(yes.lower(2.576), 1.0 - no.upper(2.576), 1e-15);
+}
+
+TEST(ProportionEdge, TrialsNearUint64MaxStayFinite)
+{
+    constexpr std::uint64_t big =
+        std::numeric_limits<std::uint64_t>::max() - 8;
+    Proportion half;
+    half.add(big / 2, big);
+    EXPECT_TRUE(std::isfinite(half.mean()));
+    EXPECT_TRUE(std::isfinite(half.halfWidth(2.576)));
+    EXPECT_GE(half.halfWidth(2.576), 0.0);
+    EXPECT_GE(half.lower(2.576), 0.0);
+    EXPECT_LE(half.upper(2.576), 1.0);
+    EXPECT_LE(half.lower(2.576), half.upper(2.576));
+
+    Proportion all;
+    all.add(big, big);
+    EXPECT_DOUBLE_EQ(all.mean(), 1.0);
+    EXPECT_TRUE(std::isfinite(all.halfWidth(2.576)));
+    EXPECT_LE(all.upper(2.576), 1.0);
+    EXPECT_GE(all.lower(2.576), 0.0);
+}
+
+TEST(ProportionEdge, CounterOverflowPanicsInsteadOfNaN)
+{
+    // Before the overflow guard, a second huge batch wrapped trials_
+    // and every interval call returned NaN from sqrt(negative).
+    constexpr std::uint64_t big =
+        std::numeric_limits<std::uint64_t>::max() - 8;
+    Proportion p;
+    p.add(big, big);
+    EXPECT_DEATH(p.add(big, big), "overflow");
+}
+
+TEST(ProportionEdge, Z99KnownValue)
+{
+    // p = 0.5, n = 100, z = 2.576 (99%):
+    // hw = (z / (1 + z^2/n)) * sqrt(p(1-p)/n + z^2/(4n^2)) = 0.12473...
+    Proportion p;
+    p.add(50, 100);
+    EXPECT_NEAR(p.halfWidth(2.576), 0.12473, 5e-5);
+    EXPECT_GT(p.halfWidth(2.576), p.halfWidth(1.96));
+}
+
+TEST(ProportionEdge, SingleTrial)
+{
+    Proportion p;
+    p.add(true);
+    EXPECT_DOUBLE_EQ(p.mean(), 1.0);
+    double hw = p.halfWidth(2.576);
+    EXPECT_TRUE(std::isfinite(hw));
+    EXPECT_GT(hw, 0.0);
+    EXPECT_GE(p.lower(2.576), 0.0);
+}
+
+TEST(SampleSizingEdge, TinyHalfWidthSaturatesInsteadOfUB)
+{
+    // z^2 p(1-p)/e^2 overflows uint64 for e ~ 1e-12; the cast used to
+    // be undefined behaviour, now it saturates.
+    EXPECT_EQ(samplesForHalfWidth(0.5, 1e-12, 2.576),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SampleSizingEdge, DegenerateProportionsNeedNoSamples)
+{
+    EXPECT_EQ(samplesForHalfWidth(0.0, 0.05), 0u);
+    EXPECT_EQ(samplesForHalfWidth(1.0, 0.05), 0u);
+}
+
+TEST(SampleSizingEdge, RejectsNonProbabilities)
+{
+    EXPECT_DEATH((void)samplesForHalfWidth(-0.1, 0.05), "probability");
+    EXPECT_DEATH((void)samplesForHalfWidth(1.1, 0.05), "probability");
+    EXPECT_DEATH((void)samplesForHalfWidth(0.5, 0.05, 0.0), "positive");
 }
