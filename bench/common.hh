@@ -16,13 +16,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/campaign.hh"
+#include "sim/json.hh"
 #include "sim/table.hh"
 #include "workloads/metrics.hh"
 #include "workloads/models.hh"
@@ -131,43 +130,11 @@ struct ThroughputRecord
     }
 };
 
-/**
- * Merge-by-bench line writer shared by the BENCH_*.json trajectory
- * files (one JSON object per line inside a plain array).  Lines from
- * other benches already in `path` are preserved; any previous lines of
- * `bench` are replaced, so each binary owns its rows and re-runs stay
- * idempotent.  `rows` are fully-rendered object lines that must embed
- * `"bench": "<bench>"`.
- */
-inline void
-mergeJsonLines(const std::string &path, const std::string &bench,
-               const std::vector<std::string> &rows)
-{
-    // Keep other benches' lines.  The file is line-oriented by
-    // construction, so a substring probe of the "bench" field is
-    // enough to identify ownership.
-    std::vector<std::string> kept;
-    {
-        std::ifstream in(path);
-        std::string line;
-        const std::string own = "\"bench\": \"" + bench + "\"";
-        while (std::getline(in, line)) {
-            if (line.find('{') == std::string::npos)
-                continue;
-            if (line.find(own) != std::string::npos)
-                continue;
-            if (line.back() == ',')
-                line.pop_back();
-            kept.push_back(line);
-        }
-    }
-    kept.insert(kept.end(), rows.begin(), rows.end());
-    std::ofstream out(path, std::ios::trunc);
-    out << "[\n";
-    for (std::size_t i = 0; i < kept.size(); ++i)
-        out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
-    out << "]\n";
-}
+// The merge-by-bench line writer the BENCH_*.json files share now
+// lives in sim/json.hh (fidelity::mergeJsonLines): same line-oriented
+// format, but the file is republished via temp-file + atomic rename,
+// and rows are rendered through JsonLineBuilder so string fields are
+// escaped instead of pasted.
 
 /** Merge this bench's throughput records into the trajectory file. */
 inline void
@@ -177,16 +144,16 @@ writeThroughputJson(const std::string &bench,
                         "BENCH_injection_throughput.json")
 {
     std::vector<std::string> rows;
-    for (const ThroughputRecord &r : records) {
-        std::ostringstream os;
-        os << "  {\"bench\": \"" << bench << "\", \"network\": \""
-           << r.network << "\", \"mode\": \"" << r.mode
-           << "\", \"threads\": " << r.threads
-           << ", \"injections\": " << r.injections
-           << ", \"wall_s\": " << r.wallSeconds
-           << ", \"inj_per_s\": " << r.injPerSec() << "}";
-        rows.push_back(os.str());
-    }
+    for (const ThroughputRecord &r : records)
+        rows.push_back(JsonLineBuilder()
+                           .field("bench", bench)
+                           .field("network", r.network)
+                           .field("mode", r.mode)
+                           .field("threads", r.threads)
+                           .field("injections", r.injections)
+                           .field("wall_s", r.wallSeconds)
+                           .field("inj_per_s", r.injPerSec())
+                           .str());
     mergeJsonLines(path, bench, rows);
 }
 
@@ -209,15 +176,15 @@ writeKernelThroughputJson(const std::string &bench,
                               "BENCH_kernel_throughput.json")
 {
     std::vector<std::string> rows;
-    for (const KernelThroughputRecord &r : records) {
-        std::ostringstream os;
-        os << "  {\"bench\": \"" << bench << "\", \"kernel\": \""
-           << r.kernel << "\", \"dtype\": \"" << r.dtype
-           << "\", \"backend\": \"" << r.backend
-           << "\", \"gflops\": " << r.gflops
-           << ", \"wall_s\": " << r.wallSeconds << "}";
-        rows.push_back(os.str());
-    }
+    for (const KernelThroughputRecord &r : records)
+        rows.push_back(JsonLineBuilder()
+                           .field("bench", bench)
+                           .field("kernel", r.kernel)
+                           .field("dtype", r.dtype)
+                           .field("backend", r.backend)
+                           .field("gflops", r.gflops)
+                           .field("wall_s", r.wallSeconds)
+                           .str());
     mergeJsonLines(path, bench, rows);
 }
 
@@ -242,17 +209,17 @@ writeAdaptiveJson(const std::string &bench,
                       "BENCH_adaptive_sampling.json")
 {
     std::vector<std::string> rows;
-    for (const AdaptiveRecord &r : records) {
-        std::ostringstream os;
-        os << "  {\"bench\": \"" << bench << "\", \"network\": \""
-           << r.network << "\", \"mode\": \"" << r.mode
-           << "\", \"target_half_width\": " << r.targetHalfWidth
-           << ", \"z\": " << r.confidenceZ
-           << ", \"injections\": " << r.injections
-           << ", \"max_half_width\": " << r.maxHalfWidth
-           << ", \"wall_s\": " << r.wallSeconds << "}";
-        rows.push_back(os.str());
-    }
+    for (const AdaptiveRecord &r : records)
+        rows.push_back(JsonLineBuilder()
+                           .field("bench", bench)
+                           .field("network", r.network)
+                           .field("mode", r.mode)
+                           .field("target_half_width", r.targetHalfWidth)
+                           .field("z", r.confidenceZ)
+                           .field("injections", r.injections)
+                           .field("max_half_width", r.maxHalfWidth)
+                           .field("wall_s", r.wallSeconds)
+                           .str());
     mergeJsonLines(path, bench, rows);
 }
 

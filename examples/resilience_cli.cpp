@@ -7,7 +7,7 @@
  *
  * Usage:
  *   resilience_cli [network] [precision] [metric] [samples] [target]
- *                  [threads]
+ *                  [threads] [report.json]
  *
  *   network   inception | resnet | mobilenet | yolo | transformer | rnn
  *   precision fp16 | int16 | int8            (default fp16)
@@ -16,6 +16,9 @@
  *   target    FIT budget for protection plan (default 0.2)
  *   threads   injection worker threads; 0 = all hardware threads
  *             (default 0; the result is identical for any value)
+ *   report    write the machine-readable run manifest here (cell
+ *             table, FIT breakdowns, phase timings, worker counts;
+ *             schema in DESIGN.md §10).  Off when omitted.
  */
 
 #include <cstdlib>
@@ -77,6 +80,7 @@ main(int argc, char **argv)
     int samples = argc > 4 ? std::atoi(argv[4]) : 200;
     double target = argc > 5 ? std::atof(argv[5]) : 0.2;
     int threads = argc > 6 ? std::atoi(argv[6]) : 0;
+    std::string report = argc > 7 ? argv[7] : "";
 
     Network net = buildNetwork(network, 2020);
     Tensor input = defaultInputFor(network, 2021);
@@ -89,6 +93,7 @@ main(int argc, char **argv)
     cfg.seed = 17;
     cfg.numThreads = threads;
     cfg.progress = true;
+    cfg.reportPath = report;
 
     std::cout << "analysing " << network << " ("
               << precisionName(precision) << ", " << metric_name << ", "
@@ -120,5 +125,7 @@ main(int argc, char **argv)
                                    : " (target unreachable by "
                                      "category protection alone)\n");
     std::cout << "\ntotal injections: " << res.totalInjections << "\n";
+    if (!report.empty())
+        std::cout << "run manifest written to " << report << "\n";
     return 0;
 }

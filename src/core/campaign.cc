@@ -4,16 +4,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "accel/nvdla_fi.hh"
+#include "core/manifest.hh"
 #include "nn/conv.hh"
 #include "nn/fc.hh"
 #include "nn/matmul.hh"
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/thread_pool.hh"
 
 namespace fidelity
@@ -163,6 +166,46 @@ recordOf(const Shard &sh, const ShardOutput &out)
     return r;
 }
 
+/**
+ * Seconds to integer nanoseconds, saturating at the int64 range — a
+ * throttle interval of 1e300 s must mean "practically never", not
+ * undefined behaviour in the float-to-int cast.
+ */
+std::int64_t
+secondsToNsSaturating(double seconds)
+{
+    if (!(seconds > 0.0))
+        return 0;
+    const double ns = seconds * 1e9;
+    // 2^63 is exactly representable; anything >= it must clamp
+    // (casting it would be UB).
+    if (ns >= static_cast<double>(
+                  std::numeric_limits<std::int64_t>::max()))
+        return std::numeric_limits<std::int64_t>::max();
+    return static_cast<std::int64_t>(ns);
+}
+
+/** Per-worker telemetry slot: exclusively owned by one pool worker
+ *  during the fan-out, so accumulation never takes a lock; cache-line
+ *  aligned so neighbouring slots cannot false-share. */
+struct alignas(64) WorkerSlot
+{
+    std::uint64_t shards = 0;
+    std::uint64_t injections = 0;
+    IncrementalTotals engine;
+    MetricSet metrics;
+};
+
+/** |delta| buckets of the single-faulty-neuron perturbation histogram
+ *  (Key result 5 magnitudes, log-decade bins). */
+const std::vector<double> &
+deltaHistogramEdges()
+{
+    static const std::vector<double> edges = {1e-8, 1e-6, 1e-4, 1e-2,
+                                              1.0,  1e2,  1e4,  1e8};
+    return edges;
+}
+
 } // namespace
 
 CampaignResult
@@ -175,6 +218,18 @@ runCampaign(const Network &net, const Tensor &input,
     result.network = net.name();
     result.precision = net.precision();
 
+    // Coordinator-side instruments.  Workers accumulate into private
+    // WorkerSlots; everything is merged into the telemetry (and the
+    // run manifest) after the fan-out.
+    CampaignTelemetry tel;
+    MetricSet coord_metrics;
+    Timer &plan_timer = coord_metrics.timer("phase.plan");
+    Timer &inject_timer = coord_metrics.timer("phase.inject");
+    Timer &merge_timer = coord_metrics.timer("phase.merge");
+    Timer &ckpt_timer = coord_metrics.timer("phase.checkpoint");
+    Timer &fit_timer = coord_metrics.timer("phase.fit");
+    ScopedTimer plan_scope(plan_timer); // setup + first plan
+
     // Also warms the MAC layers' precision-converted weight caches, a
     // precondition of concurrent Injector::inject calls.
     Injector injector(net, input, cfg.accel);
@@ -183,6 +238,9 @@ runCampaign(const Network &net, const Tensor &input,
     fatal_if(nodes.empty(), "network ", net.name(), " has no MAC layers");
     fatal_if(cfg.shardGrain <= 0, "campaign shardGrain must be > 0, got ",
              cfg.shardGrain);
+    fatal_if(cfg.checkpointEverySec < 0.0,
+             "campaign checkpointEverySec must be >= 0, got ",
+             cfg.checkpointEverySec);
     fatal_if(cfg.targetHalfWidth < 0.0,
              "campaign targetHalfWidth must be >= 0, got ",
              cfg.targetHalfWidth);
@@ -234,6 +292,7 @@ runCampaign(const Network &net, const Tensor &input,
 
     // ----- Resume --------------------------------------------------
     const std::uint64_t cfg_hash = campaignConfigHash(net, input, cfg);
+    result.configHash = cfg_hash;
     CampaignSnapshot resume_snap;
     std::unordered_map<std::uint64_t, const ShardRecord *> restored;
     if (!cfg.resumeFrom.empty()) {
@@ -254,6 +313,8 @@ runCampaign(const Network &net, const Tensor &input,
                    cfg.resumeFrom, ", starting fresh");
         }
     }
+    tel.resumed = !restored.empty();
+    tel.restoredShards = restored.size();
 
     // ----- Execution -----------------------------------------------
     std::vector<ShardRecord> archive; //!< completed shards, plan order
@@ -268,10 +329,10 @@ runCampaign(const Network &net, const Tensor &input,
     std::atomic<std::int64_t> last_log_ns{0};
     std::atomic<std::int64_t> last_ckpt_ns{0};
     std::mutex ckpt_mutex;
-    const std::int64_t log_period_ns = static_cast<std::int64_t>(
-        std::max(cfg.progressEverySec, 0.0) * 1e9);
-    const std::int64_t ckpt_period_ns = static_cast<std::int64_t>(
-        std::max(cfg.checkpointEverySec, 0.0) * 1e9);
+    const std::int64_t log_period_ns =
+        secondsToNsSaturating(cfg.progressEverySec);
+    const std::int64_t ckpt_period_ns =
+        secondsToNsSaturating(cfg.checkpointEverySec);
     auto now_ns = [&wall_start] {
         return std::chrono::duration_cast<std::chrono::nanoseconds>(
                    std::chrono::steady_clock::now() - wall_start)
@@ -279,6 +340,8 @@ runCampaign(const Network &net, const Tensor &input,
     };
 
     ThreadPool pool(cfg.numThreads);
+    std::vector<WorkerSlot> worker_slots(
+        static_cast<std::size_t>(pool.size()));
 
     // Execute one round of shards: restore what the snapshot already
     // holds, fan the remainder out over the pool (honouring the
@@ -324,9 +387,11 @@ runCampaign(const Network &net, const Tensor &input,
         // Snapshot the completed shards: everything already archived
         // (previous rounds) plus this round's done shards.  Runs on a
         // worker mid-round (throttled) and on the submitting thread
-        // at round/stop boundaries; the mutex serialises writers.
+        // at round/stop boundaries; the mutex serialises writers (and
+        // guards the checkpoint telemetry they share).
         auto writeCheckpoint = [&] {
             std::lock_guard<std::mutex> lock(ckpt_mutex);
+            ScopedTimer span(ckpt_timer);
             CampaignSnapshot snap;
             snap.configHash = cfg_hash;
             snap.shards = archive;
@@ -334,9 +399,16 @@ runCampaign(const Network &net, const Tensor &input,
                 if (done[i].load(std::memory_order_acquire))
                     snap.shards.push_back(recordOf(shards[i],
                                                    outputs[i]));
-            writeSnapshot(cfg.checkpointPath, snap);
+            CheckpointEvent ev;
+            ev.shardsJournaled = snap.shards.size();
+            ev.bytes = writeSnapshot(cfg.checkpointPath, snap);
+            ev.atSeconds = static_cast<double>(now_ns()) * 1e-9;
+            tel.checkpoints.push_back(ev);
+            coord_metrics.counter("checkpoint.writes").add();
+            coord_metrics.counter("checkpoint.bytes").add(ev.bytes);
         };
 
+        ScopedTimer inject_scope(inject_timer);
         pool.forEachOf(pending, [&](std::size_t i) {
             // One incremental engine per worker thread: its scratch
             // activations and replacement buffer are reused across
@@ -350,6 +422,13 @@ runCampaign(const Network &net, const Tensor &input,
                 worker_engine.setOptions(opt);
                 engine = &worker_engine;
             }
+            const int widx = ThreadPool::workerIndex();
+            panic_if(widx < 0 ||
+                         static_cast<std::size_t>(widx) >=
+                             worker_slots.size(),
+                     "campaign shard executing off-pool");
+            WorkerSlot &slot =
+                worker_slots[static_cast<std::size_t>(widx)];
             Shard &sh = shards[i];
             ShardOutput &out = outputs[i];
             for (int s = 0; s < sh.samples; ++s) {
@@ -358,11 +437,27 @@ runCampaign(const Network &net, const Tensor &input,
                     cfg.outputClampAbs, engine);
                 out.maskedCount += rec.masked ? 1 : 0;
                 out.trials += 1;
+                slot.metrics
+                    .counter(rec.masked ? "inject.masked"
+                                        : "inject.unmasked")
+                    .add();
                 if (rec.numFaultyNeurons == 1 &&
                     isDatapathCategory(sh.category)) {
                     out.singleNeuronSamples.emplace_back(
                         rec.maxAbsDelta, !rec.masked);
+                    slot.metrics
+                        .histogram("inject.abs_delta",
+                                   deltaHistogramEdges())
+                        .add(rec.maxAbsDelta);
                 }
+            }
+            slot.shards += 1;
+            slot.injections += out.trials;
+            if (engine) {
+                // The engine is thread-local and campaign-scoped (the
+                // pool's workers are fresh threads), so its cumulative
+                // totals ARE this worker's totals; overwrite, don't add.
+                slot.engine = engine->totals();
             }
             done[i].store(true, std::memory_order_release);
 
@@ -394,6 +489,7 @@ runCampaign(const Network &net, const Tensor &input,
                 }
             }
         });
+        inject_scope.stop();
         executed_this_run += pending.size();
 
         for (std::size_t i = 0; i < n; ++i)
@@ -441,6 +537,14 @@ runCampaign(const Network &net, const Tensor &input,
         }
     };
 
+    auto countCells = [&](auto pred) {
+        std::uint64_t n = 0;
+        for (const CellSched &cs : sched)
+            if (pred(cs))
+                ++n;
+        return n;
+    };
+
     if (!adaptive) {
         // Fixed schedule: the whole plan is one round.  The master
         // stream is consumed only by the forks, in plan order, so the
@@ -451,28 +555,50 @@ runCampaign(const Network &net, const Tensor &input,
             if (sched[cell].eligible)
                 planCell(shards, cell, cfg.samplesPerCategory, master);
         result.rounds = 1;
+        RoundTelemetry rt;
+        rt.shardsPlanned = shards.size();
+        rt.cellsLive = countCells(
+            [](const CellSched &cs) { return cs.eligible; });
+        plan_scope.stop();
         stopped = executeRound(shards);
+        rt.cellsRetiredAfter = stopped ? 0 : rt.cellsLive;
+        tel.rounds.push_back(rt);
     } else {
         // Adaptive schedule: rounds of shards for the live cells,
         // merged at a barrier; a cell retires once its Wilson
         // half-width meets the target (or at the cap).
+        plan_scope.stop();
         for (;;) {
             std::vector<Shard> shards;
-            for (std::size_t cell = 0; cell < sched.size(); ++cell) {
-                CellSched &cs = sched[cell];
-                if (!cs.live)
-                    continue;
-                int quota = cs.trials == 0
-                                ? cfg.minSamples
-                                : nextQuota(cs);
-                planCell(shards, cell, quota, cs.stream);
+            RoundTelemetry rt;
+            {
+                ScopedTimer plan_round(plan_timer);
+                for (std::size_t cell = 0; cell < sched.size();
+                     ++cell) {
+                    CellSched &cs = sched[cell];
+                    if (!cs.live)
+                        continue;
+                    int quota = cs.trials == 0
+                                    ? cfg.minSamples
+                                    : nextQuota(cs);
+                    planCell(shards, cell, quota, cs.stream);
+                }
             }
             if (shards.empty())
                 break;
             result.rounds += 1;
+            rt.shardsPlanned = shards.size();
+            rt.cellsLive = countCells(
+                [](const CellSched &cs) { return cs.live; });
             stopped = executeRound(shards);
-            if (stopped)
+            if (stopped) {
+                rt.cellsRetiredAfter = countCells([](const CellSched
+                                                         &cs) {
+                    return cs.eligible && !cs.live;
+                });
+                tel.rounds.push_back(rt);
                 break;
+            }
 
             // Merge the round into the scheduling counters (the round
             // is fully archived, so its records are the archive tail)
@@ -502,6 +628,11 @@ runCampaign(const Network &net, const Tensor &input,
                     cfg.targetHalfWidth)
                     cs.live = false;
             }
+            rt.cellsRetiredAfter = countCells(
+                [](const CellSched &cs) {
+                    return cs.eligible && !cs.live;
+                });
+            tel.rounds.push_back(rt);
         }
     }
     result.complete = !stopped;
@@ -509,22 +640,33 @@ runCampaign(const Network &net, const Tensor &input,
     // Deterministic merge: shard-plan (ordinal) order, integer
     // accumulators.  Restored and freshly executed shards are
     // indistinguishable here — the source of resume bit-identity.
-    for (const ShardRecord &r : archive) {
-        result.cells[r.cell].masked.add(r.maskedCount, r.trials);
-        result.totalInjections += r.trials;
-        result.singleNeuronSamples.insert(
-            result.singleNeuronSamples.end(), r.samples.begin(),
-            r.samples.end());
+    {
+        ScopedTimer merge_scope(merge_timer);
+        for (const ShardRecord &r : archive) {
+            result.cells[r.cell].masked.add(r.maskedCount, r.trials);
+            result.totalInjections += r.trials;
+            result.singleNeuronSamples.insert(
+                result.singleNeuronSamples.end(), r.samples.begin(),
+                r.samples.end());
+        }
     }
 
     // Final snapshot: mandatory after a stop (the remainder of the
     // plan lives only here) and refreshed on completion so a re-run
     // with resumeFrom = checkpointPath restores instantly.
     if (!cfg.checkpointPath.empty()) {
+        ScopedTimer ckpt_scope(ckpt_timer);
         CampaignSnapshot snap;
         snap.configHash = cfg_hash;
         snap.shards = archive;
-        writeSnapshot(cfg.checkpointPath, snap);
+        CheckpointEvent ev;
+        ev.shardsJournaled = snap.shards.size();
+        ev.bytes = writeSnapshot(cfg.checkpointPath, snap);
+        ev.atSeconds = static_cast<double>(now_ns()) * 1e-9;
+        ev.final_ = true;
+        tel.checkpoints.push_back(ev);
+        coord_metrics.counter("checkpoint.writes").add();
+        coord_metrics.counter("checkpoint.bytes").add(ev.bytes);
     } else if (stopped && cfg.progress) {
         warn("campaign ", net.name(), " stopped after ",
              executed_this_run,
@@ -536,6 +678,7 @@ runCampaign(const Network &net, const Tensor &input,
     // node-major in category order by the planning loop above).  For
     // a partial (stopped) run these are provisional: cells whose
     // shards were cut off contribute their merged prefix only.
+    ScopedTimer fit_scope(fit_timer);
     std::size_t cell_idx = 0;
     for (NodeId node : nodes) {
         EngineLayer el = timingLayer(net, node, injector.goldenActs());
@@ -560,6 +703,30 @@ runCampaign(const Network &net, const Tensor &input,
     protected_params.protectGlobal = true;
     result.fitGlobalProtected =
         acceleratorFit(protected_params, result.layerInputs);
+    fit_scope.stop();
+
+    // Telemetry assembly: fold the per-worker slots (fan-out joins
+    // above are the happens-before edge) and the coordinator's own
+    // instruments into one merged set for the manifest.
+    tel.threads = pool.size();
+    tel.incremental = cfg.incremental;
+    tel.executedShards = executed_this_run;
+    tel.executedInjections =
+        injections_done.load(std::memory_order_relaxed);
+    for (const WorkerSlot &slot : worker_slots) {
+        WorkerTelemetry wt;
+        wt.shards = slot.shards;
+        wt.injections = slot.injections;
+        wt.engine = slot.engine;
+        tel.workers.push_back(wt);
+        tel.engine.mergeFrom(slot.engine);
+        tel.metrics.mergeFrom(slot.metrics);
+    }
+    coord_metrics.timer("phase.total").addNs(now_ns());
+    tel.metrics.mergeFrom(coord_metrics);
+
+    if (!cfg.reportPath.empty())
+        writeRunManifest(cfg.reportPath, net, cfg, cfg_hash, result, tel);
 
     if (cfg.progress) {
         double wall = std::chrono::duration<double>(

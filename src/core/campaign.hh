@@ -139,6 +139,20 @@ struct CampaignConfig
      */
     std::uint64_t stopAfterShards = 0;
 
+    // ----- Structured reporting -----------------------------------
+
+    /**
+     * When non-empty, write a run manifest here at campaign end (also
+     * after a stopAfterShards slice): a JSON document with the config
+     * fingerprint, the full per-(layer, category) cell table with
+     * Wilson intervals, the Eq. 2 FIT breakdowns, per-phase wall
+     * times, per-worker counts, engine decisions, checkpoint events,
+     * and the adaptive round history.  The "results" section is
+     * byte-identical across thread counts and kill-and-resume; see
+     * core/manifest.hh and DESIGN.md §10 for the schema.
+     */
+    std::string reportPath;
+
     NvdlaConfig accel;
     FitParams fit;
     ActivenessModel activeness;
@@ -176,6 +190,10 @@ struct CampaignResult
 
     /** Scheduling rounds executed (1 for a fixed-schedule run). */
     std::uint64_t rounds = 0;
+
+    /** campaignConfigHash of the run (also stamped into snapshots and
+     *  the run manifest). */
+    std::uint64_t configHash = 0;
 };
 
 /**

@@ -49,4 +49,15 @@ acceleratorFit(const FitParams &params,
     return out;
 }
 
+void
+writeFitJson(JsonWriter &w, const FitBreakdown &fit)
+{
+    w.beginObject();
+    w.field("datapath", fit.datapath);
+    w.field("local", fit.local);
+    w.field("global", fit.global);
+    w.field("total", fit.total());
+    w.endObject();
+}
+
 } // namespace fidelity

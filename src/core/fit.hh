@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/fault_models.hh"
+#include "sim/json.hh"
 
 namespace fidelity
 {
@@ -69,6 +70,14 @@ struct FitBreakdown
 /** Evaluate Eq. 2 over a set of layers. */
 FitBreakdown acceleratorFit(const FitParams &params,
                             const std::vector<LayerFitInput> &layers);
+
+/**
+ * Emit a breakdown as the JSON object
+ * {"datapath": ..., "local": ..., "global": ..., "total": ...} —
+ * the FIT record of the campaign run manifest.  The writer must be
+ * positioned where a value may start (e.g. after key()).
+ */
+void writeFitJson(JsonWriter &w, const FitBreakdown &fit);
 
 } // namespace fidelity
 

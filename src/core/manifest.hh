@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Campaign run manifests: the machine-readable record of one campaign.
+ *
+ * A manifest is a JSON document (CampaignConfig::reportPath) with two
+ * top-level sections:
+ *
+ *  - "results" — everything determined by the campaign's sample
+ *    identity alone: config fingerprint, seed and schedule knobs, the
+ *    full per-(layer, category) cell table with Wilson intervals, the
+ *    Eq. 2 FIT breakdowns, injection totals, and the adaptive round
+ *    history.  This section is byte-identical across thread counts and
+ *    across checkpoint kill-and-resume — the auditable statement of
+ *    what the campaign measured (test_sim_metrics enforces this).
+ *
+ *  - "execution" — how this particular process produced it: build and
+ *    SIMD-backend info, thread count, per-phase wall times, per-worker
+ *    shard/injection counts, incremental-vs-dense engine decisions,
+ *    checkpoint events, resume bookkeeping, and the merged MetricSet.
+ *    Wall-time fields all carry an `_s` key suffix so tools (and the
+ *    determinism tests) can strip them uniformly.
+ *
+ * The document is published with atomicWriteFile(sync) — a crash while
+ * reporting cannot leave a torn manifest next to a finished campaign.
+ */
+
+#ifndef FIDELITY_CORE_MANIFEST_HH
+#define FIDELITY_CORE_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "nn/incremental.hh"
+#include "sim/metrics.hh"
+
+namespace fidelity
+{
+
+/** Schema identifier stamped into every manifest. */
+inline constexpr const char *kRunManifestSchema =
+    "fidelity-run-manifest-v1";
+
+/** One mid-flight (or final) snapshot publication. */
+struct CheckpointEvent
+{
+    std::uint64_t shardsJournaled = 0; //!< shards in the snapshot
+    std::uint64_t bytes = 0;           //!< snapshot size on disk
+    double atSeconds = 0.0;            //!< wall clock since campaign start
+    bool final_ = false;               //!< end-of-run snapshot
+};
+
+/** One scheduling round (fixed campaigns have exactly one). */
+struct RoundTelemetry
+{
+    std::uint64_t shardsPlanned = 0;
+    std::uint64_t cellsLive = 0;         //!< live cells entering the round
+    std::uint64_t cellsRetiredAfter = 0; //!< cumulative retired after it
+};
+
+/** What one pool worker did (index = ThreadPool worker index). */
+struct WorkerTelemetry
+{
+    std::uint64_t shards = 0;
+    std::uint64_t injections = 0;
+    IncrementalTotals engine;
+};
+
+/** Everything runCampaign learns about its own execution. */
+struct CampaignTelemetry
+{
+    int threads = 1;
+    bool incremental = false;
+
+    bool resumed = false;
+    std::uint64_t restoredShards = 0;
+    std::uint64_t executedShards = 0;
+    std::uint64_t executedInjections = 0;
+
+    std::vector<WorkerTelemetry> workers;
+    std::vector<CheckpointEvent> checkpoints;
+    std::vector<RoundTelemetry> rounds;
+
+    /** Engine totals summed over workers. */
+    IncrementalTotals engine;
+
+    /** Merged instruments: coordinator phase timers + per-worker sets. */
+    MetricSet metrics;
+};
+
+/** Render the manifest document (no trailing newline). */
+std::string runManifestJson(const Network &net, const CampaignConfig &cfg,
+                            std::uint64_t configHash,
+                            const CampaignResult &res,
+                            const CampaignTelemetry &tel);
+
+/** Render and publish atomically + durably to `path`. */
+void writeRunManifest(const std::string &path, const Network &net,
+                      const CampaignConfig &cfg, std::uint64_t configHash,
+                      const CampaignResult &res,
+                      const CampaignTelemetry &tel);
+
+} // namespace fidelity
+
+#endif // FIDELITY_CORE_MANIFEST_HH

@@ -58,6 +58,25 @@ IncrementalEngine::run(const Network &net, NodeId node,
                        const Region &faultRegion,
                        const std::vector<Tensor> &cached)
 {
+    const Tensor &out = runImpl(net, node, replacement, faultRegion,
+                                cached);
+    totals_.runs += 1;
+    totals_.earlyMasked += stats_.earlyMasked ? 1 : 0;
+    totals_.layersIncremental +=
+        static_cast<std::uint64_t>(stats_.layersIncremental);
+    totals_.layersDense += static_cast<std::uint64_t>(stats_.layersDense);
+    totals_.layersSkipped +=
+        static_cast<std::uint64_t>(stats_.layersSkipped);
+    totals_.elementsRecomputed += stats_.elementsRecomputed;
+    return out;
+}
+
+const Tensor &
+IncrementalEngine::runImpl(const Network &net, NodeId node,
+                           const Tensor &replacement,
+                           const Region &faultRegion,
+                           const std::vector<Tensor> &cached)
+{
     const int num = net.numNodes();
     panic_if(node <= 0 || node >= num, "bad node id ", node);
     panic_if(cached.size() != static_cast<std::size_t>(num),

@@ -33,6 +33,7 @@
 #ifndef FIDELITY_NN_INCREMENTAL_HH
 #define FIDELITY_NN_INCREMENTAL_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/network.hh"
@@ -66,6 +67,33 @@ struct IncrementalStats
     int layersDense = 0;       //!< recomputed via dense forward
     int layersSkipped = 0;     //!< downstream layers never touched
     std::size_t elementsRecomputed = 0;
+};
+
+/**
+ * Lifetime totals over every run() of one engine.  A campaign keeps
+ * one engine per worker; harvesting these after the fan-out gives the
+ * run manifest its incremental-vs-dense engine-decision record without
+ * any hot-path synchronisation.
+ */
+struct IncrementalTotals
+{
+    std::uint64_t runs = 0;
+    std::uint64_t earlyMasked = 0;       //!< runs that exited early
+    std::uint64_t layersIncremental = 0; //!< forwardRegion recomputes
+    std::uint64_t layersDense = 0;       //!< dense-fallback recomputes
+    std::uint64_t layersSkipped = 0;     //!< layers never touched
+    std::uint64_t elementsRecomputed = 0;
+
+    void
+    mergeFrom(const IncrementalTotals &o)
+    {
+        runs += o.runs;
+        earlyMasked += o.earlyMasked;
+        layersIncremental += o.layersIncremental;
+        layersDense += o.layersDense;
+        layersSkipped += o.layersSkipped;
+        elementsRecomputed += o.elementsRecomputed;
+    }
 };
 
 /**
@@ -115,9 +143,21 @@ class IncrementalEngine
     /** Counters of the most recent run(). */
     const IncrementalStats &lastStats() const { return stats_; }
 
+    /** Totals accumulated over every run() since construction (or the
+     *  last resetTotals()). */
+    const IncrementalTotals &totals() const { return totals_; }
+
+    void resetTotals() { totals_ = IncrementalTotals{}; }
+
   private:
+    const Tensor &runImpl(const Network &net, NodeId node,
+                          const Tensor &replacement,
+                          const Region &faultRegion,
+                          const std::vector<Tensor> &cached);
+
     IncrementalOptions opt_;
     IncrementalStats stats_;
+    IncrementalTotals totals_;
     Tensor replacement_;
 
     // Per-node state, reused across runs (capacity is retained).

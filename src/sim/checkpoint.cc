@@ -1,10 +1,16 @@
 #include "sim/checkpoint.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "sim/logging.hh"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace fidelity
 {
@@ -42,10 +48,17 @@ namespace
 constexpr char snapshotMagic[8] = {'F', 'I', 'D', 'C',
                                    'K', 'P', 'T', '\x01'};
 
+// On-disk sizes the reader validates declared counts against.
+constexpr std::uint64_t headerBytes = sizeof(snapshotMagic) + 2 * 8;
+constexpr std::uint64_t shardFixedBytes = 5 * 8; //!< sans samples
+constexpr std::uint64_t sampleBytes = 2 * 8;
+
 void
-putU64(std::ofstream &out, std::uint64_t v)
+putU64(std::string &out, std::uint64_t v)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    char buf[sizeof(v)];
+    std::memcpy(buf, &v, sizeof(v));
+    out.append(buf, sizeof(buf));
 }
 
 std::uint64_t
@@ -57,39 +70,83 @@ getU64(std::ifstream &in, const std::string &path)
     return v;
 }
 
+#if !defined(_WIN32)
+/** fsync an fd; filesystems without sync semantics report EINVAL /
+ *  ENOTSUP (notably for directories), which is not a failure. */
+void
+syncFd(int fd, const std::string &what)
+{
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP &&
+        errno != EROFS)
+        fatal("cannot fsync ", what, ": ", std::strerror(errno));
+}
+#endif
+
 } // namespace
 
-void
+std::uint64_t
 writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
 {
     fatal_if(path.empty(), "snapshot path must not be empty");
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        fatal_if(!out, "cannot open snapshot temp file ", tmp);
-        out.write(snapshotMagic, sizeof(snapshotMagic));
-        putU64(out, snap.configHash);
-        putU64(out, snap.shards.size());
-        for (const ShardRecord &r : snap.shards) {
-            putU64(out, r.ordinal);
-            putU64(out, r.cell);
-            putU64(out, r.maskedCount);
-            putU64(out, r.trials);
-            putU64(out, r.samples.size());
-            for (const auto &[delta, failed] : r.samples) {
-                std::uint64_t bits;
-                static_assert(sizeof(bits) == sizeof(delta));
-                std::memcpy(&bits, &delta, sizeof(bits));
-                putU64(out, bits);
-                putU64(out, failed ? 1 : 0);
-            }
+
+    // Serialize into memory first: one write syscall, and the byte
+    // count is known for the durability bookkeeping.
+    std::string bytes;
+    bytes.reserve(headerBytes + snap.shards.size() * shardFixedBytes);
+    bytes.append(snapshotMagic, sizeof(snapshotMagic));
+    putU64(bytes, snap.configHash);
+    putU64(bytes, snap.shards.size());
+    for (const ShardRecord &r : snap.shards) {
+        putU64(bytes, r.ordinal);
+        putU64(bytes, r.cell);
+        putU64(bytes, r.maskedCount);
+        putU64(bytes, r.trials);
+        putU64(bytes, r.samples.size());
+        for (const auto &[delta, failed] : r.samples) {
+            std::uint64_t dbits;
+            static_assert(sizeof(dbits) == sizeof(delta));
+            std::memcpy(&dbits, &delta, sizeof(dbits));
+            putU64(bytes, dbits);
+            putU64(bytes, failed ? 1 : 0);
         }
-        out.flush();
-        fatal_if(!out, "short write to snapshot temp file ", tmp);
     }
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    fatal_if(!f, "cannot open snapshot temp file ", tmp, ": ",
+             std::strerror(errno));
+    const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (wrote != bytes.size() || std::fflush(f) != 0) {
+        std::fclose(f);
+        fatal("short write to snapshot temp file ", tmp);
+    }
+#if !defined(_WIN32)
+    // The data must be on disk *before* the rename publishes it: a
+    // rename can survive a crash that the file contents did not, and a
+    // later resumeFrom would then trust an empty or torn snapshot.
+    syncFd(fileno(f), tmp);
+#endif
+    fatal_if(std::fclose(f) != 0, "cannot close snapshot temp file ", tmp);
+
     // The atomic publish: readers see the old file or the new file.
     fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
-             "cannot rename ", tmp, " over ", path);
+             "cannot rename ", tmp, " over ", path, ": ",
+             std::strerror(errno));
+
+#if !defined(_WIN32)
+    // And the publish itself must be durable: sync the directory so
+    // the rename cannot be lost (leaving a stale or missing snapshot)
+    // after this function reported success.
+    std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    int dfd = ::open(dir.c_str(), O_RDONLY);
+    fatal_if(dfd < 0, "cannot open snapshot directory ", dir,
+             " to sync it: ", std::strerror(errno));
+    syncFd(dfd, dir);
+    ::close(dfd);
+#endif
+    return static_cast<std::uint64_t>(bytes.size());
 }
 
 CampaignSnapshot
@@ -97,6 +154,17 @@ readSnapshot(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     fatal_if(!in, "cannot open snapshot ", path);
+
+    // The file size bounds every declared count below: a corrupt or
+    // truncated snapshot must exit through fatal() with the path
+    // named, never through std::bad_alloc on a multi-GB reserve().
+    in.seekg(0, std::ios::end);
+    const auto end_pos = in.tellg();
+    fatal_if(end_pos < 0, "cannot size snapshot ", path);
+    const std::uint64_t file_size = static_cast<std::uint64_t>(end_pos);
+    in.seekg(0, std::ios::beg);
+    fatal_if(file_size < headerBytes, "file ", path,
+             " is not a fidelity campaign snapshot (too short)");
 
     char magic[sizeof(snapshotMagic)] = {};
     in.read(magic, sizeof(magic));
@@ -107,6 +175,9 @@ readSnapshot(const std::string &path)
     CampaignSnapshot snap;
     snap.configHash = getU64(in, path);
     std::uint64_t count = getU64(in, path);
+    fatal_if(count > (file_size - headerBytes) / shardFixedBytes,
+             "snapshot ", path, " declares ", count,
+             " shards but holds only ", file_size, " bytes");
     snap.shards.reserve(count);
     std::uint64_t prev_ordinal = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -123,6 +194,14 @@ readSnapshot(const std::string &path)
         std::uint64_t nsamples = getU64(in, path);
         fatal_if(nsamples > r.trials, "snapshot ", path,
                  " has a shard with more samples than trials");
+        const auto here = in.tellg();
+        fatal_if(here < 0, "snapshot ", path, " is truncated");
+        const std::uint64_t remaining =
+            file_size - static_cast<std::uint64_t>(here);
+        fatal_if(nsamples > remaining / sampleBytes, "snapshot ", path,
+                 " declares ", nsamples,
+                 " samples in a shard with only ", remaining,
+                 " bytes left");
         r.samples.reserve(nsamples);
         for (std::uint64_t s = 0; s < nsamples; ++s) {
             std::uint64_t bits = getU64(in, path);

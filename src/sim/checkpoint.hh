@@ -68,17 +68,25 @@ struct CampaignSnapshot
 };
 
 /**
- * Persist a snapshot atomically: the bytes go to `path + ".tmp"`,
- * which is then renamed over `path`.  On POSIX the rename is atomic,
- * so a concurrent reader (or a crash between the two steps) sees
- * either the old snapshot or the new one, never a prefix.
+ * Persist a snapshot atomically and durably: the bytes go to
+ * `path + ".tmp"`, which is fsync'd and then renamed over `path`,
+ * after which the parent directory is fsync'd.  On POSIX the rename is
+ * atomic, so a concurrent reader (or a crash at any point) sees either
+ * the old snapshot or the complete new one, never a prefix — and once
+ * this function returns, the publish survives a power cut.
+ *
+ * @return Snapshot size in bytes (observability bookkeeping).
  */
-void writeSnapshot(const std::string &path, const CampaignSnapshot &snap);
+std::uint64_t writeSnapshot(const std::string &path,
+                            const CampaignSnapshot &snap);
 
 /**
  * Load a snapshot previously written by writeSnapshot.
  * Fatals on a missing file, a foreign/truncated file, or an
- * unsupported version; use snapshotExists() to probe first.
+ * unsupported version; use snapshotExists() to probe first.  Every
+ * on-disk count is validated against the file size before any
+ * allocation, so a corrupt snapshot exits through fatal() with the
+ * path named, never through std::bad_alloc.
  */
 CampaignSnapshot readSnapshot(const std::string &path);
 

@@ -1,0 +1,134 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1, 0)
+{
+    fatal_if(edges_.empty(), "histogram requires at least one edge");
+    fatal_if(!std::is_sorted(edges_.begin(), edges_.end()) ||
+                 std::adjacent_find(edges_.begin(), edges_.end()) !=
+                     edges_.end(),
+             "histogram edges must be strictly increasing");
+}
+
+void
+Histogram::add(double v)
+{
+    auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    counts_[static_cast<std::size_t>(it - edges_.begin())] += 1;
+    total_ += 1;
+}
+
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    fatal_if(edges_ != other.edges_,
+             "merging histograms with different edges");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+Counter &
+MetricSet::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Timer &
+MetricSet::timer(const std::string &name)
+{
+    return timers_[name];
+}
+
+Histogram &
+MetricSet::histogram(const std::string &name,
+                     const std::vector<double> &edges)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(edges)).first;
+    else
+        fatal_if(it->second.edges() != edges, "histogram ", name,
+                 " requested with different edges than it was created "
+                 "with");
+    return it->second;
+}
+
+void
+MetricSet::mergeFrom(const MetricSet &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counters_[name].add(c.count());
+    for (const auto &[name, t] : other.timers_)
+        timers_[name].mergeFrom(t);
+    for (const auto &[name, h] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            histograms_.emplace(name, h);
+        else
+            it->second.mergeFrom(h);
+    }
+}
+
+bool
+MetricSet::empty() const
+{
+    return counters_.empty() && timers_.empty() && histograms_.empty();
+}
+
+void
+MetricSet::writeJson(JsonWriter &w) const
+{
+    // One flat object, keys sorted.  The three maps are each sorted;
+    // emit a three-way merge so mixed kinds interleave by name.
+    w.beginObject();
+    auto c = counters_.begin();
+    auto t = timers_.begin();
+    auto h = histograms_.begin();
+    auto next_key = [&]() -> const std::string * {
+        const std::string *best = nullptr;
+        if (c != counters_.end())
+            best = &c->first;
+        if (t != timers_.end() && (!best || t->first < *best))
+            best = &t->first;
+        if (h != histograms_.end() && (!best || h->first < *best))
+            best = &h->first;
+        return best;
+    };
+    while (const std::string *k = next_key()) {
+        if (c != counters_.end() && &c->first == k) {
+            w.field(*k, c->second.count());
+            ++c;
+        } else if (t != timers_.end() && &t->first == k) {
+            w.field(*k + "_s", t->second.seconds());
+            w.field(*k + "_spans", t->second.spans());
+            ++t;
+        } else {
+            w.key(*k);
+            w.beginObject();
+            w.key("edges");
+            w.beginArray();
+            for (double e : h->second.edges())
+                w.value(e);
+            w.endArray();
+            w.key("counts");
+            w.beginArray();
+            for (std::uint64_t n : h->second.counts())
+                w.value(n);
+            w.endArray();
+            w.field("total", h->second.total());
+            w.endObject();
+            ++h;
+        }
+    }
+    w.endObject();
+}
+
+} // namespace fidelity

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Structured run metrics: named counters, wall-clock timers, and
+ * bounded histograms.
+ *
+ * A 46M-injection campaign needs a machine-readable record of what it
+ * did — how many shards each worker ran, how often the incremental
+ * engine fell back to dense recompute, where the wall time went — not
+ * just printf lines.  MetricSet is the substrate: a registry of
+ * dot-named instruments created on first use.
+ *
+ * Concurrency model: a MetricSet is NOT thread-safe and never needs to
+ * be.  Each campaign worker accumulates into its own private set (no
+ * locks, no contention on the injection hot path) and the coordinator
+ * merges the per-worker sets at the end with mergeFrom().  Every
+ * instrument accumulates in integers (counts, bucket counts, integer
+ * nanoseconds), so the merged values are independent of merge order
+ * and of the thread count that produced them.
+ *
+ * Serialization (writeJson) visits instruments in sorted-name order —
+ * the same set contents always render to the same bytes.
+ */
+
+#ifndef FIDELITY_SIM_METRICS_HH
+#define FIDELITY_SIM_METRICS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace fidelity
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { n_ += n; }
+
+    std::uint64_t count() const { return n_; }
+
+  private:
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * Accumulated wall-clock time over any number of spans.  Spans are
+ * stored as integer nanoseconds so cross-worker merges sum exactly.
+ */
+class Timer
+{
+  public:
+    void
+    addNs(std::int64_t ns)
+    {
+        ns_ += ns > 0 ? ns : 0;
+        spans_ += 1;
+    }
+
+    std::int64_t ns() const { return ns_; }
+    double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+    std::uint64_t spans() const { return spans_; }
+
+    /** Sum another timer's spans into this one (exact: integer ns). */
+    void
+    mergeFrom(const Timer &other)
+    {
+        ns_ += other.ns_;
+        spans_ += other.spans_;
+    }
+
+  private:
+    std::int64_t ns_ = 0;
+    std::uint64_t spans_ = 0;
+};
+
+/** RAII span: accumulates its lifetime into a Timer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &t)
+        : t_(t), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer() { stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** End the span early (the destructor then does nothing). */
+    void
+    stop()
+    {
+        if (stopped_)
+            return;
+        stopped_ = true;
+        t_.addNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+
+  private:
+    Timer &t_;
+    std::chrono::steady_clock::time_point start_;
+    bool stopped_ = false;
+};
+
+/**
+ * Histogram over fixed, strictly increasing bucket edges.  A value
+ * lands in the first bucket whose edge is >= the value; values above
+ * the last edge land in the overflow bucket, so counts() has
+ * edges().size() + 1 entries and every add() is counted somewhere.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    explicit Histogram(std::vector<double> edges);
+
+    void add(double v);
+
+    const std::vector<double> &edges() const { return edges_; }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Sum another histogram with identical edges into this one. */
+    void mergeFrom(const Histogram &other);
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Registry of named instruments, created on first use.  Use dotted
+ * names ("inject.early_masked", "checkpoint.bytes") to build the
+ * hierarchy; serialization keeps the flat sorted names.
+ */
+class MetricSet
+{
+  public:
+    Counter &counter(const std::string &name);
+    Timer &timer(const std::string &name);
+
+    /**
+     * Get-or-create a histogram.  The edges fix the shape on first
+     * use; later calls (and merges) with different edges fatal.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &edges);
+
+    /** Sum every instrument of `other` into this set (creating any
+     *  that are missing).  Integer accumulation makes the result
+     *  independent of merge order. */
+    void mergeFrom(const MetricSet &other);
+
+    bool empty() const;
+
+    /**
+     * Render as one JSON object in sorted-name order: counters as
+     * integers, timers as "<name>_s" seconds plus "<name>_spans",
+     * histograms as {"edges": [...], "counts": [...]}.  The writer
+     * must be positioned where a value may start (e.g. after key()).
+     */
+    void writeJson(JsonWriter &w) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Timer> &timers() const { return timers_; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Timer> timers_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_METRICS_HH

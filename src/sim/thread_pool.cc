@@ -8,6 +8,21 @@
 namespace fidelity
 {
 
+namespace
+{
+
+// Set once at worker startup; -1 everywhere else (the submitting
+// thread never runs pool tasks).
+thread_local int tlsWorkerIndex = -1;
+
+} // namespace
+
+int
+ThreadPool::workerIndex()
+{
+    return tlsWorkerIndex;
+}
+
 int
 ThreadPool::hardwareThreads()
 {
@@ -23,7 +38,7 @@ ThreadPool::ThreadPool(int num_threads)
              "thread count, got ", num_threads);
     workers_.reserve(static_cast<std::size_t>(num_threads));
     for (int i = 0; i < num_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -99,8 +114,9 @@ ThreadPool::forEachOf(const std::vector<std::size_t> &ids,
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    tlsWorkerIndex = index;
     for (;;) {
         std::packaged_task<void()> task;
         {

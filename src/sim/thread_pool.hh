@@ -71,11 +71,19 @@ class ThreadPool
     /** Number of worker threads. */
     int size() const { return static_cast<int>(workers_.size()); }
 
+    /**
+     * Index of the calling thread within its pool, in [0, size()), or
+     * -1 on a thread that is not a pool worker.  Tasks use this to
+     * claim a private per-worker accumulator slot (lock-free metric
+     * accumulation in the campaign engine).
+     */
+    static int workerIndex();
+
     /** Concurrency the hardware advertises (at least 1). */
     static int hardwareThreads();
 
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     std::vector<std::thread> workers_;
     std::queue<std::packaged_task<void()>> queue_;

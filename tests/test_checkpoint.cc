@@ -9,8 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/campaign.hh"
 #include "sim/checkpoint.hh"
@@ -65,6 +69,47 @@ adaptiveConfig()
     cfg.shardGrain = 8;
     cfg.seed = 11;
     return cfg;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out) << path;
+}
+
+/** A two-shard snapshot whose second shard carries samples — exercises
+ *  every on-disk field kind (header, shard fixed part, sample list). */
+CampaignSnapshot
+referenceSnapshot()
+{
+    CampaignSnapshot snap;
+    snap.configHash = 0x0123456789abcdefULL;
+    ShardRecord a;
+    a.ordinal = 0;
+    a.cell = 1;
+    a.maskedCount = 2;
+    a.trials = 4;
+    ShardRecord b;
+    b.ordinal = 1;
+    b.cell = 2;
+    b.maskedCount = 1;
+    b.trials = 3;
+    b.samples = {{0.25, true}, {3.5, false}};
+    snap.shards = {a, b};
+    return snap;
 }
 
 } // namespace
@@ -361,4 +406,146 @@ TEST(Checkpoint, ConfigHashSeparatesSampleIdentities)
     adaptive2.minSamples += 8;
     EXPECT_NE(campaignConfigHash(net, x, adaptive2),
               campaignConfigHash(net, x, adaptive));
+}
+
+// ----- Corrupt-snapshot matrix ------------------------------------
+//
+// Every exit from readSnapshot on malformed input must go through
+// fatal() with the snapshot path named — never through std::bad_alloc
+// on a multi-GB reserve() fed by a corrupt count, and never through a
+// silent short read.
+
+TEST(SnapshotCorruption, WriteReportsTheOnDiskByteCount)
+{
+    ScopedSnapshotPath path("bytecount");
+    const std::uint64_t bytes =
+        writeSnapshot(path.str(), referenceSnapshot());
+    EXPECT_EQ(bytes, readFileBytes(path.str()).size());
+}
+
+TEST(SnapshotCorruption, ZeroLengthFileIsRejected)
+{
+    ScopedSnapshotPath path("zerolen");
+    writeFileBytes(path.str(), "");
+    EXPECT_DEATH((void)readSnapshot(path.str()),
+                 "not a fidelity campaign snapshot");
+}
+
+TEST(SnapshotCorruption, TruncatedAtEveryFieldBoundaryIsRejected)
+{
+    ScopedSnapshotPath path("truncated");
+    writeSnapshot(path.str(), referenceSnapshot());
+    const std::string whole = readFileBytes(path.str());
+    ASSERT_GT(whole.size(), 24u);
+    ASSERT_EQ(whole.size() % 8, 0u);
+
+    // Every 8-byte field boundary short of the full file: the header
+    // magic, configHash, shard count, each shard's five fixed fields,
+    // and each sample's two words.
+    for (std::size_t cut = 0; cut < whole.size(); cut += 8) {
+        SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+        writeFileBytes(path.str(), whole.substr(0, cut));
+        EXPECT_DEATH((void)readSnapshot(path.str()),
+                     "snapshot|truncated|declares");
+    }
+
+    // A mid-field cut (not 8-aligned) must die too, not short-read.
+    writeFileBytes(path.str(), whole.substr(0, whole.size() - 3));
+    EXPECT_DEATH((void)readSnapshot(path.str()),
+                 "snapshot|truncated|declares");
+}
+
+TEST(SnapshotCorruption, BitFlippedMagicIsRejected)
+{
+    ScopedSnapshotPath path("bitflip");
+    writeSnapshot(path.str(), referenceSnapshot());
+    const std::string whole = readFileBytes(path.str());
+
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+        SCOPED_TRACE("magic byte " + std::to_string(byte));
+        std::string bad = whole;
+        bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+        writeFileBytes(path.str(), bad);
+        EXPECT_DEATH((void)readSnapshot(path.str()),
+                     "not a fidelity campaign snapshot");
+    }
+}
+
+TEST(SnapshotCorruption, AbsurdShardCountIsBoundedByFileSize)
+{
+    ScopedSnapshotPath path("hugecount");
+    writeSnapshot(path.str(), referenceSnapshot());
+    std::string bad = readFileBytes(path.str());
+
+    // The shard count lives at bytes [16, 24).  A count that would
+    // reserve() petabytes must die on the file-size bound instead.
+    const std::uint64_t huge = 1ULL << 62;
+    std::memcpy(&bad[16], &huge, sizeof(huge));
+    writeFileBytes(path.str(), bad);
+    EXPECT_DEATH((void)readSnapshot(path.str()),
+                 "declares .* shards but holds only");
+}
+
+TEST(SnapshotCorruption, AbsurdSampleCountIsBoundedByFileSize)
+{
+    ScopedSnapshotPath path("hugesamples");
+    writeSnapshot(path.str(), referenceSnapshot());
+    std::string bad = readFileBytes(path.str());
+
+    // Shard 0 (no samples): fixed part at [24, 64), its sample count
+    // at [56, 64).  Also bump trials ([48, 56)) so the bound that
+    // dies is the file-size one, not nsamples > trials.
+    const std::uint64_t huge = 1ULL << 61;
+    std::memcpy(&bad[48], &huge, sizeof(huge));
+    std::memcpy(&bad[56], &huge, sizeof(huge));
+    writeFileBytes(path.str(), bad);
+    EXPECT_DEATH((void)readSnapshot(path.str()),
+                 "declares .* samples in a shard with only");
+}
+
+TEST(SnapshotCorruption, MaskedAboveTrialsIsRejected)
+{
+    ScopedSnapshotPath path("masked");
+    writeSnapshot(path.str(), referenceSnapshot());
+    std::string bad = readFileBytes(path.str());
+
+    // Shard 0 maskedCount at [40, 48); its trials are 4.
+    const std::uint64_t absurd = 1000;
+    std::memcpy(&bad[40], &absurd, sizeof(absurd));
+    writeFileBytes(path.str(), bad);
+    EXPECT_DEATH((void)readSnapshot(path.str()),
+                 "maskedCount > trials");
+}
+
+// ----- Campaign config hardening ----------------------------------
+
+TEST(CampaignConfigChecks, NegativeCheckpointCadenceIsFatal)
+{
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    CampaignConfig cfg = fixedConfig();
+    cfg.checkpointEverySec = -1.0;
+    EXPECT_DEATH((void)runCampaign(net, x, top1Metric(), cfg),
+                 "checkpointEverySec must be >= 0");
+}
+
+TEST(CampaignConfigChecks, HugeThrottleIntervalsSaturate)
+{
+    // progressEverySec * 1e9 used to be cast straight to int64 — UB
+    // for anything >= 2^63 ns.  Saturation means "practically never",
+    // and the campaign still completes with correct results.
+    Network net = buildResNet(3);
+    Tensor x = defaultInputFor("resnet", 4);
+    ScopedSnapshotPath path("saturate");
+
+    CampaignConfig cfg = fixedConfig();
+    cfg.progress = true;
+    cfg.progressEverySec = 1e300;
+    cfg.checkpointPath = path.str();
+    cfg.checkpointEverySec = 1e300;
+    CampaignResult res = runCampaign(net, x, top1Metric(), cfg);
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(campaignChecksum(res),
+              campaignChecksum(
+                  runCampaign(net, x, top1Metric(), fixedConfig())));
 }
