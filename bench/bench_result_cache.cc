@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cross-campaign result-cache hit rate and throughput uplift.
+ *
+ * For each study CNN one adaptive campaign is run three ways: with the
+ * cache disabled (the reference), against a fresh shared memo table
+ * (cold), and a second time against the same table (warm).  The warm
+ * run replays the same fault plan, so nearly every probe should hit
+ * and the forward pass is skipped — that is the cross-campaign service
+ * scenario the cache exists for.
+ *
+ * The bench fails (non-zero exit) if any of the three runs disagrees
+ * on campaignChecksum — the cache must be a pure performance knob —
+ * or if no network reaches a 30% warm hit rate with an injections/s
+ * uplift over the cache-off reference.  Rows are merged into
+ * BENCH_injection_throughput.json.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "bench/common.hh"
+#include "sim/result_cache.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+namespace
+{
+
+double
+hitRate(const ResultCacheStats &before, const ResultCacheStats &after)
+{
+    const std::uint64_t hits = after.hits - before.hits;
+    const std::uint64_t misses = after.misses - before.misses;
+    return hits + misses > 0
+        ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+        : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int samples = scaledSamples(60);
+    const int threads = 4;
+
+    printHeading(std::cout,
+                 "Result cache: adaptive campaign off/cold/warm (" +
+                     std::to_string(samples) + " samples per cell cap base)");
+
+    Table t({"Network", "mode", "injections", "hit rate", "wall s",
+             "inj/s", "uplift"});
+    std::vector<ThroughputRecord> records;
+    bool checksum_ok = true;
+    double best_hit_rate = 0.0;
+    double best_uplift = 0.0;
+
+    for (const char *name : {"resnet", "mobilenet"}) {
+        CampaignConfig cfg;
+        cfg.samplesPerCategory = samples;
+        cfg.seed = 2033;
+        cfg.targetHalfWidth = 0.10;
+        cfg.confidenceZ = 1.96;
+        cfg.minSamples = 16;
+        cfg.maxSamplesPerCategory = samples * 8;
+        cfg.numThreads = threads;
+
+        // Reference: cache disabled.
+        cfg.resultCacheEnabled = false;
+        CampaignResult off;
+        const double off_secs = timeSeconds([&] {
+            off = runStudyCampaignCfg(name, Precision::FP16,
+                                      top1Metric(), cfg);
+        });
+
+        // Cold: fresh shared table, every fault site is a first visit.
+        cfg.resultCacheEnabled = true;
+        cfg.resultCache = std::make_shared<ResultCache>(64u << 20);
+        const ResultCacheStats empty = cfg.resultCache->stats();
+        CampaignResult cold;
+        const double cold_secs = timeSeconds([&] {
+            cold = runStudyCampaignCfg(name, Precision::FP16,
+                                       top1Metric(), cfg);
+        });
+        const ResultCacheStats after_cold = cfg.resultCache->stats();
+
+        // Warm: identical campaign against the now-populated table.
+        CampaignResult warm;
+        const double warm_secs = timeSeconds([&] {
+            warm = runStudyCampaignCfg(name, Precision::FP16,
+                                       top1Metric(), cfg);
+        });
+        const ResultCacheStats after_warm = cfg.resultCache->stats();
+
+        const std::uint64_t want = campaignChecksum(off);
+        if (campaignChecksum(cold) != want ||
+            campaignChecksum(warm) != want) {
+            std::cout << "ERROR: " << name
+                      << ": cache-on checksum diverges from the "
+                         "cache-off reference\n";
+            checksum_ok = false;
+        }
+
+        const double cold_rate = hitRate(empty, after_cold);
+        const double warm_rate = hitRate(after_cold, after_warm);
+        best_hit_rate = std::max(best_hit_rate, warm_rate);
+
+        struct Run
+        {
+            const char *mode;
+            const CampaignResult *res;
+            double secs;
+            double rate;
+        };
+        const double off_ips =
+            off_secs > 0.0
+                ? static_cast<double>(off.totalInjections) / off_secs
+                : 0.0;
+        for (const Run &r :
+             {Run{"cache_off", &off, off_secs, 0.0},
+              Run{"cache_cold", &cold, cold_secs, cold_rate},
+              Run{"cache_warm", &warm, warm_secs, warm_rate}}) {
+            ThroughputRecord rec;
+            rec.bench = "result_cache";
+            rec.network = name;
+            rec.mode = r.mode;
+            rec.threads = threads;
+            rec.injections = r.res->totalInjections;
+            rec.wallSeconds = r.secs;
+            records.push_back(rec);
+
+            const double uplift =
+                off_ips > 0.0 ? rec.injPerSec() / off_ips : 0.0;
+            if (r.res == &warm)
+                best_uplift = std::max(best_uplift, uplift);
+            t.addRow({name, r.mode,
+                      std::to_string(rec.injections),
+                      Table::num(r.rate, 3), Table::num(r.secs, 2),
+                      Table::num(rec.injPerSec(), 0),
+                      Table::num(uplift, 2)});
+        }
+    }
+
+    t.print(std::cout);
+    writeThroughputJson("result_cache", records);
+
+    const bool rate_ok = best_hit_rate >= 0.30;
+    const bool uplift_ok = best_uplift > 1.0;
+    std::cout << "\nbest warm hit rate: " << Table::num(best_hit_rate, 3)
+              << " (gate: >= 0.30), best warm inj/s uplift: "
+              << Table::num(best_uplift, 2) << "x (gate: > 1.0x)\n"
+              << (checksum_ok
+                      ? ""
+                      : "ERROR: the cache changed campaign results\n")
+              << (rate_ok ? ""
+                          : "ERROR: no network reached the 30% warm "
+                            "hit rate\n")
+              << (uplift_ok ? ""
+                            : "ERROR: no warm run beat the cache-off "
+                              "injection throughput\n")
+              << std::flush;
+    return checksum_ok && rate_ok && uplift_ok ? 0 : 1;
+}

@@ -28,6 +28,7 @@
 #include "core/campaign.hh"
 #include "sim/logging.hh"
 #include "core/protection.hh"
+#include "sim/parse.hh"
 #include "sim/table.hh"
 #include "workloads/metrics.hh"
 #include "workloads/models.hh"
@@ -36,6 +37,24 @@ using namespace fidelity;
 
 namespace
 {
+
+const char *const kUsage =
+    "usage: resilience_cli [network] [precision] [metric] [samples]\n"
+    "                      [target] [threads] [report.json]\n"
+    "\n"
+    "  1 network   inception | resnet | mobilenet | yolo | transformer\n"
+    "              | rnn                             (default resnet)\n"
+    "  2 precision fp32 | fp16 | int16 | int8        (default fp16)\n"
+    "  3 metric    top1 | bleu10 | bleu20 | det10 | det20\n"
+    "                                                (default top1)\n"
+    "  4 samples   injections per (layer, category)  (default 200)\n"
+    "  5 target    FIT budget for the protection plan (default 0.2)\n"
+    "  6 threads   injection worker threads; 0 = all hardware threads\n"
+    "              (default 0; the result is identical for any value)\n"
+    "  7 report    path of the machine-readable run manifest (cell\n"
+    "              table, FIT breakdowns, phase timings, result-cache\n"
+    "              counters; schema in DESIGN.md §10).  Off when\n"
+    "              omitted.\n";
 
 Precision
 parsePrecision(const std::string &s)
@@ -72,14 +91,32 @@ parseMetric(const std::string &s)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && (std::string(argv[1]) == "-h" ||
+                     std::string(argv[1]) == "--help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+    fatal_if(argc > 8, "too many arguments (", argc - 1,
+             " given, at most 7 accepted)\n", kUsage);
+
     std::string network = argc > 1 ? argv[1] : "resnet";
     Precision precision =
         parsePrecision(argc > 2 ? argv[2] : "fp16");
     std::string metric_name = argc > 3 ? argv[3] : "top1";
     CorrectnessFn metric = parseMetric(metric_name);
-    int samples = argc > 4 ? std::atoi(argv[4]) : 200;
-    double target = argc > 5 ? std::atof(argv[5]) : 0.2;
-    int threads = argc > 6 ? std::atoi(argv[6]) : 0;
+    // Checked parses: a mistyped "threads=abc" must name the bad
+    // argument and exit, not silently run with atoi's 0.
+    int samples =
+        argc > 4 ? static_cast<int>(parseIntArg("samples (arg 4)",
+                                                argv[4], 1, 1 << 24))
+                 : 200;
+    double target = argc > 5 ? parseDoubleArg("target (arg 5)", argv[5],
+                                              0.0, 1e12)
+                             : 0.2;
+    int threads =
+        argc > 6 ? static_cast<int>(parseIntArg("threads (arg 6)",
+                                                argv[6], 0, 4096))
+                 : 0;
     std::string report = argc > 7 ? argv[7] : "";
 
     Network net = buildNetwork(network, 2020);

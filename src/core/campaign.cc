@@ -138,6 +138,11 @@ struct ShardOutput
     std::uint64_t maskedCount = 0;
     std::uint64_t trials = 0;
     std::vector<std::pair<double, bool>> singleNeuronSamples;
+
+    /** Fault-site fingerprints of the cache-eligible injections, in
+     *  sample order (result cache enabled only).  Never journaled —
+     *  they feed the deterministic plan replay of this process. */
+    std::vector<std::uint64_t> fingerprints;
 };
 
 /** Adaptive scheduling state of one (layer, category) cell. */
@@ -245,6 +250,10 @@ runCampaign(const Network &net, const Tensor &input,
              "campaign targetHalfWidth must be >= 0, got ",
              cfg.targetHalfWidth);
     const bool adaptive = cfg.targetHalfWidth > 0.0;
+    fatal_if(cfg.resultCacheEnabled && !cfg.resultCache &&
+                 cfg.resultCacheMB <= 0,
+             "campaign resultCacheMB must be > 0 when the result cache "
+             "is enabled, got ", cfg.resultCacheMB);
     if (adaptive) {
         fatal_if(cfg.confidenceZ <= 0.0,
                  "campaign confidenceZ must be > 0, got ",
@@ -255,6 +264,21 @@ runCampaign(const Network &net, const Tensor &input,
                  "campaign maxSamplesPerCategory (",
                  cfg.maxSamplesPerCategory, ") must be >= minSamples (",
                  cfg.minSamples, ")");
+    }
+
+    // One fault-site memo table shared across workers and adaptive
+    // rounds; a caller-supplied table extends the sharing across
+    // campaigns.  The generation bump ages the previous campaign's
+    // entries for eviction without invalidating them.
+    std::shared_ptr<ResultCache> result_cache;
+    if (cfg.resultCacheEnabled) {
+        result_cache = cfg.resultCache;
+        if (!result_cache)
+            result_cache = std::make_shared<ResultCache>(
+                static_cast<std::size_t>(cfg.resultCacheMB) << 20);
+        result_cache->newGeneration();
+        injector.attachResultCache(result_cache.get(),
+                                   cfg.resultCacheSalt);
     }
 
     // Cell table: node-major, Table II category order.  GlobalControl
@@ -318,6 +342,11 @@ runCampaign(const Network &net, const Tensor &input,
 
     // ----- Execution -----------------------------------------------
     std::vector<ShardRecord> archive; //!< completed shards, plan order
+
+    /** ordinal → fingerprint sequence of each shard executed by THIS
+     *  process (not journaled, so restored shards are absent).  Feeds
+     *  the deterministic plan replay after the merge. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> fp_log;
     std::uint64_t next_ordinal = 0;
     std::uint64_t executed_this_run = 0;
     bool stopped = false;
@@ -340,8 +369,12 @@ runCampaign(const Network &net, const Tensor &input,
     };
 
     ThreadPool pool(cfg.numThreads);
+    // One slot per pool worker plus the reserved off-pool slot, so a
+    // shard running on the submitting thread (or any foreign thread)
+    // still accumulates into a private slot instead of aliasing
+    // worker 0.
     std::vector<WorkerSlot> worker_slots(
-        static_cast<std::size_t>(pool.size()));
+        static_cast<std::size_t>(pool.slotCount()));
 
     // Execute one round of shards: restore what the snapshot already
     // holds, fan the remainder out over the pool (honouring the
@@ -422,13 +455,8 @@ runCampaign(const Network &net, const Tensor &input,
                 worker_engine.setOptions(opt);
                 engine = &worker_engine;
             }
-            const int widx = ThreadPool::workerIndex();
-            panic_if(widx < 0 ||
-                         static_cast<std::size_t>(widx) >=
-                             worker_slots.size(),
-                     "campaign shard executing off-pool");
             WorkerSlot &slot =
-                worker_slots[static_cast<std::size_t>(widx)];
+                worker_slots[static_cast<std::size_t>(pool.callerSlot())];
             Shard &sh = shards[i];
             ShardOutput &out = outputs[i];
             for (int s = 0; s < sh.samples; ++s) {
@@ -437,6 +465,12 @@ runCampaign(const Network &net, const Tensor &input,
                     cfg.outputClampAbs, engine);
                 out.maskedCount += rec.masked ? 1 : 0;
                 out.trials += 1;
+                // Which probes hit is interleaving-dependent on a
+                // shared table, so no live hit/miss counters here (the
+                // manifest must stay deterministic); the fingerprint
+                // log feeds the deterministic plan replay instead.
+                if (rec.cacheEligible)
+                    out.fingerprints.push_back(rec.fingerprint);
                 slot.metrics
                     .counter(rec.masked ? "inject.masked"
                                         : "inject.unmasked")
@@ -492,9 +526,15 @@ runCampaign(const Network &net, const Tensor &input,
         inject_scope.stop();
         executed_this_run += pending.size();
 
-        for (std::size_t i = 0; i < n; ++i)
-            if (done[i].load(std::memory_order_acquire))
-                archive.push_back(recordOf(shards[i], outputs[i]));
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!done[i].load(std::memory_order_acquire))
+                continue;
+            archive.push_back(recordOf(shards[i], outputs[i]));
+            if (result_cache && restored.find(shards[i].ordinal) ==
+                                    restored.end())
+                fp_log.emplace(shards[i].ordinal,
+                               std::move(outputs[i].fingerprints));
+        }
         return stop_here;
     };
 
@@ -713,15 +753,57 @@ runCampaign(const Network &net, const Tensor &input,
     tel.executedShards = executed_this_run;
     tel.executedInjections =
         injections_done.load(std::memory_order_relaxed);
-    for (const WorkerSlot &slot : worker_slots) {
-        WorkerTelemetry wt;
-        wt.shards = slot.shards;
-        wt.injections = slot.injections;
-        wt.engine = slot.engine;
-        tel.workers.push_back(wt);
+    for (std::size_t wi = 0; wi < worker_slots.size(); ++wi) {
+        const WorkerSlot &slot = worker_slots[wi];
+        // The last slot is the reserved off-pool slot (callerSlot());
+        // its counts fold into the totals but it is not a worker.
+        if (wi < static_cast<std::size_t>(pool.size())) {
+            WorkerTelemetry wt;
+            wt.shards = slot.shards;
+            wt.injections = slot.injections;
+            wt.engine = slot.engine;
+            tel.workers.push_back(wt);
+        }
         tel.engine.mergeFrom(slot.engine);
         tel.metrics.mergeFrom(slot.metrics);
     }
+    // Result-cache observability via plan replay: drive the archived
+    // fingerprint sequences, in shard-plan order, through a fresh
+    // sequential table of the same capacity.  The replayed counters
+    // are a pure function of the shard plan — byte-identical across
+    // thread counts — which the live shared table's own counters
+    // (exposed through ResultCache::stats() for benchmarks) are not.
+    if (result_cache) {
+        ResultCacheTelemetry &rct = tel.resultCache;
+        rct.enabled = true;
+        rct.capacityBytes = result_cache->capacityBytes();
+        rct.entries = result_cache->entryCount();
+        rct.shards = ResultCache::kShards;
+        rct.replayComplete = true;
+        ResultCache replay(result_cache->capacityBytes());
+        for (const ShardRecord &r : archive) {
+            auto it = fp_log.find(r.ordinal);
+            if (it == fp_log.end()) {
+                // Restored from a snapshot: the fingerprints were
+                // never journaled (deliberately — a snapshot must not
+                // pin cache geometry), so the replay is partial.
+                rct.replayComplete = false;
+                continue;
+            }
+            rct.replayedShards += 1;
+            for (std::uint64_t fp : it->second) {
+                CachedOutcome memo;
+                if (!replay.probe(fp, memo))
+                    replay.store(fp, memo);
+            }
+        }
+        const ResultCacheStats rs = replay.stats();
+        rct.hits = rs.hits;
+        rct.misses = rs.misses;
+        rct.stores = rs.stores;
+        rct.evictions = rs.evictions;
+    }
+
     coord_metrics.timer("phase.total").addNs(now_ns());
     tel.metrics.mergeFrom(coord_metrics);
 

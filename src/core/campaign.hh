@@ -11,6 +11,7 @@
 #ifndef FIDELITY_CORE_CAMPAIGN_HH
 #define FIDELITY_CORE_CAMPAIGN_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/activeness.hh"
 #include "core/fit.hh"
 #include "core/injector.hh"
+#include "sim/result_cache.hh"
 #include "sim/stats.hh"
 
 namespace fidelity
@@ -106,6 +108,43 @@ struct CampaignConfig
      *  even if its half-width still exceeds the target (rare-failure
      *  cells near p = 1/2 would otherwise run long). */
     int maxSamplesPerCategory = 1 << 16;
+
+    // ----- Cross-campaign result cache ----------------------------
+    //
+    // Adaptive rounds and repeated service-style requests re-sample
+    // the same (layer, category) cells constantly; architecturally
+    // equivalent fault sites provably produce equal outcomes.  The
+    // result cache memoises the forward-pass outcome per fault-site
+    // fingerprint (see sim/result_cache.hh and DESIGN.md §11).  It is
+    // a pure performance knob: the sampled faults, every counter, and
+    // campaignChecksum are bit-identical with the cache on or off —
+    // none of these fields participate in campaignConfigHash, so
+    // cached and uncached runs are resume-compatible.
+
+    /** Probe/store the fault-site memo table in the injection path. */
+    bool resultCacheEnabled = true;
+
+    /** Capacity of a campaign-private table in MiB (used when
+     *  resultCache below is null).  Must be > 0 when enabled. */
+    int resultCacheMB = 64;
+
+    /**
+     * Optional externally owned table shared across campaigns (the
+     * cross-campaign case: a service answering repeated requests, or
+     * the adaptive scheduler re-running a study).  Entries are only
+     * served to an injector whose context digest matches — a
+     * different input, weight set, or precision can never hit — so
+     * sharing is always sound, only ever a capacity trade-off.
+     */
+    std::shared_ptr<ResultCache> resultCache;
+
+    /**
+     * Extra salt mixed into the cache context digest.  The
+     * CorrectnessFn is an opaque callable the digest cannot hash;
+     * callers sharing one table across *different* correctness
+     * metrics must give each metric a distinct salt.
+     */
+    std::uint64_t resultCacheSalt = 0;
 
     // ----- Crash-safe checkpoint / resume -------------------------
 

@@ -4,11 +4,42 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <string>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace fidelity
 {
+
+namespace
+{
+
+// Floats are mixed by their exact 32-bit pattern (not via double) so
+// NaN payloads and signed zeros stay distinguishable — the fingerprint
+// must pin stored bits, not numeric values.
+std::uint64_t floatBits(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+void mixTensor(HashMixer &m, const Tensor &t)
+{
+    m.mix(static_cast<std::uint64_t>(t.n()));
+    m.mix(static_cast<std::uint64_t>(t.h()));
+    m.mix(static_cast<std::uint64_t>(t.w()));
+    m.mix(static_cast<std::uint64_t>(t.c()));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        m.mix(floatBits(t[i]));
+}
+
+void mixQuant(HashMixer &m, const QuantParams &q)
+{
+    m.mix(q.scale);
+    m.mix(static_cast<std::uint64_t>(q.bits));
+}
+
+} // namespace
 
 Injector::Injector(const Network &net, Tensor input,
                    const NvdlaConfig &cfg)
@@ -21,6 +52,77 @@ const Tensor &
 Injector::goldenOutput() const
 {
     return acts_[net_.outputNode()];
+}
+
+void
+Injector::attachResultCache(ResultCache *cache, std::uint64_t salt)
+{
+    cache_ = cache;
+    cacheContext_ = 0;
+    if (!cache_)
+        return;
+
+    // Conservative context digest: everything a forward pass from any
+    // injection site reads, by exact bit pattern.  The golden
+    // activations transitively pin the biases (bias differences would
+    // change some activation), and input + weights + quant params pin
+    // the arithmetic itself, so two injectors with equal digests run
+    // bit-identical propagation for equal corruptions.
+    HashMixer m;
+    m.mix(std::string("fidelity-result-cache-v1"));
+    m.mix(salt);
+    m.mix(net_.name());
+    m.mix(std::string(precisionName(net_.precision())));
+    mixTensor(m, input_);
+    // Node 0 is the input placeholder (already mixed above); real
+    // layers start at 1.
+    for (NodeId id = 1; id < net_.numNodes(); ++id) {
+        const Layer &layer = net_.layer(id);
+        m.mix(layer.name());
+        m.mix(std::string(layerKindName(layer.kind())));
+        m.mix(std::string(precisionName(layer.precision())));
+        mixTensor(m, acts_[id]);
+        if (const auto *mac = dynamic_cast<const MacLayer *>(&layer)) {
+            auto ins = net_.gatherInputs(id, acts_);
+            const std::size_t wc = mac->weightCount(ins);
+            m.mix(static_cast<std::uint64_t>(wc));
+            for (std::size_t i = 0; i < wc; ++i)
+                m.mix(floatBits(mac->weightAt(ins, i)));
+            mixQuant(m, mac->inputQuant());
+            mixQuant(m, mac->weightQuant());
+            mixQuant(m, mac->outputQuant());
+        }
+    }
+    cacheContext_ = m.value();
+}
+
+std::uint64_t
+faultSiteFingerprint(std::uint64_t context, NodeId node, FFCategory cat,
+                     double clamp_abs, const FaultApplication &app,
+                     const Tensor &golden)
+{
+    HashMixer m;
+    m.mix(context);
+    m.mix(static_cast<std::uint64_t>(node));
+    m.mix(static_cast<std::uint64_t>(cat));
+    m.mix(clamp_abs);
+    m.mix(static_cast<std::uint64_t>(app.neurons.size()));
+    for (std::size_t i = 0; i < app.neurons.size(); ++i) {
+        const NeuronIndex &nrn = app.neurons[i];
+        m.mix(static_cast<std::uint64_t>(nrn.n));
+        m.mix(static_cast<std::uint64_t>(nrn.h));
+        m.mix(static_cast<std::uint64_t>(nrn.w));
+        m.mix(static_cast<std::uint64_t>(nrn.c));
+        // Hash the value the forward pass will actually see written
+        // back, so raw values the range checker bounds to the same
+        // write collapse into one site (more hits, same outcome).
+        float v = app.values[i];
+        if (clamp_abs > 0.0)
+            v = boundValue(v, clamp_abs);
+        m.mix(floatBits(v));
+        m.mix(floatBits(golden.at(nrn)));
+    }
+    return m.value();
 }
 
 float
@@ -69,6 +171,22 @@ Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
         return rec;
     }
 
+    // Probe the memo table only after the fault model ran: the rng
+    // stream and the record's fault-shape fields are identical with
+    // and without a cache — a hit skips only the propagation below.
+    if (cache_) {
+        rec.fingerprint = faultSiteFingerprint(cacheContext_, node, cat,
+                                               clamp_abs, app, acts_[node]);
+        rec.cacheEligible = true;
+        CachedOutcome memo;
+        if (cache_->probe(rec.fingerprint, memo)) {
+            rec.masked = memo.masked;
+            rec.earlyExit = memo.earlyExit;
+            rec.cacheHit = true;
+            return rec;
+        }
+    }
+
     if (engine) {
         // Incremental fast path: build the corrupted activation in the
         // engine's reusable buffer, track the bounding box of neurons
@@ -91,6 +209,9 @@ Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
             engine->run(net_, node, corrupted, fault, acts_);
         rec.masked = correct(goldenOutput(), final_out);
         rec.earlyExit = engine->lastStats().earlyMasked;
+        if (cache_)
+            cache_->store(rec.fingerprint,
+                          CachedOutcome{rec.masked, rec.earlyExit});
         return rec;
     }
 
@@ -104,6 +225,9 @@ Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
 
     Tensor final_out = net_.forwardFrom(node, corrupted, acts_);
     rec.masked = correct(goldenOutput(), final_out);
+    if (cache_)
+        cache_->store(rec.fingerprint,
+                      CachedOutcome{rec.masked, rec.earlyExit});
     return rec;
 }
 

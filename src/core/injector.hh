@@ -13,11 +13,13 @@
 #ifndef FIDELITY_CORE_INJECTOR_HH
 #define FIDELITY_CORE_INJECTOR_HH
 
+#include <cstdint>
 #include <functional>
 
 #include "core/fault_models.hh"
 #include "nn/incremental.hh"
 #include "nn/network.hh"
+#include "sim/result_cache.hh"
 #include "sim/rng.hh"
 
 namespace fidelity
@@ -43,6 +45,17 @@ struct InjectionRecord
     /** Incremental engine only: the delta died before the output and
      *  downstream layers were skipped (the early masking exit). */
     bool earlyExit = false;
+
+    /** Fault-site fingerprint (0 unless cacheEligible); see
+     *  faultSiteFingerprint() for what it pins. */
+    std::uint64_t fingerprint = 0;
+
+    /** The experiment reached the forward pass with a result cache
+     *  attached (GlobalControl and model-masked faults never do). */
+    bool cacheEligible = false;
+
+    /** The forward pass was skipped: the outcome came from the cache. */
+    bool cacheHit = false;
 };
 
 /** Fault-injection engine bound to one network + input. */
@@ -88,12 +101,48 @@ class Injector
     const FaultModels &models() const { return models_; }
     const Network &network() const { return net_; }
 
+    /**
+     * Attach a fault-site memo table.  Subsequent inject() calls probe
+     * it before paying the forward pass and store their outcome after;
+     * the sampled fault identity is unaffected (the fault model and its
+     * rng draws run either way), only the propagation is skipped on a
+     * hit.  Computes this injector's context digest — a conservative
+     * hash over everything a forward pass reads: network name and
+     * precision, the input bits, every layer's name/kind/precision,
+     * every golden activation bit, every MAC weight bit and quant
+     * param — plus `salt`.  Two injectors sharing a cache can only
+     * exchange outcomes when their digests match, so a different
+     * input, weight set, or quantisation can never serve a stale
+     * entry.  Pass a distinct `salt` per correctness metric when one
+     * cache is shared across metrics (the CorrectnessFn is opaque and
+     * cannot be hashed).  Pass nullptr to detach.
+     */
+    void attachResultCache(ResultCache *cache, std::uint64_t salt = 0);
+
+    /** Context digest of the attached cache (0 when detached). */
+    std::uint64_t resultCacheContext() const { return cacheContext_; }
+
   private:
     const Network &net_;
     Tensor input_;
     std::vector<Tensor> acts_;
     FaultModels models_;
+    ResultCache *cache_ = nullptr;
+    std::uint64_t cacheContext_ = 0;
 };
+
+/**
+ * 64-bit fault-site fingerprint: the injector context digest (see
+ * attachResultCache) mixed with the target node, fault category, the
+ * value-bound knob, and the exact per-neuron corruption — coordinates,
+ * written (post-bounding) value bits, and displaced golden value bits.
+ * Equal fingerprints identify injections whose forward passes read and
+ * write identical values, hence produce identical outcomes.
+ */
+std::uint64_t faultSiteFingerprint(std::uint64_t context, NodeId node,
+                                   FFCategory cat, double clamp_abs,
+                                   const FaultApplication &app,
+                                   const Tensor &golden);
 
 /**
  * Top-1 classification metric: the predicted class (argmax of the

@@ -133,6 +133,34 @@ runManifestJson(const Network &net, const CampaignConfig &cfg,
     w.key("engine");
     writeEngineTotals(w, tel.engine);
 
+    w.key("result_cache");
+    w.beginObject();
+    w.field("enabled", tel.resultCache.enabled);
+    if (tel.resultCache.enabled) {
+        w.field("capacity_bytes", tel.resultCache.capacityBytes);
+        w.field("entries", tel.resultCache.entries);
+        w.field("table_shards", tel.resultCache.shards);
+        // Plan-replay counters: a pure function of the shard plan,
+        // byte-identical across thread counts (the live shared table's
+        // own split is interleaving-dependent and deliberately absent).
+        w.key("plan_replay");
+        w.beginObject();
+        w.field("complete", tel.resultCache.replayComplete);
+        w.field("replayed_shards", tel.resultCache.replayedShards);
+        w.field("hits", tel.resultCache.hits);
+        w.field("misses", tel.resultCache.misses);
+        w.field("stores", tel.resultCache.stores);
+        w.field("evictions", tel.resultCache.evictions);
+        const double probes = static_cast<double>(tel.resultCache.hits +
+                                                  tel.resultCache.misses);
+        // 0/0 on a replay with no probes renders as null, not nan —
+        // the shared jsonNumber rule for non-finite doubles.
+        w.field("hit_rate",
+                static_cast<double>(tel.resultCache.hits) / probes);
+        w.endObject();
+    }
+    w.endObject();
+
     w.key("workers");
     w.beginArray();
     for (const WorkerTelemetry &worker : tel.workers) {

@@ -67,6 +67,32 @@ struct WorkerTelemetry
     IncrementalTotals engine;
 };
 
+/**
+ * Result-cache observability.  The hit/miss/store/evict counters come
+ * from a deterministic *plan replay*: the fingerprint sequence of every
+ * freshly executed shard is re-driven, in shard-plan order, through a
+ * fresh table of the same capacity.  The replay is a pure function of
+ * the shard plan, so these counters are byte-identical across thread
+ * counts — unlike the live shared table's own counters, whose
+ * interleaving (and hence hit/miss split) is scheduling-dependent.
+ * Restored (resumed) shards carry no fingerprints; they are skipped
+ * and replayComplete turns false.
+ */
+struct ResultCacheTelemetry
+{
+    bool enabled = false;
+    std::uint64_t capacityBytes = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t shards = 0; //!< table shards, not campaign shards
+
+    bool replayComplete = false;
+    std::uint64_t replayedShards = 0; //!< campaign shards replayed
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+};
+
 /** Everything runCampaign learns about its own execution. */
 struct CampaignTelemetry
 {
@@ -84,6 +110,9 @@ struct CampaignTelemetry
 
     /** Engine totals summed over workers. */
     IncrementalTotals engine;
+
+    /** Fault-site memo table counters (plan replay). */
+    ResultCacheTelemetry resultCache;
 
     /** Merged instruments: coordinator phase timers + per-worker sets. */
     MetricSet metrics;

@@ -1,0 +1,62 @@
+#include "sim/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+// strtoll/strtod silently skip leading whitespace; a CLI argument with
+// stray spaces is a quoting mistake worth naming, not forgiving.
+bool startsWithSpace(const std::string &text)
+{
+    return !text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.front())) != 0;
+}
+
+} // namespace
+
+long long parseIntArg(const std::string &what, const std::string &text,
+                      long long min_value, long long max_value)
+{
+    fatal_if(text.empty(), "argument ", what, " is empty; expected an integer");
+    fatal_if(startsWithSpace(text),
+             "argument ", what, "='", text, "' is not an integer");
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    fatal_if(end == text.c_str() || *end != '\0',
+             "argument ", what, "='", text, "' is not an integer");
+    fatal_if(errno == ERANGE || v < min_value || v > max_value,
+             "argument ", what, "='", text, "' is out of range [",
+             min_value, ", ", max_value, "]");
+    return v;
+}
+
+double parseDoubleArg(const std::string &what, const std::string &text,
+                      double min_value, double max_value)
+{
+    fatal_if(text.empty(), "argument ", what, " is empty; expected a number");
+    fatal_if(startsWithSpace(text),
+             "argument ", what, "='", text, "' is not a number");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    fatal_if(end == text.c_str() || *end != '\0',
+             "argument ", what, "='", text, "' is not a number");
+    fatal_if(!std::isfinite(v),
+             "argument ", what, "='", text, "' must be finite");
+    fatal_if(errno == ERANGE || v < min_value || v > max_value,
+             "argument ", what, "='", text, "' is out of range [",
+             min_value, ", ", max_value, "]");
+    return v;
+}
+
+} // namespace fidelity

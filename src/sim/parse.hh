@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Checked numeric parsing for command-line arguments.
+ *
+ * atoi/atof silently turn garbage into 0 and saturate on overflow
+ * without any indication; a mistyped `threads=abc` then runs a
+ * single-threaded campaign instead of failing.  These helpers parse
+ * the full string or exit through fatal() naming the offending
+ * argument, so CLI tools get uniform, loud diagnostics.
+ */
+
+#ifndef FIDELITY_SIM_PARSE_HH
+#define FIDELITY_SIM_PARSE_HH
+
+#include <string>
+
+namespace fidelity
+{
+
+/**
+ * Parse `text` as a decimal integer in [min_value, max_value].
+ * Leading/trailing whitespace, partial parses ("12abc"), empty input,
+ * and out-of-range values all exit through fatal() citing `what` (the
+ * argument's name as shown in the usage string).
+ */
+long long parseIntArg(const std::string &what, const std::string &text,
+                      long long min_value, long long max_value);
+
+/**
+ * Parse `text` as a finite double in [min_value, max_value]; same
+ * error discipline as parseIntArg.  "nan"/"inf" are rejected — no CLI
+ * knob in this codebase meaningfully accepts them.
+ */
+double parseDoubleArg(const std::string &what, const std::string &text,
+                      double min_value, double max_value);
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_PARSE_HH

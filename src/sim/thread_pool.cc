@@ -15,12 +15,25 @@ namespace
 // thread never runs pool tasks).
 thread_local int tlsWorkerIndex = -1;
 
+// The pool the calling thread works for, so callerSlot() can tell "a
+// worker of this pool" apart from "a worker of some other pool" — the
+// latter must use the reserved slot, not its foreign index.
+thread_local const ThreadPool *tlsPool = nullptr;
+
 } // namespace
 
 int
 ThreadPool::workerIndex()
 {
     return tlsWorkerIndex;
+}
+
+int
+ThreadPool::callerSlot() const
+{
+    if (tlsPool == this && tlsWorkerIndex >= 0)
+        return tlsWorkerIndex;
+    return size();
 }
 
 int
@@ -117,6 +130,7 @@ void
 ThreadPool::workerLoop(int index)
 {
     tlsWorkerIndex = index;
+    tlsPool = this;
     for (;;) {
         std::packaged_task<void()> task;
         {

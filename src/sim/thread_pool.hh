@@ -79,6 +79,21 @@ class ThreadPool
      */
     static int workerIndex();
 
+    /**
+     * Accumulator slot for the calling thread: its worker index if the
+     * caller is one of THIS pool's workers, otherwise the reserved
+     * slot size().  Unlike workerIndex(), this never returns an
+     * out-of-range value, so a driver that emits metrics from the main
+     * thread during plan/merge phases (or from another pool's worker)
+     * gets a stable private slot instead of aliasing worker 0 or
+     * indexing out of bounds.  Size accumulator arrays by slotCount().
+     */
+    int callerSlot() const;
+
+    /** Number of accumulator slots callerSlot() can return:
+     *  size() workers plus the reserved off-pool slot. */
+    int slotCount() const { return size() + 1; }
+
     /** Concurrency the hardware advertises (at least 1). */
     static int hardwareThreads();
 

@@ -112,6 +112,62 @@ TEST(Json, NumberIsShortestRoundTrip)
               "null");
 }
 
+TEST(Json, NonFiniteDoublesRenderAsNullEverywhere)
+{
+    // The shared rule: every double that reaches JSON output — writer
+    // fields, array elements, FIT breakdowns, metric documents — is
+    // clamped to null when non-finite, never emitted as bare nan/inf
+    // (which is invalid JSON).
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(jsonNumber(-inf), "null");
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("nan", nan);
+    w.field("inf", inf);
+    w.key("arr");
+    w.beginArray();
+    w.value(-inf);
+    w.value(1.5);
+    w.endArray();
+    w.endObject();
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("\"nan\": null"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"inf\": null"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("null,\n    1.5"), std::string::npos) << doc;
+}
+
+TEST(Json, FitBreakdownWithZeroDivisionRendersValidJson)
+{
+    // A FIT breakdown whose inputs divided by zero must not poison
+    // the manifest with bare nan.
+    FitBreakdown fit;
+    fit.datapath = std::numeric_limits<double>::quiet_NaN();
+    fit.local = std::numeric_limits<double>::infinity();
+    JsonWriter w;
+    writeFitJson(w, fit);
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("\"datapath\": null"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"local\": null"), std::string::npos) << doc;
+    EXPECT_EQ(doc.find("nan"), std::string::npos) << doc;
+    EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+}
+
+TEST(Metrics, WriteJsonClampsNonFiniteHistogramEdges)
+{
+    // Histogram edges are caller-supplied doubles; an open-ended +inf
+    // edge must render as null, keeping the document parseable.
+    MetricSet ms;
+    ms.histogram("h", {1.0, std::numeric_limits<double>::infinity()})
+        .add(2.0);
+    JsonWriter w;
+    ms.writeJson(w);
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("null"), std::string::npos) << doc;
+    EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+}
+
 TEST(Json, WriterRendersNestedDocumentsDeterministically)
 {
     auto render = [] {
@@ -443,6 +499,26 @@ TEST(Manifest, FullDocumentIsDeterministicModuloWallTimes)
         else
             EXPECT_EQ(stripped, first);
     }
+}
+
+TEST(Manifest, ResultCacheHitRateIsNullWithoutProbes)
+{
+    // 0 probes → 0/0 hit rate; the manifest must render null, not nan
+    // (the satellite non-finite rule applied to a real producer).
+    Network net = buildResNet(3);
+    CampaignConfig cfg;
+    CampaignResult res;
+    res.network = net.name();
+    CampaignTelemetry tel;
+    tel.resultCache.enabled = true;
+    tel.resultCache.replayComplete = true;
+
+    const std::string doc = runManifestJson(net, cfg, 0, res, tel);
+    const std::string rc =
+        jsonSection(jsonSection(doc, "execution"), "result_cache");
+    ASSERT_FALSE(rc.empty());
+    EXPECT_NE(rc.find("\"hit_rate\": null"), std::string::npos) << rc;
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
 }
 
 TEST(Manifest, AdaptiveRunRecordsRoundHistory)

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "accel/perf_model.hh"
+#include "sim/parse.hh"
 #include "sim/table.hh"
 
 using namespace fidelity;
@@ -135,4 +136,59 @@ TEST(PerfModel, MatMulTiming)
     EXPECT_GT(t.totalCycles, 0u);
     // Fetch covers both operands: 240 weights + 120 inputs + 2.
     EXPECT_EQ(t.fetchCycles, 240u + 1 + 120u + 1);
+}
+
+// ===== Checked CLI argument parsing =================================
+
+TEST(Parse, IntAcceptsExactDecimalInRange)
+{
+    EXPECT_EQ(parseIntArg("samples", "200", 1, 1000), 200);
+    EXPECT_EQ(parseIntArg("threads", "0", 0, 64), 0);
+    EXPECT_EQ(parseIntArg("delta", "-5", -10, 10), -5);
+}
+
+TEST(Parse, IntRejectsGarbageNamingTheArgument)
+{
+    // The bug this guards: atoi("abc") silently returned 0, so
+    // threads=abc ran a bogus configuration without a word.
+    EXPECT_DEATH((void)parseIntArg("threads", "abc", 0, 64), "threads");
+    EXPECT_DEATH((void)parseIntArg("samples", "12abc", 1, 1000),
+                 "samples");
+    EXPECT_DEATH((void)parseIntArg("samples", "", 1, 1000), "samples");
+    EXPECT_DEATH((void)parseIntArg("samples", "1.5", 1, 1000),
+                 "samples");
+    EXPECT_DEATH((void)parseIntArg("samples", " 12", 1, 1000),
+                 "samples");
+}
+
+TEST(Parse, IntRejectsOutOfRangeAndOverflow)
+{
+    EXPECT_DEATH((void)parseIntArg("threads", "65", 0, 64),
+                 "out of range");
+    EXPECT_DEATH((void)parseIntArg("threads", "-1", 0, 64),
+                 "out of range");
+    EXPECT_DEATH((void)parseIntArg("big", "99999999999999999999", 0,
+                                   1000),
+                 "out of range");
+}
+
+TEST(Parse, DoubleAcceptsFiniteInRange)
+{
+    EXPECT_DOUBLE_EQ(parseDoubleArg("target", "0.2", 0.0, 10.0), 0.2);
+    EXPECT_DOUBLE_EQ(parseDoubleArg("target", "1e-3", 0.0, 10.0),
+                     1e-3);
+}
+
+TEST(Parse, DoubleRejectsGarbageNonFiniteAndOutOfRange)
+{
+    EXPECT_DEATH((void)parseDoubleArg("target", "xyz", 0.0, 10.0),
+                 "target");
+    EXPECT_DEATH((void)parseDoubleArg("target", "0.2q", 0.0, 10.0),
+                 "target");
+    EXPECT_DEATH((void)parseDoubleArg("target", "nan", 0.0, 10.0),
+                 "finite");
+    EXPECT_DEATH((void)parseDoubleArg("target", "inf", 0.0, 10.0),
+                 "finite");
+    EXPECT_DEATH((void)parseDoubleArg("target", "11", 0.0, 10.0),
+                 "out of range");
 }

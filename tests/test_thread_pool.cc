@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/thread_pool.hh"
 
 using namespace fidelity;
@@ -131,6 +132,77 @@ TEST(ThreadPool, ForEachOfEmptyIsANoOp)
     ThreadPool pool(2);
     pool.forEachOf({}, [](std::size_t) { FAIL() << "must not run"; });
     SUCCEED();
+}
+
+TEST(ThreadPool, CallerSlotIsWorkerIndexOnPoolAndReservedOffPool)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.slotCount(), 4);
+
+    // The main thread is not a pool worker: reserved slot, stable.
+    EXPECT_EQ(ThreadPool::workerIndex(), -1);
+    EXPECT_EQ(pool.callerSlot(), 3);
+    EXPECT_EQ(pool.callerSlot(), 3);
+
+    // A pool worker gets its own index, always < size().
+    std::vector<std::atomic<int>> seen(4);
+    pool.forEach(64, [&](std::size_t) {
+        int slot = pool.callerSlot();
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, pool.size());
+        EXPECT_EQ(slot, ThreadPool::workerIndex());
+        seen[static_cast<std::size_t>(slot)] += 1;
+    });
+    EXPECT_EQ(seen[3].load(), 0); // reserved slot never used on-pool
+}
+
+TEST(ThreadPool, CallerSlotOnForeignPoolWorkerIsReserved)
+{
+    // A worker of pool B asking pool A for a slot must get A's
+    // reserved slot — B's worker index would alias one of A's workers
+    // (or index out of bounds when B is larger than A).
+    ThreadPool a(2);
+    ThreadPool b(4);
+    b.forEach(16, [&](std::size_t) {
+        EXPECT_EQ(a.callerSlot(), a.size());
+        EXPECT_EQ(b.callerSlot(), ThreadPool::workerIndex());
+    });
+}
+
+TEST(ThreadPool, MainAndWorkerRecordMetricsConcurrently)
+{
+    // The off-pool bug this guards against: the coordinator emitting
+    // metrics during plan/merge phases while workers inject.  With
+    // callerSlot() every thread owns a private slot, so recording is
+    // race-free (this test runs under TSan in CI).
+    ThreadPool pool(2);
+    std::vector<MetricSet> slots(
+        static_cast<std::size_t>(pool.slotCount()));
+
+    std::atomic<bool> go{false};
+    std::vector<std::future<void>> work;
+    for (int t = 0; t < 2; ++t) {
+        work.push_back(pool.submit([&] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            MetricSet &mine =
+                slots[static_cast<std::size_t>(pool.callerSlot())];
+            for (int i = 0; i < 5000; ++i)
+                mine.counter("work").add();
+        }));
+    }
+    go.store(true, std::memory_order_release);
+    MetricSet &main_slot =
+        slots[static_cast<std::size_t>(pool.callerSlot())];
+    for (int i = 0; i < 5000; ++i)
+        main_slot.counter("work").add();
+    for (auto &f : work)
+        f.get();
+
+    MetricSet merged;
+    for (MetricSet &s : slots)
+        merged.mergeFrom(s);
+    EXPECT_EQ(merged.counter("work").count(), 15000u);
 }
 
 TEST(ThreadPool, ForEachOfPropagatesFirstException)
