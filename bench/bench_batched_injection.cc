@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fault-batched re-execution throughput and bit-identity gate.
+ *
+ * Runs the result-cache bench's cache-off adaptive campaign (same
+ * networks, seed, schedule, and thread count) once unbatched (B = 1)
+ * and once with the fault-batched engine at full width (B = 8), where
+ * SIMD lanes carry independent injections of one (layer, category)
+ * cell through the network in a single pass (DESIGN.md §12).
+ *
+ * The bench fails (non-zero exit) if
+ *  - the batched campaignChecksum differs from the B = 1 checksum on
+ *    any network (batching must be a pure performance knob), or
+ *  - the batched injections/s does not reach 3x the PR 6 cache_off
+ *    reference rows of BENCH_injection_throughput.json (hard-coded
+ *    below, measured at the same thread count on the same schedule).
+ *
+ * Each configuration is timed kRepeats times and the gate uses the
+ * best wall clock: single sub-second campaign runs swing by tens of
+ * percent under host scheduling noise, and the minimum is the
+ * standard low-variance estimator of attainable throughput.  The
+ * checksum is verified on every repeat.
+ *
+ * Rows are merged into BENCH_injection_throughput.json with their
+ * batch_width tag.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace fidelity;
+using namespace fidelity::bench;
+
+namespace
+{
+
+/** PR 6 `result_cache` cache_off reference rows (threads = 4). */
+struct Baseline
+{
+    const char *network;
+    double injPerSec;
+};
+
+constexpr Baseline kBaselines[] = {
+    {"resnet", 2004.5155963829948},
+    {"mobilenet", 2676.731426189856},
+};
+
+constexpr double kSpeedupGate = 3.0;
+constexpr int kRepeats = 5;
+
+} // namespace
+
+int
+main()
+{
+    const int samples = scaledSamples(60);
+    const int threads = 4;
+    const int width = 8;
+
+    printHeading(std::cout,
+                 "Fault-batched injection throughput (FP16, adaptive, " +
+                     std::to_string(samples) +
+                     " samples per cell cap base, " +
+                     std::to_string(threads) + " threads)");
+
+    Table t({"Network", "B", "injections", "wall s", "inj/s",
+             "vs PR6 base", "identical"});
+    std::vector<ThroughputRecord> records;
+    bool checksum_ok = true;
+    bool speedup_ok = true;
+
+    for (const Baseline &base : kBaselines) {
+        CampaignConfig cfg;
+        cfg.samplesPerCategory = samples;
+        cfg.seed = 2033;
+        cfg.targetHalfWidth = 0.10;
+        cfg.confidenceZ = 1.96;
+        cfg.minSamples = 16;
+        cfg.maxSamplesPerCategory = samples * 8;
+        cfg.numThreads = threads;
+        cfg.resultCacheEnabled = false;
+
+        std::uint64_t checksum[2] = {0, 0};
+        for (int run = 0; run < 2; ++run) {
+            cfg.batchWidth = run == 0 ? 1 : width;
+            CampaignResult res;
+            double secs = 0.0;
+            bool stable = true;
+            for (int rep = 0; rep < kRepeats; ++rep) {
+                CampaignResult r;
+                const double s = timeSeconds([&] {
+                    r = runStudyCampaignCfg(base.network,
+                                            Precision::FP16,
+                                            top1Metric(), cfg);
+                });
+                if (rep == 0) {
+                    res = r;
+                    secs = s;
+                } else {
+                    stable = stable &&
+                             campaignChecksum(r) == campaignChecksum(res);
+                    secs = std::min(secs, s);
+                }
+            }
+            checksum_ok = checksum_ok && stable;
+            checksum[run] = campaignChecksum(res);
+
+            ThroughputRecord rec;
+            rec.bench = "batched_injection";
+            rec.network = base.network;
+            rec.mode = cfg.batchWidth > 1 ? "engine_batched"
+                                          : "engine_incremental";
+            rec.threads = threads;
+            rec.batchWidth = cfg.batchWidth;
+            rec.injections = res.totalInjections;
+            rec.wallSeconds = secs;
+            records.push_back(rec);
+
+            const double uplift = rec.injPerSec() / base.injPerSec;
+            const bool identical = checksum[run] == checksum[0];
+            if (run == 1) {
+                checksum_ok = checksum_ok && identical;
+                speedup_ok = speedup_ok && uplift >= kSpeedupGate;
+            }
+            t.addRow({base.network, std::to_string(cfg.batchWidth),
+                      std::to_string(rec.injections),
+                      Table::num(secs, 2),
+                      Table::num(rec.injPerSec(), 0),
+                      Table::num(uplift, 2),
+                      identical ? "yes" : "NO"});
+        }
+    }
+
+    t.print(std::cout);
+    writeThroughputJson("batched_injection", records);
+
+    std::cout << (checksum_ok
+                      ? "\nbatched results bit-identical to B = 1\n"
+                      : "\nERROR: batched campaign diverges from the "
+                        "B = 1 result\n")
+              << (speedup_ok
+                      ? "batched throughput meets the 3x gate over the "
+                        "PR 6 cache_off baseline\n"
+                      : "ERROR: batched throughput below 3x the PR 6 "
+                        "cache_off baseline\n")
+              << std::flush;
+    return checksum_ok && speedup_ok ? 0 : 1;
+}

@@ -46,6 +46,10 @@ main()
         cfg.samplesPerCategory = samples;
         cfg.seed = 2027;
         cfg.numThreads = threads;
+        // This bench isolates the fault-cone engine itself; the
+        // fault-batched layer on top has its own gate
+        // (bench_batched_injection).
+        cfg.batchWidth = 1;
 
         double secs[2] = {0.0, 0.0};
         std::uint64_t checksum[2] = {0, 0};
@@ -62,8 +66,10 @@ main()
             ThroughputRecord rec;
             rec.bench = "incremental_speedup";
             rec.network = network;
-            rec.mode = cfg.incremental ? "incremental" : "dense";
+            rec.mode = cfg.incremental ? "engine_incremental"
+                                       : "engine_dense";
             rec.threads = threads;
+            rec.batchWidth = cfg.batchWidth;
             rec.injections = injections;
             rec.wallSeconds = secs[mode];
             records.push_back(rec);

@@ -64,8 +64,9 @@ main()
         ThroughputRecord rec;
         rec.bench = "parallel_scaling";
         rec.network = network;
-        rec.mode = cfg.incremental ? "incremental" : "dense";
+        rec.mode = cfg.incremental ? "engine_incremental" : "engine_dense";
         rec.threads = threads;
+        rec.batchWidth = cfg.batchWidth;
         rec.injections = res.totalInjections;
         rec.wallSeconds = secs;
         records.push_back(rec);

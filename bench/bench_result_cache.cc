@@ -67,6 +67,10 @@ main()
         cfg.minSamples = 16;
         cfg.maxSamplesPerCategory = samples * 8;
         cfg.numThreads = threads;
+        // Unbatched: these rows are the fault-batched engine's
+        // reference baseline (bench_batched_injection gates on the
+        // cache_off inj/s), so they must keep measuring B = 1.
+        cfg.batchWidth = 1;
 
         // Reference: cache disabled.
         cfg.resultCacheEnabled = false;
@@ -128,6 +132,7 @@ main()
             rec.network = name;
             rec.mode = r.mode;
             rec.threads = threads;
+            rec.batchWidth = cfg.batchWidth;
             rec.injections = r.res->totalInjections;
             rec.wallSeconds = r.secs;
             records.push_back(rec);

@@ -116,8 +116,9 @@ struct ThroughputRecord
 {
     std::string bench;    //!< producing binary, e.g. "parallel_scaling"
     std::string network;
-    std::string mode;     //!< "dense" or "incremental"
+    std::string mode;     //!< e.g. "engine_dense", "engine_incremental"
     int threads = 1;
+    int batchWidth = 1;   //!< fault-batch lane width (1 = unbatched)
     std::uint64_t injections = 0;
     double wallSeconds = 0.0;
 
@@ -150,6 +151,7 @@ writeThroughputJson(const std::string &bench,
                            .field("network", r.network)
                            .field("mode", r.mode)
                            .field("threads", r.threads)
+                           .field("batch_width", r.batchWidth)
                            .field("injections", r.injections)
                            .field("wall_s", r.wallSeconds)
                            .field("inj_per_s", r.injPerSec())

@@ -7,7 +7,7 @@
  *
  * Usage:
  *   resilience_cli [network] [precision] [metric] [samples] [target]
- *                  [threads] [report.json]
+ *                  [threads] [report.json] [batch]
  *
  *   network   inception | resnet | mobilenet | yolo | transformer | rnn
  *   precision fp16 | int16 | int8            (default fp16)
@@ -19,6 +19,8 @@
  *   report    write the machine-readable run manifest here (cell
  *             table, FIT breakdowns, phase timings, worker counts;
  *             schema in DESIGN.md §10).  Off when omitted.
+ *   batch     fault-batch lane width 1..8 (default 8; 1 disables
+ *             batching; the result is identical for any value)
  */
 
 #include <cstdlib>
@@ -40,7 +42,7 @@ namespace
 
 const char *const kUsage =
     "usage: resilience_cli [network] [precision] [metric] [samples]\n"
-    "                      [target] [threads] [report.json]\n"
+    "                      [target] [threads] [report.json] [batch]\n"
     "\n"
     "  1 network   inception | resnet | mobilenet | yolo | transformer\n"
     "              | rnn                             (default resnet)\n"
@@ -54,7 +56,9 @@ const char *const kUsage =
     "  7 report    path of the machine-readable run manifest (cell\n"
     "              table, FIT breakdowns, phase timings, result-cache\n"
     "              counters; schema in DESIGN.md §10).  Off when\n"
-    "              omitted.\n";
+    "              omitted.\n"
+    "  8 batch     fault-batch lane width 1..8 (default 8; 1 disables\n"
+    "              batching; the result is identical for any value)\n";
 
 Precision
 parsePrecision(const std::string &s)
@@ -96,8 +100,8 @@ main(int argc, char **argv)
         std::cout << kUsage;
         return 0;
     }
-    fatal_if(argc > 8, "too many arguments (", argc - 1,
-             " given, at most 7 accepted)\n", kUsage);
+    fatal_if(argc > 9, "too many arguments (", argc - 1,
+             " given, at most 8 accepted)\n", kUsage);
 
     std::string network = argc > 1 ? argv[1] : "resnet";
     Precision precision =
@@ -118,6 +122,10 @@ main(int argc, char **argv)
                                                 argv[6], 0, 4096))
                  : 0;
     std::string report = argc > 7 ? argv[7] : "";
+    int batch =
+        argc > 8 ? static_cast<int>(parseIntArg("batch (arg 8)",
+                                                argv[8], 1, 8))
+                 : 8;
 
     Network net = buildNetwork(network, 2020);
     Tensor input = defaultInputFor(network, 2021);
@@ -129,6 +137,7 @@ main(int argc, char **argv)
     cfg.samplesPerCategory = samples;
     cfg.seed = 17;
     cfg.numThreads = threads;
+    cfg.batchWidth = batch;
     cfg.progress = true;
     cfg.reportPath = report;
 

@@ -11,6 +11,7 @@
 
 #include "accel/nvdla_fi.hh"
 #include "core/manifest.hh"
+#include "nn/batched.hh"
 #include "nn/conv.hh"
 #include "nn/fc.hh"
 #include "nn/matmul.hh"
@@ -198,6 +199,7 @@ struct alignas(64) WorkerSlot
     std::uint64_t shards = 0;
     std::uint64_t injections = 0;
     IncrementalTotals engine;
+    BatchedTotals batched;
     MetricSet metrics;
 };
 
@@ -249,6 +251,9 @@ runCampaign(const Network &net, const Tensor &input,
     fatal_if(cfg.targetHalfWidth < 0.0,
              "campaign targetHalfWidth must be >= 0, got ",
              cfg.targetHalfWidth);
+    fatal_if(cfg.batchWidth < 1 || cfg.batchWidth > kMaxBatchLanes,
+             "campaign batchWidth must be in [1, ", kMaxBatchLanes,
+             "], got ", cfg.batchWidth);
     const bool adaptive = cfg.targetHalfWidth > 0.0;
     fatal_if(cfg.resultCacheEnabled && !cfg.resultCache &&
                  cfg.resultCacheMB <= 0,
@@ -446,23 +451,36 @@ runCampaign(const Network &net, const Tensor &input,
             // One incremental engine per worker thread: its scratch
             // activations and replacement buffer are reused across
             // every injection the worker runs, keeping the hot loop
-            // allocation-free at steady state.
+            // allocation-free at steady state.  The batched engine
+            // (and its record buffer) follow the same pattern: its
+            // lane planes are campaign-sized scratch reused across
+            // every batch the worker flushes.
             thread_local IncrementalEngine worker_engine;
+            thread_local std::unique_ptr<BatchedEngine> worker_batched;
+            thread_local std::vector<InjectionRecord> worker_recs;
             IncrementalEngine *engine = nullptr;
+            IncrementalOptions opt;
+            opt.denseThreshold = cfg.incrementalDenseThreshold;
             if (cfg.incremental) {
-                IncrementalOptions opt;
-                opt.denseThreshold = cfg.incrementalDenseThreshold;
                 worker_engine.setOptions(opt);
                 engine = &worker_engine;
+            }
+            const bool batched = cfg.incremental && cfg.batchWidth > 1;
+            if (batched) {
+                // The factory rounds the allocation width up to a
+                // power-of-two lane count; reuse the engine when it
+                // still fits the requested width.
+                if (!worker_batched ||
+                    worker_batched->maxLanes() < cfg.batchWidth)
+                    worker_batched =
+                        makeBatchedEngine(cfg.batchWidth, opt);
+                worker_batched->setOptions(opt);
             }
             WorkerSlot &slot =
                 worker_slots[static_cast<std::size_t>(pool.callerSlot())];
             Shard &sh = shards[i];
             ShardOutput &out = outputs[i];
-            for (int s = 0; s < sh.samples; ++s) {
-                InjectionRecord rec = injector.inject(
-                    sh.node, sh.category, correct, sh.rng,
-                    cfg.outputClampAbs, engine);
+            auto account = [&](const InjectionRecord &rec) {
                 out.maskedCount += rec.masked ? 1 : 0;
                 out.trials += 1;
                 // Which probes hit is interleaving-dependent on a
@@ -484,6 +502,22 @@ runCampaign(const Network &net, const Tensor &input,
                                    deltaHistogramEdges())
                         .add(rec.maxAbsDelta);
                 }
+            };
+            if (batched) {
+                worker_recs.resize(
+                    static_cast<std::size_t>(sh.samples));
+                injector.injectBatch(sh.node, sh.category, correct,
+                                     sh.rng, sh.samples,
+                                     cfg.outputClampAbs, cfg.batchWidth,
+                                     *worker_batched, worker_engine,
+                                     worker_recs.data());
+                for (int s = 0; s < sh.samples; ++s)
+                    account(worker_recs[static_cast<std::size_t>(s)]);
+            } else {
+                for (int s = 0; s < sh.samples; ++s)
+                    account(injector.inject(sh.node, sh.category,
+                                            correct, sh.rng,
+                                            cfg.outputClampAbs, engine));
             }
             slot.shards += 1;
             slot.injections += out.trials;
@@ -493,6 +527,8 @@ runCampaign(const Network &net, const Tensor &input,
                 // totals ARE this worker's totals; overwrite, don't add.
                 slot.engine = engine->totals();
             }
+            if (batched)
+                slot.batched = worker_batched->totals();
             done[i].store(true, std::memory_order_release);
 
             std::uint64_t inj =
@@ -750,6 +786,8 @@ runCampaign(const Network &net, const Tensor &input,
     // instruments into one merged set for the manifest.
     tel.threads = pool.size();
     tel.incremental = cfg.incremental;
+    tel.batchWidth =
+        cfg.incremental && cfg.batchWidth > 1 ? cfg.batchWidth : 1;
     tel.executedShards = executed_this_run;
     tel.executedInjections =
         injections_done.load(std::memory_order_relaxed);
@@ -762,9 +800,11 @@ runCampaign(const Network &net, const Tensor &input,
             wt.shards = slot.shards;
             wt.injections = slot.injections;
             wt.engine = slot.engine;
+            wt.batched = slot.batched;
             tel.workers.push_back(wt);
         }
         tel.engine.mergeFrom(slot.engine);
+        tel.batched.mergeFrom(slot.batched);
         tel.metrics.mergeFrom(slot.metrics);
     }
     // Result-cache observability via plan replay: drive the archived

@@ -77,6 +77,19 @@ struct CampaignConfig
      *  falls back to the dense kernel. */
     double incrementalDenseThreshold = 0.5;
 
+    /**
+     * SIMD lanes of the fault-batched re-execution engine: up to this
+     * many surviving injections of one (layer, category) shard are
+     * carried through the network in one pass, with lanes indexing
+     * injections (see DESIGN.md §12).  Must be in [1, kMaxBatchLanes];
+     * 1 disables batching.  Requires incremental = true to take
+     * effect (the batch planner rides on the cone geometry).  Purely a
+     * performance knob: the sampled faults, every record field, and
+     * campaignChecksum are bit-identical for every width, and it does
+     * not participate in campaignConfigHash.
+     */
+    int batchWidth = 8;
+
     // ----- Adaptive precision targeting ---------------------------
     //
     // The paper sizes its 46M-injection study so every reported

@@ -181,6 +181,59 @@ appendChanged(FaultApplication &app, const Tensor &golden,
     app.maxAbsDelta = std::max(app.maxAbsDelta, delta);
 }
 
+/**
+ * Evaluate the substituted value of every listed consumer and append
+ * the changed ones, preserving list order.
+ *
+ * When the layer has a vector path (forwardWithSub) the consumers are
+ * first coalesced into output boxes — channel runs at one position,
+ * then w-runs of a single channel, matching the orders inputConsumers
+ * and weightConsumers produce — and re-executed in one kernel sweep
+ * into a thread-local scratch tensor; otherwise each neuron recomputes
+ * via computeNeuron().  Both paths are bit-identical by contract.
+ */
+void
+evalConsumers(FaultApplication &app, const MacLayer &layer,
+              const std::vector<const Tensor *> &ins, const Tensor &golden,
+              const OperandSub &sub, const NeuronIndex *cons,
+              std::size_t count)
+{
+    if (count == 0)
+        return;
+    static thread_local Tensor scratch;
+    static thread_local std::vector<Region> boxes;
+    boxes.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+        const NeuronIndex &n = cons[i];
+        if (!boxes.empty()) {
+            Region &b = boxes.back();
+            bool one_pos = b.n1 == b.n0 + 1 && b.h1 == b.h0 + 1 &&
+                           b.w1 == b.w0 + 1;
+            if (one_pos && n.n == b.n0 && n.h == b.h0 && n.w == b.w0 &&
+                n.c == b.c1) {
+                ++b.c1; // extend the channel run at this position
+                continue;
+            }
+            if (b.c1 == b.c0 + 1 && b.n1 == b.n0 + 1 &&
+                b.h1 == b.h0 + 1 && n.n == b.n0 && n.h == b.h0 &&
+                n.w == b.w1 && n.c == b.c0) {
+                ++b.w1; // extend the w-run of this single channel
+                continue;
+            }
+        }
+        boxes.push_back(Region::of(n));
+    }
+    if (!scratch.sameShape(golden))
+        scratch = Tensor(golden.n(), golden.h(), golden.w(), golden.c());
+    bool vec = layer.forwardWithSub(ins, &sub, boxes.data(), boxes.size(),
+                                    scratch);
+    for (std::size_t i = 0; i < count; ++i) {
+        float v = vec ? scratch.at(cons[i])
+                      : layer.computeNeuron(ins, cons[i], &sub);
+        appendChanged(app, golden, cons[i], v);
+    }
+}
+
 } // namespace
 
 FaultApplication
@@ -241,8 +294,8 @@ FaultModels::applyPreBuf(FFCategory cat, const MacLayer &layer,
                                       static_cast<int>(rng.below(bits)));
         consumers = layer.weightConsumers(ins, widx);
     }
-    for (const NeuronIndex &n : consumers)
-        appendChanged(app, golden, n, layer.computeNeuron(ins, n, &sub));
+    evalConsumers(app, layer, ins, golden, sub, consumers.data(),
+                  consumers.size());
     return app;
 }
 
@@ -274,12 +327,15 @@ FaultModels::applyOperandInput(const MacLayer &layer,
     // channels.  Pick the position/group uniformly among the users.
     const NeuronIndex &pick = consumers[rng.pick(consumers)];
     int group = (pick.c / macs) * macs;
+    static thread_local std::vector<NeuronIndex> picked;
+    picked.clear();
     for (const NeuronIndex &n : consumers) {
         if (n.n == pick.n && n.h == pick.h && n.w == pick.w &&
             n.c >= group && n.c < group + macs)
-            appendChanged(app, golden, n,
-                          layer.computeNeuron(ins, n, &sub));
+            picked.push_back(n);
     }
+    evalConsumers(app, layer, ins, golden, sub, picked.data(),
+                  picked.size());
     return app;
 }
 
@@ -317,9 +373,8 @@ FaultModels::applyOperandWeight(const MacLayer &layer,
     std::size_t start = blk * t;
     std::size_t len = std::min<std::size_t>(t, total - start);
     std::size_t phase = rng.below(static_cast<std::uint32_t>(len));
-    for (std::size_t i = start + phase; i < start + len; ++i)
-        appendChanged(app, golden, consumers[i],
-                      layer.computeNeuron(ins, consumers[i], &sub));
+    evalConsumers(app, layer, ins, golden, sub,
+                  consumers.data() + start + phase, len - phase);
     return app;
 }
 

@@ -1,6 +1,7 @@
 #include "core/injector.hh"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -229,6 +230,168 @@ Injector::inject(NodeId node, FFCategory cat, const CorrectnessFn &correct,
         cache_->store(rec.fingerprint,
                       CachedOutcome{rec.masked, rec.earlyExit});
     return rec;
+}
+
+std::size_t
+Injector::injectBatch(NodeId node, FFCategory cat,
+                      const CorrectnessFn &correct, Rng &rng, int count,
+                      double clamp_abs, int batchWidth,
+                      BatchedEngine &beng, IncrementalEngine &seng,
+                      InjectionRecord *recs) const
+{
+    if (count <= 0)
+        return 0;
+    const int width = std::min(batchWidth, beng.maxLanes());
+    if (cat == FFCategory::GlobalControl || width <= 1) {
+        // Nothing to batch: GlobalControl never propagates, and width
+        // 1 is the plain scalar path.
+        for (int i = 0; i < count; ++i)
+            recs[i] = inject(node, cat, correct, rng, clamp_abs, &seng);
+        return static_cast<std::size_t>(count);
+    }
+
+    const auto *mac = dynamic_cast<const MacLayer *>(&net_.layer(node));
+    panic_if(!mac, "injection target ", node, " is not a MAC layer");
+    auto ins = net_.gatherInputs(node, acts_);
+    const Tensor &golden = acts_[node];
+
+    // Pending survivors over the whole call (post-bounding,
+    // bit-changed neurons only — the same set the scalar path's fault
+    // region tracks).  Survivors queue up here and are grouped into
+    // batches *by seed-site proximity* after the sampling loop:
+    // spatially adjacent faults have overlapping cones, so clustered
+    // lanes keep every layer's union recompute box close to a single
+    // injection's.  All RNG draws and cache probes happen inside the
+    // sequential loop, so the grouping cannot perturb the rng stream,
+    // the record fault fields, or any outcome.
+    std::vector<NeuronIndex> qn; // flat neuron storage
+    std::vector<float> qv;       // flat value storage
+    struct Pending
+    {
+        std::size_t begin; //!< first neuron in qn/qv
+        std::size_t end;   //!< one past the last neuron
+        int rec;           //!< index into recs
+        std::uint64_t key; //!< batch n, then Z-order of the seed centre
+    };
+    std::vector<Pending> pend;
+
+    // Z-order (Morton) interleave of the 2-D seed centre: sorting by
+    // it groups survivors into compact spatial blocks, where a
+    // lexicographic (h, w) sort would cluster rows but span the whole
+    // width — and the batch union box is what every layer recomputes.
+    auto morton = [](std::uint32_t h, std::uint32_t w) {
+        std::uint64_t z = 0;
+        for (int b = 0; b < 16; ++b) {
+            z |= static_cast<std::uint64_t>((h >> b) & 1u) << (2 * b + 1);
+            z |= static_cast<std::uint64_t>((w >> b) & 1u) << (2 * b);
+        }
+        return z;
+    };
+
+    for (int i = 0; i < count; ++i) {
+        InjectionRecord &rec = recs[i];
+        rec = InjectionRecord{};
+        rec.category = cat;
+        rec.node = node;
+
+        FaultApplication app =
+            models_.apply(cat, *mac, ins, golden, rng);
+        rec.numFaultyNeurons = static_cast<int>(app.neurons.size());
+        rec.maxAbsDelta = app.maxAbsDelta;
+        if (app.masked()) {
+            rec.masked = true;
+            continue;
+        }
+
+        // Probe the memo table per injection, before batching, so the
+        // rng stream and record fields match the sequential path.
+        if (cache_) {
+            rec.fingerprint = faultSiteFingerprint(
+                cacheContext_, node, cat, clamp_abs, app, golden);
+            rec.cacheEligible = true;
+            CachedOutcome memo;
+            if (cache_->probe(rec.fingerprint, memo)) {
+                rec.masked = memo.masked;
+                rec.earlyExit = memo.earlyExit;
+                rec.cacheHit = true;
+                continue;
+            }
+        }
+
+        Pending p;
+        p.begin = qn.size();
+        Region seed;
+        for (std::size_t j = 0; j < app.neurons.size(); ++j) {
+            float v = app.values[j];
+            if (clamp_abs > 0.0)
+                v = boundValue(v, clamp_abs);
+            if (std::bit_cast<std::uint32_t>(v) !=
+                std::bit_cast<std::uint32_t>(golden.at(app.neurons[j])))
+            {
+                qn.push_back(app.neurons[j]);
+                qv.push_back(v);
+                seed.include(app.neurons[j]);
+            }
+        }
+        p.end = qn.size();
+        p.rec = i;
+        p.key = seed.empty()
+            ? 0
+            : (static_cast<std::uint64_t>(seed.n0 + seed.n1) << 33) |
+                  morton(static_cast<std::uint32_t>(seed.h0 + seed.h1),
+                         static_cast<std::uint32_t>(seed.w0 + seed.w1));
+        pend.push_back(p);
+    }
+
+    // Cluster: sort survivors by seed centre, stable so equal sites
+    // keep arrival order — the grouping is deterministic and thus
+    // identical at every thread count.
+    std::stable_sort(pend.begin(), pend.end(),
+                     [](const Pending &a, const Pending &b) {
+                         return a.key < b.key;
+                     });
+
+    for (std::size_t g0 = 0; g0 < pend.size(); g0 += width) {
+        const int q = static_cast<int>(
+            std::min<std::size_t>(width, pend.size() - g0));
+        if (q == 1) {
+            // Lone survivor: the scalar engine is cheaper than a
+            // one-lane batch and bit-identical to it.
+            const Pending &p = pend[g0];
+            InjectionRecord &r = recs[p.rec];
+            Tensor &corrupted = seng.replacementBuffer();
+            corrupted = golden;
+            Region fault;
+            for (std::size_t j = p.begin; j < p.end; ++j) {
+                corrupted.at(qn[j]) = qv[j];
+                fault.include(qn[j]);
+            }
+            const Tensor &final_out =
+                seng.run(net_, node, corrupted, fault, acts_);
+            r.masked = correct(goldenOutput(), final_out);
+            r.earlyExit = seng.lastStats().earlyMasked;
+            if (cache_)
+                cache_->store(r.fingerprint,
+                              CachedOutcome{r.masked, r.earlyExit});
+            continue;
+        }
+        beng.begin(net_, node, acts_);
+        for (int l = 0; l < q; ++l) {
+            const Pending &p = pend[g0 + l];
+            beng.seedLane(l, qn.data() + p.begin, qv.data() + p.begin,
+                          p.end - p.begin);
+        }
+        beng.execute();
+        for (int l = 0; l < q; ++l) {
+            InjectionRecord &r = recs[pend[g0 + l].rec];
+            r.masked = correct(goldenOutput(), beng.laneOutput(l));
+            r.earlyExit = beng.laneEarlyMasked(l);
+            if (cache_)
+                cache_->store(r.fingerprint,
+                              CachedOutcome{r.masked, r.earlyExit});
+        }
+    }
+    return static_cast<std::size_t>(count);
 }
 
 namespace

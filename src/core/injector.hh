@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "core/fault_models.hh"
+#include "nn/batched.hh"
 #include "nn/incremental.hh"
 #include "nn/network.hh"
 #include "sim/result_cache.hh"
@@ -97,6 +98,27 @@ class Injector
                            const CorrectnessFn &correct, Rng &rng,
                            double clamp_abs = 0.0,
                            IncrementalEngine *engine = nullptr) const;
+
+    /**
+     * Run `count` experiments at one (node, category) cell, carrying
+     * surviving injections through the network in SIMD-lane batches of
+     * up to `batchWidth` via the fault-batched engine.  Sample
+     * identity is untouched relative to `count` sequential inject()
+     * calls: the fault models draw from `rng` in the same order, the
+     * result cache is probed per injection *before* batching, and
+     * every record field except cacheHit (within-batch duplicate
+     * sites compute instead of hitting) is identical — outputs are
+     * bit-identical, so masked/earlyExit agree.  A single trailing
+     * survivor runs on the scalar engine `seng` instead of spinning a
+     * whole batch.  Writes the records to `recs[0..count)` in sample
+     * order and returns count.  Thread-safe under the same contract
+     * as inject() (engines are per-caller).
+     */
+    std::size_t injectBatch(NodeId node, FFCategory cat,
+                            const CorrectnessFn &correct, Rng &rng,
+                            int count, double clamp_abs, int batchWidth,
+                            BatchedEngine &beng, IncrementalEngine &seng,
+                            InjectionRecord *recs) const;
 
     const FaultModels &models() const { return models_; }
     const Network &network() const { return net_; }

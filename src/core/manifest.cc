@@ -33,6 +33,27 @@ writeEngineTotals(JsonWriter &w, const IncrementalTotals &t)
     w.endObject();
 }
 
+void
+writeBatchedTotals(JsonWriter &w, int width, const BatchedTotals &t)
+{
+    w.beginObject();
+    w.field("enabled", width > 1);
+    w.field("width", width);
+    w.field("batches", t.batches);
+    w.field("lanes_seeded", t.lanesSeeded);
+    // Mean live lanes per batch pass — the SIMD utilisation of the
+    // batched walk (ragged tails and singleton fallbacks lower it).
+    w.field("occupancy",
+            static_cast<double>(t.lanesSeeded) /
+                static_cast<double>(t.batches));
+    w.field("lanes_retired_early", t.lanesRetiredEarly);
+    w.field("layers_batched_kernel", t.layersBatchedKernel);
+    w.field("layers_lane_fallback", t.layersLaneFallback);
+    w.field("layers_skipped", t.layersSkipped);
+    w.field("lane_elements", t.laneElements);
+    w.endObject();
+}
+
 } // namespace
 
 std::string
@@ -133,6 +154,9 @@ runManifestJson(const Network &net, const CampaignConfig &cfg,
     w.key("engine");
     writeEngineTotals(w, tel.engine);
 
+    w.key("batched");
+    writeBatchedTotals(w, tel.batchWidth, tel.batched);
+
     w.key("result_cache");
     w.beginObject();
     w.field("enabled", tel.resultCache.enabled);
@@ -169,6 +193,8 @@ runManifestJson(const Network &net, const CampaignConfig &cfg,
         w.field("injections", worker.injections);
         w.key("engine");
         writeEngineTotals(w, worker.engine);
+        w.key("batched");
+        writeBatchedTotals(w, tel.batchWidth, worker.batched);
         w.endObject();
     }
     w.endArray();

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/campaign.hh"
+#include "nn/batched.hh"
 #include "nn/incremental.hh"
 #include "sim/metrics.hh"
 
@@ -65,6 +66,7 @@ struct WorkerTelemetry
     std::uint64_t shards = 0;
     std::uint64_t injections = 0;
     IncrementalTotals engine;
+    BatchedTotals batched;
 };
 
 /**
@@ -98,6 +100,7 @@ struct CampaignTelemetry
 {
     int threads = 1;
     bool incremental = false;
+    int batchWidth = 1; //!< effective fault-batch lane width
 
     bool resumed = false;
     std::uint64_t restoredShards = 0;
@@ -110,6 +113,9 @@ struct CampaignTelemetry
 
     /** Engine totals summed over workers. */
     IncrementalTotals engine;
+
+    /** Fault-batched engine totals summed over workers. */
+    BatchedTotals batched;
 
     /** Fault-site memo table counters (plan replay). */
     ResultCacheTelemetry resultCache;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/lanes.hh"
 #include "sim/logging.hh"
 #include "simd/convert.hh"
 #include "simd/simd.hh"
@@ -93,6 +94,70 @@ Activation::forwardRegion(const std::vector<const Tensor *> &ins,
                     float v = apply(x.at(n, h, w, c));
                     out.at(n, h, w, c) = half ? roundToHalf(v) : v;
                 }
+}
+
+bool
+Activation::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                                 LanePlane *const *inPlanes,
+                                 const Region &region,
+                                 const BatchCover *cover,
+                                 const Tensor &golden,
+                                 LanePlane &out) const
+{
+    if (region.empty())
+        return true;
+    const Tensor &x = *ins[0];
+    LanePlane &xp = *inPlanes[0];
+    xp.ensure(x, region);
+
+    // Lane rows of consecutive channels are one contiguous float run,
+    // so each (n, h, w) row applies the function like forward() does —
+    // vector select for the ReLU family — and rounds the whole run as
+    // one batch (identical per element to the scalar ternary + round).
+    const int W = out.laneWidth();
+    const bool half = precision_ == Precision::FP16;
+    const std::size_t run =
+        static_cast<std::size_t>(region.c1 - region.c0) * W;
+    const BatchCover::Span full{region.w0, region.w1};
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int h = region.h0; h < region.h1; ++h) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, h, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int w = sp[si].w0; w < sp[si].w1; ++w) {
+                std::size_t f0 = golden.offset(n, h, w, region.c0);
+                const float *ip = xp.lanes(f0);
+                float *op = out.lanes(f0);
+                if (func_ == Func::ReLU || func_ == Func::LeakyReLU) {
+                    simd::dispatch([&](auto bk) {
+                        using B = decltype(bk);
+                        constexpr int L = B::kF32Lanes;
+                        auto va = B::f32broadcast(alpha_);
+                        std::size_t i = 0;
+                        for (; i + L <= run; i += L) {
+                            auto vx = B::f32load(ip + i);
+                            auto neg = func_ == Func::ReLU
+                                           ? B::f32zero()
+                                           : B::f32mul(va, vx);
+                            B::f32store(op + i,
+                                        B::f32selectGtZero(vx, vx, neg));
+                        }
+                        for (; i < run; ++i)
+                            op[i] = apply(ip[i]);
+                    });
+                } else {
+                    for (std::size_t i = 0; i < run; ++i)
+                        op[i] = apply(ip[i]);
+                }
+                if (half)
+                    simd::roundToHalfBatch(op, op, run);
+            }
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace fidelity

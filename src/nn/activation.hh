@@ -39,6 +39,13 @@ class Activation : public Layer
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
 
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
+
     /** Apply the scalar function (exposed for the accelerator model). */
     float apply(float x) const;
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "nn/lanes.hh"
 #include "sim/arena.hh"
 #include "sim/logging.hh"
 #include "simd/convert.hh"
@@ -150,6 +152,197 @@ convRegionInt(const ConvSpec &spec, int cpg, int opg,
                             out[base + oc] = wb(lanes[oc - ocb], oc);
                     }
                 }
+            }
+        }
+    }
+}
+
+/**
+ * Fault-batched float kernel: the SIMD lanes hold W *injections* of
+ * the same fault cell instead of W output channels.  The window math,
+ * padding tests, and packed-weight stream are shared by the batch; per
+ * MAC term the weight broadcasts and the W lane operands load as one
+ * vector.  Each lane's accumulation is the canonical (ci, kh, kw)
+ * order with an unfused multiply-add, so every lane is bit-identical
+ * to the scalar kernels.  `loadG(dst, n, ih, iw, ci)` fills W stored-
+ * form lane operands (the zero stored-form when out of range), and
+ * `wbRow(op, oc)` applies bias and the writeback path to the whole
+ * lane row in place (rounding the row as one batch).
+ * Requires B::kF32Lanes == W.
+ */
+template <int W, class B, class LoadG, class WBRow>
+void
+convBatchedFloat(const ConvSpec &spec, int cpg, int opg,
+                 const float *packed, const Region &r,
+                 const BatchCover *cover, const Tensor &golden,
+                 LanePlane &out, float *xg, LoadG loadG, WBRow wbRow)
+{
+    static_assert(B::kF32Lanes == W, "lane width mismatch");
+    // The weight pack is laid out for the *channel* kernels' lane
+    // width; here it is walked scalar, one output channel at a time.
+    constexpr int PL = simd::kF32Lanes;
+    const int blocksPerGroup = simd::packBlocks(opg, PL);
+    const std::size_t redLen =
+        static_cast<std::size_t>(cpg) * spec.kh * spec.kw;
+    const std::size_t blkStride = redLen * PL;
+    const std::size_t gStride = blocksPerGroup * blkStride;
+    const int g0 = r.c0 / opg;
+    const int g1 = (r.c1 - 1) / opg;
+
+    const BatchCover::Span full{r.w0, r.w1};
+    const BatchCover::Span cfull{r.c0, r.c1};
+    const BatchCover::Span *csp = &cfull;
+    int ncs = 1;
+    if (cover)
+        csp = cover->chanSpans(ncs);
+    for (int n = r.n0; n < r.n1; ++n) {
+        for (int oh = r.h0; oh < r.h1; ++oh) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, oh, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int ow = sp[si].w0; ow < sp[si].w1; ++ow) {
+                std::size_t base = golden.offset(n, oh, ow, 0);
+                for (int g = g0; g <= g1; ++g) {
+                    int lo = std::max(r.c0, g * opg);
+                    int hi = std::min(r.c1, (g + 1) * opg);
+                    bool any = false;
+                    for (int cs = 0; cs < ncs && !any; ++cs)
+                        any = std::min(hi, csp[cs].w1) >
+                              std::max(lo, csp[cs].w0);
+                    if (!any)
+                        continue; // no covered channel in this group
+                    std::size_t t = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec.kh; ++kh) {
+                            int ih = oh * spec.stride - spec.pad +
+                                     kh * spec.dilation;
+                            for (int kw = 0; kw < spec.kw; ++kw) {
+                                int iw = ow * spec.stride - spec.pad +
+                                         kw * spec.dilation;
+                                loadG(xg + t * W, n, ih, iw, ci);
+                                ++t;
+                            }
+                        }
+                    }
+                    for (int cs = 0; cs < ncs; ++cs) {
+                    int clo = std::max(lo, csp[cs].w0);
+                    int chi = std::min(hi, csp[cs].w1);
+                    for (int oc = clo; oc < chi; ++oc) {
+                        int ocg = oc - g * opg;
+                        const float *wrow = packed + g * gStride +
+                                            (ocg / PL) * blkStride +
+                                            (ocg % PL);
+                        auto acc = B::f32zero();
+                        for (std::size_t k = 0; k < redLen; ++k)
+                            acc = B::f32mulAcc(
+                                acc, B::f32load(xg + k * W),
+                                B::f32broadcast(wrow[k * PL]));
+                        float *op = out.lanes(base + oc);
+                        B::f32store(op, acc);
+                        wbRow(op, oc);
+                    }
+                    }
+                }
+            }
+            }
+        }
+    }
+}
+
+/**
+ * Integer-mode twin: W int64 lane accumulators, chunked over the
+ * backend's i64 width.  The weight scalar and the lane-operand pointer
+ * swap roles relative to the channel kernel — multiplication commutes,
+ * so i64mulAcc(acc, w, x_lanes) is the exact product either way.
+ * `wbRow(lanes, op, oc)` turns the W int64 accumulators into the lane
+ * row's stored outputs in one batch.  Requires W % B::kI64Lanes == 0.
+ */
+template <int W, class B, class LoadG, class WBRow>
+void
+convBatchedInt(const ConvSpec &spec, int cpg, int opg,
+               const std::int32_t *packed, const Region &r,
+               const BatchCover *cover, const Tensor &golden,
+               LanePlane &out, std::int32_t *xg, LoadG loadG,
+               WBRow wbRow)
+{
+    constexpr int LI = B::kI64Lanes;
+    static_assert(W % LI == 0, "lane width not a multiple of i64 width");
+    constexpr int NC = W / LI;
+    constexpr int PL = simd::kI64Lanes;
+    const int blocksPerGroup = simd::packBlocks(opg, PL);
+    const std::size_t redLen =
+        static_cast<std::size_t>(cpg) * spec.kh * spec.kw;
+    const std::size_t blkStride = redLen * PL;
+    const std::size_t gStride = blocksPerGroup * blkStride;
+    const int g0 = r.c0 / opg;
+    const int g1 = (r.c1 - 1) / opg;
+
+    std::int64_t lanes[W];
+    const BatchCover::Span full{r.w0, r.w1};
+    const BatchCover::Span cfull{r.c0, r.c1};
+    const BatchCover::Span *csp = &cfull;
+    int ncs = 1;
+    if (cover)
+        csp = cover->chanSpans(ncs);
+    for (int n = r.n0; n < r.n1; ++n) {
+        for (int oh = r.h0; oh < r.h1; ++oh) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, oh, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int ow = sp[si].w0; ow < sp[si].w1; ++ow) {
+                std::size_t base = golden.offset(n, oh, ow, 0);
+                for (int g = g0; g <= g1; ++g) {
+                    int lo = std::max(r.c0, g * opg);
+                    int hi = std::min(r.c1, (g + 1) * opg);
+                    bool any = false;
+                    for (int cs = 0; cs < ncs && !any; ++cs)
+                        any = std::min(hi, csp[cs].w1) >
+                              std::max(lo, csp[cs].w0);
+                    if (!any)
+                        continue; // no covered channel in this group
+                    std::size_t t = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec.kh; ++kh) {
+                            int ih = oh * spec.stride - spec.pad +
+                                     kh * spec.dilation;
+                            for (int kw = 0; kw < spec.kw; ++kw) {
+                                int iw = ow * spec.stride - spec.pad +
+                                         kw * spec.dilation;
+                                loadG(xg + t * W, n, ih, iw, ci);
+                                ++t;
+                            }
+                        }
+                    }
+                    for (int cs = 0; cs < ncs; ++cs) {
+                    int clo = std::max(lo, csp[cs].w0);
+                    int chi = std::min(hi, csp[cs].w1);
+                    for (int oc = clo; oc < chi; ++oc) {
+                        int ocg = oc - g * opg;
+                        const std::int32_t *wrow =
+                            packed + g * gStride +
+                            (ocg / PL) * blkStride + (ocg % PL);
+                        decltype(B::i64zero()) acc[NC];
+                        for (int j = 0; j < NC; ++j)
+                            acc[j] = B::i64zero();
+                        for (std::size_t k = 0; k < redLen; ++k) {
+                            std::int32_t wv = wrow[k * PL];
+                            for (int j = 0; j < NC; ++j)
+                                acc[j] = B::i64mulAcc(
+                                    acc[j], wv, xg + k * W + j * LI);
+                        }
+                        for (int j = 0; j < NC; ++j)
+                            B::i64store(lanes + j * LI, acc[j]);
+                        wbRow(lanes, out.lanes(base + oc), oc);
+                    }
+                    }
+                }
+            }
             }
         }
     }
@@ -537,6 +730,335 @@ Conv2D::forwardRegion(const std::vector<const Tensor *> &ins,
                 });
         }
     });
+}
+
+bool
+Conv2D::forwardWithSub(const std::vector<const Tensor *> &ins,
+                       const OperandSub *sub, const Region *boxes,
+                       std::size_t numBoxes, Tensor &out) const
+{
+    // The vector path covers single input-operand substitutions: their
+    // consumer fan-out (kh*kw window positions times a whole output
+    // channel group) dominates fault-model application cost, and the
+    // substitution folds into the gather lambda as one index compare.
+    // Everything else (weight subs, psum flips, chains, padded-term
+    // substitutions) stays on per-neuron computeNeuron().
+    if (!sub || sub->next || sub->kind != OperandSub::Kind::Input ||
+        sub->termIndex >= 0)
+        return false;
+    checkInput(ins);
+    if (numBoxes == 0)
+        return true;
+    const Tensor &x = *ins[0];
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (!wPackValid_)
+        packWeights();
+
+    const int cpg = spec_.inC / spec_.groups;
+    const int opg = spec_.outC / spec_.groups;
+    const int xh = x.h(), xw = x.w(), xc = x.c();
+    const float *xd = x.data().data();
+    const std::size_t flat = sub->flatIndex;
+    const std::size_t redLen =
+        static_cast<std::size_t>(spec_.kh) * spec_.kw * cpg;
+    Arena &arena = Arena::local();
+    auto xgF = arena.floats(integer ? 0 : redLen);
+    auto xgI = arena.ints(integer ? redLen : 0);
+    auto biasAt = [&](int oc) {
+        return spec_.bias ? bias_[oc] : 0.0f;
+    };
+
+    simd::dispatch([&](auto b) {
+        using B = decltype(b);
+        if (integer) {
+            const std::int32_t zero_q = quantInput(0.0f);
+            const std::int32_t sub_q = quantInput(sub->value);
+            auto loadX = [&](int n, int ih, int iw, int ci) {
+                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                if (!ok)
+                    return zero_q;
+                std::size_t off =
+                    ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
+                        xc + ci;
+                return off == flat ? sub_q : quantInput(xd[off]);
+            };
+            auto wb = [&](std::int64_t iacc, int oc) {
+                // Left-associated like computeNeuron: the double
+                // rounding order is part of the bit contract.
+                return writeback(static_cast<double>(iacc) *
+                                     inQuant_.scale * wQuant_.scale,
+                                 biasAt(oc));
+            };
+            for (std::size_t i = 0; i < numBoxes; ++i)
+                convRegionInt<B>(spec_, cpg, opg, wPackI_.data(),
+                                 boxes[i], out, xgI.data(), loadX, wb);
+        } else {
+            const float zero_s = storeInput(0.0f);
+            const float sub_s = storeInput(sub->value);
+            auto loadX = [&](int n, int ih, int iw, int ci) {
+                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                if (!ok)
+                    return zero_s;
+                std::size_t off =
+                    ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
+                        xc + ci;
+                return off == flat ? sub_s : storeInput(xd[off]);
+            };
+            auto wb = [&](double acc, int oc) {
+                return writeback(acc, biasAt(oc));
+            };
+            for (std::size_t i = 0; i < numBoxes; ++i)
+                convRegionFloat<B>(spec_, cpg, opg, wPackF_.data(),
+                                   boxes[i], out, xgF.data(), loadX, wb);
+        }
+    });
+    return true;
+}
+
+template <int W>
+void
+Conv2D::forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
+                           const Region &region, const BatchCover *cover,
+                           const Tensor &golden, LanePlane &out) const
+{
+    bool integer = precision_ == Precision::INT8 ||
+                   precision_ == Precision::INT16;
+    if (!wPackValid_)
+        packWeights();
+
+    const int cpg = spec_.inC / spec_.groups;
+    const int opg = spec_.outC / spec_.groups;
+    const int xh = x.h(), xw = x.w(), xc = x.c();
+
+    // Input footprint of the output region: every cell any window of
+    // the region can read.  The lane plane materialises (golden-fills)
+    // it once, and the batch conversion below covers exactly it.
+    const int effKh = (spec_.kh - 1) * spec_.dilation + 1;
+    const int effKw = (spec_.kw - 1) * spec_.dilation + 1;
+    const int g0 = region.c0 / opg;
+    const int g1 = (region.c1 - 1) / opg;
+    Region fp{region.n0,
+              region.n1,
+              region.h0 * spec_.stride - spec_.pad,
+              (region.h1 - 1) * spec_.stride - spec_.pad + effKh,
+              region.w0 * spec_.stride - spec_.pad,
+              (region.w1 - 1) * spec_.stride - spec_.pad + effKw,
+              g0 * cpg,
+              (g1 + 1) * cpg};
+    fp = fp.clipped(x);
+    xplane.ensure(x, fp);
+    const float *xlane = fp.empty() ? nullptr : xplane.lanes(0);
+
+    const std::size_t redLen =
+        static_cast<std::size_t>(spec_.kh) * spec_.kw * cpg;
+    Arena &arena = Arena::local();
+    auto xgF = arena.floats(integer ? 0 : redLen * W);
+    auto xgI = arena.ints(integer ? redLen * W : 0);
+    // Stored-form lane operands over the footprint (same global
+    // lane-minor indexing as the plane, converted rows only).
+    // FP16 planes usually hold stored-form values already (golden
+    // fills and kernel writebacks both round through binary16, and
+    // rounding is idempotent), so the conversion pass is only needed
+    // when the plane carries raw bits: the injected node's fault
+    // values or the unrounded network input.  Integer modes always
+    // convert — the kernels consume quantised operands.
+    bool convert = !fp.empty() &&
+                   (integer || (precision_ == Precision::FP16 &&
+                                !xplane.storedForm()));
+    auto xsF = arena.floats(convert && !integer ? x.size() * W : 0);
+    auto xsI = arena.ints(convert && integer ? x.size() * W : 0);
+    if (convert) {
+        const std::size_t run =
+            static_cast<std::size_t>(fp.c1 - fp.c0) * W;
+        auto convRow = [&](int n, int ih, int w0, int w1) {
+            for (int w = w0; w < w1; ++w) {
+                std::size_t f0 = x.offset(n, ih, w, fp.c0) *
+                                 static_cast<std::size_t>(W);
+                if (integer)
+                    simd::quantizeBatch(xlane + f0, xsI.data() + f0,
+                                        run, inQuant_);
+                else
+                    simd::roundToHalfBatch(xlane + f0, xsF.data() + f0,
+                                           run);
+            }
+        };
+        if (cover) {
+            // Convert only under covered output cells' windows: per
+            // input row, the merged w-intervals any covered span of an
+            // output row whose window overlaps this row can read.  The
+            // kernels never load stored-form operands outside these
+            // intervals, so the rest of the scratch stays unwritten.
+            constexpr int kMaxIv = 64;
+            BatchCover::Span iv[kMaxIv];
+            for (int n = fp.n0; n < fp.n1; ++n) {
+                for (int ih = fp.h0; ih < fp.h1; ++ih) {
+                    int m = 0;
+                    int ohLo = ih + spec_.pad - effKh + 1;
+                    ohLo = ohLo > 0 ? (ohLo + spec_.stride - 1) /
+                                          spec_.stride
+                                    : 0;
+                    ohLo = std::max(ohLo, region.h0);
+                    int ohHi =
+                        std::min((ih + spec_.pad) / spec_.stride,
+                                 region.h1 - 1);
+                    for (int oh = ohLo; oh <= ohHi; ++oh) {
+                        int nsp = 0;
+                        const BatchCover::Span *sp =
+                            cover->row(n, oh, nsp);
+                        for (int si = 0; si < nsp && m < kMaxIv;
+                             ++si) {
+                            int a = sp[si].w0 * spec_.stride -
+                                    spec_.pad;
+                            int b = (sp[si].w1 - 1) * spec_.stride -
+                                    spec_.pad + effKw;
+                            a = std::max(a, fp.w0);
+                            b = std::min(b, fp.w1);
+                            if (a < b)
+                                iv[m++] = BatchCover::Span{a, b};
+                        }
+                    }
+                    if (m == kMaxIv) {
+                        convRow(n, ih, fp.w0, fp.w1);
+                        continue;
+                    }
+                    for (int i = 1; i < m; ++i) {
+                        BatchCover::Span key = iv[i];
+                        int j = i - 1;
+                        for (; j >= 0 && iv[j].w0 > key.w0; --j)
+                            iv[j + 1] = iv[j];
+                        iv[j + 1] = key;
+                    }
+                    int e = 0;
+                    for (int i = 0; i < m; ++i) {
+                        if (e > 0 && iv[e - 1].w1 >= iv[i].w0) {
+                            iv[e - 1].w1 =
+                                std::max(iv[e - 1].w1, iv[i].w1);
+                        } else {
+                            iv[e++] = iv[i];
+                        }
+                    }
+                    for (int i = 0; i < e; ++i)
+                        convRow(n, ih, iv[i].w0, iv[i].w1);
+                }
+            }
+        } else {
+            for (int n = fp.n0; n < fp.n1; ++n)
+                for (int h = fp.h0; h < fp.h1; ++h)
+                    convRow(n, h, fp.w0, fp.w1);
+        }
+    }
+
+    auto biasAt = [&](int oc) {
+        return spec_.bias ? bias_[oc] : 0.0f;
+    };
+
+    if (integer) {
+        const std::int32_t *xsrc = xsI.data();
+        const std::int32_t zero_q = quantInput(0.0f);
+        auto loadG = [&](std::int32_t *dst, int n, int ih, int iw,
+                         int ci) {
+            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+            if (!ok) {
+                for (int l = 0; l < W; ++l)
+                    dst[l] = zero_q;
+                return;
+            }
+            std::size_t off =
+                ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
+                    xc + ci;
+            std::memcpy(dst, xsrc + off * W,
+                        W * sizeof(std::int32_t));
+        };
+        auto wb = [&](const std::int64_t *lanes, float *op, int oc) {
+            // Left-associated like computeNeuron: the double rounding
+            // order is part of the bit contract.  Splitting writeback
+            // into real-value, batch-quantise, dequantise steps keeps
+            // each lane's arithmetic exactly the scalar sequence.
+            const float b = biasAt(oc);
+            float real[W];
+            std::int32_t q[W];
+            for (int l = 0; l < W; ++l)
+                real[l] = static_cast<float>(
+                              static_cast<double>(lanes[l]) *
+                              inQuant_.scale * wQuant_.scale) +
+                          b;
+            simd::quantizeBatch(real, q, W, outQuant_);
+            for (int l = 0; l < W; ++l)
+                op[l] = dequantize(q[l], outQuant_);
+        };
+        if constexpr (W % simd::Active::kI64Lanes == 0) {
+            if (simd::enabled()) {
+                convBatchedInt<W, simd::Active>(
+                    spec_, cpg, opg, wPackI_.data(), region, cover,
+                    golden, out, xgI.data(), loadG, wb);
+                return;
+            }
+        }
+        convBatchedInt<W, simd::ScalarBackendT<W, W>>(
+            spec_, cpg, opg, wPackI_.data(), region, cover, golden,
+            out, xgI.data(), loadG, wb);
+    } else {
+        const float *xsrc = convert ? xsF.data() : xlane;
+        const float zero_s = storeInput(0.0f);
+        auto loadG = [&](float *dst, int n, int ih, int iw, int ci) {
+            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+            if (!ok) {
+                for (int l = 0; l < W; ++l)
+                    dst[l] = zero_s;
+                return;
+            }
+            std::size_t off =
+                ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
+                    xc + ci;
+            std::memcpy(dst, xsrc + off * W, W * sizeof(float));
+        };
+        const bool half = precision_ == Precision::FP16;
+        auto wb = [&](float *op, int oc) {
+            // writeback(acc, bias) over the row: the accumulators are
+            // already in op, so add bias in place and round the whole
+            // lane row as one batch (identical per element).
+            const float b = biasAt(oc);
+            for (int l = 0; l < W; ++l)
+                op[l] += b;
+            if (half)
+                simd::roundToHalfBatch(op, op, W);
+        };
+        if constexpr (W == simd::Active::kF32Lanes) {
+            if (simd::enabled()) {
+                convBatchedFloat<W, simd::Active>(
+                    spec_, cpg, opg, wPackF_.data(), region, cover,
+                    golden, out, xgF.data(), loadG, wb);
+                return;
+            }
+        }
+        convBatchedFloat<W, simd::ScalarBackendT<W, W>>(
+            spec_, cpg, opg, wPackF_.data(), region, cover, golden,
+            out, xgF.data(), loadG, wb);
+    }
+}
+
+bool
+Conv2D::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                             LanePlane *const *inPlanes,
+                             const Region &region,
+                             const BatchCover *cover,
+                             const Tensor &golden, LanePlane &out) const
+{
+    checkInput(ins);
+    if (region.empty())
+        return true;
+    switch (out.laneWidth()) {
+      case 4:
+        forwardBatchedImpl<4>(*ins[0], *inPlanes[0], region, cover,
+                              golden, out);
+        return true;
+      case 8:
+        forwardBatchedImpl<8>(*ins[0], *inPlanes[0], region, cover,
+                              golden, out);
+        return true;
+    }
+    return false;
 }
 
 std::size_t

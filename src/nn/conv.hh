@@ -81,6 +81,17 @@ class Conv2D : public MacLayer
     int reductionLength() const override;
     bool hasBias() const override { return spec_.bias; }
 
+    bool forwardWithSub(const std::vector<const Tensor *> &ins,
+                        const OperandSub *sub, const Region *boxes,
+                        std::size_t numBoxes, Tensor &out) const override;
+
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
+
     /** Flat weight index of (kh, kw, ci_in_group, oc). */
     std::size_t weightIndex(int kh, int kw, int cig, int oc) const;
 
@@ -102,6 +113,13 @@ class Conv2D : public MacLayer
 
     /** Re-pack weights into the lane-blocked kernel layout. */
     void packWeights() const;
+
+    /** Batched kernel body for a compile-time lane width. */
+    template <int W>
+    void forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
+                            const Region &region,
+                            const BatchCover *cover,
+                            const Tensor &golden, LanePlane &out) const;
 
     ConvSpec spec_;
     std::vector<float> weights_;

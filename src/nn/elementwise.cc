@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/lanes.hh"
 #include "sim/logging.hh"
 #include "simd/convert.hh"
 #include "simd/simd.hh"
@@ -106,6 +107,69 @@ Elementwise::forwardRegion(const std::vector<const Tensor *> &ins,
                 }
 }
 
+bool
+Elementwise::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                                  LanePlane *const *inPlanes,
+                                  const Region &region,
+                                  const BatchCover *cover,
+                                  const Tensor &golden,
+                                  LanePlane &out) const
+{
+    if (region.empty())
+        return true;
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    LanePlane &ap = *inPlanes[0];
+    LanePlane &bp = *inPlanes[1];
+    ap.ensure(a, region);
+    bp.ensure(b, region);
+
+    // Lane rows of consecutive channels are one contiguous float run;
+    // combine each (n, h, w) row with the vector op like forward()
+    // does and round the run as one batch (identical per element).
+    const int W = out.laneWidth();
+    const bool half = precision_ == Precision::FP16;
+    const std::size_t run =
+        static_cast<std::size_t>(region.c1 - region.c0) * W;
+    const BatchCover::Span full{region.w0, region.w1};
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int h = region.h0; h < region.h1; ++h) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, h, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int w = sp[si].w0; w < sp[si].w1; ++w) {
+                std::size_t f0 = golden.offset(n, h, w, region.c0);
+                const float *av = ap.lanes(f0);
+                const float *bv = bp.lanes(f0);
+                float *op = out.lanes(f0);
+                simd::dispatch([&](auto bk) {
+                    using B = decltype(bk);
+                    constexpr int L = B::kF32Lanes;
+                    std::size_t i = 0;
+                    for (; i + L <= run; i += L) {
+                        auto va = B::f32load(av + i);
+                        auto vb = B::f32load(bv + i);
+                        auto v = op_ == Op::Add ? B::f32add(va, vb)
+                               : op_ == Op::Mul ? B::f32mul(va, vb)
+                                                : B::f32sub(va, vb);
+                        B::f32store(op + i, v);
+                    }
+                    for (; i < run; ++i)
+                        op[i] = op_ == Op::Add ? av[i] + bv[i]
+                              : op_ == Op::Mul ? av[i] * bv[i]
+                                               : av[i] - bv[i];
+                });
+                if (half)
+                    simd::roundToHalfBatch(op, op, run);
+            }
+            }
+        }
+    }
+    return true;
+}
+
 ConcatC::ConcatC(std::string name)
     : Layer(std::move(name))
 {
@@ -170,6 +234,57 @@ ConcatC::forwardRegion(const std::vector<const Tensor *> &ins,
                     out.at(n, h, w, c) = c < a.c()
                         ? a.at(n, h, w, c)
                         : b.at(n, h, w, c - a.c());
+}
+
+bool
+ConcatC::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const
+{
+    if (region.empty())
+        return true;
+    const Tensor &a = *ins[0];
+    const Tensor &b = *ins[1];
+    LanePlane &ap = *inPlanes[0];
+    LanePlane &bp = *inPlanes[1];
+    const int ac = a.c();
+
+    Region ra = region;
+    ra.c1 = std::min(ra.c1, ac);
+    if (!ra.empty())
+        ap.ensure(a, ra);
+    Region rb = region;
+    rb.c0 = std::max(rb.c0, ac) - ac;
+    rb.c1 = rb.c1 - ac;
+    if (!rb.empty())
+        bp.ensure(b, rb);
+
+    const int W = out.laneWidth();
+    const BatchCover::Span full{region.w0, region.w1};
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int h = region.h0; h < region.h1; ++h) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, h, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int w = sp[si].w0; w < sp[si].w1; ++w) {
+                for (int c = region.c0; c < region.c1; ++c) {
+                    const float *ip = c < ac
+                        ? ap.lanes(a.offset(n, h, w, c))
+                        : bp.lanes(b.offset(n, h, w, c - ac));
+                    float *op = out.lanes(golden.offset(n, h, w, c));
+                    for (int l = 0; l < W; ++l)
+                        op[l] = ip[l];
+                }
+            }
+            }
+        }
+    }
+    return true;
 }
 
 Slice::Slice(std::string name, Axis axis, int offset, int length)
@@ -242,6 +357,52 @@ Slice::forwardRegion(const std::vector<const Tensor *> &ins,
                 }
 }
 
+bool
+Slice::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                            LanePlane *const *inPlanes,
+                            const Region &region,
+                            const BatchCover *cover,
+                            const Tensor &golden, LanePlane &out) const
+{
+    if (region.empty())
+        return true;
+    const Tensor &x = *ins[0];
+    LanePlane &xp = *inPlanes[0];
+    Region src = region;
+    if (axis_ == Axis::H) {
+        src.h0 += offset_;
+        src.h1 += offset_;
+    } else {
+        src.c0 += offset_;
+        src.c1 += offset_;
+    }
+    xp.ensure(x, src);
+
+    const int W = out.laneWidth();
+    const BatchCover::Span full{region.w0, region.w1};
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int h = region.h0; h < region.h1; ++h) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, h, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int w = sp[si].w0; w < sp[si].w1; ++w) {
+                for (int c = region.c0; c < region.c1; ++c) {
+                    int sh = axis_ == Axis::H ? h + offset_ : h;
+                    int sc = axis_ == Axis::C ? c + offset_ : c;
+                    const float *ip = xp.lanes(x.offset(n, sh, w, sc));
+                    float *op = out.lanes(golden.offset(n, h, w, c));
+                    for (int l = 0; l < W; ++l)
+                        op[l] = ip[l];
+                }
+            }
+            }
+        }
+    }
+    return true;
+}
+
 ScaleShift::ScaleShift(std::string name, float scale, float shift)
     : Layer(std::move(name)), scale_(scale), shift_(shift)
 {
@@ -300,6 +461,61 @@ ScaleShift::forwardRegion(const std::vector<const Tensor *> &ins,
                     float v = scale_ * x.at(n, h, w, c) + shift_;
                     out.at(n, h, w, c) = half ? roundToHalf(v) : v;
                 }
+}
+
+bool
+ScaleShift::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                                 LanePlane *const *inPlanes,
+                                 const Region &region,
+                                 const BatchCover *cover,
+                                 const Tensor &golden,
+                                 LanePlane &out) const
+{
+    if (region.empty())
+        return true;
+    const Tensor &x = *ins[0];
+    LanePlane &xp = *inPlanes[0];
+    xp.ensure(x, region);
+
+    // One contiguous run per (n, h, w) row, like forward(): vector
+    // scale/shift, then one batch round (identical per element).
+    const int W = out.laneWidth();
+    const bool half = precision_ == Precision::FP16;
+    const std::size_t run =
+        static_cast<std::size_t>(region.c1 - region.c0) * W;
+    const BatchCover::Span full{region.w0, region.w1};
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int h = region.h0; h < region.h1; ++h) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, h, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int w = sp[si].w0; w < sp[si].w1; ++w) {
+                std::size_t f0 = golden.offset(n, h, w, region.c0);
+                const float *ip = xp.lanes(f0);
+                float *op = out.lanes(f0);
+                simd::dispatch([&](auto bk) {
+                    using B = decltype(bk);
+                    constexpr int L = B::kF32Lanes;
+                    auto vs = B::f32broadcast(scale_);
+                    auto vt = B::f32broadcast(shift_);
+                    std::size_t i = 0;
+                    for (; i + L <= run; i += L)
+                        B::f32store(
+                            op + i,
+                            B::f32add(B::f32mul(vs, B::f32load(ip + i)),
+                                      vt));
+                    for (; i < run; ++i)
+                        op[i] = scale_ * ip[i] + shift_;
+                });
+                if (half)
+                    simd::roundToHalfBatch(op, op, run);
+            }
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace fidelity

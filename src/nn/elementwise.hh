@@ -41,6 +41,13 @@ class Elementwise : public Layer
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
 
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
+
   private:
     Op op_;
 };
@@ -64,6 +71,13 @@ class ConcatC : public Layer
 
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
+
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
 };
 
 /** Slice a contiguous range along one axis (H or C). */
@@ -89,6 +103,13 @@ class Slice : public Layer
 
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
+
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
 
   private:
     Axis axis_;
@@ -116,6 +137,13 @@ class ScaleShift : public Layer
 
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
+
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
 
   private:
     float scale_;

@@ -86,9 +86,26 @@ Layer::forwardRegion(const std::vector<const Tensor *> &ins,
     out = forward(ins);
 }
 
+bool
+Layer::forwardRegionBatched(const std::vector<const Tensor *> &,
+                            LanePlane *const *, const Region &,
+                            const BatchCover *, const Tensor &,
+                            LanePlane &) const
+{
+    return false;
+}
+
 MacLayer::MacLayer(std::string name)
     : Layer(std::move(name))
 {
+}
+
+bool
+MacLayer::forwardWithSub(const std::vector<const Tensor *> &,
+                         const OperandSub *, const Region *, std::size_t,
+                         Tensor &) const
+{
+    return false;
 }
 
 void

@@ -25,6 +25,9 @@
 namespace fidelity
 {
 
+class LanePlane;
+class BatchCover;
+
 /** Numeric execution mode of a layer (the accelerator's data precision). */
 enum class Precision
 {
@@ -163,6 +166,29 @@ class Layer
     virtual void forwardRegion(const std::vector<const Tensor *> &ins,
                                const Region &region, Tensor &out) const;
 
+    /**
+     * Fault-batched twin of forwardRegion: recompute `region` for every
+     * SIMD lane at once, where lanes are independent injections of the
+     * same fault cell.  `ins` are the golden inputs; `inPlanes[i]` is
+     * the SoA plane of input i (lane values inside its valid box,
+     * golden outside — callees ensure() the footprint they read).
+     * `golden` is the golden output (shape / offset reference) and
+     * `out` the output plane, already ensured over `region` by the
+     * caller.  `cover`, when non-null, is the union-of-cones coverage
+     * of `region`: cells outside it provably recompute golden bits, so
+     * kernels walk only the covered row spans (skipped cells keep the
+     * plane's golden fill).  Every written lane value must be
+     * bit-identical to what forwardRegion would produce from that
+     * lane's inputs.  Returns false when the layer has no batched path
+     * (the engine then falls back to per-lane forwardRegion); the
+     * default has none.
+     */
+    virtual bool
+    forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                         LanePlane *const *inPlanes, const Region &region,
+                         const BatchCover *cover, const Tensor &golden,
+                         LanePlane &out) const;
+
     /** Set the execution precision (refreshes precision-derived state). */
     void
     setPrecision(Precision p)
@@ -233,6 +259,20 @@ class MacLayer : public Layer
 
     /** Number of MAC terms contributing to one output neuron. */
     virtual int reductionLength() const = 0;
+
+    /**
+     * Vectorized substituted re-execution: recompute the listed output
+     * boxes with `sub` applied, writing into `out` (which must have the
+     * layer's output shape; only box elements are written).  Every
+     * computed element must be bit-identical to computeNeuron() with
+     * the same substitution.  Returns false when this layer (or this
+     * substitution kind) has no vector path — callers then fall back
+     * to per-neuron computeNeuron().  The default has no vector path.
+     */
+    virtual bool forwardWithSub(const std::vector<const Tensor *> &ins,
+                                const OperandSub *sub,
+                                const Region *boxes, std::size_t numBoxes,
+                                Tensor &out) const;
 
     /** Whether this layer has a bias vector. */
     virtual bool hasBias() const = 0;

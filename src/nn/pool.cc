@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "nn/lanes.hh"
 #include "sim/logging.hh"
+#include "simd/convert.hh"
 #include "tensor/bitops.hh"
 
 namespace fidelity
@@ -131,6 +133,86 @@ Pool::forwardRegion(const std::vector<const Tensor *> &ins,
     }
 }
 
+bool
+Pool::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                           LanePlane *const *inPlanes,
+                           const Region &region,
+                           const BatchCover *cover,
+                           const Tensor &golden,
+                           LanePlane &out) const
+{
+    // Per-lane scalar twin of forwardRegion: the window walk and
+    // padding tests run once per output cell, the pool reduction per
+    // lane column.
+    if (region.empty())
+        return true;
+    const Tensor &x = *ins[0];
+    LanePlane &xp = *inPlanes[0];
+    Region fp{region.n0,
+              region.n1,
+              region.h0 * stride_ - pad_,
+              (region.h1 - 1) * stride_ - pad_ + window_,
+              region.w0 * stride_ - pad_,
+              (region.w1 - 1) * stride_ - pad_ + window_,
+              region.c0,
+              region.c1};
+    xp.ensure(x, fp.clipped(x));
+
+    const int W = out.laneWidth();
+    const bool half = precision_ == Precision::FP16;
+    const bool isMax = mode_ == Mode::Max;
+    const float init = isMax
+        ? -std::numeric_limits<float>::infinity()
+        : 0.0f;
+    float acc[kMaxBatchLanes];
+    const BatchCover::Span full{region.w0, region.w1};
+    for (int n = region.n0; n < region.n1; ++n) {
+        for (int oh = region.h0; oh < region.h1; ++oh) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, oh, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int ow = sp[si].w0; ow < sp[si].w1; ++ow) {
+                for (int c = region.c0; c < region.c1; ++c) {
+                    for (int l = 0; l < W; ++l)
+                        acc[l] = init;
+                    for (int ph = 0; ph < window_; ++ph) {
+                        for (int pw = 0; pw < window_; ++pw) {
+                            int ih = oh * stride_ - pad_ + ph;
+                            int iw = ow * stride_ - pad_ + pw;
+                            bool ok = ih >= 0 && ih < x.h() &&
+                                      iw >= 0 && iw < x.w();
+                            const float *ip = ok
+                                ? xp.lanes(x.offset(n, ih, iw, c))
+                                : nullptr;
+                            for (int l = 0; l < W; ++l) {
+                                float v = ok ? ip[l] : 0.0f;
+                                if (isMax)
+                                    acc[l] = std::max(acc[l], v);
+                                else
+                                    acc[l] += v;
+                            }
+                        }
+                    }
+                    float *op =
+                        out.lanes(golden.offset(n, oh, ow, c));
+                    for (int l = 0; l < W; ++l) {
+                        float v = acc[l];
+                        if (!isMax)
+                            v /= static_cast<float>(window_ * window_);
+                        op[l] = v;
+                    }
+                    if (half)
+                        simd::roundToHalfBatch(op, op, W);
+                }
+            }
+            }
+        }
+    }
+    return true;
+}
+
 GlobalAvgPool::GlobalAvgPool(std::string name)
     : Layer(std::move(name))
 {
@@ -190,6 +272,58 @@ GlobalAvgPool::forwardRegion(const std::vector<const Tensor *> &ins,
             out.at(n, 0, 0, c) = half ? roundToHalf(v) : v;
         }
     }
+}
+
+bool
+GlobalAvgPool::forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                                    LanePlane *const *inPlanes,
+                                    const Region &region,
+                                    const BatchCover *cover,
+                                    const Tensor &golden,
+                                    LanePlane &out) const
+{
+    // The spatial collapse reads the whole H x W extent of every
+    // region channel; without a batched path the engine would have to
+    // materialise a full input copy per lane.
+    if (region.empty())
+        return true;
+    const Tensor &x = *ins[0];
+    LanePlane &xp = *inPlanes[0];
+    Region fp{region.n0, region.n1, 0,         x.h(),
+              0,         x.w(),     region.c0, region.c1};
+    xp.ensure(x, fp);
+
+    const int W = out.laneWidth();
+    const bool half = precision_ == Precision::FP16;
+    const double denom = static_cast<double>(x.h()) * x.w();
+    double acc[kMaxBatchLanes];
+    for (int n = region.n0; n < region.n1; ++n) {
+        if (cover) {
+            // Output rows are (n, 0); a batch whose cones exclude this
+            // n keeps the golden fill and skips the whole reduction.
+            int nsp = 0;
+            cover->row(n, region.h0, nsp);
+            if (nsp == 0)
+                continue;
+        }
+        for (int c = region.c0; c < region.c1; ++c) {
+            for (int l = 0; l < W; ++l)
+                acc[l] = 0.0;
+            for (int h = 0; h < x.h(); ++h) {
+                for (int w = 0; w < x.w(); ++w) {
+                    const float *ip = xp.lanes(x.offset(n, h, w, c));
+                    for (int l = 0; l < W; ++l)
+                        acc[l] += ip[l];
+                }
+            }
+            float *op = out.lanes(golden.offset(n, 0, 0, c));
+            for (int l = 0; l < W; ++l)
+                op[l] = static_cast<float>(acc[l] / denom);
+            if (half)
+                simd::roundToHalfBatch(op, op, W);
+        }
+    }
+    return true;
 }
 
 } // namespace fidelity

@@ -41,6 +41,13 @@ class Pool : public Layer
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
 
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
+
   private:
     Mode mode_;
     int window_;
@@ -68,6 +75,13 @@ class GlobalAvgPool : public Layer
 
     void forwardRegion(const std::vector<const Tensor *> &ins,
                        const Region &region, Tensor &out) const override;
+
+    bool forwardRegionBatched(const std::vector<const Tensor *> &ins,
+                              LanePlane *const *inPlanes,
+                              const Region &region,
+                              const BatchCover *cover,
+                              const Tensor &golden,
+                              LanePlane &out) const override;
 };
 
 } // namespace fidelity

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #if !defined(FIDELITY_NO_SIMD)
 #if defined(__AVX2__) || defined(__SSE2__) || defined(__SSE4_1__)
@@ -416,6 +417,52 @@ std::size_t firstBitDiff(const float *a, const float *b, std::size_t n);
 
 /** Last differing index in [0, n), or n when the ranges are equal. */
 std::size_t lastBitDiff(const float *a, const float *b, std::size_t n);
+
+/**
+ * Bitmask of the lanes in p[0..lanes) whose 32-bit pattern differs
+ * from x's pattern (bit l set when p[l] != x bitwise).  Exact integer
+ * comparison like firstBitDiff; the batched engine's per-injection
+ * diff scan compares each SoA lane column against the golden value
+ * with one movemask where the hardware has it.
+ */
+inline std::uint32_t
+laneNeMask(const float *p, float x, int lanes)
+{
+    std::uint32_t xb;
+    std::memcpy(&xb, &x, sizeof(xb));
+#if !defined(FIDELITY_NO_SIMD) && defined(__AVX2__)
+    if (lanes == 8) {
+        __m256i pv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p));
+        __m256i eq = _mm256_cmpeq_epi32(
+            pv, _mm256_set1_epi32(static_cast<std::int32_t>(xb)));
+        return ~static_cast<std::uint32_t>(
+                   _mm256_movemask_ps(_mm256_castsi256_ps(eq))) &
+               0xffu;
+    }
+#endif
+#if !defined(FIDELITY_NO_SIMD) && \
+    (defined(__AVX2__) || defined(__SSE2__) || defined(_M_X64) || \
+     defined(_M_AMD64))
+    if (lanes == 4) {
+        __m128i pv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        __m128i eq = _mm_cmpeq_epi32(
+            pv, _mm_set1_epi32(static_cast<std::int32_t>(xb)));
+        return ~static_cast<std::uint32_t>(
+                   _mm_movemask_ps(_mm_castsi128_ps(eq))) &
+               0xfu;
+    }
+#endif
+    std::uint32_t m = 0;
+    for (int l = 0; l < lanes; ++l) {
+        std::uint32_t pb;
+        std::memcpy(&pb, p + l, sizeof(pb));
+        if (pb != xb)
+            m |= 1u << l;
+    }
+    return m;
+}
 
 } // namespace fidelity::simd
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "simd/simd.hh"
 #include "tensor/float16.hh"
 
 namespace fidelity
@@ -125,6 +126,23 @@ flipBitsInt(std::int32_t q, Repr repr, std::uint32_t mask)
 float
 roundToHalf(float x)
 {
+#if !defined(FIDELITY_NO_SIMD) && defined(__F16C__) && defined(__AVX__)
+    if (simd::enabled()) {
+        if (x != x) {
+            // The hardware keeps NaN payload bits the software path
+            // drops; canonicalise to sign|0x7fc00000 like the batch.
+            std::uint32_t u;
+            std::memcpy(&u, &x, sizeof(u));
+            u = (u & 0x80000000u) | 0x7fc00000u;
+            std::memcpy(&x, &u, sizeof(x));
+            return x;
+        }
+        __m128i h = _mm_cvtps_ph(_mm_set_ss(x),
+                                 _MM_FROUND_TO_NEAREST_INT |
+                                     _MM_FROUND_NO_EXC);
+        return _mm_cvtss_f32(_mm_cvtph_ps(h));
+    }
+#endif
     return halfBitsToFloat(floatToHalfBits(x));
 }
 
