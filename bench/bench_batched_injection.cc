@@ -21,6 +21,12 @@
  * standard low-variance estimator of attainable throughput.  The
  * checksum is verified on every repeat.
  *
+ * An INT8 leg runs the same schedule through the narrow integer
+ * kernels (modes "engine_incremental_int8" / "engine_batched_int8"),
+ * so BENCH_injection_throughput.json tracks the integer campaign rate
+ * across PRs; its gate is checksum identity only (the PR 6 baselines
+ * are FP16).
+ *
  * Rows are merged into BENCH_injection_throughput.json with their
  * batch_width tag.
  */
@@ -62,18 +68,34 @@ main()
     const int width = 8;
 
     printHeading(std::cout,
-                 "Fault-batched injection throughput (FP16, adaptive, " +
+                 "Fault-batched injection throughput (FP16 + INT8, "
+                 "adaptive, " +
                      std::to_string(samples) +
                      " samples per cell cap base, " +
                      std::to_string(threads) + " threads)");
 
-    Table t({"Network", "B", "injections", "wall s", "inj/s",
-             "vs PR6 base", "identical"});
+    // The INT8 leg tracks the narrow integer kernels' campaign rate
+    // (modes tagged "_int8"); the PR 6 baseline rows are FP16-only,
+    // so its uplift column compares batched against its own B = 1 run
+    // and only the checksum identity is gated.
+    struct Leg
+    {
+        Precision precision;
+        const char *suffix;
+    };
+    constexpr Leg kLegs[] = {
+        {Precision::FP16, ""},
+        {Precision::INT8, "_int8"},
+    };
+
+    Table t({"Network", "dtype", "B", "injections", "wall s", "inj/s",
+             "uplift", "identical"});
     std::vector<ThroughputRecord> records;
     bool checksum_ok = true;
     bool speedup_ok = true;
 
     for (const Baseline &base : kBaselines) {
+        for (const Leg &leg : kLegs) {
         CampaignConfig cfg;
         cfg.samplesPerCategory = samples;
         cfg.seed = 2033;
@@ -85,6 +107,7 @@ main()
         cfg.resultCacheEnabled = false;
 
         std::uint64_t checksum[2] = {0, 0};
+        double b1Rate = 0.0;
         for (int run = 0; run < 2; ++run) {
             cfg.batchWidth = run == 0 ? 1 : width;
             CampaignResult res;
@@ -94,7 +117,7 @@ main()
                 CampaignResult r;
                 const double s = timeSeconds([&] {
                     r = runStudyCampaignCfg(base.network,
-                                            Precision::FP16,
+                                            leg.precision,
                                             top1Metric(), cfg);
                 });
                 if (rep == 0) {
@@ -112,26 +135,36 @@ main()
             ThroughputRecord rec;
             rec.bench = "batched_injection";
             rec.network = base.network;
-            rec.mode = cfg.batchWidth > 1 ? "engine_batched"
-                                          : "engine_incremental";
+            rec.mode = std::string(cfg.batchWidth > 1
+                                       ? "engine_batched"
+                                       : "engine_incremental") +
+                       leg.suffix;
             rec.threads = threads;
             rec.batchWidth = cfg.batchWidth;
             rec.injections = res.totalInjections;
             rec.wallSeconds = secs;
             records.push_back(rec);
 
-            const double uplift = rec.injPerSec() / base.injPerSec;
+            const bool fp16 = leg.precision == Precision::FP16;
+            if (run == 0)
+                b1Rate = rec.injPerSec();
+            const double uplift = fp16
+                ? rec.injPerSec() / base.injPerSec
+                : rec.injPerSec() / b1Rate;
             const bool identical = checksum[run] == checksum[0];
             if (run == 1) {
                 checksum_ok = checksum_ok && identical;
-                speedup_ok = speedup_ok && uplift >= kSpeedupGate;
+                if (fp16)
+                    speedup_ok = speedup_ok && uplift >= kSpeedupGate;
             }
-            t.addRow({base.network, std::to_string(cfg.batchWidth),
+            t.addRow({base.network, fp16 ? "fp16" : "int8",
+                      std::to_string(cfg.batchWidth),
                       std::to_string(rec.injections),
                       Table::num(secs, 2),
                       Table::num(rec.injPerSec(), 0),
                       Table::num(uplift, 2),
                       identical ? "yes" : "NO"});
+        }
         }
     }
 

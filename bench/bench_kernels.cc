@@ -29,6 +29,17 @@
  * Phase 3 hands over to the original google-benchmark micros
  * (forward conv, single-neuron recompute, engine cycle rate, fault
  * models, RNG); `--benchmark_filter=^$` skips them for smoke runs.
+ *
+ * Flags (see -h): `--kernel=<substr>` / `--dtype=<name>` narrow phase
+ * 1 to the kernels under study (a kernel filter also skips the
+ * campaign gate), `--backend=<name>` forces a dispatch backend for
+ * the whole run (an unavailable backend exits non-zero), and
+ * `--min-ms=<n>` sets the per-measurement floor.  Only the default
+ * full sweep rewrites BENCH_kernel_throughput.json (rows tagged with
+ * the dispatched backend); filtered or backend-forced runs print but
+ * do not touch the tracked file, since the JSON merge replaces a
+ * bench's whole row set.  Unrecognized arguments still flow to
+ * google-benchmark.
  */
 
 #include <benchmark/benchmark.h>
@@ -44,6 +55,8 @@
 #include "nn/init.hh"
 #include "nn/layer.hh"
 #include "nn/matmul.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "sim/rng.hh"
 #include "simd/simd.hh"
 
@@ -205,11 +218,47 @@ constexpr DtypeSpec kDtypes[] = {
     {"int16", Precision::INT16},
 };
 
+/** Parsed command-line options (see usage()). */
+struct Options
+{
+    std::string kernel;  //!< substring filter on the kernel name
+    std::string dtype;   //!< exact dtype filter ("fp32", "int8", ...)
+    std::string backend; //!< forced dispatch backend, "" = auto
+    int minMs = 50;      //!< per-measurement wall-clock floor
+};
+
+void
+usage(const char *argv0)
+{
+    std::cout
+        << "usage: " << argv0 << " [options] [benchmark options]\n"
+        << "  --kernel=<substr>   only kernels whose name contains "
+           "<substr>\n"
+        << "                      (conv3x3, conv1x1, fc, matmul); "
+           "also skips the\n"
+        << "                      campaign checksum gate\n"
+        << "  --dtype=<name>      only one dtype: fp32, fp16, int8, "
+           "int16\n"
+        << "  --backend=<name>    force the dispatch backend (scalar, "
+           "sse2, avx2,\n"
+        << "                      neon, auto); exits non-zero when "
+           "unavailable\n"
+        << "  --min-ms=<n>        per-measurement floor in ms "
+           "(default 50,\n"
+        << "                      scaled by FIDELITY_SAMPLES)\n"
+        << "  -h, --help          this message\n"
+        << "only the default full sweep rewrites "
+           "BENCH_kernel_throughput.json;\n"
+        << "filtered/forced runs leave it untouched\n"
+        << "remaining arguments go to google-benchmark "
+           "(--benchmark_filter=...)\n";
+}
+
 int
-runThroughput()
+runThroughput(const Options &opt)
 {
     const double minSeconds =
-        0.05 * bench::scaledSamples(10) / 10.0;
+        (opt.minMs / 1000.0) * bench::scaledSamples(10) / 10.0;
     std::vector<KernelCase> cases;
     cases.push_back(convCase("conv3x3", 16, 32, 64, 3));
     cases.push_back(convCase("conv1x1", 16, 64, 64, 1));
@@ -219,7 +268,12 @@ runThroughput()
     std::vector<bench::KernelThroughputRecord> records;
     int failures = 0;
     for (KernelCase &kc : cases) {
+        if (!opt.kernel.empty() &&
+            kc.name.find(opt.kernel) == std::string::npos)
+            continue;
         for (const DtypeSpec &dt : kDtypes) {
+            if (!opt.dtype.empty() && opt.dtype != dt.name)
+                continue;
             kc.layer->setPrecision(dt.precision);
             if (dt.precision == Precision::INT8 ||
                 dt.precision == Precision::INT16) {
@@ -266,14 +320,28 @@ runThroughput()
                       << tRef / tSimd << "x vs scalar)\n";
         }
     }
-    bench::writeKernelThroughputJson("bench_kernels", records);
-    std::cout << "wrote BENCH_kernel_throughput.json ("
-              << simd::backendName() << " vs scalar)\n";
+    if (records.empty()) {
+        std::cerr << "no kernel/dtype matches --kernel="
+                  << opt.kernel << " --dtype=" << opt.dtype << "\n";
+        return 1;
+    }
+    // mergeJsonLines replaces all of a bench's rows at once, so a
+    // filtered or backend-forced run would clobber the full tracked
+    // row set with a partial one — only the default full sweep under
+    // the dispatched backend updates the trajectory file.
+    if (opt.kernel.empty() && opt.dtype.empty() && opt.backend.empty()) {
+        bench::writeKernelThroughputJson("bench_kernels", records);
+        std::cout << "wrote BENCH_kernel_throughput.json ("
+                  << simd::backendName() << " vs scalar)\n";
+    } else {
+        std::cout << "filtered run: BENCH_kernel_throughput.json "
+                     "not rewritten\n";
+    }
     return failures;
 }
 
 int
-runChecksumGate()
+runChecksumGate(const Options &opt)
 {
     // Whole-campaign identity: golden runs, fault injection, the
     // incremental engine, and the metric all ride on the kernels, so
@@ -281,6 +349,8 @@ runChecksumGate()
     int samples = bench::scaledSamples(20);
     int failures = 0;
     for (const DtypeSpec &dt : kDtypes) {
+        if (!opt.dtype.empty() && opt.dtype != dt.name)
+            continue;
         simd::setEnabled(true);
         std::uint64_t withSimd = campaignChecksum(
             bench::runStudyCampaign("resnet", dt.precision,
@@ -424,15 +494,57 @@ BENCHMARK(BM_RngDraws);
 int
 main(int argc, char **argv)
 {
-    int failures = runThroughput();
-    failures += runChecksumGate();
+    Options opt;
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto val = [&](const char *flag) {
+            return arg.substr(std::strlen(flag));
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg.rfind("--kernel=", 0) == 0) {
+            opt.kernel = val("--kernel=");
+        } else if (arg.rfind("--dtype=", 0) == 0) {
+            opt.dtype = val("--dtype=");
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            opt.backend = val("--backend=");
+        } else if (arg.rfind("--min-ms=", 0) == 0) {
+            opt.minMs = static_cast<int>(
+                parseIntArg("--min-ms", val("--min-ms="), 1, 60000));
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    if (!opt.dtype.empty()) {
+        bool known = false;
+        for (const DtypeSpec &dt : kDtypes)
+            known = known || opt.dtype == dt.name;
+        fatal_if(!known, "--dtype=", opt.dtype,
+                 ": expected fp32, fp16, int8, or int16");
+    }
+    if (!opt.backend.empty() &&
+        !simd::forceBackend(opt.backend.c_str()))
+        fatal("--backend=", opt.backend,
+              " is not available on this host (not compiled in, or "
+              "the CPU lacks the ISA)");
+    std::cout << "dispatch backend " << simd::backendName() << " ("
+              << simd::dispatchMode() << ")\n";
+
+    int failures = runThroughput(opt);
+    // The campaign gate is whole-network; a kernel filter means a
+    // targeted microbench run, so only the filtered phase executes.
+    if (opt.kernel.empty())
+        failures += runChecksumGate(opt);
     if (failures) {
         std::cerr << failures
                   << " SIMD-vs-scalar identity failure(s)\n";
         return 1;
     }
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    int bargc = static_cast<int>(rest.size());
+    benchmark::Initialize(&bargc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, rest.data()))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -141,6 +141,7 @@ runManifestJson(const Network &net, const CampaignConfig &cfg,
     w.key("build");
     w.beginObject();
     w.field("simd_backend", simd::backendName());
+    w.field("simd_dispatch", simd::dispatchMode());
     w.field("simd_enabled", simd::enabled());
     w.endObject();
 

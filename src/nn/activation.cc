@@ -49,22 +49,14 @@ Activation::forward(const std::vector<const Tensor *> &ins) const
     float *od = out.data().data();
     const std::size_t sz = x.size();
     if (func_ == Func::ReLU || func_ == Func::LeakyReLU) {
-        // x > 0 ? x : {0, alpha*x} — the ordered-GT select matches the
-        // scalar ternary exactly (NaN takes the negative branch).
-        simd::dispatch([&](auto bk) {
-            using B = decltype(bk);
-            constexpr int L = B::kF32Lanes;
-            auto va = B::f32broadcast(alpha_);
-            std::size_t i = 0;
-            for (; i + L <= sz; i += L) {
-                auto vx = B::f32load(xd + i);
-                auto neg = func_ == Func::ReLU ? B::f32zero()
-                                               : B::f32mul(va, vx);
-                B::f32store(od + i, B::f32selectGtZero(vx, vx, neg));
-            }
-            for (; i < sz; ++i)
-                od[i] = apply(xd[i]);
-        });
+        // x > 0 ? x : {0, alpha*x} — the kernels' ordered-GT select
+        // matches the scalar ternary exactly (NaN takes the negative
+        // branch).
+        const simd::KernelTable &kt = simd::table();
+        if (func_ == Func::ReLU)
+            kt.reluF32(xd, od, sz);
+        else
+            kt.lreluF32(xd, alpha_, od, sz);
     } else {
         for (std::size_t i = 0; i < sz; ++i)
             od[i] = apply(xd[i]);
@@ -118,6 +110,7 @@ Activation::forwardRegionBatched(const std::vector<const Tensor *> &ins,
     const bool half = precision_ == Precision::FP16;
     const std::size_t run =
         static_cast<std::size_t>(region.c1 - region.c0) * W;
+    const simd::KernelTable &kt = simd::table();
     const BatchCover::Span full{region.w0, region.w1};
     for (int n = region.n0; n < region.n1; ++n) {
         for (int h = region.h0; h < region.h1; ++h) {
@@ -130,23 +123,10 @@ Activation::forwardRegionBatched(const std::vector<const Tensor *> &ins,
                 std::size_t f0 = golden.offset(n, h, w, region.c0);
                 const float *ip = xp.lanes(f0);
                 float *op = out.lanes(f0);
-                if (func_ == Func::ReLU || func_ == Func::LeakyReLU) {
-                    simd::dispatch([&](auto bk) {
-                        using B = decltype(bk);
-                        constexpr int L = B::kF32Lanes;
-                        auto va = B::f32broadcast(alpha_);
-                        std::size_t i = 0;
-                        for (; i + L <= run; i += L) {
-                            auto vx = B::f32load(ip + i);
-                            auto neg = func_ == Func::ReLU
-                                           ? B::f32zero()
-                                           : B::f32mul(va, vx);
-                            B::f32store(op + i,
-                                        B::f32selectGtZero(vx, vx, neg));
-                        }
-                        for (; i < run; ++i)
-                            op[i] = apply(ip[i]);
-                    });
+                if (func_ == Func::ReLU) {
+                    kt.reluF32(ip, op, run);
+                } else if (func_ == Func::LeakyReLU) {
+                    kt.lreluF32(ip, alpha_, op, run);
                 } else {
                     for (std::size_t i = 0; i < run; ++i)
                         op[i] = apply(ip[i]);

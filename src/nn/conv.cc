@@ -29,27 +29,25 @@ namespace
  * `wb(acc, oc)` applies bias and the writeback path.
  *
  * The operands for one output pixel are gathered into `xg` (caller
- * scratch of `cpg * kh * kw` elements) once per group, so the tap
- * index arithmetic, padding tests, and operand conversions are not
- * repeated for every lane block — the per-block loop is a pure
- * broadcast/load/mul-add stream over the packed weights.
+ * scratch of `cpg * kh * kw` elements) once per group, then one
+ * dispatched-table GEMM microkernel call covers every touched lane
+ * block of the group; `acc` is caller scratch for the padded block
+ * results (packBlocks(opg, kF32Lanes) * kF32Lanes elements).
  */
-template <class B, class LoadX, class WB>
+template <class LoadX, class WB>
 void
-convRegionFloat(const ConvSpec &spec, int cpg, int opg,
-                const float *packed, const Region &r, Tensor &out,
-                float *xg, LoadX loadX, WB wb)
+convRegionFloat(const simd::KernelTable &kt, const ConvSpec &spec,
+                int cpg, int opg, const float *packed, const Region &r,
+                Tensor &out, float *xg, float *acc, LoadX loadX, WB wb)
 {
-    constexpr int L = B::kF32Lanes;
+    constexpr int L = simd::kF32Lanes;
     const int blocksPerGroup = simd::packBlocks(opg, L);
-    const std::size_t redLen =
-        static_cast<std::size_t>(cpg) * spec.kh * spec.kw;
-    const std::size_t blkStride = redLen * L;
+    const int redLen = cpg * spec.kh * spec.kw;
+    const std::size_t blkStride = static_cast<std::size_t>(redLen) * L;
     const std::size_t gStride = blocksPerGroup * blkStride;
     const int g0 = r.c0 / opg;
     const int g1 = (r.c1 - 1) / opg;
 
-    float lanes[L];
     for (int n = r.n0; n < r.n1; ++n) {
         for (int oh = r.h0; oh < r.h1; ++oh) {
             for (int ow = r.w0; ow < r.w1; ++ow) {
@@ -72,24 +70,17 @@ convRegionFloat(const ConvSpec &spec, int cpg, int opg,
                     int hi = std::min(r.c1, (g + 1) * opg);
                     int b0 = (lo - g * opg) / L;
                     int b1 = (hi - 1 - g * opg) / L;
+                    kt.gemmF32(xg, redLen, b1 - b0 + 1,
+                               packed + g * gStride + b0 * blkStride,
+                               acc);
                     for (int blk = b0; blk <= b1; ++blk) {
-                        const float *wrow =
-                            packed + g * gStride + blk * blkStride;
-                        auto acc = B::f32zero();
-                        for (std::size_t k = 0; k < redLen; ++k) {
-                            acc = B::f32mulAcc(acc,
-                                               B::f32broadcast(xg[k]),
-                                               B::f32load(wrow));
-                            wrow += L;
-                        }
-                        B::f32store(lanes, acc);
                         int ocb = g * opg + blk * L;
                         int s = std::max(lo, ocb);
                         int e = std::min(hi, ocb + L);
+                        const float *ab = acc + (blk - b0) * L;
                         for (int oc = s; oc < e; ++oc)
-                            out[base + oc] =
-                                wb(static_cast<double>(lanes[oc - ocb]),
-                                   oc);
+                            out[base + oc] = wb(
+                                static_cast<double>(ab[oc - ocb]), oc);
                     }
                 }
             }
@@ -97,23 +88,22 @@ convRegionFloat(const ConvSpec &spec, int cpg, int opg,
     }
 }
 
-/** Integer-mode twin: int64 lane accumulators over int32 operands. */
-template <class B, class LoadX, class WB>
+/** Wide integer twin: int64 lane accumulators over int32 operands. */
+template <class LoadX, class WB>
 void
-convRegionInt(const ConvSpec &spec, int cpg, int opg,
-              const std::int32_t *packed, const Region &r, Tensor &out,
-              std::int32_t *xg, LoadX loadX, WB wb)
+convRegionInt(const simd::KernelTable &kt, const ConvSpec &spec,
+              int cpg, int opg, const std::int32_t *packed,
+              const Region &r, Tensor &out, std::int32_t *xg,
+              std::int64_t *acc, LoadX loadX, WB wb)
 {
-    constexpr int L = B::kI64Lanes;
+    constexpr int L = simd::kI64Lanes;
     const int blocksPerGroup = simd::packBlocks(opg, L);
-    const std::size_t redLen =
-        static_cast<std::size_t>(cpg) * spec.kh * spec.kw;
-    const std::size_t blkStride = redLen * L;
+    const int redLen = cpg * spec.kh * spec.kw;
+    const std::size_t blkStride = static_cast<std::size_t>(redLen) * L;
     const std::size_t gStride = blocksPerGroup * blkStride;
     const int g0 = r.c0 / opg;
     const int g1 = (r.c1 - 1) / opg;
 
-    std::int64_t lanes[L];
     for (int n = r.n0; n < r.n1; ++n) {
         for (int oh = r.h0; oh < r.h1; ++oh) {
             for (int ow = r.w0; ow < r.w1; ++ow) {
@@ -136,20 +126,82 @@ convRegionInt(const ConvSpec &spec, int cpg, int opg,
                     int hi = std::min(r.c1, (g + 1) * opg);
                     int b0 = (lo - g * opg) / L;
                     int b1 = (hi - 1 - g * opg) / L;
+                    kt.gemmI64(xg, redLen, b1 - b0 + 1,
+                               packed + g * gStride + b0 * blkStride,
+                               acc);
                     for (int blk = b0; blk <= b1; ++blk) {
-                        const std::int32_t *wrow =
-                            packed + g * gStride + blk * blkStride;
-                        auto acc = B::i64zero();
-                        for (std::size_t k = 0; k < redLen; ++k) {
-                            acc = B::i64mulAcc(acc, xg[k], wrow);
-                            wrow += L;
-                        }
-                        B::i64store(lanes, acc);
                         int ocb = g * opg + blk * L;
                         int s = std::max(lo, ocb);
                         int e = std::min(hi, ocb + L);
+                        const std::int64_t *ab = acc + (blk - b0) * L;
                         for (int oc = s; oc < e; ++oc)
-                            out[base + oc] = wb(lanes[oc - ocb], oc);
+                            out[base + oc] = wb(ab[oc - ocb], oc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Narrow integer kernel over the pair-interleaved int16 pack.  The
+ * gather narrows the quantised operands to int16 (lossless, bits <=
+ * 16) into `xg`, which the caller sizes to 2 * packPairs(redLen)
+ * elements with the pad element (odd reductions) pre-zeroed; the
+ * kernel never writes past redLen, so the pad survives re-use.  Exact
+ * by the chunk bound, hence bit-identical to convRegionInt.
+ */
+template <class LoadX, class WB>
+void
+convRegionNarrow(const simd::KernelTable &kt, const ConvSpec &spec,
+                 int cpg, int opg, const std::int16_t *packed,
+                 int chunkPairs, const Region &r, Tensor &out,
+                 std::int16_t *xg, std::int64_t *acc, LoadX loadX,
+                 WB wb)
+{
+    constexpr int L = simd::kNarrowLanes;
+    const int blocksPerGroup = simd::packBlocks(opg, L);
+    const int redLen = cpg * spec.kh * spec.kw;
+    const int redPairs = simd::packPairs(redLen);
+    const std::size_t blkStride =
+        static_cast<std::size_t>(redPairs) * 2 * L;
+    const std::size_t gStride = blocksPerGroup * blkStride;
+    const int g0 = r.c0 / opg;
+    const int g1 = (r.c1 - 1) / opg;
+
+    for (int n = r.n0; n < r.n1; ++n) {
+        for (int oh = r.h0; oh < r.h1; ++oh) {
+            for (int ow = r.w0; ow < r.w1; ++ow) {
+                std::size_t base = out.offset(n, oh, ow, 0);
+                for (int g = g0; g <= g1; ++g) {
+                    std::size_t t = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec.kh; ++kh) {
+                            int ih = oh * spec.stride - spec.pad +
+                                     kh * spec.dilation;
+                            for (int kw = 0; kw < spec.kw; ++kw) {
+                                int iw = ow * spec.stride - spec.pad +
+                                         kw * spec.dilation;
+                                xg[t++] = static_cast<std::int16_t>(
+                                    loadX(n, ih, iw, ci));
+                            }
+                        }
+                    }
+                    int lo = std::max(r.c0, g * opg);
+                    int hi = std::min(r.c1, (g + 1) * opg);
+                    int b0 = (lo - g * opg) / L;
+                    int b1 = (hi - 1 - g * opg) / L;
+                    kt.gemmNarrow(xg, redPairs, b1 - b0 + 1,
+                                  packed + g * gStride + b0 * blkStride,
+                                  chunkPairs, acc);
+                    for (int blk = b0; blk <= b1; ++blk) {
+                        int ocb = g * opg + blk * L;
+                        int s = std::max(lo, ocb);
+                        int e = std::min(hi, ocb + L);
+                        const std::int64_t *ab = acc + (blk - b0) * L;
+                        for (int oc = s; oc < e; ++oc)
+                            out[base + oc] = wb(ab[oc - ocb], oc);
                     }
                 }
             }
@@ -160,24 +212,22 @@ convRegionInt(const ConvSpec &spec, int cpg, int opg,
 /**
  * Fault-batched float kernel: the SIMD lanes hold W *injections* of
  * the same fault cell instead of W output channels.  The window math,
- * padding tests, and packed-weight stream are shared by the batch; per
- * MAC term the weight broadcasts and the W lane operands load as one
- * vector.  Each lane's accumulation is the canonical (ci, kh, kw)
- * order with an unfused multiply-add, so every lane is bit-identical
- * to the scalar kernels.  `loadG(dst, n, ih, iw, ci)` fills W stored-
- * form lane operands (the zero stored-form when out of range), and
- * `wbRow(op, oc)` applies bias and the writeback path to the whole
- * lane row in place (rounding the row as one batch).
- * Requires B::kF32Lanes == W.
+ * padding tests, and packed-weight stream are shared by the batch; the
+ * dispatched table's lane-minor MAC row accumulates all W lanes of one
+ * output channel per call (canonical k order, unfused per-lane
+ * multiply-adds, so every lane is bit-identical to the scalar
+ * kernels).  `loadG(dst, n, ih, iw, ci)` fills W stored-form lane
+ * operands (the zero stored-form when out of range), and `wbRow(op,
+ * oc)` applies bias and the writeback path to the whole lane row in
+ * place (rounding the row as one batch).
  */
-template <int W, class B, class LoadG, class WBRow>
+template <int W, class LoadG, class WBRow>
 void
-convBatchedFloat(const ConvSpec &spec, int cpg, int opg,
-                 const float *packed, const Region &r,
+convBatchedFloat(const simd::KernelTable &kt, const ConvSpec &spec,
+                 int cpg, int opg, const float *packed, const Region &r,
                  const BatchCover *cover, const Tensor &golden,
                  LanePlane &out, float *xg, LoadG loadG, WBRow wbRow)
 {
-    static_assert(B::kF32Lanes == W, "lane width mismatch");
     // The weight pack is laid out for the *channel* kernels' lane
     // width; here it is walked scalar, one output channel at a time.
     constexpr int PL = simd::kF32Lanes;
@@ -235,13 +285,8 @@ convBatchedFloat(const ConvSpec &spec, int cpg, int opg,
                         const float *wrow = packed + g * gStride +
                                             (ocg / PL) * blkStride +
                                             (ocg % PL);
-                        auto acc = B::f32zero();
-                        for (std::size_t k = 0; k < redLen; ++k)
-                            acc = B::f32mulAcc(
-                                acc, B::f32load(xg + k * W),
-                                B::f32broadcast(wrow[k * PL]));
                         float *op = out.lanes(base + oc);
-                        B::f32store(op, acc);
+                        kt.batchMacF32(xg, wrow, redLen, PL, W, op);
                         wbRow(op, oc);
                     }
                     }
@@ -253,24 +298,20 @@ convBatchedFloat(const ConvSpec &spec, int cpg, int opg,
 }
 
 /**
- * Integer-mode twin: W int64 lane accumulators, chunked over the
- * backend's i64 width.  The weight scalar and the lane-operand pointer
- * swap roles relative to the channel kernel — multiplication commutes,
- * so i64mulAcc(acc, w, x_lanes) is the exact product either way.
- * `wbRow(lanes, op, oc)` turns the W int64 accumulators into the lane
- * row's stored outputs in one batch.  Requires W % B::kI64Lanes == 0.
+ * Integer-mode twin: W int64 lane accumulators.  The weight scalar
+ * and the lane-operand pointer swap roles relative to the channel
+ * kernel — multiplication commutes, so the lane-minor MAC row is the
+ * exact product either way.  `wbRow(lanes, op, oc)` turns the W int64
+ * accumulators into the lane row's stored outputs in one batch.
  */
-template <int W, class B, class LoadG, class WBRow>
+template <int W, class LoadG, class WBRow>
 void
-convBatchedInt(const ConvSpec &spec, int cpg, int opg,
-               const std::int32_t *packed, const Region &r,
-               const BatchCover *cover, const Tensor &golden,
-               LanePlane &out, std::int32_t *xg, LoadG loadG,
-               WBRow wbRow)
+convBatchedInt(const simd::KernelTable &kt, const ConvSpec &spec,
+               int cpg, int opg, const std::int32_t *packed,
+               const Region &r, const BatchCover *cover,
+               const Tensor &golden, LanePlane &out, std::int32_t *xg,
+               LoadG loadG, WBRow wbRow)
 {
-    constexpr int LI = B::kI64Lanes;
-    static_assert(W % LI == 0, "lane width not a multiple of i64 width");
-    constexpr int NC = W / LI;
     constexpr int PL = simd::kI64Lanes;
     const int blocksPerGroup = simd::packBlocks(opg, PL);
     const std::size_t redLen =
@@ -327,17 +368,92 @@ convBatchedInt(const ConvSpec &spec, int cpg, int opg,
                         const std::int32_t *wrow =
                             packed + g * gStride +
                             (ocg / PL) * blkStride + (ocg % PL);
-                        decltype(B::i64zero()) acc[NC];
-                        for (int j = 0; j < NC; ++j)
-                            acc[j] = B::i64zero();
-                        for (std::size_t k = 0; k < redLen; ++k) {
-                            std::int32_t wv = wrow[k * PL];
-                            for (int j = 0; j < NC; ++j)
-                                acc[j] = B::i64mulAcc(
-                                    acc[j], wv, xg + k * W + j * LI);
+                        kt.batchMacI64(xg, wrow, redLen, PL, W, lanes);
+                        wbRow(lanes, out.lanes(base + oc), oc);
+                    }
+                    }
+                }
+            }
+            }
+        }
+    }
+}
+
+/**
+ * Narrow integer batched kernel: int16 lane rows against the
+ * pair-interleaved pack.  `xg` holds 2 * packPairs(redLen) rows of W
+ * lanes; the caller zeroes the pad row (odd reductions) once — the
+ * gather only writes redLen rows.  Exact by the chunk bound, hence
+ * bit-identical to convBatchedInt.
+ */
+template <int W, class LoadG, class WBRow>
+void
+convBatchedNarrow(const simd::KernelTable &kt, const ConvSpec &spec,
+                  int cpg, int opg, const std::int16_t *packed,
+                  int chunkPairs, const Region &r,
+                  const BatchCover *cover, const Tensor &golden,
+                  LanePlane &out, std::int16_t *xg, LoadG loadG,
+                  WBRow wbRow)
+{
+    constexpr int PL = simd::kNarrowLanes;
+    const int blocksPerGroup = simd::packBlocks(opg, PL);
+    const int redLen = cpg * spec.kh * spec.kw;
+    const int redPairs = simd::packPairs(redLen);
+    const std::size_t blkStride =
+        static_cast<std::size_t>(redPairs) * 2 * PL;
+    const std::size_t gStride = blocksPerGroup * blkStride;
+    const int g0 = r.c0 / opg;
+    const int g1 = (r.c1 - 1) / opg;
+
+    std::int64_t lanes[W];
+    const BatchCover::Span full{r.w0, r.w1};
+    const BatchCover::Span cfull{r.c0, r.c1};
+    const BatchCover::Span *csp = &cfull;
+    int ncs = 1;
+    if (cover)
+        csp = cover->chanSpans(ncs);
+    for (int n = r.n0; n < r.n1; ++n) {
+        for (int oh = r.h0; oh < r.h1; ++oh) {
+            const BatchCover::Span *sp = &full;
+            int nsp = 1;
+            if (cover)
+                sp = cover->row(n, oh, nsp);
+            for (int si = 0; si < nsp; ++si) {
+            for (int ow = sp[si].w0; ow < sp[si].w1; ++ow) {
+                std::size_t base = golden.offset(n, oh, ow, 0);
+                for (int g = g0; g <= g1; ++g) {
+                    int lo = std::max(r.c0, g * opg);
+                    int hi = std::min(r.c1, (g + 1) * opg);
+                    bool any = false;
+                    for (int cs = 0; cs < ncs && !any; ++cs)
+                        any = std::min(hi, csp[cs].w1) >
+                              std::max(lo, csp[cs].w0);
+                    if (!any)
+                        continue; // no covered channel in this group
+                    std::size_t t = 0;
+                    for (int cig = 0; cig < cpg; ++cig) {
+                        int ci = g * cpg + cig;
+                        for (int kh = 0; kh < spec.kh; ++kh) {
+                            int ih = oh * spec.stride - spec.pad +
+                                     kh * spec.dilation;
+                            for (int kw = 0; kw < spec.kw; ++kw) {
+                                int iw = ow * spec.stride - spec.pad +
+                                         kw * spec.dilation;
+                                loadG(xg + t * W, n, ih, iw, ci);
+                                ++t;
+                            }
                         }
-                        for (int j = 0; j < NC; ++j)
-                            B::i64store(lanes + j * LI, acc[j]);
+                    }
+                    for (int cs = 0; cs < ncs; ++cs) {
+                    int clo = std::max(lo, csp[cs].w0);
+                    int chi = std::min(hi, csp[cs].w1);
+                    for (int oc = clo; oc < chi; ++oc) {
+                        int ocg = oc - g * opg;
+                        const std::int16_t *wrow =
+                            packed + g * gStride +
+                            (ocg / PL) * blkStride + (ocg % PL) * 2;
+                        kt.batchMacNarrow(xg, wrow, redPairs, PL * 2,
+                                          chunkPairs, W, lanes);
                         wbRow(lanes, out.lanes(base + oc), oc);
                     }
                     }
@@ -509,8 +625,13 @@ Conv2D::packWeights() const
 {
     // Convert the raw weights into the active precision's stored form
     // (vectorized batch converters), then scatter into the lane-
-    // blocked [g][ocBlock][cig][kh][kw][lane] layout the block kernels
-    // stream.
+    // blocked layout the block kernels stream.  Integer precisions
+    // scan the quantised weights' max magnitude first: with the
+    // operand bound |x| <= 2^(bits-1) it proves the narrow kernels'
+    // int32 chunk length (narrowChunkPairs), and the layer commits to
+    // the narrow pair-interleaved pack or the wide int32 pack
+    // accordingly — both paths are exact, so the choice cannot change
+    // results.
     bool integer = precision_ == Precision::INT8 ||
                    precision_ == Precision::INT16;
     const int cpg = spec_.inC / spec_.groups;
@@ -528,20 +649,43 @@ Conv2D::packWeights() const
     };
 
     if (integer) {
-        constexpr int L = simd::kI64Lanes;
         auto tmp = arena.ints(weights_.size());
         simd::quantizeBatch(weights_.data(), tmp.data(),
                             weights_.size(), wQuant_);
-        std::size_t gStride = simd::packSize(redLen, opg, L);
-        wPackI_.resize(gStride * spec_.groups);
-        wPackF_.clear();
-        for (int g = 0; g < spec_.groups; ++g)
-            simd::packLaneBlocked(
-                redLen, opg, L,
-                [&](int k, int c) { return tmp[origIndex(g, k, c)]; },
-                wPackI_.data() + g * gStride);
+        std::int32_t maxAbsW = 0;
+        for (std::size_t i = 0; i < weights_.size(); ++i) {
+            std::int32_t a = tmp[i] < 0 ? -tmp[i] : tmp[i];
+            maxAbsW = a > maxAbsW ? a : maxAbsW;
+        }
+        const int bits = precision_ == Precision::INT8 ? 8 : 16;
+        int chunk = simd::narrowChunkPairs(bits, maxAbsW);
+        if (simd::narrowEligible(chunk)) {
+            chunkPairs_ = chunk;
+            std::size_t gStride = simd::packNarrowSize(redLen, opg);
+            wPackN_.resize(gStride * spec_.groups);
+            wPackI_.clear();
+            wPackF_.clear();
+            for (int g = 0; g < spec_.groups; ++g)
+                simd::packNarrow(
+                    redLen, opg,
+                    [&](int k, int c) { return tmp[origIndex(g, k, c)]; },
+                    wPackN_.data() + g * gStride);
+        } else {
+            constexpr int L = simd::kI64Lanes;
+            chunkPairs_ = 0;
+            std::size_t gStride = simd::packSize(redLen, opg, L);
+            wPackI_.resize(gStride * spec_.groups);
+            wPackN_.clear();
+            wPackF_.clear();
+            for (int g = 0; g < spec_.groups; ++g)
+                simd::packLaneBlocked(
+                    redLen, opg, L,
+                    [&](int k, int c) { return tmp[origIndex(g, k, c)]; },
+                    wPackI_.data() + g * gStride);
+        }
     } else {
         constexpr int L = simd::kF32Lanes;
+        chunkPairs_ = 0;
         const float *src = weights_.data();
         Arena::Lease<float> tmp = arena.floats(
             precision_ == Precision::FP16 ? weights_.size() : 0);
@@ -553,6 +697,7 @@ Conv2D::packWeights() const
         std::size_t gStride = simd::packSize(redLen, opg, L);
         wPackF_.resize(gStride * spec_.groups);
         wPackI_.clear();
+        wPackN_.clear();
         for (int g = 0; g < spec_.groups; ++g)
             simd::packLaneBlocked(
                 redLen, opg, L,
@@ -575,15 +720,29 @@ Conv2D::forward(const std::vector<const Tensor *> &ins) const
                    precision_ == Precision::INT16;
     if (!wPackValid_)
         packWeights();
+    const bool narrow = integer && chunkPairs_ > 0;
 
-    const std::size_t redLen = static_cast<std::size_t>(spec_.kh) *
-                               spec_.kw * (spec_.inC / spec_.groups);
+    const int cpg = spec_.inC / spec_.groups;
+    const int opg = spec_.outC / spec_.groups;
+    const int redLen = spec_.kh * spec_.kw * cpg;
+    const int redPairs = simd::packPairs(redLen);
     Arena &arena = Arena::local();
     auto xs = arena.floats(
         integer || precision_ == Precision::FP32 ? 0 : x.size());
     auto xq = arena.ints(integer ? x.size() : 0);
     auto xgF = arena.floats(integer ? 0 : redLen);
-    auto xgI = arena.ints(integer ? redLen : 0);
+    auto xgI = arena.ints(integer && !narrow ? redLen : 0);
+    auto xgN = arena.shorts(narrow ? 2 * redPairs : 0);
+    auto accF = arena.floats(
+        integer ? 0
+                : simd::packSize(1, opg, simd::kF32Lanes));
+    auto accL = arena.longs(
+        integer ? (narrow ? simd::packSize(1, opg, simd::kNarrowLanes)
+                          : simd::packSize(1, opg, simd::kI64Lanes))
+                : 0);
+    if (narrow)
+        for (int k = redLen; k < 2 * redPairs; ++k)
+            xgN[k] = 0;
     const float *xf = x.data().data();
     if (integer) {
         simd::quantizeBatch(xf, xq.data(), x.size(), inQuant_);
@@ -592,51 +751,53 @@ Conv2D::forward(const std::vector<const Tensor *> &ins) const
         xf = xs.data();
     }
 
-    const int cpg = spec_.inC / spec_.groups;
-    const int opg = spec_.outC / spec_.groups;
     const int xh = x.h(), xw = x.w(), xc = x.c();
     const Region full = Region::full(out);
     auto biasAt = [&](int oc) {
         return spec_.bias ? bias_[oc] : 0.0f;
     };
 
-    simd::dispatch([&](auto b) {
-        using B = decltype(b);
-        if (integer) {
-            const std::int32_t *xqd = xq.data();
-            const std::int32_t zero_q = quantInput(0.0f);
-            convRegionInt<B>(
-                spec_, cpg, opg, wPackI_.data(), full, out, xgI.data(),
-                [&](int n, int ih, int iw, int ci) {
-                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-                    return ok
-                        ? xqd[((static_cast<std::size_t>(n) * xh + ih) *
-                                   xw + iw) * xc + ci]
-                        : zero_q;
-                },
-                [&](std::int64_t iacc, int oc) {
-                    // Left-associated like computeNeuron: the double
-                    // rounding order is part of the bit contract.
-                    return writeback(static_cast<double>(iacc) *
-                                         inQuant_.scale * wQuant_.scale,
-                                     biasAt(oc));
-                });
-        } else {
-            const float zero_s = storeInput(0.0f);
-            convRegionFloat<B>(
-                spec_, cpg, opg, wPackF_.data(), full, out, xgF.data(),
-                [&](int n, int ih, int iw, int ci) {
-                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-                    return ok
-                        ? xf[((static_cast<std::size_t>(n) * xh + ih) *
-                                  xw + iw) * xc + ci]
-                        : zero_s;
-                },
-                [&](double acc, int oc) {
-                    return writeback(acc, biasAt(oc));
-                });
-        }
-    });
+    const simd::KernelTable &kt = simd::table();
+    if (integer) {
+        const std::int32_t *xqd = xq.data();
+        const std::int32_t zero_q = quantInput(0.0f);
+        auto loadX = [&](int n, int ih, int iw, int ci) {
+            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+            return ok
+                ? xqd[((static_cast<std::size_t>(n) * xh + ih) * xw +
+                       iw) * xc + ci]
+                : zero_q;
+        };
+        auto wb = [&](std::int64_t iacc, int oc) {
+            // Left-associated like computeNeuron: the double
+            // rounding order is part of the bit contract.
+            return writeback(static_cast<double>(iacc) *
+                                 inQuant_.scale * wQuant_.scale,
+                             biasAt(oc));
+        };
+        if (narrow)
+            convRegionNarrow(kt, spec_, cpg, opg, wPackN_.data(),
+                             chunkPairs_, full, out, xgN.data(),
+                             accL.data(), loadX, wb);
+        else
+            convRegionInt(kt, spec_, cpg, opg, wPackI_.data(), full,
+                          out, xgI.data(), accL.data(), loadX, wb);
+    } else {
+        const float zero_s = storeInput(0.0f);
+        convRegionFloat(
+            kt, spec_, cpg, opg, wPackF_.data(), full, out, xgF.data(),
+            accF.data(),
+            [&](int n, int ih, int iw, int ci) {
+                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                return ok
+                    ? xf[((static_cast<std::size_t>(n) * xh + ih) *
+                              xw + iw) * xc + ci]
+                    : zero_s;
+            },
+            [&](double acc, int oc) {
+                return writeback(acc, biasAt(oc));
+            });
+    }
     return out;
 }
 
@@ -676,60 +837,73 @@ Conv2D::forwardRegion(const std::vector<const Tensor *> &ins,
                    precision_ == Precision::INT16;
     if (!wPackValid_)
         packWeights();
+    const bool narrow = integer && chunkPairs_ > 0;
 
     const int cpg = spec_.inC / spec_.groups;
     const int opg = spec_.outC / spec_.groups;
     const int xh = x.h(), xw = x.w(), xc = x.c();
     const float *xd = x.data().data();
-    const std::size_t redLen =
-        static_cast<std::size_t>(spec_.kh) * spec_.kw * cpg;
+    const int redLen = spec_.kh * spec_.kw * cpg;
+    const int redPairs = simd::packPairs(redLen);
     Arena &arena = Arena::local();
     auto xgF = arena.floats(integer ? 0 : redLen);
-    auto xgI = arena.ints(integer ? redLen : 0);
+    auto xgI = arena.ints(integer && !narrow ? redLen : 0);
+    auto xgN = arena.shorts(narrow ? 2 * redPairs : 0);
+    auto accF = arena.floats(
+        integer ? 0 : simd::packSize(1, opg, simd::kF32Lanes));
+    auto accL = arena.longs(
+        integer ? (narrow ? simd::packSize(1, opg, simd::kNarrowLanes)
+                          : simd::packSize(1, opg, simd::kI64Lanes))
+                : 0);
+    if (narrow)
+        for (int k = redLen; k < 2 * redPairs; ++k)
+            xgN[k] = 0;
     auto biasAt = [&](int oc) {
         return spec_.bias ? bias_[oc] : 0.0f;
     };
 
-    simd::dispatch([&](auto b) {
-        using B = decltype(b);
-        if (integer) {
-            const std::int32_t zero_q = quantInput(0.0f);
-            convRegionInt<B>(
-                spec_, cpg, opg, wPackI_.data(), region, out,
-                xgI.data(),
-                [&](int n, int ih, int iw, int ci) {
-                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-                    return ok
-                        ? quantInput(
-                              xd[((static_cast<std::size_t>(n) * xh +
-                                   ih) * xw + iw) * xc + ci])
-                        : zero_q;
-                },
-                [&](std::int64_t iacc, int oc) {
-                    // Left-associated like computeNeuron: the double
-                    // rounding order is part of the bit contract.
-                    return writeback(static_cast<double>(iacc) *
-                                         inQuant_.scale * wQuant_.scale,
-                                     biasAt(oc));
-                });
-        } else {
-            const float zero_s = storeInput(0.0f);
-            convRegionFloat<B>(
-                spec_, cpg, opg, wPackF_.data(), region, out,
-                xgF.data(),
-                [&](int n, int ih, int iw, int ci) {
-                    bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-                    return ok
-                        ? storeInput(
-                              xd[((static_cast<std::size_t>(n) * xh +
-                                   ih) * xw + iw) * xc + ci])
-                        : zero_s;
-                },
-                [&](double acc, int oc) {
-                    return writeback(acc, biasAt(oc));
-                });
-        }
-    });
+    const simd::KernelTable &kt = simd::table();
+    if (integer) {
+        const std::int32_t zero_q = quantInput(0.0f);
+        auto loadX = [&](int n, int ih, int iw, int ci) {
+            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+            return ok
+                ? quantInput(
+                      xd[((static_cast<std::size_t>(n) * xh + ih) *
+                          xw + iw) * xc + ci])
+                : zero_q;
+        };
+        auto wb = [&](std::int64_t iacc, int oc) {
+            // Left-associated like computeNeuron: the double
+            // rounding order is part of the bit contract.
+            return writeback(static_cast<double>(iacc) *
+                                 inQuant_.scale * wQuant_.scale,
+                             biasAt(oc));
+        };
+        if (narrow)
+            convRegionNarrow(kt, spec_, cpg, opg, wPackN_.data(),
+                             chunkPairs_, region, out, xgN.data(),
+                             accL.data(), loadX, wb);
+        else
+            convRegionInt(kt, spec_, cpg, opg, wPackI_.data(), region,
+                          out, xgI.data(), accL.data(), loadX, wb);
+    } else {
+        const float zero_s = storeInput(0.0f);
+        convRegionFloat(
+            kt, spec_, cpg, opg, wPackF_.data(), region, out,
+            xgF.data(), accF.data(),
+            [&](int n, int ih, int iw, int ci) {
+                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                return ok
+                    ? storeInput(
+                          xd[((static_cast<std::size_t>(n) * xh +
+                               ih) * xw + iw) * xc + ci])
+                    : zero_s;
+            },
+            [&](double acc, int oc) {
+                return writeback(acc, biasAt(oc));
+            });
+    }
 }
 
 bool
@@ -754,65 +928,82 @@ Conv2D::forwardWithSub(const std::vector<const Tensor *> &ins,
                    precision_ == Precision::INT16;
     if (!wPackValid_)
         packWeights();
+    const bool narrow = integer && chunkPairs_ > 0;
 
     const int cpg = spec_.inC / spec_.groups;
     const int opg = spec_.outC / spec_.groups;
     const int xh = x.h(), xw = x.w(), xc = x.c();
     const float *xd = x.data().data();
     const std::size_t flat = sub->flatIndex;
-    const std::size_t redLen =
-        static_cast<std::size_t>(spec_.kh) * spec_.kw * cpg;
+    const int redLen = spec_.kh * spec_.kw * cpg;
+    const int redPairs = simd::packPairs(redLen);
     Arena &arena = Arena::local();
     auto xgF = arena.floats(integer ? 0 : redLen);
-    auto xgI = arena.ints(integer ? redLen : 0);
+    auto xgI = arena.ints(integer && !narrow ? redLen : 0);
+    auto xgN = arena.shorts(narrow ? 2 * redPairs : 0);
+    auto accF = arena.floats(
+        integer ? 0 : simd::packSize(1, opg, simd::kF32Lanes));
+    auto accL = arena.longs(
+        integer ? (narrow ? simd::packSize(1, opg, simd::kNarrowLanes)
+                          : simd::packSize(1, opg, simd::kI64Lanes))
+                : 0);
+    if (narrow)
+        for (int k = redLen; k < 2 * redPairs; ++k)
+            xgN[k] = 0;
     auto biasAt = [&](int oc) {
         return spec_.bias ? bias_[oc] : 0.0f;
     };
 
-    simd::dispatch([&](auto b) {
-        using B = decltype(b);
-        if (integer) {
-            const std::int32_t zero_q = quantInput(0.0f);
-            const std::int32_t sub_q = quantInput(sub->value);
-            auto loadX = [&](int n, int ih, int iw, int ci) {
-                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-                if (!ok)
-                    return zero_q;
-                std::size_t off =
-                    ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
-                        xc + ci;
-                return off == flat ? sub_q : quantInput(xd[off]);
-            };
-            auto wb = [&](std::int64_t iacc, int oc) {
-                // Left-associated like computeNeuron: the double
-                // rounding order is part of the bit contract.
-                return writeback(static_cast<double>(iacc) *
-                                     inQuant_.scale * wQuant_.scale,
-                                 biasAt(oc));
-            };
-            for (std::size_t i = 0; i < numBoxes; ++i)
-                convRegionInt<B>(spec_, cpg, opg, wPackI_.data(),
-                                 boxes[i], out, xgI.data(), loadX, wb);
-        } else {
-            const float zero_s = storeInput(0.0f);
-            const float sub_s = storeInput(sub->value);
-            auto loadX = [&](int n, int ih, int iw, int ci) {
-                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-                if (!ok)
-                    return zero_s;
-                std::size_t off =
-                    ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
-                        xc + ci;
-                return off == flat ? sub_s : storeInput(xd[off]);
-            };
-            auto wb = [&](double acc, int oc) {
-                return writeback(acc, biasAt(oc));
-            };
-            for (std::size_t i = 0; i < numBoxes; ++i)
-                convRegionFloat<B>(spec_, cpg, opg, wPackF_.data(),
-                                   boxes[i], out, xgF.data(), loadX, wb);
+    const simd::KernelTable &kt = simd::table();
+    if (integer) {
+        const std::int32_t zero_q = quantInput(0.0f);
+        const std::int32_t sub_q = quantInput(sub->value);
+        auto loadX = [&](int n, int ih, int iw, int ci) {
+            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+            if (!ok)
+                return zero_q;
+            std::size_t off =
+                ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
+                    xc + ci;
+            return off == flat ? sub_q : quantInput(xd[off]);
+        };
+        auto wb = [&](std::int64_t iacc, int oc) {
+            // Left-associated like computeNeuron: the double
+            // rounding order is part of the bit contract.
+            return writeback(static_cast<double>(iacc) *
+                                 inQuant_.scale * wQuant_.scale,
+                             biasAt(oc));
+        };
+        for (std::size_t i = 0; i < numBoxes; ++i) {
+            if (narrow)
+                convRegionNarrow(kt, spec_, cpg, opg, wPackN_.data(),
+                                 chunkPairs_, boxes[i], out,
+                                 xgN.data(), accL.data(), loadX, wb);
+            else
+                convRegionInt(kt, spec_, cpg, opg, wPackI_.data(),
+                              boxes[i], out, xgI.data(), accL.data(),
+                              loadX, wb);
         }
-    });
+    } else {
+        const float zero_s = storeInput(0.0f);
+        const float sub_s = storeInput(sub->value);
+        auto loadX = [&](int n, int ih, int iw, int ci) {
+            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+            if (!ok)
+                return zero_s;
+            std::size_t off =
+                ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
+                    xc + ci;
+            return off == flat ? sub_s : storeInput(xd[off]);
+        };
+        auto wb = [&](double acc, int oc) {
+            return writeback(acc, biasAt(oc));
+        };
+        for (std::size_t i = 0; i < numBoxes; ++i)
+            convRegionFloat(kt, spec_, cpg, opg, wPackF_.data(),
+                            boxes[i], out, xgF.data(), accF.data(),
+                            loadX, wb);
+    }
     return true;
 }
 
@@ -826,6 +1017,7 @@ Conv2D::forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
                    precision_ == Precision::INT16;
     if (!wPackValid_)
         packWeights();
+    const bool narrow = integer && chunkPairs_ > 0;
 
     const int cpg = spec_.inC / spec_.groups;
     const int opg = spec_.outC / spec_.groups;
@@ -850,11 +1042,17 @@ Conv2D::forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
     xplane.ensure(x, fp);
     const float *xlane = fp.empty() ? nullptr : xplane.lanes(0);
 
-    const std::size_t redLen =
-        static_cast<std::size_t>(spec_.kh) * spec_.kw * cpg;
+    const int redLen = spec_.kh * spec_.kw * cpg;
+    const int redPairs = simd::packPairs(redLen);
     Arena &arena = Arena::local();
-    auto xgF = arena.floats(integer ? 0 : redLen * W);
-    auto xgI = arena.ints(integer ? redLen * W : 0);
+    auto xgF = arena.floats(integer ? 0 : static_cast<std::size_t>(redLen) * W);
+    auto xgI = arena.ints(
+        integer && !narrow ? static_cast<std::size_t>(redLen) * W : 0);
+    auto xgN = arena.shorts(
+        narrow ? static_cast<std::size_t>(2 * redPairs) * W : 0);
+    if (narrow && 2 * redPairs > redLen)
+        std::memset(xgN.data() + static_cast<std::size_t>(redLen) * W,
+                    0, W * sizeof(std::int16_t));
     // Stored-form lane operands over the footprint (same global
     // lane-minor indexing as the plane, converted rows only).
     // FP16 planes usually hold stored-form values already (golden
@@ -953,23 +1151,10 @@ Conv2D::forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
         return spec_.bias ? bias_[oc] : 0.0f;
     };
 
+    const simd::KernelTable &kt = simd::table();
     if (integer) {
         const std::int32_t *xsrc = xsI.data();
         const std::int32_t zero_q = quantInput(0.0f);
-        auto loadG = [&](std::int32_t *dst, int n, int ih, int iw,
-                         int ci) {
-            bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
-            if (!ok) {
-                for (int l = 0; l < W; ++l)
-                    dst[l] = zero_q;
-                return;
-            }
-            std::size_t off =
-                ((static_cast<std::size_t>(n) * xh + ih) * xw + iw) *
-                    xc + ci;
-            std::memcpy(dst, xsrc + off * W,
-                        W * sizeof(std::int32_t));
-        };
         auto wb = [&](const std::int64_t *lanes, float *op, int oc) {
             // Left-associated like computeNeuron: the double rounding
             // order is part of the bit contract.  Splitting writeback
@@ -987,17 +1172,44 @@ Conv2D::forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
             for (int l = 0; l < W; ++l)
                 op[l] = dequantize(q[l], outQuant_);
         };
-        if constexpr (W % simd::Active::kI64Lanes == 0) {
-            if (simd::enabled()) {
-                convBatchedInt<W, simd::Active>(
-                    spec_, cpg, opg, wPackI_.data(), region, cover,
-                    golden, out, xgI.data(), loadG, wb);
-                return;
-            }
+        if (narrow) {
+            auto loadG = [&](std::int16_t *dst, int n, int ih, int iw,
+                             int ci) {
+                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                if (!ok) {
+                    for (int l = 0; l < W; ++l)
+                        dst[l] = static_cast<std::int16_t>(zero_q);
+                    return;
+                }
+                const std::int32_t *src =
+                    xsrc +
+                    (((static_cast<std::size_t>(n) * xh + ih) * xw +
+                      iw) * xc + ci) * W;
+                for (int l = 0; l < W; ++l)
+                    dst[l] = static_cast<std::int16_t>(src[l]);
+            };
+            convBatchedNarrow<W>(kt, spec_, cpg, opg, wPackN_.data(),
+                                 chunkPairs_, region, cover, golden,
+                                 out, xgN.data(), loadG, wb);
+        } else {
+            auto loadG = [&](std::int32_t *dst, int n, int ih, int iw,
+                             int ci) {
+                bool ok = ih >= 0 && ih < xh && iw >= 0 && iw < xw;
+                if (!ok) {
+                    for (int l = 0; l < W; ++l)
+                        dst[l] = zero_q;
+                    return;
+                }
+                std::size_t off =
+                    ((static_cast<std::size_t>(n) * xh + ih) * xw +
+                     iw) * xc + ci;
+                std::memcpy(dst, xsrc + off * W,
+                            W * sizeof(std::int32_t));
+            };
+            convBatchedInt<W>(kt, spec_, cpg, opg, wPackI_.data(),
+                              region, cover, golden, out, xgI.data(),
+                              loadG, wb);
         }
-        convBatchedInt<W, simd::ScalarBackendT<W, W>>(
-            spec_, cpg, opg, wPackI_.data(), region, cover, golden,
-            out, xgI.data(), loadG, wb);
     } else {
         const float *xsrc = convert ? xsF.data() : xlane;
         const float zero_s = storeInput(0.0f);
@@ -1024,17 +1236,9 @@ Conv2D::forwardBatchedImpl(const Tensor &x, LanePlane &xplane,
             if (half)
                 simd::roundToHalfBatch(op, op, W);
         };
-        if constexpr (W == simd::Active::kF32Lanes) {
-            if (simd::enabled()) {
-                convBatchedFloat<W, simd::Active>(
-                    spec_, cpg, opg, wPackF_.data(), region, cover,
-                    golden, out, xgF.data(), loadG, wb);
-                return;
-            }
-        }
-        convBatchedFloat<W, simd::ScalarBackendT<W, W>>(
-            spec_, cpg, opg, wPackF_.data(), region, cover, golden,
-            out, xgF.data(), loadG, wb);
+        convBatchedFloat<W>(kt, spec_, cpg, opg, wPackF_.data(),
+                            region, cover, golden, out, xgF.data(),
+                            loadG, wb);
     }
 }
 

@@ -13,7 +13,10 @@
 #ifndef FIDELITY_NN_CONV_HH
 #define FIDELITY_NN_CONV_HH
 
+#include <cstdint>
+
 #include "nn/layer.hh"
+#include "sim/arena.hh"
 
 namespace fidelity
 {
@@ -129,10 +132,17 @@ class Conv2D : public MacLayer
     // precision's stored form (bit-identical to storeWeight /
     // quantWeight per element) and packed lane-blocked per group
     // (see simd/pack.hh).  Built at construction; precision or
-    // quantisation changes invalidate and repack lazily.
+    // quantisation changes invalidate and repack lazily.  Integer
+    // precisions pack *either* the narrow pair-interleaved int16
+    // layout (when the statically proven chunk bound makes the narrow
+    // kernels legal and profitable — chunkPairs_ > 0) *or* the wide
+    // int32 layout; the narrow result is exact, hence bit-identical
+    // to the wide path.
     mutable bool wPackValid_ = false;
-    mutable std::vector<float> wPackF_;
-    mutable std::vector<std::int32_t> wPackI_;
+    mutable AlignedVec<float> wPackF_;
+    mutable AlignedVec<std::int32_t> wPackI_;
+    mutable AlignedVec<std::int16_t> wPackN_;
+    mutable int chunkPairs_ = 0; //!< 0: narrow path off (wide pack)
 };
 
 } // namespace fidelity

@@ -50,23 +50,10 @@ Elementwise::forward(const std::vector<const Tensor *> &ins) const
     const float *bd = b.data().data();
     float *od = out.data().data();
     const std::size_t sz = a.size();
-    simd::dispatch([&](auto bk) {
-        using B = decltype(bk);
-        constexpr int L = B::kF32Lanes;
-        std::size_t i = 0;
-        for (; i + L <= sz; i += L) {
-            auto va = B::f32load(ad + i);
-            auto vb = B::f32load(bd + i);
-            auto v = op_ == Op::Add ? B::f32add(va, vb)
-                   : op_ == Op::Mul ? B::f32mul(va, vb)
-                                    : B::f32sub(va, vb);
-            B::f32store(od + i, v);
-        }
-        for (; i < sz; ++i)
-            od[i] = op_ == Op::Add ? ad[i] + bd[i]
-                  : op_ == Op::Mul ? ad[i] * bd[i]
-                                   : ad[i] - bd[i];
-    });
+    const simd::KernelTable &kt = simd::table();
+    (op_ == Op::Add ? kt.addF32
+     : op_ == Op::Mul ? kt.mulF32
+                      : kt.subF32)(ad, bd, od, sz);
     roundForPrecision(out, precision_);
     return out;
 }
@@ -131,6 +118,10 @@ Elementwise::forwardRegionBatched(const std::vector<const Tensor *> &ins,
     const bool half = precision_ == Precision::FP16;
     const std::size_t run =
         static_cast<std::size_t>(region.c1 - region.c0) * W;
+    const simd::KernelTable &kt = simd::table();
+    auto op = op_ == Op::Add ? kt.addF32
+              : op_ == Op::Mul ? kt.mulF32
+                               : kt.subF32;
     const BatchCover::Span full{region.w0, region.w1};
     for (int n = region.n0; n < region.n1; ++n) {
         for (int h = region.h0; h < region.h1; ++h) {
@@ -141,28 +132,10 @@ Elementwise::forwardRegionBatched(const std::vector<const Tensor *> &ins,
             for (int si = 0; si < nsp; ++si) {
             for (int w = sp[si].w0; w < sp[si].w1; ++w) {
                 std::size_t f0 = golden.offset(n, h, w, region.c0);
-                const float *av = ap.lanes(f0);
-                const float *bv = bp.lanes(f0);
-                float *op = out.lanes(f0);
-                simd::dispatch([&](auto bk) {
-                    using B = decltype(bk);
-                    constexpr int L = B::kF32Lanes;
-                    std::size_t i = 0;
-                    for (; i + L <= run; i += L) {
-                        auto va = B::f32load(av + i);
-                        auto vb = B::f32load(bv + i);
-                        auto v = op_ == Op::Add ? B::f32add(va, vb)
-                               : op_ == Op::Mul ? B::f32mul(va, vb)
-                                                : B::f32sub(va, vb);
-                        B::f32store(op + i, v);
-                    }
-                    for (; i < run; ++i)
-                        op[i] = op_ == Op::Add ? av[i] + bv[i]
-                              : op_ == Op::Mul ? av[i] * bv[i]
-                                               : av[i] - bv[i];
-                });
+                float *od = out.lanes(f0);
+                op(ap.lanes(f0), bp.lanes(f0), od, run);
                 if (half)
-                    simd::roundToHalfBatch(op, op, run);
+                    simd::roundToHalfBatch(od, od, run);
             }
             }
         }
@@ -424,19 +397,7 @@ ScaleShift::forward(const std::vector<const Tensor *> &ins) const
     const float *xd = x.data().data();
     float *od = out.data().data();
     const std::size_t sz = x.size();
-    simd::dispatch([&](auto bk) {
-        using B = decltype(bk);
-        constexpr int L = B::kF32Lanes;
-        auto vs = B::f32broadcast(scale_);
-        auto vt = B::f32broadcast(shift_);
-        std::size_t i = 0;
-        for (; i + L <= sz; i += L)
-            B::f32store(od + i,
-                        B::f32add(B::f32mul(vs, B::f32load(xd + i)),
-                                  vt));
-        for (; i < sz; ++i)
-            od[i] = scale_ * xd[i] + shift_;
-    });
+    simd::table().scaleShiftF32(xd, scale_, shift_, od, sz);
     roundForPrecision(out, precision_);
     return out;
 }
@@ -483,6 +444,7 @@ ScaleShift::forwardRegionBatched(const std::vector<const Tensor *> &ins,
     const bool half = precision_ == Precision::FP16;
     const std::size_t run =
         static_cast<std::size_t>(region.c1 - region.c0) * W;
+    const simd::KernelTable &kt = simd::table();
     const BatchCover::Span full{region.w0, region.w1};
     for (int n = region.n0; n < region.n1; ++n) {
         for (int h = region.h0; h < region.h1; ++h) {
@@ -493,22 +455,9 @@ ScaleShift::forwardRegionBatched(const std::vector<const Tensor *> &ins,
             for (int si = 0; si < nsp; ++si) {
             for (int w = sp[si].w0; w < sp[si].w1; ++w) {
                 std::size_t f0 = golden.offset(n, h, w, region.c0);
-                const float *ip = xp.lanes(f0);
                 float *op = out.lanes(f0);
-                simd::dispatch([&](auto bk) {
-                    using B = decltype(bk);
-                    constexpr int L = B::kF32Lanes;
-                    auto vs = B::f32broadcast(scale_);
-                    auto vt = B::f32broadcast(shift_);
-                    std::size_t i = 0;
-                    for (; i + L <= run; i += L)
-                        B::f32store(
-                            op + i,
-                            B::f32add(B::f32mul(vs, B::f32load(ip + i)),
-                                      vt));
-                    for (; i < run; ++i)
-                        op[i] = scale_ * ip[i] + shift_;
-                });
+                kt.scaleShiftF32(xp.lanes(f0), scale_, shift_, op,
+                                 run);
                 if (half)
                     simd::roundToHalfBatch(op, op, run);
             }

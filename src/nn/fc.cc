@@ -118,16 +118,38 @@ FC::packWeights() const
         };
     };
     if (integer) {
-        constexpr int L = simd::kI64Lanes;
         auto tmp = arena.ints(weights_.size());
         simd::quantizeBatch(weights_.data(), tmp.data(),
                             weights_.size(), wQuant_);
-        wPackI_.resize(simd::packSize(inC_, units_, L));
-        wPackF_.clear();
-        simd::packLaneBlocked(inC_, units_, L, get(tmp.data()),
-                              wPackI_.data());
+        // Max |w| plus the operand bound |x| <= 2^(bits-1) proves the
+        // narrow kernels' int32 chunk length; commit to the narrow or
+        // the wide pack accordingly (both exact — see Conv2D).
+        std::int32_t maxAbsW = 0;
+        for (std::size_t i = 0; i < weights_.size(); ++i) {
+            std::int32_t a = tmp[i] < 0 ? -tmp[i] : tmp[i];
+            maxAbsW = a > maxAbsW ? a : maxAbsW;
+        }
+        const int bits = precision_ == Precision::INT8 ? 8 : 16;
+        int chunk = simd::narrowChunkPairs(bits, maxAbsW);
+        if (simd::narrowEligible(chunk)) {
+            chunkPairs_ = chunk;
+            wPackN_.resize(simd::packNarrowSize(inC_, units_));
+            wPackI_.clear();
+            wPackF_.clear();
+            simd::packNarrow(inC_, units_, get(tmp.data()),
+                             wPackN_.data());
+        } else {
+            constexpr int L = simd::kI64Lanes;
+            chunkPairs_ = 0;
+            wPackI_.resize(simd::packSize(inC_, units_, L));
+            wPackN_.clear();
+            wPackF_.clear();
+            simd::packLaneBlocked(inC_, units_, L, get(tmp.data()),
+                                  wPackI_.data());
+        }
     } else {
         constexpr int L = simd::kF32Lanes;
+        chunkPairs_ = 0;
         const float *src = weights_.data();
         Arena::Lease<float> tmp = arena.floats(
             precision_ == Precision::FP16 ? weights_.size() : 0);
@@ -138,6 +160,7 @@ FC::packWeights() const
         }
         wPackF_.resize(simd::packSize(inC_, units_, L));
         wPackI_.clear();
+        wPackN_.clear();
         simd::packLaneBlocked(inC_, units_, L, get(src),
                               wPackF_.data());
     }
@@ -155,13 +178,30 @@ FC::forward(const std::vector<const Tensor *> &ins) const
     if (!wPackValid_)
         packWeights();
 
+    const bool narrow = integer && chunkPairs_ > 0;
     Arena &arena = Arena::local();
     auto xs = arena.floats(
         integer || precision_ == Precision::FP32 ? 0 : x.size());
     auto xq = arena.ints(integer ? x.size() : 0);
+    // Narrowed operands, one zeroed pad element past the end so the
+    // final position's odd-reduction pair is readable (its weight is
+    // zero, so the value cannot matter).
+    auto xn = arena.shorts(narrow ? x.size() + 1 : 0);
+    auto accF = arena.floats(
+        integer ? 0 : simd::packSize(1, units_, simd::kF32Lanes));
+    auto accL = arena.longs(
+        integer
+            ? (narrow ? simd::packSize(1, units_, simd::kNarrowLanes)
+                      : simd::packSize(1, units_, simd::kI64Lanes))
+            : 0);
     const float *xf = x.data().data();
     if (integer) {
         simd::quantizeBatch(xf, xq.data(), x.size(), inQuant_);
+        if (narrow) {
+            for (std::size_t i = 0; i < x.size(); ++i)
+                xn[i] = static_cast<std::int16_t>(xq[i]);
+            xn[x.size()] = 0;
+        }
     } else if (precision_ == Precision::FP16) {
         simd::roundToHalfBatch(xf, xs.data(), x.size());
         xf = xs.data();
@@ -171,24 +211,28 @@ FC::forward(const std::vector<const Tensor *> &ins) const
     auto biasAt = [&](int u) {
         return bias_.empty() ? 0.0f : bias_[u];
     };
-    simd::dispatch([&](auto b) {
-        using B = decltype(b);
-        if (integer) {
-            simd::denseInt<B>(
-                xq.data(), positions, inC_, units_, wPackI_.data(),
-                out.data().data(), [&](std::int64_t iacc, int u) {
-                    return writeback(static_cast<double>(iacc) *
-                                         inQuant_.scale * wQuant_.scale,
-                                     biasAt(u));
-                });
-        } else {
-            simd::denseFloat<B>(
-                xf, positions, inC_, units_, wPackF_.data(),
-                out.data().data(), [&](double acc, int u) {
-                    return writeback(acc, biasAt(u));
-                });
-        }
-    });
+    const simd::KernelTable &kt = simd::table();
+    if (integer) {
+        auto wb = [&](std::int64_t iacc, int u) {
+            return writeback(static_cast<double>(iacc) *
+                                 inQuant_.scale * wQuant_.scale,
+                             biasAt(u));
+        };
+        if (narrow)
+            simd::denseNarrow(kt, xn.data(), positions, inC_, units_,
+                              wPackN_.data(), chunkPairs_, accL.data(),
+                              out.data().data(), wb);
+        else
+            simd::denseInt(kt, xq.data(), positions, inC_, units_,
+                           wPackI_.data(), accL.data(),
+                           out.data().data(), wb);
+    } else {
+        simd::denseFloat(kt, xf, positions, inC_, units_,
+                         wPackF_.data(), accF.data(),
+                         out.data().data(), [&](double acc, int u) {
+                             return writeback(acc, biasAt(u));
+                         });
+    }
     return out;
 }
 

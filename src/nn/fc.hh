@@ -11,7 +11,10 @@
 #ifndef FIDELITY_NN_FC_HH
 #define FIDELITY_NN_FC_HH
 
+#include <cstdint>
+
 #include "nn/layer.hh"
+#include "sim/arena.hh"
 
 namespace fidelity
 {
@@ -79,10 +82,14 @@ class FC : public MacLayer
     std::vector<float> weights_; //!< [in_c][units] flat
     std::vector<float> bias_;
 
-    // Lane-blocked packed weight cache (see Conv2D).
+    // Lane-blocked packed weight cache (see Conv2D).  Integer
+    // precisions hold either the narrow pair-interleaved int16 pack
+    // (chunkPairs_ > 0) or the wide int32 pack.
     mutable bool wPackValid_ = false;
-    mutable std::vector<float> wPackF_;
-    mutable std::vector<std::int32_t> wPackI_;
+    mutable AlignedVec<float> wPackF_;
+    mutable AlignedVec<std::int32_t> wPackI_;
+    mutable AlignedVec<std::int16_t> wPackN_;
+    mutable int chunkPairs_ = 0; //!< 0: narrow path off (wide pack)
 };
 
 } // namespace fidelity

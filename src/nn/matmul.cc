@@ -131,30 +131,56 @@ MatMulAB::forward(const std::vector<const Tensor *> &ins) const
 
     // B is an activation, so its pack is per-call arena scratch
     // rather than a persistent cache; the pack step also resolves
-    // transB so the kernel always streams [colBlock][k][L].
+    // transB so the kernel always streams the fixed-width layouts.
     Arena &arena = Arena::local();
+    const simd::KernelTable &kt = simd::table();
     if (integer) {
-        constexpr int L = simd::kI64Lanes;
         auto aq = arena.ints(a.size());
         auto bq = arena.ints(b.size());
         simd::quantizeBatch(a.data().data(), aq.data(), a.size(),
                             inQuant_);
         simd::quantizeBatch(b.data().data(), bq.data(), b.size(),
                             wQuant_);
-        auto bp = arena.ints(simd::packSize(red, cols, L));
-        simd::packLaneBlocked(
-            red, cols, L,
-            [&](int k, int c) { return bq[bAt(k, c)]; }, bp.data());
-        simd::dispatch([&](auto bk) {
-            using B = decltype(bk);
-            simd::denseInt<B>(
-                aq.data(), rows, red, cols, bp.data(),
-                out.data().data(), [&](std::int64_t iacc, int) {
-                    double facc = static_cast<double>(iacc) *
-                                  inQuant_.scale * wQuant_.scale;
-                    return writeback(facc * scale_, 0.0f);
-                });
-        });
+        auto wb = [&](std::int64_t iacc, int) {
+            double facc = static_cast<double>(iacc) * inQuant_.scale *
+                          wQuant_.scale;
+            return writeback(facc * scale_, 0.0f);
+        };
+        // Per-call narrow eligibility: scan B's quantised magnitudes
+        // for the chunk bound (see Conv2D::packWeights).
+        std::int32_t maxAbsW = 0;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            std::int32_t v = bq[i] < 0 ? -bq[i] : bq[i];
+            maxAbsW = v > maxAbsW ? v : maxAbsW;
+        }
+        const int bits = precision_ == Precision::INT8 ? 8 : 16;
+        int chunk = simd::narrowChunkPairs(bits, maxAbsW);
+        if (simd::narrowEligible(chunk)) {
+            auto an = arena.shorts(a.size() + 1);
+            for (std::size_t i = 0; i < a.size(); ++i)
+                an[i] = static_cast<std::int16_t>(aq[i]);
+            an[a.size()] = 0;
+            auto bp = arena.shorts(simd::packNarrowSize(red, cols));
+            simd::packNarrow(
+                red, cols,
+                [&](int k, int c) { return bq[bAt(k, c)]; },
+                bp.data());
+            auto accL = arena.longs(
+                simd::packSize(1, cols, simd::kNarrowLanes));
+            simd::denseNarrow(kt, an.data(), rows, red, cols,
+                              bp.data(), chunk, accL.data(),
+                              out.data().data(), wb);
+        } else {
+            constexpr int L = simd::kI64Lanes;
+            auto bp = arena.ints(simd::packSize(red, cols, L));
+            simd::packLaneBlocked(
+                red, cols, L,
+                [&](int k, int c) { return bq[bAt(k, c)]; },
+                bp.data());
+            auto accL = arena.longs(simd::packSize(1, cols, L));
+            simd::denseInt(kt, aq.data(), rows, red, cols, bp.data(),
+                           accL.data(), out.data().data(), wb);
+        }
     } else {
         constexpr int L = simd::kF32Lanes;
         bool half = precision_ == Precision::FP16;
@@ -172,14 +198,12 @@ MatMulAB::forward(const std::vector<const Tensor *> &ins) const
         simd::packLaneBlocked(
             red, cols, L,
             [&](int k, int c) { return bf[bAt(k, c)]; }, bp.data());
-        simd::dispatch([&](auto bk) {
-            using B = decltype(bk);
-            simd::denseFloat<B>(
-                af, rows, red, cols, bp.data(), out.data().data(),
-                [&](double acc, int) {
-                    return writeback(acc * scale_, 0.0f);
-                });
-        });
+        auto accF = arena.floats(simd::packSize(1, cols, L));
+        simd::denseFloat(kt, af, rows, red, cols, bp.data(),
+                         accF.data(), out.data().data(),
+                         [&](double acc, int) {
+                             return writeback(acc * scale_, 0.0f);
+                         });
     }
     return out;
 }

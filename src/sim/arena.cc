@@ -11,6 +11,10 @@ Arena::bytesHeld() const
         bytes += b.capacity() * sizeof(float);
     for (const auto &b : intPool_)
         bytes += b.capacity() * sizeof(std::int32_t);
+    for (const auto &b : shortPool_)
+        bytes += b.capacity() * sizeof(std::int16_t);
+    for (const auto &b : longPool_)
+        bytes += b.capacity() * sizeof(std::int64_t);
     return bytes;
 }
 
@@ -19,6 +23,8 @@ Arena::clear()
 {
     floatPool_.clear();
     intPool_.clear();
+    shortPool_.clear();
+    longPool_.clear();
 }
 
 Arena &

@@ -11,6 +11,11 @@
  * to the pool.  Steady-state campaigns therefore run the conversion
  * paths without touching the allocator.
  *
+ * All pooled buffers (and the packed-weight buffers, which share the
+ * AlignedVec alias) are 64-byte aligned so the SIMD kernels may use
+ * aligned vector loads on the packed streams and operand gathers; a
+ * static_assert below plus tests/test_simd.cc guard the guarantee.
+ *
  * The arena is intentionally thread-local (Arena::local()): leases are
  * only ever used within one kernel invocation on the leasing thread,
  * so no synchronisation is needed.
@@ -21,11 +26,63 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <utility>
 #include <vector>
 
 namespace fidelity
 {
+
+/** Arena/pack buffer alignment: one cache line, >= any vector load. */
+inline constexpr std::size_t kBufferAlign = 64;
+
+/** Minimal std allocator handing out kBufferAlign-aligned storage. */
+template <typename T>
+struct AlignedAlloc
+{
+    using value_type = T;
+
+    static_assert((kBufferAlign & (kBufferAlign - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(kBufferAlign >= alignof(T),
+                  "alignment must not weaken the type's own");
+
+    AlignedAlloc() = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{kBufferAlign}));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t{kBufferAlign});
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAlloc<U> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAlloc<U> &) const
+    {
+        return false;
+    }
+};
+
+/** 64-byte-aligned vector: arena pools and packed-weight buffers. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
 
 /** Pool of reusable scratch buffers owned by one worker thread. */
 class Arena
@@ -36,15 +93,16 @@ class Arena
     Arena &operator=(const Arena &) = delete;
 
     /**
-     * RAII checkout of a pooled vector<T>.  The buffer is sized to the
-     * request (contents unspecified — callers overwrite) and returned
-     * to the owning arena, capacity intact, on destruction.
+     * RAII checkout of a pooled aligned vector<T>.  The buffer is
+     * sized to the request (contents unspecified — callers overwrite)
+     * and returned to the owning arena, capacity intact, on
+     * destruction.
      */
     template <typename T>
     class Lease
     {
       public:
-        Lease(Arena &arena, std::vector<T> &&buf)
+        Lease(Arena &arena, AlignedVec<T> &&buf)
             : arena_(&arena), buf_(std::move(buf))
         {
         }
@@ -70,11 +128,11 @@ class Arena
         std::size_t size() const { return buf_.size(); }
         T &operator[](std::size_t i) { return buf_[i]; }
         const T &operator[](std::size_t i) const { return buf_[i]; }
-        std::vector<T> &vec() { return buf_; }
+        AlignedVec<T> &vec() { return buf_; }
 
       private:
         Arena *arena_;
-        std::vector<T> buf_;
+        AlignedVec<T> buf_;
     };
 
     /** Check out a float buffer of n elements. */
@@ -87,11 +145,26 @@ class Arena
         return lease(intPool_, n);
     }
 
+    /** Check out an int16 buffer of n elements (narrow operands). */
+    Lease<std::int16_t>
+    shorts(std::size_t n)
+    {
+        return lease(shortPool_, n);
+    }
+
+    /** Check out an int64 buffer of n elements (accumulators). */
+    Lease<std::int64_t>
+    longs(std::size_t n)
+    {
+        return lease(longPool_, n);
+    }
+
     /** Buffers currently parked in the pools. */
     std::size_t
     pooledBuffers() const
     {
-        return floatPool_.size() + intPool_.size();
+        return floatPool_.size() + intPool_.size() +
+               shortPool_.size() + longPool_.size();
     }
 
     /** Bytes of capacity held by parked buffers. */
@@ -112,9 +185,9 @@ class Arena
   private:
     template <typename T>
     Lease<T>
-    lease(std::vector<std::vector<T>> &pool, std::size_t n)
+    lease(std::vector<AlignedVec<T>> &pool, std::size_t n)
     {
-        std::vector<T> buf;
+        AlignedVec<T> buf;
         if (!pool.empty()) {
             buf = std::move(pool.back());
             pool.pop_back();
@@ -126,18 +199,30 @@ class Arena
         return Lease<T>(*this, std::move(buf));
     }
 
-    void give(std::vector<float> &&buf)
+    void give(AlignedVec<float> &&buf)
     {
         floatPool_.push_back(std::move(buf));
     }
 
-    void give(std::vector<std::int32_t> &&buf)
+    void give(AlignedVec<std::int32_t> &&buf)
     {
         intPool_.push_back(std::move(buf));
     }
 
-    std::vector<std::vector<float>> floatPool_;
-    std::vector<std::vector<std::int32_t>> intPool_;
+    void give(AlignedVec<std::int16_t> &&buf)
+    {
+        shortPool_.push_back(std::move(buf));
+    }
+
+    void give(AlignedVec<std::int64_t> &&buf)
+    {
+        longPool_.push_back(std::move(buf));
+    }
+
+    std::vector<AlignedVec<float>> floatPool_;
+    std::vector<AlignedVec<std::int32_t>> intPool_;
+    std::vector<AlignedVec<std::int16_t>> shortPool_;
+    std::vector<AlignedVec<std::int64_t>> longPool_;
     std::uint64_t reuses_ = 0;
     std::uint64_t allocations_ = 0;
 };

@@ -1,7 +1,6 @@
 #include "simd/convert.hh"
 
 #include "simd/simd.hh"
-#include "tensor/bitops.hh"
 
 namespace fidelity::simd
 {
@@ -9,65 +8,16 @@ namespace fidelity::simd
 void
 roundToHalfBatch(const float *in, float *out, std::size_t n)
 {
-    std::size_t i = 0;
-#if !defined(FIDELITY_NO_SIMD) && defined(__F16C__) && defined(__AVX__)
-    if (enabled()) {
-        const __m256 sign_mask =
-            _mm256_castsi256_ps(_mm256_set1_epi32(0x80000000));
-        const __m256 canon_nan =
-            _mm256_castsi256_ps(_mm256_set1_epi32(0x7fc00000));
-        for (; i + 8 <= n; i += 8) {
-            __m256 x = _mm256_loadu_ps(in + i);
-            __m128i h = _mm256_cvtps_ph(
-                x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-            __m256 y = _mm256_cvtph_ps(h);
-            // The hardware keeps NaN payload bits the software path
-            // drops; canonicalise unordered lanes to sign|0x7fc00000.
-            __m256 unord = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
-            if (_mm256_movemask_ps(unord)) {
-                __m256 canon = _mm256_or_ps(
-                    _mm256_and_ps(x, sign_mask), canon_nan);
-                y = _mm256_blendv_ps(y, canon, unord);
-            }
-            _mm256_storeu_ps(out + i, y);
-        }
-    }
-#endif
-    for (; i < n; ++i)
-        out[i] = roundToHalf(in[i]);
+    // table() already honours the runtime toggle and any forced
+    // backend; the scalar table's entry is the per-element loop.
+    table().roundToHalfB(in, out, n);
 }
 
 void
 quantizeBatch(const float *in, std::int32_t *out, std::size_t n,
               const QuantParams &qp)
 {
-    std::size_t i = 0;
-#if !defined(FIDELITY_NO_SIMD) && defined(__AVX__)
-    if (enabled()) {
-        const __m256d scale = _mm256_set1_pd(qp.scale);
-        const __m256d lo = _mm256_set1_pd(static_cast<double>(qp.qmin()));
-        const __m256d hi = _mm256_set1_pd(static_cast<double>(qp.qmax()));
-        for (; i + 4 <= n; i += 4) {
-            __m128 xf = _mm_loadu_ps(in + i);
-            if (_mm_movemask_ps(_mm_cmpunord_ps(xf, xf))) {
-                // NaN operands take the scalar path so the (platform-
-                // defined) NaN-to-int conversion stays identical.
-                for (std::size_t j = i; j < i + 4; ++j)
-                    out[j] = quantize(in[j], qp);
-                continue;
-            }
-            __m256d x = _mm256_cvtps_pd(xf);
-            __m256d q = _mm256_div_pd(x, scale);
-            q = _mm256_round_pd(
-                q, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-            q = _mm256_max_pd(_mm256_min_pd(q, hi), lo);
-            __m128i r = _mm256_cvttpd_epi32(q);
-            _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), r);
-        }
-    }
-#endif
-    for (; i < n; ++i)
-        out[i] = quantize(in[i], qp);
+    table().quantizeB(in, out, n, qp.scale, qp.qmin(), qp.qmax());
 }
 
 } // namespace fidelity::simd

@@ -1,18 +1,24 @@
 /**
  * @file
- * Lane-blocked dense kernels shared by the FC and MatMul layers.
+ * Dense drivers shared by the FC and MatMul layers.
  *
  * The input is a [positions][red] operand stream already converted to
- * stored form; the weights are packed [colBlock][red][L] (see pack.hh).
- * Lanes span independent output columns, each accumulating in the
- * canonical reduction order with unfused multiply-adds — bit-identical
- * to the scalar kernel and to computeNeuron().
+ * stored form; the weights are packed in the fixed-width layouts of
+ * pack.hh.  Each driver runs one `KernelTable` microkernel per
+ * position (all column blocks in one call), then walks the real
+ * columns applying the caller's writeback.  Lanes span independent
+ * output columns, each accumulating in the canonical reduction order
+ * with unfused multiply-adds — bit-identical to the scalar kernel and
+ * to computeNeuron().
+ *
+ * Callers provide the accumulator scratch (`acc`, one padded block
+ * row: packBlocks(cols, L) * L elements) so steady-state campaigns
+ * reuse arena storage.
  */
 
 #ifndef FIDELITY_SIMD_GEMM_HH
 #define FIDELITY_SIMD_GEMM_HH
 
-#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -26,62 +32,61 @@ namespace fidelity::simd
  * out[pos * cols + c] = wb(sum_k xs[pos * red + k] * packed[k, c], c)
  * for every position and column; `wb(acc, c)` applies bias/writeback.
  */
-template <class B, class WB>
+template <class WB>
 void
-denseFloat(const float *xs, std::size_t positions, int red, int cols,
-           const float *packed, float *out, WB wb)
+denseFloat(const KernelTable &kt, const float *xs, std::size_t positions,
+           int red, int cols, const float *packed, float *acc,
+           float *out, WB wb)
 {
-    constexpr int L = B::kF32Lanes;
-    const int blocks = packBlocks(cols, L);
-    const std::size_t blkStride = static_cast<std::size_t>(red) * L;
-
-    float lanes[L];
+    const int blocks = packBlocks(cols, kF32Lanes);
     for (std::size_t pos = 0; pos < positions; ++pos) {
-        const float *xb = xs + pos * red;
+        kt.gemmF32(xs + pos * red, red, blocks, packed, acc);
         float *ob = out + pos * cols;
-        for (int blk = 0; blk < blocks; ++blk) {
-            const float *wrow = packed + blk * blkStride;
-            auto acc = B::f32zero();
-            for (int k = 0; k < red; ++k) {
-                acc = B::f32mulAcc(acc, B::f32broadcast(xb[k]),
-                                   B::f32load(wrow));
-                wrow += L;
-            }
-            B::f32store(lanes, acc);
-            int e = std::min(cols - blk * L, L);
-            for (int l = 0; l < e; ++l)
-                ob[blk * L + l] =
-                    wb(static_cast<double>(lanes[l]), blk * L + l);
-        }
+        for (int c = 0; c < cols; ++c)
+            ob[c] = wb(static_cast<double>(acc[c]), c);
     }
 }
 
-/** Integer twin: int64 lane accumulators over int32 operands. */
-template <class B, class WB>
+/** Wide integer twin: int64 lane accumulators over int32 operands. */
+template <class WB>
 void
-denseInt(const std::int32_t *xq, std::size_t positions, int red, int cols,
-         const std::int32_t *packed, float *out, WB wb)
+denseInt(const KernelTable &kt, const std::int32_t *xq,
+         std::size_t positions, int red, int cols,
+         const std::int32_t *packed, std::int64_t *acc, float *out,
+         WB wb)
 {
-    constexpr int L = B::kI64Lanes;
-    const int blocks = packBlocks(cols, L);
-    const std::size_t blkStride = static_cast<std::size_t>(red) * L;
-
-    std::int64_t lanes[L];
+    const int blocks = packBlocks(cols, kI64Lanes);
     for (std::size_t pos = 0; pos < positions; ++pos) {
-        const std::int32_t *xb = xq + pos * red;
+        kt.gemmI64(xq + pos * red, red, blocks, packed, acc);
         float *ob = out + pos * cols;
-        for (int blk = 0; blk < blocks; ++blk) {
-            const std::int32_t *wrow = packed + blk * blkStride;
-            auto acc = B::i64zero();
-            for (int k = 0; k < red; ++k) {
-                acc = B::i64mulAcc(acc, xb[k], wrow);
-                wrow += L;
-            }
-            B::i64store(lanes, acc);
-            int e = std::min(cols - blk * L, L);
-            for (int l = 0; l < e; ++l)
-                ob[blk * L + l] = wb(lanes[l], blk * L + l);
-        }
+        for (int c = 0; c < cols; ++c)
+            ob[c] = wb(acc[c], c);
+    }
+}
+
+/**
+ * Narrow integer driver over the pair-interleaved int16 pack.  `xs`
+ * holds the int16-narrowed stored-form operands and must be readable
+ * one element past the final position (odd reductions read a padded
+ * pair whose weight is zero — the caller allocates n + 1 elements
+ * with the extra one zeroed).  Exact by the chunk bound, so results
+ * are bit-identical to denseInt and computeNeuron().
+ */
+template <class WB>
+void
+denseNarrow(const KernelTable &kt, const std::int16_t *xs,
+            std::size_t positions, int red, int cols,
+            const std::int16_t *packed, int chunkPairs,
+            std::int64_t *acc, float *out, WB wb)
+{
+    const int blocks = packBlocks(cols, kNarrowLanes);
+    const int redPairs = packPairs(red);
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+        kt.gemmNarrow(xs + pos * red, redPairs, blocks, packed,
+                      chunkPairs, acc);
+        float *ob = out + pos * cols;
+        for (int c = 0; c < cols; ++c)
+            ob[c] = wb(acc[c], c);
     }
 }
 

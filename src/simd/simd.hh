@@ -1,6 +1,6 @@
 /**
  * @file
- * Portable SIMD backend for the forward kernels.
+ * Runtime-dispatched SIMD kernel tables for the forward kernels.
  *
  * The hot kernels (conv / FC / matmul / elementwise) vectorize across
  * *independent output elements* — output-channel lanes for the MAC
@@ -10,19 +10,29 @@
  * a vector kernel is bit-identical to the scalar kernel for any lane
  * width, and identical across backends.
  *
- * Backends are selected at compile time from predefined macros:
- * AVX2 > SSE2 > NEON > scalar, with `FIDELITY_NO_SIMD` as an escape
- * hatch that forces the scalar backend everywhere.  A runtime toggle
- * (`setEnabled`) additionally routes the kernels through the
- * fixed-width scalar backend inside a SIMD build; the differential
- * tests and the scalar-vs-SIMD benches use it to compare both paths in
- * one binary.  Because lane width only affects how outputs are grouped
- * — never the arithmetic of one output — the toggle cannot change
- * results; tests assert that.
+ * Backends are no longer chosen at compile time.  Each backend lives
+ * in its own translation unit (`kernels_scalar.cc`, `kernels_sse2.cc`,
+ * `kernels_avx2.cc`, `kernels_neon.cc`) compiled with per-file ISA
+ * flags, exposing one `KernelTable` of function pointers.  `table()`
+ * picks the best table for the running CPU once (CPUID), so a single
+ * x86-64-baseline binary serves AVX2, SSE2-only, and scalar hosts.
+ * The choice can be overridden with the `FIDELITY_FORCE_BACKEND`
+ * environment variable or `forceBackend()` (the CLI flags route
+ * through the latter), and `FIDELITY_NO_SIMD` builds compile every
+ * intrinsic table out, leaving only the scalar table.
  *
- * The `Scalar` backend mirrors the active backend's lane counts so
- * both consume the same lane-blocked packed-weight layout (see
- * pack.hh).
+ * The packed-weight layouts use *fixed* lane widths shared by every
+ * backend (kF32Lanes/kI64Lanes/kNarrowLanes below): a 4-lane backend
+ * walks an 8-wide block in two halves, the scalar table loops — so a
+ * pack built once is valid under any dispatched or forced backend,
+ * and switching backends never requires repacking.
+ *
+ * The runtime toggle (`setEnabled(false)`) routes `table()` to the
+ * scalar table inside a SIMD build; the differential tests and the
+ * scalar-vs-SIMD benches use it to compare both paths in one binary.
+ * Because lane grouping never changes the arithmetic of one output,
+ * neither the toggle nor the dispatched backend can change results;
+ * tests assert that.
  */
 
 #ifndef FIDELITY_SIMD_SIMD_HH
@@ -33,12 +43,9 @@
 #include <cstring>
 
 #if !defined(FIDELITY_NO_SIMD)
-#if defined(__AVX2__) || defined(__SSE2__) || defined(__SSE4_1__)
+#if defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
 #include <immintrin.h>
-#define FIDELITY_SIMD_X86 1
-#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
-#include <arm_neon.h>
-#define FIDELITY_SIMD_NEON 1
+#define FIDELITY_SIMD_X86_BASELINE 1
 #endif
 #endif
 
@@ -46,372 +53,158 @@ namespace fidelity::simd
 {
 
 /**
- * Fixed-width scalar backend: plain arrays and per-lane loops.  The
- * reference semantics every vector backend must match bit-for-bit.
+ * Fixed pack widths (see pack.hh).  These are properties of the packed
+ * data layout, not of any one backend: every KernelTable consumes the
+ * same layout, which is what makes runtime backend switching free.
  */
-template <int LF, int LI>
-struct ScalarBackendT
-{
-    static constexpr int kF32Lanes = LF;
-    static constexpr int kI64Lanes = LI;
-
-    struct F32
-    {
-        float v[LF];
-    };
-
-    static F32
-    f32zero()
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = 0.0f;
-        return r;
-    }
-
-    static F32
-    f32load(const float *p)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = p[i];
-        return r;
-    }
-
-    static F32
-    f32broadcast(float x)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = x;
-        return r;
-    }
-
-    /** acc + a*b per lane; multiply rounds before the add (no FMA). */
-    static F32
-    f32mulAcc(F32 acc, F32 a, F32 b)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i) {
-            float prod = a.v[i] * b.v[i];
-            r.v[i] = acc.v[i] + prod;
-        }
-        return r;
-    }
-
-    static F32
-    f32add(F32 a, F32 b)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = a.v[i] + b.v[i];
-        return r;
-    }
-
-    static F32
-    f32sub(F32 a, F32 b)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = a.v[i] - b.v[i];
-        return r;
-    }
-
-    static F32
-    f32mul(F32 a, F32 b)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = a.v[i] * b.v[i];
-        return r;
-    }
-
-    /** Per lane: x > 0 ? a : b (NaN lanes select b, like the scalar). */
-    static F32
-    f32selectGtZero(F32 x, F32 a, F32 b)
-    {
-        F32 r;
-        for (int i = 0; i < LF; ++i)
-            r.v[i] = x.v[i] > 0.0f ? a.v[i] : b.v[i];
-        return r;
-    }
-
-    static void
-    f32store(float *p, F32 v)
-    {
-        for (int i = 0; i < LF; ++i)
-            p[i] = v.v[i];
-    }
-
-    struct I64
-    {
-        std::int64_t v[LI];
-    };
-
-    static I64
-    i64zero()
-    {
-        I64 r;
-        for (int i = 0; i < LI; ++i)
-            r.v[i] = 0;
-        return r;
-    }
-
-    /** acc[l] += (int64)x * w[l] over kI64Lanes int32 weights. */
-    static I64
-    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
-    {
-        I64 r;
-        for (int i = 0; i < LI; ++i)
-            r.v[i] = acc.v[i] +
-                     static_cast<std::int64_t>(x) *
-                         static_cast<std::int64_t>(w[i]);
-        return r;
-    }
-
-    static void
-    i64store(std::int64_t *p, I64 v)
-    {
-        for (int i = 0; i < LI; ++i)
-            p[i] = v.v[i];
-    }
-};
-
-#if !defined(FIDELITY_NO_SIMD) && defined(__AVX2__)
-
-/** AVX2: 8 float lanes, 4 int64 MAC lanes. */
-struct Avx2Backend
-{
-    static constexpr int kF32Lanes = 8;
-    static constexpr int kI64Lanes = 4;
-
-    using F32 = __m256;
-
-    static F32 f32zero() { return _mm256_setzero_ps(); }
-    static F32 f32load(const float *p) { return _mm256_loadu_ps(p); }
-    static F32 f32broadcast(float x) { return _mm256_set1_ps(x); }
-
-    static F32
-    f32mulAcc(F32 acc, F32 a, F32 b)
-    {
-        // Deliberately mul-then-add: an FMA's single rounding would
-        // break bit-identity with the scalar kernels.
-        return _mm256_add_ps(acc, _mm256_mul_ps(a, b));
-    }
-
-    static F32 f32add(F32 a, F32 b) { return _mm256_add_ps(a, b); }
-    static F32 f32sub(F32 a, F32 b) { return _mm256_sub_ps(a, b); }
-    static F32 f32mul(F32 a, F32 b) { return _mm256_mul_ps(a, b); }
-
-    static F32
-    f32selectGtZero(F32 x, F32 a, F32 b)
-    {
-        // Ordered GT: NaN compares false and selects b, matching
-        // `x > 0 ? a : b` scalar semantics.
-        __m256 m = _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_GT_OQ);
-        return _mm256_blendv_ps(b, a, m);
-    }
-
-    static void f32store(float *p, F32 v) { _mm256_storeu_ps(p, v); }
-
-    using I64 = __m256i;
-
-    static I64 i64zero() { return _mm256_setzero_si256(); }
-
-    static I64
-    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
-    {
-        __m256i wv = _mm256_cvtepi32_epi64(
-            _mm_loadu_si128(reinterpret_cast<const __m128i *>(w)));
-        // mul_epi32 reads the low signed 32 bits of each 64-bit lane;
-        // zero-extending x keeps exactly those bits.
-        __m256i xv = _mm256_set1_epi64x(
-            static_cast<std::int64_t>(static_cast<std::uint32_t>(x)));
-        return _mm256_add_epi64(acc, _mm256_mul_epi32(xv, wv));
-    }
-
-    static void
-    i64store(std::int64_t *p, I64 v)
-    {
-        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
-    }
-};
-
-using Active = Avx2Backend;
-
-#elif !defined(FIDELITY_NO_SIMD) && \
-    (defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64))
+inline constexpr int kF32Lanes = 8;    //!< f32 pack block width
+inline constexpr int kI64Lanes = 4;    //!< wide-int pack block width
+inline constexpr int kNarrowLanes = 8; //!< narrow-int pack block width
 
 /**
- * SSE: 4 float lanes.  The signed 32x32->64 multiply needs SSE4.1
- * (`_mm_mul_epi32`); under plain SSE2 the integer MAC stays scalar.
+ * Minimum overflow-safe chunk length (in reduction *pairs*) for the
+ * narrow integer path to be worth engaging; below this the int64
+ * spills dominate and the wide path wins (see narrowChunkPairs() in
+ * pack.hh and DESIGN.md §13).
  */
-struct Sse2Backend
+inline constexpr int kNarrowMinChunk = 8;
+
+/**
+ * One backend's kernel entry points.  All signatures are plain C data
+ * (raw pointers + sizes) so the per-ISA translation units need no
+ * repo headers beyond this one: gathers, writebacks, and layer logic
+ * stay in baseline-compiled code, only the inner loops cross this
+ * boundary.
+ *
+ * GEMM kernels *overwrite* `acc` with the full padded lane results
+ * ([nblocks][L]); callers read back the real columns.  Batched MAC
+ * kernels likewise overwrite `acc[0..W)`.
+ */
+struct KernelTable
 {
-    static constexpr int kF32Lanes = 4;
-#if defined(__SSE4_1__)
-    static constexpr int kI64Lanes = 2;
-#else
-    static constexpr int kI64Lanes = 4;
-#endif
+    const char *name; //!< "avx2", "sse2", "neon", or "scalar"
 
-    using F32 = __m128;
+    /**
+     * acc[b*8+l] = sum_k x[k] * packed[(b*red + k)*8 + l] with the
+     * canonical per-lane unfused multiply-add order (pack.hh layout,
+     * width kF32Lanes).
+     */
+    void (*gemmF32)(const float *x, int red, int nblocks,
+                    const float *packed, float *acc);
 
-    static F32 f32zero() { return _mm_setzero_ps(); }
-    static F32 f32load(const float *p) { return _mm_loadu_ps(p); }
-    static F32 f32broadcast(float x) { return _mm_set1_ps(x); }
+    /**
+     * Wide integer twin: int64 accumulators over int32 operands,
+     * pack width kI64Lanes.  acc[b*4+l] = sum_k x[k] * w[k, l].
+     */
+    void (*gemmI64)(const std::int32_t *x, int red, int nblocks,
+                    const std::int32_t *packed, std::int64_t *acc);
 
-    static F32
-    f32mulAcc(F32 acc, F32 a, F32 b)
-    {
-        return _mm_add_ps(acc, _mm_mul_ps(a, b));
-    }
+    /**
+     * Narrow integer kernel over the pair-interleaved int16 pack
+     * (packNarrow(): [colBlock][kPair][lane8][2]).  Operands are the
+     * stored-form quantised values narrowed to int16 (lossless for
+     * bits <= 16); `x` must be readable for 2*redPairs elements (the
+     * caller pads odd reductions — the padded weight is zero, so the
+     * padded operand's value cannot matter).  Pair products accumulate
+     * in int32 for at most `chunkPairs` pairs (statically proven not
+     * to overflow — see narrowChunkPairs()), then spill into int64.
+     * Integer math is exact, so the result equals the wide kernel's
+     * bit for bit.
+     */
+    void (*gemmNarrow)(const std::int16_t *x, int redPairs, int nblocks,
+                       const std::int16_t *packed, int chunkPairs,
+                       std::int64_t *acc);
 
-    static F32 f32add(F32 a, F32 b) { return _mm_add_ps(a, b); }
-    static F32 f32sub(F32 a, F32 b) { return _mm_sub_ps(a, b); }
-    static F32 f32mul(F32 a, F32 b) { return _mm_mul_ps(a, b); }
+    /**
+     * Lane-minor batched MAC row (fault-batched engine):
+     * acc[l] = sum_k xg[k*W + l] * w[k*wstride] for l in [0, W), in
+     * canonical k order with unfused per-lane multiply-adds.
+     */
+    void (*batchMacF32)(const float *xg, const float *w, std::size_t red,
+                        std::size_t wstride, int W, float *acc);
 
-    static F32
-    f32selectGtZero(F32 x, F32 a, F32 b)
-    {
-        __m128 m = _mm_cmpgt_ps(x, _mm_setzero_ps());
-        return _mm_or_ps(_mm_and_ps(m, a), _mm_andnot_ps(m, b));
-    }
+    /** Wide-int batched twin: acc[l] += (int64)w[k*wstride] * xg[k*W+l]. */
+    void (*batchMacI64)(const std::int32_t *xg, const std::int32_t *w,
+                        std::size_t red, std::size_t wstride, int W,
+                        std::int64_t *acc);
 
-    static void f32store(float *p, F32 v) { _mm_storeu_ps(p, v); }
+    /**
+     * Narrow batched MAC: operands are int16 lane rows (xg must hold
+     * 2*redPairs rows of W lanes; the caller zero-pads the last row
+     * when the reduction is odd), weights are pairs read from the
+     * narrow pack at w[p*wstride], w[p*wstride + 1].  Same chunked
+     * int32 accumulation contract as gemmNarrow.
+     */
+    void (*batchMacNarrow)(const std::int16_t *xg, const std::int16_t *w,
+                           std::size_t redPairs, std::size_t wstride,
+                           int chunkPairs, int W, std::int64_t *acc);
 
-#if defined(__SSE4_1__)
-    using I64 = __m128i;
+    // Streaming elementwise maps (whole range, scalar tail inside).
+    void (*addF32)(const float *a, const float *b, float *o, std::size_t n);
+    void (*subF32)(const float *a, const float *b, float *o, std::size_t n);
+    void (*mulF32)(const float *a, const float *b, float *o, std::size_t n);
+    /** o[i] = scale * x[i] + shift (unfused). */
+    void (*scaleShiftF32)(const float *x, float scale, float shift,
+                          float *o, std::size_t n);
+    /** o[i] = x[i] > 0 ? x[i] : 0 (NaN takes the 0 branch, like scalar). */
+    void (*reluF32)(const float *x, float *o, std::size_t n);
+    /** o[i] = x[i] > 0 ? x[i] : alpha * x[i]. */
+    void (*lreluF32)(const float *x, float alpha, float *o, std::size_t n);
 
-    static I64 i64zero() { return _mm_setzero_si128(); }
+    /** out[i] = roundToHalf(in[i]); bit-identical to the scalar fn. */
+    void (*roundToHalfB)(const float *in, float *out, std::size_t n);
 
-    static I64
-    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
-    {
-        __m128i wv = _mm_cvtepi32_epi64(
-            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(w)));
-        __m128i xv = _mm_set1_epi64x(
-            static_cast<std::int64_t>(static_cast<std::uint32_t>(x)));
-        return _mm_add_epi64(acc, _mm_mul_epi32(xv, wv));
-    }
-
-    static void
-    i64store(std::int64_t *p, I64 v)
-    {
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
-    }
-#else
-    using ScalarI = ScalarBackendT<kF32Lanes, kI64Lanes>;
-    using I64 = ScalarI::I64;
-
-    static I64 i64zero() { return ScalarI::i64zero(); }
-
-    static I64
-    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
-    {
-        return ScalarI::i64mulAcc(acc, x, w);
-    }
-
-    static void i64store(std::int64_t *p, I64 v)
-    {
-        ScalarI::i64store(p, v);
-    }
-#endif
+    /** out[i] = quantize(in[i]) with the given params; bit-identical. */
+    void (*quantizeB)(const float *in, std::int32_t *out, std::size_t n,
+                      double scale, std::int32_t qmin, std::int32_t qmax);
 };
 
-using Active = Sse2Backend;
+/**
+ * The kernel table every hot path should use.  Honours (in order) the
+ * runtime kill switch (`setEnabled(false)` → scalar table), an active
+ * `forceBackend()` / `FIDELITY_FORCE_BACKEND` override, then the
+ * CPUID-selected best table.  Hoist the reference out of loops —
+ * the selection itself is one relaxed atomic load.
+ */
+const KernelTable &table();
 
-#elif !defined(FIDELITY_NO_SIMD) && defined(FIDELITY_SIMD_NEON)
-
-/** NEON: 4 float lanes, 2 int64 MAC lanes via vmlal_s32. */
-struct NeonBackend
-{
-    static constexpr int kF32Lanes = 4;
-    static constexpr int kI64Lanes = 2;
-
-    using F32 = float32x4_t;
-
-    static F32 f32zero() { return vdupq_n_f32(0.0f); }
-    static F32 f32load(const float *p) { return vld1q_f32(p); }
-    static F32 f32broadcast(float x) { return vdupq_n_f32(x); }
-
-    static F32
-    f32mulAcc(F32 acc, F32 a, F32 b)
-    {
-        // vmlaq may contract to a fused multiply-add; keep the rounding
-        // of the scalar kernel with an explicit mul + add.
-        return vaddq_f32(acc, vmulq_f32(a, b));
-    }
-
-    static F32 f32add(F32 a, F32 b) { return vaddq_f32(a, b); }
-    static F32 f32sub(F32 a, F32 b) { return vsubq_f32(a, b); }
-    static F32 f32mul(F32 a, F32 b) { return vmulq_f32(a, b); }
-
-    static F32
-    f32selectGtZero(F32 x, F32 a, F32 b)
-    {
-        uint32x4_t m = vcgtq_f32(x, vdupq_n_f32(0.0f));
-        return vbslq_f32(m, a, b);
-    }
-
-    static void f32store(float *p, F32 v) { vst1q_f32(p, v); }
-
-    using I64 = int64x2_t;
-
-    static I64 i64zero() { return vdupq_n_s64(0); }
-
-    static I64
-    i64mulAcc(I64 acc, std::int32_t x, const std::int32_t *w)
-    {
-        return vmlal_s32(acc, vdup_n_s32(x), vld1_s32(w));
-    }
-
-    static void i64store(std::int64_t *p, I64 v) { vst1q_s64(p, v); }
-};
-
-using Active = NeonBackend;
-
-#else
-
-using Active = ScalarBackendT<4, 4>;
-
-#endif
-
-/** Scalar twin of the active backend (same lane counts, same layout). */
-using Scalar = ScalarBackendT<Active::kF32Lanes, Active::kI64Lanes>;
-
-/** Lane-blocked pack widths shared by every kernel and pack buffer. */
-inline constexpr int kF32Lanes = Active::kF32Lanes;
-inline constexpr int kI64Lanes = Active::kI64Lanes;
-
-/** Compile-time name of the active backend ("avx2", "sse2", ...). */
+/**
+ * Runtime name of the dispatched backend ("avx2", "sse2", "neon",
+ * "scalar") — the table `table()` would return with the kill switch
+ * on.  Reported in the run manifest and the bench rows.
+ */
 const char *backendName();
 
+/** How the backend was chosen: "cpuid", "forced-env", "forced-api",
+ *  or "no-simd" (FIDELITY_NO_SIMD build). */
+const char *dispatchMode();
+
 /**
- * Runtime kill switch: when false, the kernels run their scalar-
- * backend instantiation (bit-identical by construction).  Global, not
- * thread-local — flip it only around single-threaded comparisons.
+ * Force a specific backend by name ("scalar", "sse2", "avx2", "neon");
+ * nullptr, "" or "auto" restores CPUID selection.  Returns false (and
+ * changes nothing) when the named backend is unavailable — not
+ * compiled in, or the CPU lacks the ISA.  Packed weights are
+ * backend-independent, so switching never invalidates layer caches.
+ */
+bool forceBackend(const char *name);
+
+/** Whether the named backend could be forced on this host. */
+bool backendAvailable(const char *name);
+
+/**
+ * Runtime kill switch: when false, every kernel runs the scalar table
+ * (bit-identical by construction).  Global, not thread-local — flip it
+ * only around single-threaded comparisons.
  */
 bool enabled();
 void setEnabled(bool on);
 
 /**
- * Dispatch a generic callable on the active backend, honouring the
- * runtime toggle: `dispatch([&](auto b) { using B = decltype(b); ... })`.
- */
-template <class Fn>
-decltype(auto)
-dispatch(Fn &&fn)
-{
-    if (enabled())
-        return fn(Active{});
-    return fn(Scalar{});
-}
-
-/**
  * First index in [0, n) where a and b differ bit-for-bit, or n.
  * Exact integer comparison (distinguishes -0.0/+0.0 and NaN payloads),
- * used by the incremental engine's cone shrinking.
+ * used by the incremental engine's cone shrinking.  Compiled at the
+ * baseline ISA (SSE2 on x86-64) — comparisons are exact under any
+ * vector width, so these do not go through the dispatch table.
  */
 std::size_t firstBitDiff(const float *a, const float *b, std::size_t n);
 
@@ -423,27 +216,26 @@ std::size_t lastBitDiff(const float *a, const float *b, std::size_t n);
  * from x's pattern (bit l set when p[l] != x bitwise).  Exact integer
  * comparison like firstBitDiff; the batched engine's per-injection
  * diff scan compares each SoA lane column against the golden value
- * with one movemask where the hardware has it.
+ * with one movemask where the baseline ISA has it.
  */
 inline std::uint32_t
 laneNeMask(const float *p, float x, int lanes)
 {
     std::uint32_t xb;
     std::memcpy(&xb, &x, sizeof(xb));
-#if !defined(FIDELITY_NO_SIMD) && defined(__AVX2__)
+#if defined(FIDELITY_SIMD_X86_BASELINE)
     if (lanes == 8) {
-        __m256i pv = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i *>(p));
-        __m256i eq = _mm256_cmpeq_epi32(
-            pv, _mm256_set1_epi32(static_cast<std::int32_t>(xb)));
-        return ~static_cast<std::uint32_t>(
-                   _mm256_movemask_ps(_mm256_castsi256_ps(eq))) &
-               0xffu;
+        __m128i xv = _mm_set1_epi32(static_cast<std::int32_t>(xb));
+        __m128i lo =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        __m128i hi =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 4));
+        std::uint32_t mlo = static_cast<std::uint32_t>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(lo, xv))));
+        std::uint32_t mhi = static_cast<std::uint32_t>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(hi, xv))));
+        return ~(mlo | (mhi << 4)) & 0xffu;
     }
-#endif
-#if !defined(FIDELITY_NO_SIMD) && \
-    (defined(__AVX2__) || defined(__SSE2__) || defined(_M_X64) || \
-     defined(_M_AMD64))
     if (lanes == 4) {
         __m128i pv =
             _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));

@@ -9,7 +9,12 @@
  * FP32/FP16/INT8/INT16 with odd (non-lane-multiple) shapes and
  * grouped/dilated/strided convolutions, forwardRegion boxes that cut
  * through lane blocks, the vectorized elementwise/activation paths,
- * and whole-campaign equality with the backend toggle on and off.
+ * and whole-campaign equality with the backend toggle on and off AND
+ * across every runtime-dispatchable backend (forced scalar / SSE2 /
+ * AVX2 within one binary).  The narrow integer kernels additionally
+ * get direct differential coverage: odd-reduction pair padding, the
+ * statically proven int32 chunk bound at its exact overflow edge, and
+ * chunk-length invariance of the spilled int64 result.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +24,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/campaign.hh"
@@ -31,7 +37,9 @@
 #include "nn/network.hh"
 #include "nn/pool.hh"
 #include "simd/convert.hh"
+#include "simd/pack.hh"
 #include "simd/simd.hh"
+#include "sim/arena.hh"
 #include "sim/rng.hh"
 #include "tensor/bitops.hh"
 #include "tensor/quant.hh"
@@ -48,6 +56,24 @@ struct SimdToggle
     bool saved = simd::enabled();
     ~SimdToggle() { simd::setEnabled(saved); }
 };
+
+/** Drop any API-forced backend when a test scope ends, returning to
+ *  the env/CPUID selection the process started with. */
+struct BackendForce
+{
+    ~BackendForce() { simd::forceBackend("auto"); }
+};
+
+/** Every backend that can be forced on this host, scalar first. */
+std::vector<const char *>
+availableBackends()
+{
+    std::vector<const char *> v{"scalar"};
+    for (const char *n : {"sse2", "avx2", "neon"})
+        if (simd::backendAvailable(n))
+            v.push_back(n);
+    return v;
+}
 
 Tensor
 randomTensor(std::uint64_t seed, int n, int h, int w, int c)
@@ -148,11 +174,83 @@ top1Match()
 
 } // namespace
 
-TEST(SimdBackend, ScalarTwinSharesLaneCounts)
+TEST(SimdDispatch, TableMatchesReportedBackend)
 {
-    EXPECT_EQ(simd::Scalar::kF32Lanes, simd::Active::kF32Lanes);
-    EXPECT_EQ(simd::Scalar::kI64Lanes, simd::Active::kI64Lanes);
+    SimdToggle guard;
+    simd::setEnabled(true);
     EXPECT_NE(simd::backendName(), nullptr);
+    EXPECT_NE(simd::dispatchMode(), nullptr);
+    EXPECT_STREQ(simd::table().name, simd::backendName());
+    // The scalar table is compiled unconditionally; fantasy backends
+    // and null names must not resolve.
+    EXPECT_TRUE(simd::backendAvailable("scalar"));
+    EXPECT_FALSE(simd::backendAvailable("vliw9000"));
+    EXPECT_FALSE(simd::backendAvailable(nullptr));
+#if defined(FIDELITY_SIMD_X86_BASELINE)
+    // The x86-64 baseline guarantees the SSE2 table in every binary.
+    EXPECT_TRUE(simd::backendAvailable("sse2"));
+#endif
+}
+
+TEST(SimdDispatch, ForceBackendRoundTrips)
+{
+    SimdToggle toggle;
+    simd::setEnabled(true);
+    BackendForce guard;
+    std::string before = simd::backendName();
+    for (const char *n : availableBackends()) {
+        EXPECT_TRUE(simd::forceBackend(n)) << n;
+        EXPECT_STREQ(simd::backendName(), n);
+        EXPECT_STREQ(simd::table().name, n);
+        EXPECT_STREQ(simd::dispatchMode(), "forced-api");
+    }
+    // A failed force leaves the previous choice untouched.
+    ASSERT_TRUE(simd::forceBackend("scalar"));
+    EXPECT_FALSE(simd::forceBackend("vliw9000"));
+    EXPECT_STREQ(simd::backendName(), "scalar");
+    // "auto" (or null/empty) restores the startup selection.
+    EXPECT_TRUE(simd::forceBackend("auto"));
+    EXPECT_EQ(before, simd::backendName());
+}
+
+TEST(SimdDispatch, KillSwitchOverridesForce)
+{
+    SimdToggle toggle;
+    BackendForce guard;
+    // With the kill switch off, table() hands out the scalar table no
+    // matter what is forced; backendName() keeps reporting the backend
+    // table() would use with the switch back on.
+    for (const char *n : availableBackends()) {
+        ASSERT_TRUE(simd::forceBackend(n));
+        simd::setEnabled(false);
+        EXPECT_STREQ(simd::table().name, "scalar") << n;
+        EXPECT_STREQ(simd::backendName(), n);
+        simd::setEnabled(true);
+        EXPECT_STREQ(simd::table().name, n);
+    }
+}
+
+TEST(SimdDispatch, ForcedBackendsBitIdenticalForward)
+{
+    SimdToggle toggle;
+    simd::setEnabled(true);
+    BackendForce guard;
+    ConvSpec spec{.inC = 5, .outC = 19, .kh = 3, .kw = 3, .pad = 1};
+    int seed = 900;
+    for (Precision p : kAllPrecisions) {
+        auto conv = makeConv("c", spec, seed);
+        Tensor x = randomTensor(seed + 1, 1, 7, 7, spec.inC);
+        std::vector<const Tensor *> ins{&x};
+        setupPrecision(*conv, ins, p);
+        ASSERT_TRUE(simd::forceBackend("scalar"));
+        Tensor ref = conv->forward(ins);
+        for (const char *n : availableBackends()) {
+            ASSERT_TRUE(simd::forceBackend(n));
+            EXPECT_TRUE(bitIdentical(conv->forward(ins), ref))
+                << "backend " << n;
+        }
+        seed += 2;
+    }
 }
 
 TEST(SimdBackend, ToggleRoundTrips)
@@ -440,14 +538,18 @@ TEST(SimdKernels, ElementwiseAndActivationMatchScalar)
     }
 }
 
-TEST(SimdKernels, CampaignChecksumIdenticalWithToggle)
+namespace
 {
-    Rng rng(800);
-    Network net("toggle");
+
+/** Small mixed network for the whole-campaign equality tests. */
+void
+buildCampaignNet(Network &net, std::uint64_t seed)
+{
+    Rng rng(seed);
     NodeId c1 = net.add(
         makeConv("c1", {.inC = 3, .outC = 11, .kh = 3, .kw = 3,
                         .pad = 1},
-                 801),
+                 seed + 1),
         0);
     NodeId r1 = net.add(
         std::make_unique<Activation>("relu", Activation::Func::ReLU),
@@ -455,13 +557,50 @@ TEST(SimdKernels, CampaignChecksumIdenticalWithToggle)
     NodeId c2 = net.add(
         makeConv("c2", {.inC = 11, .outC = 8, .kh = 3, .kw = 3,
                         .stride = 2, .groups = 1},
-                 802),
+                 seed + 2),
         r1);
     NodeId gap = net.add(std::make_unique<GlobalAvgPool>("gap"), c2);
     net.add(std::make_unique<FC>("fc", 8, 5, heWeights(rng, 40, 8),
                                  smallBiases(rng, 5)),
             gap);
+}
 
+/** Campaign checksums — counters and raw sample bits — must agree. */
+void
+expectCampaignsEqual(const CampaignResult &vec,
+                     const CampaignResult &ref, const char *what)
+{
+    EXPECT_EQ(vec.totalInjections, ref.totalInjections) << what;
+    ASSERT_EQ(vec.cells.size(), ref.cells.size()) << what;
+    for (std::size_t i = 0; i < vec.cells.size(); ++i) {
+        EXPECT_EQ(vec.cells[i].masked.successes(),
+                  ref.cells[i].masked.successes())
+            << what;
+        EXPECT_EQ(vec.cells[i].masked.trials(),
+                  ref.cells[i].masked.trials())
+            << what;
+    }
+    ASSERT_EQ(vec.singleNeuronSamples.size(),
+              ref.singleNeuronSamples.size())
+        << what;
+    for (std::size_t i = 0; i < vec.singleNeuronSamples.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                      vec.singleNeuronSamples[i].first),
+                  std::bit_cast<std::uint64_t>(
+                      ref.singleNeuronSamples[i].first))
+            << what;
+        EXPECT_EQ(vec.singleNeuronSamples[i].second,
+                  ref.singleNeuronSamples[i].second)
+            << what;
+    }
+}
+
+} // namespace
+
+TEST(SimdKernels, CampaignChecksumIdenticalWithToggle)
+{
+    Network net("toggle");
+    buildCampaignNet(net, 800);
     Tensor input = randomTensor(803, 1, 8, 8, 3);
     for (Precision p : kAllPrecisions) {
         net.setPrecision(p);
@@ -477,27 +616,268 @@ TEST(SimdKernels, CampaignChecksumIdenticalWithToggle)
         CampaignResult vec = runCampaign(net, input, top1Match(), cfg);
         simd::setEnabled(false);
         CampaignResult ref = runCampaign(net, input, top1Match(), cfg);
+        expectCampaignsEqual(vec, ref, "toggle");
+    }
+}
 
-        EXPECT_EQ(vec.totalInjections, ref.totalInjections);
-        ASSERT_EQ(vec.cells.size(), ref.cells.size());
-        for (std::size_t i = 0; i < vec.cells.size(); ++i) {
-            EXPECT_EQ(vec.cells[i].masked.successes(),
-                      ref.cells[i].masked.successes());
-            EXPECT_EQ(vec.cells[i].masked.trials(),
-                      ref.cells[i].masked.trials());
-        }
-        ASSERT_EQ(vec.singleNeuronSamples.size(),
-                  ref.singleNeuronSamples.size());
-        for (std::size_t i = 0; i < vec.singleNeuronSamples.size();
-             ++i) {
-            EXPECT_EQ(std::bit_cast<std::uint64_t>(
-                          vec.singleNeuronSamples[i].first),
-                      std::bit_cast<std::uint64_t>(
-                          ref.singleNeuronSamples[i].first));
-            EXPECT_EQ(vec.singleNeuronSamples[i].second,
-                      ref.singleNeuronSamples[i].second);
+TEST(SimdKernels, CampaignChecksumIdenticalAcrossForcedBackends)
+{
+    // One binary, every backend: force scalar, then each ISA table the
+    // host can run, and require bit-identical campaign results.  This
+    // is the runtime-dispatch counterpart of the toggle test above and
+    // the in-process version of the cross-build CI matrix.
+    Network net("dispatch");
+    buildCampaignNet(net, 820);
+    Tensor input = randomTensor(823, 1, 8, 8, 3);
+    SimdToggle toggle;
+    simd::setEnabled(true);
+    BackendForce guard;
+    for (Precision p : kAllPrecisions) {
+        net.setPrecision(p);
+        if (p == Precision::INT8 || p == Precision::INT16)
+            net.calibrate(input);
+
+        CampaignConfig cfg;
+        cfg.samplesPerCategory = 4;
+        cfg.seed = 824;
+
+        ASSERT_TRUE(simd::forceBackend("scalar"));
+        CampaignResult ref = runCampaign(net, input, top1Match(), cfg);
+        for (const char *n : availableBackends()) {
+            ASSERT_TRUE(simd::forceBackend(n));
+            CampaignResult got =
+                runCampaign(net, input, top1Match(), cfg);
+            expectCampaignsEqual(got, ref, n);
         }
     }
+}
+
+TEST(SimdNarrow, ChunkPairsBoundary)
+{
+    // pairBound = 2 * 2^(bits-1) * maxAbsW; the chunk is the largest
+    // pair count whose int32 sum provably cannot overflow.
+    EXPECT_EQ(simd::narrowChunkPairs(8, 1), 2147483647 / 256);
+    EXPECT_EQ(simd::narrowChunkPairs(8, 127), 2147483647 / 32512);
+    // Exactly at the int32 edge one pair still fits ...
+    EXPECT_EQ(simd::narrowChunkPairs(16, 32767), 1);
+    // ... one more magnitude step and even a single pair could wrap
+    // (2 * 2^15 * 2^15 = 2^31 > INT32_MAX; this bound also excludes
+    // pmaddwd's sole internal wrap case, all four operands -2^15).
+    EXPECT_EQ(simd::narrowChunkPairs(16, 32768), 0);
+    // All-zero weights overflow nothing: the cap applies.
+    EXPECT_EQ(simd::narrowChunkPairs(8, 0), 1 << 28);
+
+    // Eligibility = legal AND long enough to be profitable.
+    EXPECT_TRUE(simd::narrowEligible(simd::narrowChunkPairs(8, 127)));
+    EXPECT_FALSE(simd::narrowEligible(simd::narrowChunkPairs(16, 32767)));
+    EXPECT_FALSE(simd::narrowEligible(0));
+    EXPECT_FALSE(simd::narrowEligible(simd::kNarrowMinChunk - 1));
+    EXPECT_TRUE(simd::narrowEligible(simd::kNarrowMinChunk));
+}
+
+namespace
+{
+
+/** Plain int64 reference for the narrow GEMM contract. */
+void
+refGemmNarrow(const std::int16_t *x, int red, int cols,
+              const std::vector<std::int16_t> &w, std::int64_t *acc)
+{
+    constexpr int L = simd::kNarrowLanes;
+    int nblocks = simd::packBlocks(cols, L);
+    for (int b = 0; b < nblocks; ++b)
+        for (int l = 0; l < L; ++l) {
+            int c = b * L + l;
+            std::int64_t s = 0;
+            if (c < cols)
+                for (int k = 0; k < red; ++k)
+                    s += static_cast<std::int64_t>(x[k]) *
+                         w[static_cast<std::size_t>(k) * cols + c];
+            acc[b * L + l] = s;
+        }
+}
+
+} // namespace
+
+TEST(SimdNarrow, GemmNarrowMatchesInt64ReferenceAcrossBackends)
+{
+    SimdToggle toggle;
+    simd::setEnabled(true);
+    BackendForce guard;
+    Rng rng(910);
+    // Odd reductions exercise the zero-weight pair pad; cols = 11
+    // leaves a partially filled second lane block.
+    for (int red : {1, 7, 8, 128}) {
+        for (int cols : {1, 8, 11}) {
+            std::vector<std::int16_t> w(
+                static_cast<std::size_t>(red) * cols);
+            for (auto &v : w)
+                v = static_cast<std::int16_t>(
+                    static_cast<int>(rng.normal(0, 60)) % 127);
+            int redPairs = simd::packPairs(red);
+            std::vector<std::int16_t> x(2 * redPairs, 0);
+            for (int k = 0; k < red; ++k)
+                x[k] = static_cast<std::int16_t>(
+                    static_cast<int>(rng.normal(0, 60)) % 128);
+            if (red & 1) {
+                // The pad operand pairs with a zero weight, so its
+                // value must not matter: poison it.
+                x[red] = 12345;
+            }
+            AlignedVec<std::int16_t> packed(
+                simd::packNarrowSize(red, cols));
+            simd::packNarrow(
+                red, cols,
+                [&](int k, int c) {
+                    return static_cast<std::int32_t>(
+                        w[static_cast<std::size_t>(k) * cols + c]);
+                },
+                packed.data());
+
+            int nblocks = simd::packBlocks(cols, simd::kNarrowLanes);
+            std::vector<std::int64_t> ref(
+                static_cast<std::size_t>(nblocks) *
+                simd::kNarrowLanes);
+            refGemmNarrow(x.data(), red, cols, w, ref.data());
+
+            // The spilled int64 result must not depend on the chunk
+            // length (chunk invariance) or on the backend.
+            for (int chunk : {1, 3, simd::narrowChunkPairs(8, 127)}) {
+                for (const char *n : availableBackends()) {
+                    ASSERT_TRUE(simd::forceBackend(n));
+                    std::vector<std::int64_t> acc(ref.size(), -777);
+                    simd::table().gemmNarrow(x.data(), redPairs,
+                                             nblocks, packed.data(),
+                                             chunk, acc.data());
+                    EXPECT_EQ(acc, ref)
+                        << "backend " << n << " red " << red
+                        << " cols " << cols << " chunk " << chunk;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdNarrow, ChunkedSpillExactAtInt32Edge)
+{
+    // Each pair sum is 2 * 32767 * 32767 = 2147352578 — within 131070
+    // of INT32_MAX, so one pair fits int32 exactly and two would wrap.
+    // With chunkPairs = 1 every pair must spill into int64; 64 pairs
+    // of that magnitude put the total near 1.37e11, far outside int32,
+    // so a missed spill or an internal wrap cannot cancel out.
+    constexpr int red = 128, cols = 9;
+    constexpr std::int16_t kMax = 32767;
+    std::vector<std::int16_t> w(
+        static_cast<std::size_t>(red) * cols, kMax);
+    int redPairs = simd::packPairs(red);
+    std::vector<std::int16_t> x(2 * redPairs, kMax);
+    // One column alternates signs so cancellation paths are covered.
+    for (int k = 0; k < red; ++k)
+        w[static_cast<std::size_t>(k) * cols + 4] =
+            (k & 1) ? kMax : static_cast<std::int16_t>(-kMax);
+    AlignedVec<std::int16_t> packed(simd::packNarrowSize(red, cols));
+    simd::packNarrow(
+        red, cols,
+        [&](int k, int c) {
+            return static_cast<std::int32_t>(
+                w[static_cast<std::size_t>(k) * cols + c]);
+        },
+        packed.data());
+
+    int nblocks = simd::packBlocks(cols, simd::kNarrowLanes);
+    std::vector<std::int64_t> ref(
+        static_cast<std::size_t>(nblocks) * simd::kNarrowLanes);
+    refGemmNarrow(x.data(), red, cols, w, ref.data());
+
+    SimdToggle toggle;
+    simd::setEnabled(true);
+    BackendForce guard;
+    for (const char *n : availableBackends()) {
+        ASSERT_TRUE(simd::forceBackend(n));
+        std::vector<std::int64_t> acc(ref.size(), -777);
+        simd::table().gemmNarrow(x.data(), redPairs, nblocks,
+                                 packed.data(), 1, acc.data());
+        EXPECT_EQ(acc, ref) << "backend " << n;
+    }
+}
+
+TEST(SimdNarrow, BatchMacNarrowMatchesReference)
+{
+    SimdToggle toggle;
+    simd::setEnabled(true);
+    BackendForce guard;
+    Rng rng(930);
+    for (int red : {1, 5, 8, 33}) {
+        for (int W : {1, 4, 5, 8}) {
+            int redPairs = simd::packPairs(red);
+            // Lane-minor operand rows, zero-padded final row when the
+            // reduction is odd (contract: the pad weight is zero).
+            std::vector<std::int16_t> xg(
+                static_cast<std::size_t>(2 * redPairs) * W, 0);
+            for (int k = 0; k < red; ++k)
+                for (int l = 0; l < W; ++l)
+                    xg[static_cast<std::size_t>(k) * W + l] =
+                        static_cast<std::int16_t>(
+                            static_cast<int>(rng.normal(0, 60)) % 128);
+            std::vector<std::int16_t> wv(2 * redPairs, 0);
+            for (int k = 0; k < red; ++k)
+                wv[k] = static_cast<std::int16_t>(
+                    static_cast<int>(rng.normal(0, 60)) % 127);
+
+            std::vector<std::int64_t> ref(W, 0);
+            for (int l = 0; l < W; ++l) {
+                std::int64_t s = 0;
+                for (int k = 0; k < red; ++k)
+                    s += static_cast<std::int64_t>(wv[k]) *
+                         xg[static_cast<std::size_t>(k) * W + l];
+                ref[l] = s;
+            }
+
+            for (int chunk : {1, 3, simd::narrowChunkPairs(8, 127)}) {
+                for (const char *n : availableBackends()) {
+                    ASSERT_TRUE(simd::forceBackend(n));
+                    std::vector<std::int64_t> acc(W, -777);
+                    simd::table().batchMacNarrow(xg.data(), wv.data(),
+                                                 redPairs, 2, chunk, W,
+                                                 acc.data());
+                    EXPECT_EQ(acc, ref)
+                        << "backend " << n << " red " << red << " W "
+                        << W << " chunk " << chunk;
+                }
+            }
+        }
+    }
+}
+
+TEST(ArenaAlignment, PoolsAndPacksAre64ByteAligned)
+{
+    static_assert(kBufferAlign == 64);
+    static_assert(kBufferAlign >= 32,
+                  "AVX2 aligned loads need 32-byte buffers");
+    auto aligned = [](const void *p) {
+        return reinterpret_cast<std::uintptr_t>(p) % kBufferAlign == 0;
+    };
+    Arena &a = Arena::local();
+    {
+        auto f = a.floats(3);
+        auto i = a.ints(7);
+        auto s = a.shorts(61);
+        auto l = a.longs(5);
+        EXPECT_TRUE(aligned(f.data()));
+        EXPECT_TRUE(aligned(i.data()));
+        EXPECT_TRUE(aligned(s.data()));
+        EXPECT_TRUE(aligned(l.data()));
+    }
+    // Reused (pooled) buffers keep the alignment after regrowth.
+    {
+        auto f = a.floats(1024);
+        EXPECT_TRUE(aligned(f.data()));
+    }
+    // Packed-weight buffers share the allocator.
+    AlignedVec<std::int16_t> pack(129);
+    AlignedVec<float> packF(33);
+    EXPECT_TRUE(aligned(pack.data()));
+    EXPECT_TRUE(aligned(packF.data()));
 }
 
 TEST(QuantConstexpr, RangesAndClampAreCompileTime)
