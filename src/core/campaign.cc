@@ -213,7 +213,217 @@ deltaHistogramEdges()
     return edges;
 }
 
+/** Per-executor engine scratch, reused across every shard the
+ *  executor runs (a pool thread in-process; the whole process in a
+ *  service worker): incremental cone engine, batched engine with its
+ *  lane planes, and the record buffer batches land in. */
+struct ShardScratch
+{
+    IncrementalEngine engine;
+    std::unique_ptr<BatchedEngine> batched;
+    std::vector<InjectionRecord> recs;
+};
+
+/**
+ * Execute every sample of one shard through the engines cfg selects
+ * and feed each InjectionRecord, in sample order, to `account`.  The
+ * record stream is a pure function of the shard (its stream, cell,
+ * sample count) and the config's sample identity — the single code
+ * path behind both the in-process fan-out and the service worker's
+ * executeFixedShardRange, so the two cannot drift apart.
+ */
+template <typename AccountFn>
+void
+runShardSamples(Injector &injector, const CorrectnessFn &correct,
+                const CampaignConfig &cfg, Shard &sh,
+                ShardScratch &scratch, AccountFn &&account)
+{
+    IncrementalEngine *engine = nullptr;
+    IncrementalOptions opt;
+    opt.denseThreshold = cfg.incrementalDenseThreshold;
+    if (cfg.incremental) {
+        scratch.engine.setOptions(opt);
+        engine = &scratch.engine;
+    }
+    const bool batched = cfg.incremental && cfg.batchWidth > 1;
+    if (batched) {
+        // The factory rounds the allocation width up to a
+        // power-of-two lane count; reuse the engine when it still
+        // fits the requested width.
+        if (!scratch.batched ||
+            scratch.batched->maxLanes() < cfg.batchWidth)
+            scratch.batched = makeBatchedEngine(cfg.batchWidth, opt);
+        scratch.batched->setOptions(opt);
+        scratch.recs.resize(static_cast<std::size_t>(sh.samples));
+        injector.injectBatch(sh.node, sh.category, correct, sh.rng,
+                             sh.samples, cfg.outputClampAbs,
+                             cfg.batchWidth, *scratch.batched,
+                             scratch.engine, scratch.recs.data());
+        for (int s = 0; s < sh.samples; ++s)
+            account(scratch.recs[static_cast<std::size_t>(s)]);
+    } else {
+        for (int s = 0; s < sh.samples; ++s)
+            account(injector.inject(sh.node, sh.category, correct,
+                                    sh.rng, cfg.outputClampAbs,
+                                    engine));
+    }
+}
+
 } // namespace
+
+std::vector<ShardPlanEntry>
+fixedShardPlan(const Network &net, const CampaignConfig &cfg)
+{
+    fatal_if(cfg.targetHalfWidth > 0.0,
+             "adaptive campaigns (targetHalfWidth > 0) have no static "
+             "shard plan; only fixed schedules distribute");
+    fatal_if(cfg.shardGrain <= 0, "campaign shardGrain must be > 0, got ",
+             cfg.shardGrain);
+    std::vector<NodeId> nodes = net.macNodes();
+    fatal_if(nodes.empty(), "network ", net.name(), " has no MAC layers");
+
+    // Mirrors runCampaign's fixed-schedule planning loop exactly:
+    // node-major cells in Table II category order, GlobalControl
+    // ineligible, quotas sliced into shards of at most shardGrain.
+    const auto &cats = allFFCategories();
+    std::vector<ShardPlanEntry> plan;
+    std::uint64_t ordinal = 0;
+    std::uint64_t cell = 0;
+    for (NodeId node : nodes) {
+        for (FFCategory cat : cats) {
+            if (cat != FFCategory::GlobalControl) {
+                for (int s = 0; s < cfg.samplesPerCategory;
+                     s += cfg.shardGrain) {
+                    ShardPlanEntry e;
+                    e.ordinal = ordinal++;
+                    e.cell = cell;
+                    e.node = node;
+                    e.category = cat;
+                    e.samples = std::min(cfg.shardGrain,
+                                         cfg.samplesPerCategory - s);
+                    plan.push_back(e);
+                }
+            }
+            ++cell;
+        }
+    }
+    return plan;
+}
+
+/**
+ * Everything executeFixedShardRange used to rebuild per call, hoisted
+ * so a reused executor pays it once: the plan, the Injector (whose
+ * construction runs the golden forward pass), the result cache, and
+ * the engine scratch.  All of it is performance state — the record
+ * stream depends only on the shard streams and cfg's sample identity.
+ */
+struct FixedShardExecutor::Impl
+{
+    Impl(const Network &n, const Tensor &in, const CorrectnessFn &c,
+         const CampaignConfig &config)
+        : input(in), correct(c), cfg(config),
+          plan(fixedShardPlan(n, config)),
+          injector(n, in, config.accel)
+    {
+        fatal_if(cfg.batchWidth < 1 || cfg.batchWidth > kMaxBatchLanes,
+                 "campaign batchWidth must be in [1, ", kMaxBatchLanes,
+                 "], got ", cfg.batchWidth);
+        if (cfg.resultCacheEnabled) {
+            resultCache = cfg.resultCache;
+            if (!resultCache) {
+                fatal_if(cfg.resultCacheMB <= 0,
+                         "campaign resultCacheMB must be > 0 when the "
+                         "result cache is enabled, got ",
+                         cfg.resultCacheMB);
+                resultCache = std::make_shared<ResultCache>(
+                    static_cast<std::size_t>(cfg.resultCacheMB) << 20);
+            }
+            injector.attachResultCache(resultCache.get(),
+                                       cfg.resultCacheSalt);
+        }
+    }
+
+    const Tensor &input;
+    CorrectnessFn correct;
+    CampaignConfig cfg;
+    std::vector<ShardPlanEntry> plan;
+    Injector injector;
+    std::shared_ptr<ResultCache> resultCache;
+    ShardScratch scratch;
+};
+
+FixedShardExecutor::FixedShardExecutor(const Network &net,
+                                       const Tensor &input,
+                                       const CorrectnessFn &correct,
+                                       const CampaignConfig &cfg)
+    : impl_(std::make_unique<Impl>(net, input, correct, cfg))
+{
+}
+
+FixedShardExecutor::~FixedShardExecutor() = default;
+
+std::uint64_t
+FixedShardExecutor::planSize() const
+{
+    return impl_->plan.size();
+}
+
+std::vector<ShardRecord>
+FixedShardExecutor::execute(std::uint64_t first, std::uint64_t count)
+{
+    Impl &im = *impl_;
+    const std::vector<ShardPlanEntry> &plan = im.plan;
+    const CampaignConfig &cfg = im.cfg;
+    fatal_if(first > plan.size() || count > plan.size() - first,
+             "shard range [", first, ", ", first + count,
+             ") exceeds the ", plan.size(), "-shard plan");
+
+    // Re-derive each leased shard's stream: the master stream is
+    // consumed once per plan entry, in ordinal order, exactly as
+    // runCampaign's planning loop forks it — so a shard executed here
+    // draws the same faults it would draw in-process.
+    Rng master(cfg.seed);
+    std::vector<ShardRecord> records;
+    records.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < plan.size(); ++i) {
+        if (i >= first + count)
+            break;
+        Rng stream = master.fork();
+        if (i < first)
+            continue;
+        const ShardPlanEntry &e = plan[i];
+        Shard sh;
+        sh.ordinal = e.ordinal;
+        sh.cell = e.cell;
+        sh.node = e.node;
+        sh.category = e.category;
+        sh.samples = e.samples;
+        sh.rng = stream;
+        ShardOutput out;
+        auto account = [&](const InjectionRecord &rec) {
+            out.maskedCount += rec.masked ? 1 : 0;
+            out.trials += 1;
+            if (rec.numFaultyNeurons == 1 &&
+                isDatapathCategory(sh.category))
+                out.singleNeuronSamples.emplace_back(rec.maxAbsDelta,
+                                                     !rec.masked);
+        };
+        runShardSamples(im.injector, im.correct, cfg, sh, im.scratch,
+                        account);
+        records.push_back(recordOf(sh, out));
+    }
+    return records;
+}
+
+std::vector<ShardRecord>
+executeFixedShardRange(const Network &net, const Tensor &input,
+                       const CorrectnessFn &correct,
+                       const CampaignConfig &cfg, std::uint64_t first,
+                       std::uint64_t count)
+{
+    FixedShardExecutor executor(net, input, correct, cfg);
+    return executor.execute(first, count);
+}
 
 CampaignResult
 runCampaign(const Network &net, const Tensor &input,
@@ -341,6 +551,20 @@ runCampaign(const Network &net, const Tensor &input,
             inform("campaign ", net.name(), ": no snapshot at ",
                    cfg.resumeFrom, ", starting fresh");
         }
+    } else if (cfg.resumeSnapshot) {
+        // In-memory twin of the file resume — the sim/service
+        // coordinator's merge path.  Same refusal discipline.
+        resume_snap = *cfg.resumeSnapshot;
+        fatal_if(resume_snap.configHash != cfg_hash,
+                 "in-memory resume snapshot was produced by a campaign "
+                 "with a different sample identity "
+                 "(config hash mismatch)");
+        for (const ShardRecord &r : resume_snap.shards)
+            restored.emplace(r.ordinal, &r);
+        if (cfg.progress)
+            inform("campaign ", net.name(),
+                   ": resuming from an in-memory snapshot (",
+                   restored.size(), " shards journaled)");
     }
     tel.resumed = !restored.empty();
     tel.restoredShards = restored.size();
@@ -448,34 +672,11 @@ runCampaign(const Network &net, const Tensor &input,
 
         ScopedTimer inject_scope(inject_timer);
         pool.forEachOf(pending, [&](std::size_t i) {
-            // One incremental engine per worker thread: its scratch
-            // activations and replacement buffer are reused across
-            // every injection the worker runs, keeping the hot loop
-            // allocation-free at steady state.  The batched engine
-            // (and its record buffer) follow the same pattern: its
-            // lane planes are campaign-sized scratch reused across
-            // every batch the worker flushes.
-            thread_local IncrementalEngine worker_engine;
-            thread_local std::unique_ptr<BatchedEngine> worker_batched;
-            thread_local std::vector<InjectionRecord> worker_recs;
-            IncrementalEngine *engine = nullptr;
-            IncrementalOptions opt;
-            opt.denseThreshold = cfg.incrementalDenseThreshold;
-            if (cfg.incremental) {
-                worker_engine.setOptions(opt);
-                engine = &worker_engine;
-            }
-            const bool batched = cfg.incremental && cfg.batchWidth > 1;
-            if (batched) {
-                // The factory rounds the allocation width up to a
-                // power-of-two lane count; reuse the engine when it
-                // still fits the requested width.
-                if (!worker_batched ||
-                    worker_batched->maxLanes() < cfg.batchWidth)
-                    worker_batched =
-                        makeBatchedEngine(cfg.batchWidth, opt);
-                worker_batched->setOptions(opt);
-            }
+            // One engine scratch per worker thread: its incremental
+            // engine, batched lane planes, and record buffer are
+            // reused across every shard the worker runs, keeping the
+            // hot loop allocation-free at steady state.
+            thread_local ShardScratch scratch;
             WorkerSlot &slot =
                 worker_slots[static_cast<std::size_t>(pool.callerSlot())];
             Shard &sh = shards[i];
@@ -503,32 +704,19 @@ runCampaign(const Network &net, const Tensor &input,
                         .add(rec.maxAbsDelta);
                 }
             };
-            if (batched) {
-                worker_recs.resize(
-                    static_cast<std::size_t>(sh.samples));
-                injector.injectBatch(sh.node, sh.category, correct,
-                                     sh.rng, sh.samples,
-                                     cfg.outputClampAbs, cfg.batchWidth,
-                                     *worker_batched, worker_engine,
-                                     worker_recs.data());
-                for (int s = 0; s < sh.samples; ++s)
-                    account(worker_recs[static_cast<std::size_t>(s)]);
-            } else {
-                for (int s = 0; s < sh.samples; ++s)
-                    account(injector.inject(sh.node, sh.category,
-                                            correct, sh.rng,
-                                            cfg.outputClampAbs, engine));
-            }
+            runShardSamples(injector, correct, cfg, sh, scratch,
+                            account);
             slot.shards += 1;
             slot.injections += out.trials;
-            if (engine) {
-                // The engine is thread-local and campaign-scoped (the
-                // pool's workers are fresh threads), so its cumulative
-                // totals ARE this worker's totals; overwrite, don't add.
-                slot.engine = engine->totals();
+            if (cfg.incremental) {
+                // The scratch is thread-local and campaign-scoped
+                // (the pool's workers are fresh threads), so its
+                // cumulative totals ARE this worker's totals;
+                // overwrite, don't add.
+                slot.engine = scratch.engine.totals();
+                if (cfg.batchWidth > 1)
+                    slot.batched = scratch.batched->totals();
             }
-            if (batched)
-                slot.batched = worker_batched->totals();
             done[i].store(true, std::memory_order_release);
 
             std::uint64_t inj =
@@ -785,6 +973,7 @@ runCampaign(const Network &net, const Tensor &input,
     // above are the happens-before edge) and the coordinator's own
     // instruments into one merged set for the manifest.
     tel.threads = pool.size();
+    tel.topology = cfg.topology;
     tel.incremental = cfg.incremental;
     tel.batchWidth =
         cfg.incremental && cfg.batchWidth > 1 ? cfg.batchWidth : 1;

@@ -19,11 +19,14 @@
 #include "core/activeness.hh"
 #include "core/fit.hh"
 #include "core/injector.hh"
+#include "sim/checkpoint.hh"
 #include "sim/result_cache.hh"
 #include "sim/stats.hh"
 
 namespace fidelity
 {
+
+struct WorkerTopology; // core/manifest.hh
 
 /** Knobs of one campaign. */
 struct CampaignConfig
@@ -191,6 +194,26 @@ struct CampaignConfig
      */
     std::uint64_t stopAfterShards = 0;
 
+    /**
+     * In-memory twin of resumeFrom: restore these journaled shards
+     * instead of reading a file (resumeFrom wins when both are set).
+     * The snapshot's configHash must match this campaign's — same
+     * refusal as a file resume.  This is the distributed merge seam:
+     * the sim/service coordinator collects every shard journal from
+     * its workers into one complete snapshot and "resumes" from it, so
+     * the merge, result, and manifest "results" section go through
+     * exactly the single-process code path (see DESIGN.md §14).
+     */
+    std::shared_ptr<const CampaignSnapshot> resumeSnapshot;
+
+    /**
+     * Worker-process topology recorded in the manifest "execution"
+     * section by distributed runs (coordinator + N worker processes).
+     * Purely observability: never hashed, never part of the "results"
+     * section.  Null for in-process campaigns.
+     */
+    std::shared_ptr<const WorkerTopology> topology;
+
     // ----- Structured reporting -----------------------------------
 
     /**
@@ -270,6 +293,82 @@ struct CampaignResult
 CampaignResult runCampaign(const Network &net, const Tensor &input,
                            const CorrectnessFn &correct,
                            const CampaignConfig &cfg);
+
+/**
+ * One shard of the deterministic fixed-schedule plan: `samples` draws
+ * of `category` faults in layer `node`, at position `ordinal` in the
+ * plan (which fixes its Rng::fork() stream).
+ */
+struct ShardPlanEntry
+{
+    std::uint64_t ordinal = 0;
+    std::uint64_t cell = 0; //!< index into the node-major cell table
+    NodeId node = 0;
+    FFCategory category = FFCategory::OutputPsum;
+    int samples = 0;
+};
+
+/**
+ * The fixed-schedule shard plan of (net, cfg) — a pure function of the
+ * config's sample identity, identical in every process that computes
+ * it.  This is the unit of distribution: the sim/service coordinator
+ * leases contiguous ordinal ranges of this plan to worker processes.
+ * Only fixed schedules have a static plan; fatals when
+ * cfg.targetHalfWidth > 0 (adaptive campaigns schedule round by round
+ * and are served in-process).
+ */
+std::vector<ShardPlanEntry> fixedShardPlan(const Network &net,
+                                           const CampaignConfig &cfg);
+
+/**
+ * Execute plan ordinals [first, first + count) of fixedShardPlan(net,
+ * cfg) and return their shard journals, sorted by ordinal.  Rebuilds
+ * the exact plan and per-shard Rng streams runCampaign would use, so
+ * the records are byte-identical to the ones an in-process run journals
+ * for the same ordinals — the worker half of the bit-identical merge.
+ * Honors the engine/batch/result-cache performance knobs of `cfg`;
+ * runs single-threaded (worker processes are the parallelism axis).
+ */
+std::vector<ShardRecord> executeFixedShardRange(const Network &net,
+                                                const Tensor &input,
+                                                const CorrectnessFn &correct,
+                                                const CampaignConfig &cfg,
+                                                std::uint64_t first,
+                                                std::uint64_t count);
+
+/**
+ * Reusable engine behind executeFixedShardRange.  Construction pays
+ * the golden forward pass (Injector), the shard plan, the result
+ * cache, and the incremental/batched engines once; each execute()
+ * call then only re-derives its range's Rng streams — so a service
+ * worker draining many small leases amortizes setup exactly like the
+ * in-process fan-out, which holds one Injector and per-worker engines
+ * for the whole campaign.  Engines and cache are pure performance
+ * state: execute() records are byte-identical to a fresh
+ * executeFixedShardRange call over the same range.  The referenced
+ * network/input must outlive the executor; not thread-safe (worker
+ * processes are the parallelism axis).
+ */
+class FixedShardExecutor
+{
+  public:
+    FixedShardExecutor(const Network &net, const Tensor &input,
+                       const CorrectnessFn &correct,
+                       const CampaignConfig &cfg);
+    ~FixedShardExecutor();
+
+    /** Shards in the plan this executor serves. */
+    std::uint64_t planSize() const;
+
+    /** Execute plan ordinals [first, first + count); see
+     *  executeFixedShardRange. */
+    std::vector<ShardRecord> execute(std::uint64_t first,
+                                     std::uint64_t count);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Order-sensitive digest of a campaign's numeric identity: every

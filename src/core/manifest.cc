@@ -146,6 +146,32 @@ runManifestJson(const Network &net, const CampaignConfig &cfg,
     w.endObject();
 
     w.field("threads", tel.threads);
+    if (tel.topology) {
+        // Distributed runs only: the worker-process fan-out.  Lives in
+        // "execution" — the "results" section above is byte-identical
+        // to the single-process run this fan-out reproduced.
+        const WorkerTopology &topo = *tel.topology;
+        w.key("topology");
+        w.beginObject();
+        w.field("coordinator", topo.coordinator);
+        w.field("lease_shards", topo.leaseShards);
+        w.field("worker_processes",
+                static_cast<std::uint64_t>(topo.workers.size()));
+        w.key("workers");
+        w.beginArray();
+        for (const WorkerProcessTelemetry &wp : topo.workers) {
+            w.beginObject();
+            w.field("name", wp.name);
+            w.field("threads", wp.threads);
+            w.field("shards", wp.shards);
+            w.field("injections", wp.injections);
+            w.field("leases", wp.leases);
+            w.field("leases_expired", wp.leasesExpired);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.field("incremental", tel.incremental);
     w.field("resumed", tel.resumed);
     w.field("restored_shards", tel.restoredShards);

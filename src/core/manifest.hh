@@ -28,6 +28,7 @@
 #define FIDELITY_CORE_MANIFEST_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,31 @@ struct WorkerTelemetry
     BatchedTotals batched;
 };
 
+/** One worker *process* of a distributed (sim/service) run. */
+struct WorkerProcessTelemetry
+{
+    std::string name;       //!< HELLO-announced worker name
+    int threads = 1;        //!< threads the worker ran with
+    std::uint64_t shards = 0;
+    std::uint64_t injections = 0;
+    std::uint64_t leases = 0;         //!< leases granted to it
+    std::uint64_t leasesExpired = 0;  //!< leases re-issued elsewhere
+};
+
+/**
+ * Worker-process topology of a distributed run: which processes the
+ * coordinator fanned the shard plan out to and what each contributed.
+ * Rendered into the manifest "execution" section only (the "results"
+ * section must stay byte-identical to a single-process run — that is
+ * the whole point of the coordinator's merge).
+ */
+struct WorkerTopology
+{
+    std::string coordinator;  //!< listen address the workers dialed
+    std::uint64_t leaseShards = 0; //!< shards per lease
+    std::vector<WorkerProcessTelemetry> workers;
+};
+
 /**
  * Result-cache observability.  The hit/miss/store/evict counters come
  * from a deterministic *plan replay*: the fingerprint sequence of every
@@ -101,6 +127,9 @@ struct CampaignTelemetry
     int threads = 1;
     bool incremental = false;
     int batchWidth = 1; //!< effective fault-batch lane width
+
+    /** Worker-process fan-out of a distributed run (null otherwise). */
+    std::shared_ptr<const WorkerTopology> topology;
 
     bool resumed = false;
     std::uint64_t restoredShards = 0;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -44,7 +45,8 @@ namespace
 
 // Eight magic bytes: format name + one version byte.  Snapshots are
 // host-endian — a checkpoint resumes on the machine (or at least the
-// architecture) that wrote it, which is the crash-recovery use case.
+// architecture) that wrote it, which covers both the crash-recovery
+// use case and the one-box/one-arch worker fan-out of sim/service.
 constexpr char snapshotMagic[8] = {'F', 'I', 'D', 'C',
                                    'K', 'P', 'T', '\x01'};
 
@@ -61,36 +63,43 @@ putU64(std::string &out, std::uint64_t v)
     out.append(buf, sizeof(buf));
 }
 
-std::uint64_t
-getU64(std::ifstream &in, const std::string &path)
+/** Bounded cursor over an in-memory snapshot image: every read is
+ *  checked against the remaining byte count, so a truncated image
+ *  reports instead of reading past the end. */
+struct ByteCursor
 {
-    std::uint64_t v = 0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    fatal_if(!in, "snapshot ", path, " is truncated");
-    return v;
-}
+    const char *data;
+    std::size_t size;
+    std::size_t pos = 0;
 
-#if !defined(_WIN32)
-/** fsync an fd; filesystems without sync semantics report EINVAL /
- *  ENOTSUP (notably for directories), which is not a failure. */
-void
-syncFd(int fd, const std::string &what)
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (size - pos < sizeof(v))
+            return false;
+        std::memcpy(&v, data + pos, sizeof(v));
+        pos += sizeof(v);
+        return true;
+    }
+
+    std::uint64_t remaining() const { return size - pos; }
+};
+
+/** Render the failure diagnostic for `what` (path or peer). */
+template <typename... Args>
+std::string
+describe(Args &&...args)
 {
-    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP &&
-        errno != EROFS)
-        fatal("cannot fsync ", what, ": ", std::strerror(errno));
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
 }
-#endif
 
 } // namespace
 
-std::uint64_t
-writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
+std::string
+encodeSnapshot(const CampaignSnapshot &snap)
 {
-    fatal_if(path.empty(), "snapshot path must not be empty");
-
-    // Serialize into memory first: one write syscall, and the byte
-    // count is known for the durability bookkeeping.
     std::string bytes;
     bytes.reserve(headerBytes + snap.shards.size() * shardFixedBytes);
     bytes.append(snapshotMagic, sizeof(snapshotMagic));
@@ -110,6 +119,105 @@ writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
             putU64(bytes, failed ? 1 : 0);
         }
     }
+    return bytes;
+}
+
+bool
+tryDecodeSnapshot(const char *data, std::size_t size,
+                  const std::string &what, CampaignSnapshot &snap,
+                  std::string &err)
+{
+    // The image size bounds every declared count below: a corrupt or
+    // truncated snapshot must produce a diagnostic naming `what`,
+    // never a std::bad_alloc on a multi-GB reserve().
+    if (size < headerBytes) {
+        err = describe(what, " is not a fidelity campaign snapshot "
+                             "(too short)");
+        return false;
+    }
+    if (std::memcmp(data, snapshotMagic, sizeof(snapshotMagic)) != 0) {
+        err = describe(what, " is not a fidelity campaign snapshot");
+        return false;
+    }
+
+    ByteCursor in{data, size, sizeof(snapshotMagic)};
+    snap = CampaignSnapshot{};
+    std::uint64_t count = 0;
+    if (!in.u64(snap.configHash) || !in.u64(count)) {
+        err = describe(what, " is truncated");
+        return false;
+    }
+    if (count > (size - headerBytes) / shardFixedBytes) {
+        err = describe(what, " declares ", count,
+                       " shards but holds only ", size, " bytes");
+        return false;
+    }
+    snap.shards.reserve(count);
+    std::uint64_t prev_ordinal = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ShardRecord r;
+        std::uint64_t nsamples = 0;
+        if (!in.u64(r.ordinal) || !in.u64(r.cell) ||
+            !in.u64(r.maskedCount) || !in.u64(r.trials) ||
+            !in.u64(nsamples)) {
+            err = describe(what, " is truncated");
+            return false;
+        }
+        if (i > 0 && r.ordinal <= prev_ordinal) {
+            err = describe(what, " has out-of-order shard ordinals");
+            return false;
+        }
+        prev_ordinal = r.ordinal;
+        if (r.maskedCount > r.trials) {
+            err = describe(what,
+                           " has a shard with maskedCount > trials");
+            return false;
+        }
+        if (nsamples > r.trials) {
+            err = describe(what,
+                           " has a shard with more samples than trials");
+            return false;
+        }
+        if (nsamples > in.remaining() / sampleBytes) {
+            err = describe(what, " declares ", nsamples,
+                           " samples in a shard with only ",
+                           in.remaining(), " bytes left");
+            return false;
+        }
+        r.samples.reserve(nsamples);
+        for (std::uint64_t s = 0; s < nsamples; ++s) {
+            std::uint64_t bits = 0, failed = 0;
+            if (!in.u64(bits) || !in.u64(failed)) {
+                err = describe(what, " is truncated");
+                return false;
+            }
+            double delta;
+            std::memcpy(&delta, &bits, sizeof(delta));
+            r.samples.emplace_back(delta, failed != 0);
+        }
+        snap.shards.push_back(std::move(r));
+    }
+    return true;
+}
+
+CampaignSnapshot
+decodeSnapshot(std::string_view bytes, const std::string &what)
+{
+    CampaignSnapshot snap;
+    std::string err;
+    if (!tryDecodeSnapshot(bytes.data(), bytes.size(), what, snap, err))
+        fatal(err);
+    return snap;
+}
+
+std::uint64_t
+writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
+{
+    fatal_if(path.empty(), "snapshot path must not be empty");
+
+    // Serialize into memory first: one write syscall, and the byte
+    // count is known for the durability bookkeeping.
+    const std::string bytes = encodeSnapshot(snap);
 
     const std::string tmp = path + ".tmp";
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
@@ -124,7 +232,11 @@ writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
     // The data must be on disk *before* the rename publishes it: a
     // rename can survive a crash that the file contents did not, and a
     // later resumeFrom would then trust an empty or torn snapshot.
-    syncFd(fileno(f), tmp);
+    // Filesystems without sync semantics report EINVAL / ENOTSUP /
+    // EROFS, which is not a failure.
+    if (::fsync(fileno(f)) != 0 && errno != EINVAL && errno != ENOTSUP &&
+        errno != EROFS)
+        fatal("cannot fsync ", tmp, ": ", std::strerror(errno));
 #endif
     fatal_if(std::fclose(f) != 0, "cannot close snapshot temp file ", tmp);
 
@@ -143,7 +255,11 @@ writeSnapshot(const std::string &path, const CampaignSnapshot &snap)
     int dfd = ::open(dir.c_str(), O_RDONLY);
     fatal_if(dfd < 0, "cannot open snapshot directory ", dir,
              " to sync it: ", std::strerror(errno));
-    syncFd(dfd, dir);
+    if (::fsync(dfd) != 0 && errno != EINVAL && errno != ENOTSUP &&
+        errno != EROFS) {
+        ::close(dfd);
+        fatal("cannot fsync ", dir, ": ", std::strerror(errno));
+    }
     ::close(dfd);
 #endif
     return static_cast<std::uint64_t>(bytes.size());
@@ -154,65 +270,12 @@ readSnapshot(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     fatal_if(!in, "cannot open snapshot ", path);
-
-    // The file size bounds every declared count below: a corrupt or
-    // truncated snapshot must exit through fatal() with the path
-    // named, never through std::bad_alloc on a multi-GB reserve().
-    in.seekg(0, std::ios::end);
-    const auto end_pos = in.tellg();
-    fatal_if(end_pos < 0, "cannot size snapshot ", path);
-    const std::uint64_t file_size = static_cast<std::uint64_t>(end_pos);
-    in.seekg(0, std::ios::beg);
-    fatal_if(file_size < headerBytes, "file ", path,
-             " is not a fidelity campaign snapshot (too short)");
-
-    char magic[sizeof(snapshotMagic)] = {};
-    in.read(magic, sizeof(magic));
-    fatal_if(!in ||
-                 std::memcmp(magic, snapshotMagic, sizeof(magic)) != 0,
-             "file ", path, " is not a fidelity campaign snapshot");
-
-    CampaignSnapshot snap;
-    snap.configHash = getU64(in, path);
-    std::uint64_t count = getU64(in, path);
-    fatal_if(count > (file_size - headerBytes) / shardFixedBytes,
-             "snapshot ", path, " declares ", count,
-             " shards but holds only ", file_size, " bytes");
-    snap.shards.reserve(count);
-    std::uint64_t prev_ordinal = 0;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        ShardRecord r;
-        r.ordinal = getU64(in, path);
-        fatal_if(i > 0 && r.ordinal <= prev_ordinal, "snapshot ", path,
-                 " has out-of-order shard ordinals");
-        prev_ordinal = r.ordinal;
-        r.cell = getU64(in, path);
-        r.maskedCount = getU64(in, path);
-        r.trials = getU64(in, path);
-        fatal_if(r.maskedCount > r.trials, "snapshot ", path,
-                 " has a shard with maskedCount > trials");
-        std::uint64_t nsamples = getU64(in, path);
-        fatal_if(nsamples > r.trials, "snapshot ", path,
-                 " has a shard with more samples than trials");
-        const auto here = in.tellg();
-        fatal_if(here < 0, "snapshot ", path, " is truncated");
-        const std::uint64_t remaining =
-            file_size - static_cast<std::uint64_t>(here);
-        fatal_if(nsamples > remaining / sampleBytes, "snapshot ", path,
-                 " declares ", nsamples,
-                 " samples in a shard with only ", remaining,
-                 " bytes left");
-        r.samples.reserve(nsamples);
-        for (std::uint64_t s = 0; s < nsamples; ++s) {
-            std::uint64_t bits = getU64(in, path);
-            double delta;
-            std::memcpy(&delta, &bits, sizeof(delta));
-            bool failed = getU64(in, path) != 0;
-            r.samples.emplace_back(delta, failed);
-        }
-        snap.shards.push_back(std::move(r));
-    }
-    return snap;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    fatal_if(!in, "cannot read snapshot ", path);
+    // "snapshot <path> ..." keeps the historical diagnostic shape now
+    // that the decoder is shared with the wire-journal path.
+    return decodeSnapshot(bytes, "snapshot " + path);
 }
 
 bool

@@ -68,6 +68,37 @@ struct CampaignSnapshot
 };
 
 /**
+ * Serialize a snapshot to the FIDCKPT byte format.  This is both the
+ * on-disk checkpoint format (writeSnapshot) and the shard-journal
+ * payload of the service protocol's RESULT frames (sim/service) — one
+ * encoder, so a worker's wire journal and a local checkpoint are
+ * byte-compatible.  Host-endian: journals travel between processes of
+ * one architecture (the crash-recovery and one-box fan-out use cases).
+ */
+std::string encodeSnapshot(const CampaignSnapshot &snap);
+
+/**
+ * Decode FIDCKPT bytes, or report why they are malformed.  `what`
+ * names the source in diagnostics — a file path for checkpoints, the
+ * peer for wire journals ("RESULT journal from worker-2").  Every
+ * declared count is validated against the remaining byte count before
+ * any allocation, so corrupt input yields an error message, never
+ * std::bad_alloc on a multi-GB reserve().  On failure `snap` is
+ * unspecified and `err` holds the diagnostic.
+ */
+bool tryDecodeSnapshot(const char *data, std::size_t size,
+                       const std::string &what, CampaignSnapshot &snap,
+                       std::string &err);
+
+/**
+ * Decode FIDCKPT bytes or exit through fatal() with `what` (the path
+ * or peer) named — the strict variant behind readSnapshot and the
+ * worker-side LEASE/RESULT handling.
+ */
+CampaignSnapshot decodeSnapshot(std::string_view bytes,
+                                const std::string &what);
+
+/**
  * Persist a snapshot atomically and durably: the bytes go to
  * `path + ".tmp"`, which is fsync'd and then renamed over `path`,
  * after which the parent directory is fsync'd.  On POSIX the rename is

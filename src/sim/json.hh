@@ -119,12 +119,15 @@ class JsonLineBuilder
     JsonLineBuilder &field(std::string_view k, int v);
     JsonLineBuilder &field(std::string_view k, bool v);
 
+    /** Embed `rendered` verbatim as the value of `k` — for values
+     *  that are already JSON (a nested manifest document, a
+     *  pre-rendered number).  The caller vouches for validity. */
+    JsonLineBuilder &rawField(std::string_view k, std::string_view rendered);
+
     /** The rendered `{...}` line (no trailing newline). */
     std::string str() const;
 
   private:
-    JsonLineBuilder &rawField(std::string_view k, std::string_view rendered);
-
     std::string body_;
 };
 

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -21,42 +22,320 @@ bool startsWithSpace(const std::string &text)
            std::isspace(static_cast<unsigned char>(text.front())) != 0;
 }
 
+template <typename... Args>
+std::string describe(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
 } // namespace
+
+bool tryParseInt(const std::string &what, const std::string &text,
+                 long long min_value, long long max_value,
+                 long long &out, std::string &err)
+{
+    if (text.empty()) {
+        err = describe("argument ", what, " is empty; expected an integer");
+        return false;
+    }
+    if (startsWithSpace(text)) {
+        err = describe("argument ", what, "='", text,
+                       "' is not an integer");
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+        err = describe("argument ", what, "='", text,
+                       "' is not an integer");
+        return false;
+    }
+    if (errno == ERANGE || v < min_value || v > max_value) {
+        err = describe("argument ", what, "='", text,
+                       "' is out of range [", min_value, ", ",
+                       max_value, "]");
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool tryParseDouble(const std::string &what, const std::string &text,
+                    double min_value, double max_value, double &out,
+                    std::string &err)
+{
+    if (text.empty()) {
+        err = describe("argument ", what, " is empty; expected a number");
+        return false;
+    }
+    if (startsWithSpace(text)) {
+        err = describe("argument ", what, "='", text,
+                       "' is not a number");
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+        err = describe("argument ", what, "='", text,
+                       "' is not a number");
+        return false;
+    }
+    if (!std::isfinite(v)) {
+        err = describe("argument ", what, "='", text,
+                       "' must be finite");
+        return false;
+    }
+    if (errno == ERANGE || v < min_value || v > max_value) {
+        err = describe("argument ", what, "='", text,
+                       "' is out of range [", min_value, ", ",
+                       max_value, "]");
+        return false;
+    }
+    out = v;
+    return true;
+}
 
 long long parseIntArg(const std::string &what, const std::string &text,
                       long long min_value, long long max_value)
 {
-    fatal_if(text.empty(), "argument ", what, " is empty; expected an integer");
-    fatal_if(startsWithSpace(text),
-             "argument ", what, "='", text, "' is not an integer");
-    errno = 0;
-    char *end = nullptr;
-    const long long v = std::strtoll(text.c_str(), &end, 10);
-    fatal_if(end == text.c_str() || *end != '\0',
-             "argument ", what, "='", text, "' is not an integer");
-    fatal_if(errno == ERANGE || v < min_value || v > max_value,
-             "argument ", what, "='", text, "' is out of range [",
-             min_value, ", ", max_value, "]");
+    long long v = 0;
+    std::string err;
+    if (!tryParseInt(what, text, min_value, max_value, v, err))
+        fatal(err);
     return v;
 }
 
 double parseDoubleArg(const std::string &what, const std::string &text,
                       double min_value, double max_value)
 {
-    fatal_if(text.empty(), "argument ", what, " is empty; expected a number");
-    fatal_if(startsWithSpace(text),
-             "argument ", what, "='", text, "' is not a number");
-    errno = 0;
-    char *end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    fatal_if(end == text.c_str() || *end != '\0',
-             "argument ", what, "='", text, "' is not a number");
-    fatal_if(!std::isfinite(v),
-             "argument ", what, "='", text, "' must be finite");
-    fatal_if(errno == ERANGE || v < min_value || v > max_value,
-             "argument ", what, "='", text, "' is out of range [",
-             min_value, ", ", max_value, "]");
+    double v = 0.0;
+    std::string err;
+    if (!tryParseDouble(what, text, min_value, max_value, v, err))
+        fatal(err);
     return v;
+}
+
+namespace
+{
+
+/** Cursor over a request document with shared diagnostics. */
+struct JsonCursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])) != 0)
+            ++pos;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+
+    char peek() const { return text[pos]; }
+};
+
+/** Parse a JSON string literal at in.pos (on the opening quote);
+ *  writes the unescaped body and advances past the closing quote. */
+bool
+parseJsonString(JsonCursor &in, std::string &out, std::string &err)
+{
+    out.clear();
+    ++in.pos; // opening quote
+    while (true) {
+        if (in.atEnd()) {
+            err = "unterminated string in request JSON";
+            return false;
+        }
+        char c = in.text[in.pos++];
+        if (c == '"')
+            return true;
+        if (static_cast<unsigned char>(c) < 0x20) {
+            err = "unescaped control character in request JSON string";
+            return false;
+        }
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (in.atEnd()) {
+            err = "unterminated escape in request JSON string";
+            return false;
+        }
+        char esc = in.text[in.pos++];
+        switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+            // Requests are config knobs, not prose: accept \uXXXX only
+            // for ASCII code points.
+            if (in.text.size() - in.pos < 4) {
+                err = "truncated \\u escape in request JSON string";
+                return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = in.text[in.pos++];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else {
+                    err = "bad \\u escape in request JSON string";
+                    return false;
+                }
+            }
+            if (code > 0x7f) {
+                err = "non-ASCII \\u escape in request JSON string";
+                return false;
+            }
+            out.push_back(static_cast<char>(code));
+            break;
+        }
+        default:
+            err = describe("bad escape '\\", esc,
+                           "' in request JSON string");
+            return false;
+        }
+    }
+}
+
+/** Parse a scalar value token (number / true / false / null) as its
+ *  literal text. */
+bool
+parseJsonScalar(JsonCursor &in, std::string &out, std::string &err)
+{
+    const std::size_t start = in.pos;
+    while (!in.atEnd()) {
+        char c = in.peek();
+        if (c == ',' || c == '}' ||
+            std::isspace(static_cast<unsigned char>(c)) != 0)
+            break;
+        if (c == '{' || c == '[' || c == '"' || c == ':') {
+            err = describe("unexpected '", c, "' in request JSON value");
+            return false;
+        }
+        ++in.pos;
+    }
+    if (in.pos == start) {
+        err = "missing value in request JSON";
+        return false;
+    }
+    out = in.text.substr(start, in.pos - start);
+    // A scalar is either a number or one of the three keywords.
+    if (out == "true" || out == "false" || out == "null")
+        return true;
+    double ignored = 0.0;
+    std::string num_err;
+    if (!tryParseDouble("value", out, -1e308, 1e308, ignored, num_err)) {
+        err = describe("'", out, "' is not a valid request JSON value");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseJsonObject(const std::string &text,
+                std::map<std::string, std::string> &fields,
+                std::string &err)
+{
+    fields.clear();
+    JsonCursor in{text};
+    in.skipSpace();
+    if (in.atEnd() || in.peek() != '{') {
+        err = "request is not a JSON object (expected '{')";
+        return false;
+    }
+    ++in.pos;
+    in.skipSpace();
+    if (!in.atEnd() && in.peek() == '}') {
+        ++in.pos;
+    } else {
+        while (true) {
+            in.skipSpace();
+            if (in.atEnd() || in.peek() != '"') {
+                err = "expected a quoted key in request JSON";
+                fields.clear();
+                return false;
+            }
+            std::string key;
+            if (!parseJsonString(in, key, err)) {
+                fields.clear();
+                return false;
+            }
+            if (fields.count(key) != 0) {
+                err = describe("duplicate key \"", key,
+                               "\" in request JSON");
+                fields.clear();
+                return false;
+            }
+            in.skipSpace();
+            if (in.atEnd() || in.peek() != ':') {
+                err = describe("expected ':' after key \"", key, "\"");
+                fields.clear();
+                return false;
+            }
+            ++in.pos;
+            in.skipSpace();
+            if (in.atEnd()) {
+                err = describe("missing value for key \"", key, "\"");
+                fields.clear();
+                return false;
+            }
+            std::string value;
+            if (in.peek() == '"') {
+                if (!parseJsonString(in, value, err)) {
+                    fields.clear();
+                    return false;
+                }
+            } else if (in.peek() == '{' || in.peek() == '[') {
+                err = describe("key \"", key, "\" has a nested value; "
+                               "service requests are flat objects");
+                fields.clear();
+                return false;
+            } else if (!parseJsonScalar(in, value, err)) {
+                fields.clear();
+                return false;
+            }
+            fields.emplace(std::move(key), std::move(value));
+            in.skipSpace();
+            if (!in.atEnd() && in.peek() == ',') {
+                ++in.pos;
+                continue;
+            }
+            if (!in.atEnd() && in.peek() == '}') {
+                ++in.pos;
+                break;
+            }
+            err = "expected ',' or '}' in request JSON";
+            fields.clear();
+            return false;
+        }
+    }
+    in.skipSpace();
+    if (!in.atEnd()) {
+        err = "trailing bytes after the request JSON object";
+        fields.clear();
+        return false;
+    }
+    return true;
 }
 
 } // namespace fidelity

@@ -1,17 +1,27 @@
 /**
  * @file
- * Checked numeric parsing for command-line arguments.
+ * Checked parsing for command-line arguments and service requests.
  *
  * atoi/atof silently turn garbage into 0 and saturate on overflow
  * without any indication; a mistyped `threads=abc` then runs a
  * single-threaded campaign instead of failing.  These helpers parse
- * the full string or exit through fatal() naming the offending
- * argument, so CLI tools get uniform, loud diagnostics.
+ * the full string or report precisely what was wrong, naming the
+ * offending argument.
+ *
+ * Two error disciplines share one implementation:
+ *
+ *  - parseIntArg/parseDoubleArg exit through fatal() — right for CLI
+ *    tools, where the process belongs to the mistyped invocation.
+ *  - tryParseInt/tryParseDouble/parseJsonObject return false + a
+ *    diagnostic — right for the campaign service daemon, where a
+ *    malformed request must turn into an error *response*, never kill
+ *    the process serving everyone else's campaigns.
  */
 
 #ifndef FIDELITY_SIM_PARSE_HH
 #define FIDELITY_SIM_PARSE_HH
 
+#include <map>
 #include <string>
 
 namespace fidelity
@@ -33,6 +43,37 @@ long long parseIntArg(const std::string &what, const std::string &text,
  */
 double parseDoubleArg(const std::string &what, const std::string &text,
                       double min_value, double max_value);
+
+/**
+ * Non-fatal twin of parseIntArg: on success writes `out` and returns
+ * true; on failure returns false with the diagnostic (citing `what`)
+ * in `err` and `out` untouched.
+ */
+bool tryParseInt(const std::string &what, const std::string &text,
+                 long long min_value, long long max_value,
+                 long long &out, std::string &err);
+
+/** Non-fatal twin of parseDoubleArg. */
+bool tryParseDouble(const std::string &what, const std::string &text,
+                    double min_value, double max_value, double &out,
+                    std::string &err);
+
+/**
+ * Parse a flat JSON object — the shape of every campaign service
+ * request — into key → raw-value-token pairs.
+ *
+ * Accepted values are strings (returned unescaped), numbers, `true`,
+ * `false`, and `null` (all returned as their literal token text);
+ * nested objects and arrays are rejected (no service request needs
+ * them, and rejecting them keeps the daemon's attack surface a single
+ * screen of code).  Duplicate keys, trailing garbage, unterminated
+ * strings, and bad escapes are all reported in `err` rather than
+ * guessed at.  Returns false with `fields` cleared on any error —
+ * the daemon turns that into an error response, never a fatal().
+ */
+bool parseJsonObject(const std::string &text,
+                     std::map<std::string, std::string> &fields,
+                     std::string &err);
 
 } // namespace fidelity
 

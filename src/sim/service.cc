@@ -1,0 +1,1373 @@
+#include "sim/service.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <type_traits>
+
+#include "sim/checkpoint.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+#include "sim/service_proto.hh"
+#include "workloads/metrics.hh"
+#include "workloads/models.hh"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace fidelity
+{
+
+namespace
+{
+
+template <typename... Args>
+std::string
+describe(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+std::string
+hexHash(std::uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+double
+nowSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+tryParsePrecision(const std::string &s, Precision &p)
+{
+    if (s == "fp32") { p = Precision::FP32; return true; }
+    if (s == "fp16") { p = Precision::FP16; return true; }
+    if (s == "int16") { p = Precision::INT16; return true; }
+    if (s == "int8") { p = Precision::INT8; return true; }
+    return false;
+}
+
+/** Request-grammar (lowercase) name of a precision — the inverse of
+ *  tryParsePrecision, unlike precisionName()'s display casing. */
+const char *
+requestPrecisionName(Precision p)
+{
+    switch (p) {
+    case Precision::FP32: return "fp32";
+    case Precision::FP16: return "fp16";
+    case Precision::INT16: return "int16";
+    case Precision::INT8: return "int8";
+    }
+    return "fp16";
+}
+
+bool
+knownMetricName(const std::string &s)
+{
+    return s == "top1" || s == "bleu10" || s == "bleu20" ||
+           s == "det10" || s == "det20";
+}
+
+} // namespace
+
+// ----- Campaign requests -------------------------------------------
+
+bool
+tryParseServiceRequest(const std::string &json, ServiceRequest &req,
+                       std::string &err)
+{
+    std::map<std::string, std::string> fields;
+    if (!parseJsonObject(json, fields, err))
+        return false;
+
+    req = ServiceRequest{};
+    // Integer/double fields go through the checked sim/parse twins so
+    // a bad token names the key; the daemon answers with `err` instead
+    // of dying.
+    auto takeInt = [&](const char *key, long long lo, long long hi,
+                       auto &out) {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return true;
+        long long v = 0;
+        if (!tryParseInt(key, it->second, lo, hi, v, err))
+            return false;
+        out = static_cast<std::decay_t<decltype(out)>>(v);
+        fields.erase(it);
+        return true;
+    };
+    auto takeDouble = [&](const char *key, double lo, double hi,
+                          double &out) {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return true;
+        if (!tryParseDouble(key, it->second, lo, hi, out, err))
+            return false;
+        fields.erase(it);
+        return true;
+    };
+    auto takeString = [&](const char *key, std::string &out) {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return;
+        out = it->second;
+        fields.erase(it);
+    };
+
+    takeString("network", req.network);
+    std::string precision = "fp16";
+    takeString("precision", precision);
+    takeString("metric", req.metric);
+    if (!takeInt("net_seed", 0,
+                 std::numeric_limits<long long>::max(), req.netSeed) ||
+        !takeInt("input_seed", 0,
+                 std::numeric_limits<long long>::max(),
+                 req.inputSeed) ||
+        !takeInt("samples_per_category", 1, 1 << 24,
+                 req.samplesPerCategory) ||
+        !takeInt("seed", 0, std::numeric_limits<long long>::max(),
+                 req.seed) ||
+        !takeInt("shard_grain", 1, 1 << 20, req.shardGrain) ||
+        !takeDouble("output_clamp_abs", 0.0, 1e12,
+                    req.outputClampAbs) ||
+        !takeDouble("target_half_width", 0.0, 1.0,
+                    req.targetHalfWidth) ||
+        !takeInt("threads", 0, 4096, req.threads) ||
+        !takeInt("batch_width", 1, 8, req.batchWidth))
+        return false;
+
+    if (!fields.empty()) {
+        err = describe("unknown request key \"", fields.begin()->first,
+                       "\"");
+        return false;
+    }
+    const auto &names = studyNetworkNames();
+    if (std::find(names.begin(), names.end(), req.network) ==
+        names.end()) {
+        err = describe("unknown network \"", req.network, "\"");
+        return false;
+    }
+    if (!tryParsePrecision(precision, req.precision)) {
+        err = describe("unknown precision \"", precision, "\"");
+        return false;
+    }
+    if (!knownMetricName(req.metric)) {
+        err = describe("unknown metric \"", req.metric, "\"");
+        return false;
+    }
+    return true;
+}
+
+std::string
+serviceRequestJson(const ServiceRequest &req)
+{
+    JsonLineBuilder b;
+    b.field("network", req.network);
+    b.field("precision", requestPrecisionName(req.precision));
+    b.field("metric", req.metric);
+    b.field("net_seed", req.netSeed);
+    b.field("input_seed", req.inputSeed);
+    b.field("samples_per_category", req.samplesPerCategory);
+    b.field("seed", req.seed);
+    b.field("shard_grain", req.shardGrain);
+    b.field("output_clamp_abs", req.outputClampAbs);
+    b.field("target_half_width", req.targetHalfWidth);
+    b.field("threads", req.threads);
+    b.field("batch_width", req.batchWidth);
+    return b.str();
+}
+
+Network
+buildServiceNetwork(const ServiceRequest &req)
+{
+    Network net = buildNetwork(req.network, req.netSeed);
+    net.setPrecision(req.precision);
+    if (req.precision == Precision::INT16 ||
+        req.precision == Precision::INT8)
+        net.calibrate(serviceInput(req));
+    return net;
+}
+
+Tensor
+serviceInput(const ServiceRequest &req)
+{
+    return defaultInputFor(req.network, req.inputSeed);
+}
+
+CorrectnessFn
+serviceMetric(const ServiceRequest &req)
+{
+    if (req.metric == "top1")
+        return top1Metric();
+    if (req.metric == "bleu10")
+        return bleuMetric(0.10);
+    if (req.metric == "bleu20")
+        return bleuMetric(0.20);
+    if (req.metric == "det10")
+        return detectionMetric(0.10);
+    if (req.metric == "det20")
+        return detectionMetric(0.20);
+    fatal("unknown metric '", req.metric, "'");
+}
+
+CampaignConfig
+campaignConfigFor(const ServiceRequest &req)
+{
+    CampaignConfig cfg;
+    cfg.samplesPerCategory = req.samplesPerCategory;
+    cfg.seed = req.seed;
+    cfg.shardGrain = req.shardGrain;
+    cfg.outputClampAbs = req.outputClampAbs;
+    cfg.targetHalfWidth = req.targetHalfWidth;
+    cfg.numThreads = req.threads;
+    cfg.batchWidth = req.batchWidth;
+    return cfg;
+}
+
+// ----- Lease bookkeeping -------------------------------------------
+
+LeaseBook::LeaseBook(std::uint64_t planShards, std::uint64_t leaseShards)
+{
+    fatal_if(leaseShards == 0, "leaseShards must be > 0");
+    for (std::uint64_t first = 0; first < planShards;
+         first += leaseShards) {
+        Chunk c;
+        c.first = first;
+        c.count = std::min(leaseShards, planShards - first);
+        chunks_.push_back(std::move(c));
+    }
+}
+
+void
+LeaseBook::expireStale(double now_sec)
+{
+    for (Chunk &c : chunks_) {
+        if (c.state == ChunkState::Leased && c.deadline < now_sec) {
+            warn("lease of shards [", c.first, ", ",
+                 c.first + c.count, ") to ", c.owner,
+                 " expired; re-issuing");
+            c.state = ChunkState::Unleased;
+            c.owner.clear();
+            ++expired_;
+        }
+    }
+}
+
+bool
+LeaseBook::lease(const std::string &worker, double now_sec,
+                 double timeout_sec, std::uint64_t &first,
+                 std::uint64_t &count)
+{
+    expireStale(now_sec);
+    for (Chunk &c : chunks_) {
+        if (c.state != ChunkState::Unleased)
+            continue;
+        c.state = ChunkState::Leased;
+        c.owner = worker;
+        c.deadline = now_sec + timeout_sec;
+        first = c.first;
+        count = c.count;
+        return true;
+    }
+    return false;
+}
+
+LeaseBook::ResultOutcome
+LeaseBook::complete(std::uint64_t first, std::uint64_t count)
+{
+    for (Chunk &c : chunks_) {
+        if (c.first != first || c.count != count)
+            continue;
+        if (c.state == ChunkState::Merged)
+            return ResultOutcome::Duplicate;
+        // A result is accepted from an Unleased chunk too: the lease
+        // expired but the journal is the journal — deterministic, so
+        // first-to-arrive wins and the re-issue becomes a duplicate.
+        c.state = ChunkState::Merged;
+        c.owner.clear();
+        return ResultOutcome::Merged;
+    }
+    return ResultOutcome::Unknown;
+}
+
+void
+LeaseBook::heartbeat(const std::string &worker, double now_sec,
+                     double timeout_sec)
+{
+    for (Chunk &c : chunks_)
+        if (c.state == ChunkState::Leased && c.owner == worker)
+            c.deadline = now_sec + timeout_sec;
+}
+
+std::uint64_t
+LeaseBook::release(const std::string &worker)
+{
+    std::uint64_t n = 0;
+    for (Chunk &c : chunks_) {
+        if (c.state == ChunkState::Leased && c.owner == worker) {
+            c.state = ChunkState::Unleased;
+            c.owner.clear();
+            ++n;
+            ++expired_;
+        }
+    }
+    return n;
+}
+
+void
+LeaseBook::markMerged(std::uint64_t first, std::uint64_t count)
+{
+    for (Chunk &c : chunks_)
+        if (c.first == first && c.count == count)
+            c.state = ChunkState::Merged;
+}
+
+bool
+LeaseBook::allMerged() const
+{
+    for (const Chunk &c : chunks_)
+        if (c.state != ChunkState::Merged)
+            return false;
+    return true;
+}
+
+std::uint64_t
+LeaseBook::mergedChunks() const
+{
+    std::uint64_t n = 0;
+    for (const Chunk &c : chunks_)
+        if (c.state == ChunkState::Merged)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+LeaseBook::chunkCount() const
+{
+    return chunks_.size();
+}
+
+#if !defined(_WIN32)
+
+// ----- Sockets ------------------------------------------------------
+
+namespace
+{
+
+struct ServiceAddr
+{
+    bool unixSocket = true;
+    std::string path; //!< unix
+    std::string host; //!< tcp
+    std::string port; //!< tcp
+};
+
+ServiceAddr
+parseServiceAddr(const std::string &addr)
+{
+    ServiceAddr a;
+    if (addr.rfind("unix:", 0) == 0) {
+        a.unixSocket = true;
+        a.path = addr.substr(5);
+        fatal_if(a.path.empty(), "empty unix socket path in '", addr,
+                 "'");
+        fatal_if(a.path.size() >= sizeof(sockaddr_un{}.sun_path),
+                 "unix socket path '", a.path, "' is too long");
+        return a;
+    }
+    if (addr.rfind("tcp:", 0) == 0) {
+        a.unixSocket = false;
+        const std::string rest = addr.substr(4);
+        const std::size_t colon = rest.find_last_of(':');
+        fatal_if(colon == std::string::npos || colon == 0 ||
+                     colon + 1 == rest.size(),
+                 "tcp address '", addr,
+                 "' must look like tcp:<host>:<port>");
+        a.host = rest.substr(0, colon);
+        a.port = rest.substr(colon + 1);
+        return a;
+    }
+    fatal("service address '", addr,
+          "' must start with unix: or tcp:");
+}
+
+int
+listenOn(const ServiceAddr &a)
+{
+    int fd = -1;
+    if (a.unixSocket) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        fatal_if(fd < 0, "cannot create unix socket: ",
+                 std::strerror(errno));
+        ::unlink(a.path.c_str()); // stale socket from a dead process
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, a.path.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        fatal_if(::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                        sizeof(sa)) != 0,
+                 "cannot bind ", a.path, ": ", std::strerror(errno));
+    } else {
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        hints.ai_flags = AI_PASSIVE;
+        addrinfo *res = nullptr;
+        int rc = ::getaddrinfo(a.host.c_str(), a.port.c_str(), &hints,
+                               &res);
+        fatal_if(rc != 0, "cannot resolve ", a.host, ":", a.port, ": ",
+                 ::gai_strerror(rc));
+        fd = ::socket(res->ai_family, res->ai_socktype,
+                      res->ai_protocol);
+        fatal_if(fd < 0, "cannot create tcp socket: ",
+                 std::strerror(errno));
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, res->ai_addr, res->ai_addrlen) != 0) {
+            ::freeaddrinfo(res);
+            fatal("cannot bind ", a.host, ":", a.port, ": ",
+                  std::strerror(errno));
+        }
+        ::freeaddrinfo(res);
+    }
+    fatal_if(::listen(fd, 64) != 0, "cannot listen: ",
+             std::strerror(errno));
+    return fd;
+}
+
+int
+connectOnce(const ServiceAddr &a)
+{
+    if (a.unixSocket) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, a.path.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    if (::getaddrinfo(a.host.c_str(), a.port.c_str(), &hints, &res) !=
+        0)
+        return -1;
+    int fd = -1;
+    for (addrinfo *p = res; p; p = p->ai_next) {
+        fd = ::socket(p->ai_family, p->ai_socktype, p->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, p->ai_addr, p->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+}
+
+int
+connectWithRetry(const ServiceAddr &a, const std::string &addr,
+                 double timeout_sec)
+{
+    const double deadline = nowSec() + timeout_sec;
+    for (;;) {
+        int fd = connectOnce(a);
+        if (fd >= 0)
+            return fd;
+        if (nowSec() >= deadline)
+            fatal("cannot connect to ", addr, " within ", timeout_sec,
+                  " s");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+/** Write the whole buffer; false on a dead peer (no SIGPIPE). */
+bool
+sendBytes(int fd, std::string_view bytes)
+{
+    const char *p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Frame reader over one socket: buffers bytes and yields frames via
+ *  the streaming decoder; a Malformed verdict poisons the peer. */
+class FrameConn
+{
+  public:
+    explicit FrameConn(int fd) : fd_(fd) {}
+
+    enum class Status { Frame, Timeout, Closed, Malformed };
+
+    /** Read one frame, waiting at most timeout_sec (< 0 = forever). */
+    Status
+    readFrame(Frame &f, double timeout_sec, std::string &err)
+    {
+        const bool bounded = timeout_sec >= 0.0;
+        const double deadline = nowSec() + timeout_sec;
+        for (;;) {
+            std::size_t consumed = 0;
+            switch (tryDecodeFrame(buf_, f, consumed, err)) {
+            case FrameDecodeStatus::Complete:
+                buf_.erase(0, consumed);
+                return Status::Frame;
+            case FrameDecodeStatus::Malformed:
+                return Status::Malformed;
+            case FrameDecodeStatus::NeedMore:
+                break;
+            }
+            int wait_ms = 200;
+            if (bounded) {
+                const double left = deadline - nowSec();
+                if (left <= 0.0)
+                    return Status::Timeout;
+                wait_ms = std::min(
+                    wait_ms,
+                    static_cast<int>(left * 1000.0) + 1);
+            }
+            pollfd pfd{fd_, POLLIN, 0};
+            int rc = ::poll(&pfd, 1, wait_ms);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                err = describe("poll failed: ", std::strerror(errno));
+                return Status::Closed;
+            }
+            if (rc == 0) {
+                if (bounded && nowSec() >= deadline)
+                    return Status::Timeout;
+                continue;
+            }
+            char chunk[16384];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n == 0) {
+                err = "peer closed the connection";
+                return Status::Closed;
+            }
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                err = describe("recv failed: ",
+                               std::strerror(errno));
+                return Status::Closed;
+            }
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+// ----- Coordinator --------------------------------------------------
+
+namespace
+{
+
+/** Shared state of one coordinator run. */
+struct CoordCtx
+{
+    std::mutex m;
+    std::condition_variable cv;
+
+    LeaseBook book;
+    std::map<std::uint64_t, ShardRecord> merged; //!< by ordinal
+
+    std::uint64_t cfgHash = 0;
+    std::string requestJson;
+    const CoordinatorOptions *opts = nullptr;
+
+    bool stopRequested = false; //!< stopAfterMergedChunks fired
+    double lastCheckpoint = 0.0;
+
+    WorkerTopology topo;
+
+    CoordCtx(std::uint64_t plan_shards, std::uint64_t lease_shards)
+        : book(plan_shards, lease_shards)
+    {}
+
+    /** Under m: nothing left to serve. */
+    bool
+    doneServing() const
+    {
+        return stopRequested || book.allMerged();
+    }
+
+    /** Under m: write the merged journals to the checkpoint path. */
+    void
+    checkpointLocked(bool final_write)
+    {
+        if (opts->checkpointPath.empty())
+            return;
+        const double now = nowSec();
+        if (!final_write &&
+            now - lastCheckpoint < opts->checkpointEverySec)
+            return;
+        lastCheckpoint = now;
+        CampaignSnapshot snap;
+        snap.configHash = cfgHash;
+        snap.shards.reserve(merged.size());
+        for (const auto &[ordinal, rec] : merged)
+            snap.shards.push_back(rec);
+        writeSnapshot(opts->checkpointPath, snap);
+    }
+
+    WorkerProcessTelemetry &
+    workerSlotLocked(const std::string &name)
+    {
+        for (WorkerProcessTelemetry &w : topo.workers)
+            if (w.name == name)
+                return w;
+        WorkerProcessTelemetry w;
+        w.name = name;
+        topo.workers.push_back(std::move(w));
+        return topo.workers.back();
+    }
+};
+
+void serveWorkerConn(int fd, CoordCtx &ctx);
+
+/** Serve one worker connection (one thread each).  Every exit path —
+ *  handshake rejection, disconnect, DONE — must release the socket:
+ *  a dropped peer otherwise holds its fd (and its peer's recv) until
+ *  the whole process exits. */
+void
+serveWorker(int fd, CoordCtx &ctx)
+{
+    serveWorkerConn(fd, ctx);
+    ::close(fd);
+}
+
+void
+serveWorkerConn(int fd, CoordCtx &ctx)
+{
+    FrameConn conn(fd);
+    Frame f;
+    std::string err;
+    std::string peer = "worker";
+
+    auto drop = [&](const std::string &why) {
+        warn("dropping ", peer, ": ", why);
+        sendBytes(fd, encodeErrorFrame(why));
+        std::lock_guard<std::mutex> lock(ctx.m);
+        const std::uint64_t reverted = ctx.book.release(peer);
+        if (reverted > 0)
+            ctx.workerSlotLocked(peer).leasesExpired += reverted;
+        ctx.cv.notify_all();
+    };
+
+    // HELLO → SPEC → READY handshake.
+    if (conn.readFrame(f, 30.0, err) != FrameConn::Status::Frame)
+        return;
+    HelloPayload hello;
+    if (!tryParseHello(f, hello, err)) {
+        drop(err);
+        return;
+    }
+    peer = hello.worker.empty() ? "unnamed worker" : hello.worker;
+    if (hello.version != kServiceProtocolVersion) {
+        drop(describe("protocol version ", hello.version,
+                      " does not match coordinator version ",
+                      kServiceProtocolVersion));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(ctx.m);
+        WorkerProcessTelemetry &w = ctx.workerSlotLocked(peer);
+        w.threads = static_cast<int>(hello.threads);
+    }
+    SpecPayload spec;
+    spec.configHash = ctx.cfgHash;
+    spec.requestJson = ctx.requestJson;
+    if (!sendBytes(fd, encodeSpec(spec)))
+        return;
+    if (conn.readFrame(f, 60.0, err) != FrameConn::Status::Frame)
+        return;
+    ReadyPayload ready;
+    if (!tryParseReady(f, ready, err)) {
+        drop(err);
+        return;
+    }
+    if (ready.configHash != ctx.cfgHash) {
+        // The worker rebuilt a different campaign from the same spec —
+        // a build/version skew that would silently corrupt the merge.
+        drop(describe("READY config hash ", hexHash(ready.configHash),
+                      " does not match campaign ",
+                      hexHash(ctx.cfgHash)));
+        return;
+    }
+
+    for (;;) {
+        // Grant a lease (or finish).
+        std::uint64_t first = 0, count = 0;
+        {
+            std::unique_lock<std::mutex> lock(ctx.m);
+            for (;;) {
+                if (ctx.doneServing()) {
+                    sendBytes(fd, encodeDone());
+                    return;
+                }
+                if (ctx.book.lease(peer, nowSec(),
+                                   ctx.opts->leaseTimeoutSec, first,
+                                   count)) {
+                    ctx.workerSlotLocked(peer).leases += 1;
+                    break;
+                }
+                // Everything is leased out; wait for a merge, an
+                // expiry, or completion.
+                ctx.cv.wait_for(lock,
+                                std::chrono::milliseconds(250));
+            }
+        }
+        LeasePayload lease{first, count};
+        if (!sendBytes(fd, encodeLease(lease))) {
+            drop("connection lost while sending LEASE");
+            return;
+        }
+
+        // Await the RESULT (heartbeats interleave).
+        bool merged_one = false;
+        while (!merged_one) {
+            switch (conn.readFrame(f, 0.5, err)) {
+            case FrameConn::Status::Timeout:
+                // The worker is executing; lease expiry (if it is
+                // actually dead) is the book's business.
+                continue;
+            case FrameConn::Status::Closed: {
+                std::lock_guard<std::mutex> lock(ctx.m);
+                const std::uint64_t reverted = ctx.book.release(peer);
+                if (reverted > 0) {
+                    ctx.workerSlotLocked(peer).leasesExpired +=
+                        reverted;
+                    warn(peer, " disconnected mid-lease; ", reverted,
+                         " chunk(s) re-issued");
+                }
+                ctx.cv.notify_all();
+                return;
+            }
+            case FrameConn::Status::Malformed:
+                drop(err);
+                return;
+            case FrameConn::Status::Frame:
+                break;
+            }
+            if (f.type == FrameType::Heartbeat) {
+                std::lock_guard<std::mutex> lock(ctx.m);
+                ctx.book.heartbeat(peer, nowSec(),
+                                   ctx.opts->leaseTimeoutSec);
+                continue;
+            }
+            ResultPayload result;
+            if (!tryParseResult(f, result, err)) {
+                drop(err);
+                return;
+            }
+            // The journal travels as FIDCKPT bytes; the decoder
+            // validates every count against the byte budget, so a
+            // corrupt journal names the peer instead of allocating.
+            CampaignSnapshot snap;
+            if (!tryDecodeSnapshot(result.journal.data(),
+                                   result.journal.size(),
+                                   "RESULT journal from " + peer, snap,
+                                   err)) {
+                drop(err);
+                return;
+            }
+            if (snap.configHash != ctx.cfgHash) {
+                drop(describe("RESULT journal config hash ",
+                              hexHash(snap.configHash),
+                              " does not match campaign ",
+                              hexHash(ctx.cfgHash)));
+                return;
+            }
+            if (snap.shards.size() != result.count ||
+                (result.count > 0 &&
+                 (snap.shards.front().ordinal < result.first ||
+                  snap.shards.back().ordinal >=
+                      result.first + result.count))) {
+                drop(describe("RESULT journal does not cover shards [",
+                              result.first, ", ",
+                              result.first + result.count, ")"));
+                return;
+            }
+
+            std::lock_guard<std::mutex> lock(ctx.m);
+            switch (ctx.book.complete(result.first, result.count)) {
+            case LeaseBook::ResultOutcome::Unknown:
+                drop(describe("RESULT for unknown lease [",
+                              result.first, ", ",
+                              result.first + result.count, ")"));
+                return;
+            case LeaseBook::ResultOutcome::Duplicate:
+                // A slow worker raced a re-issue; the journals are
+                // deterministic, so dropping the copy is lossless.
+                inform("duplicate RESULT for shards [", result.first,
+                       ", ", result.first + result.count, ") from ",
+                       peer, " ignored");
+                merged_one = true;
+                break;
+            case LeaseBook::ResultOutcome::Merged: {
+                WorkerProcessTelemetry &w = ctx.workerSlotLocked(peer);
+                w.shards += result.count;
+                for (ShardRecord &r : snap.shards) {
+                    w.injections += r.trials;
+                    ctx.merged[r.ordinal] = std::move(r);
+                }
+                if (ctx.opts->stopAfterMergedChunks > 0 &&
+                    ctx.book.mergedChunks() >=
+                        ctx.opts->stopAfterMergedChunks)
+                    ctx.stopRequested = true;
+                ctx.checkpointLocked(false);
+                merged_one = true;
+                break;
+            }
+            }
+            ctx.cv.notify_all();
+        }
+    }
+}
+
+} // namespace
+
+CoordinatorRun
+runCampaignCoordinator(const ServiceRequest &req,
+                       const CoordinatorOptions &opts)
+{
+    fatal_if(req.targetHalfWidth > 0.0,
+             "adaptive campaigns are served in-process; the "
+             "coordinator distributes fixed schedules only");
+    Network net = buildServiceNetwork(req);
+    Tensor input = serviceInput(req);
+    CorrectnessFn metric = serviceMetric(req);
+    CampaignConfig cfg = campaignConfigFor(req);
+    const std::uint64_t cfg_hash = campaignConfigHash(net, input, cfg);
+    const std::vector<ShardPlanEntry> plan = fixedShardPlan(net, cfg);
+    fatal_if(plan.empty(), "campaign request plans zero shards");
+
+    CoordCtx ctx(plan.size(), opts.leaseShards);
+    ctx.cfgHash = cfg_hash;
+    ctx.requestJson = serviceRequestJson(req);
+    ctx.opts = &opts;
+    ctx.topo.coordinator = opts.listenAddr;
+    ctx.topo.leaseShards = opts.leaseShards;
+
+    // Coordinator restart: restore the journals a previous run merged
+    // and re-issue only the rest.  Partial chunks restore their
+    // records too — re-execution overwrites them with identical bytes.
+    if (!opts.resumeFrom.empty() && snapshotExists(opts.resumeFrom)) {
+        CampaignSnapshot snap = readSnapshot(opts.resumeFrom);
+        fatal_if(snap.configHash != cfg_hash,
+                 "snapshot ", opts.resumeFrom, " was written by a "
+                 "campaign with a different sample identity "
+                 "(config hash mismatch)");
+        for (ShardRecord &r : snap.shards)
+            ctx.merged[r.ordinal] = std::move(r);
+        for (std::uint64_t first = 0; first < plan.size();
+             first += opts.leaseShards) {
+            const std::uint64_t count =
+                std::min(opts.leaseShards, plan.size() - first);
+            bool covered = true;
+            for (std::uint64_t o = first; o < first + count; ++o)
+                if (ctx.merged.find(o) == ctx.merged.end()) {
+                    covered = false;
+                    break;
+                }
+            if (covered)
+                ctx.book.markMerged(first, count);
+        }
+        inform("coordinator resuming: ", ctx.merged.size(),
+               " shard journals restored, ", ctx.book.mergedChunks(),
+               " of ", ctx.book.chunkCount(), " chunks already merged");
+    }
+
+    const ServiceAddr addr = parseServiceAddr(opts.listenAddr);
+    int listen_fd = listenOn(addr);
+    inform("coordinator serving ", plan.size(), " shards (",
+           ctx.book.chunkCount(), " chunks of ", opts.leaseShards,
+           ") on ", opts.listenAddr);
+
+    std::vector<std::thread> conns;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(ctx.m);
+            if (ctx.doneServing())
+                break;
+        }
+        pollfd pfd{listen_fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("coordinator poll failed: ", std::strerror(errno));
+        }
+        if (rc == 0)
+            continue;
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        conns.emplace_back(serveWorker, fd, std::ref(ctx));
+    }
+    // Connection threads send DONE to their (idle) workers and exit;
+    // threads blocked on an executing worker finish after its RESULT.
+    for (std::thread &t : conns)
+        t.join();
+    ::close(listen_fd);
+    if (addr.unixSocket)
+        ::unlink(addr.path.c_str());
+
+    CoordinatorRun run;
+    run.topology = ctx.topo;
+    {
+        std::lock_guard<std::mutex> lock(ctx.m);
+        ctx.checkpointLocked(true);
+        run.complete = ctx.book.allMerged();
+    }
+    if (!run.complete) {
+        inform("coordinator stopped after ", ctx.book.mergedChunks(),
+               " of ", ctx.book.chunkCount(),
+               " chunks; journals are in ", opts.checkpointPath);
+        return run;
+    }
+
+    // The merge: hand the complete journal set to runCampaign as an
+    // in-memory resume snapshot.  Zero shards execute; the merge loop,
+    // checksum, and manifest "results" section are exactly the
+    // single-process code path — distribution cannot perturb them.
+    auto snap = std::make_shared<CampaignSnapshot>();
+    snap->configHash = cfg_hash;
+    snap->shards.reserve(ctx.merged.size());
+    for (auto &[ordinal, rec] : ctx.merged)
+        snap->shards.push_back(std::move(rec));
+    CampaignConfig merge_cfg = cfg;
+    merge_cfg.resumeSnapshot = snap;
+    merge_cfg.topology =
+        std::make_shared<WorkerTopology>(run.topology);
+    merge_cfg.reportPath = opts.reportPath;
+    run.result = runCampaign(net, input, metric, merge_cfg);
+    return run;
+}
+
+// ----- Worker -------------------------------------------------------
+
+int
+runServiceWorker(const WorkerOptions &opts)
+{
+    const ServiceAddr addr = parseServiceAddr(opts.connectAddr);
+    int fd = connectWithRetry(addr, opts.connectAddr,
+                              opts.connectTimeoutSec);
+    FrameConn conn(fd);
+    std::mutex write_mutex; // RESULT writer vs heartbeat thread
+
+    HelloPayload hello;
+    hello.worker = opts.name;
+    hello.threads = static_cast<std::uint64_t>(opts.threads);
+    fatal_if(!sendBytes(fd, encodeHello(hello)),
+             "cannot send HELLO to ", opts.connectAddr);
+
+    Frame f;
+    std::string err;
+    fatal_if(conn.readFrame(f, 60.0, err) != FrameConn::Status::Frame,
+             "no SPEC from coordinator: ", err);
+    SpecPayload spec;
+    fatal_if(!tryParseSpec(f, spec, err), "bad SPEC: ", err);
+    ServiceRequest req;
+    fatal_if(!tryParseServiceRequest(spec.requestJson, req, err),
+             "coordinator sent an invalid campaign request: ", err);
+
+    Network net = buildServiceNetwork(req);
+    Tensor input = serviceInput(req);
+    CorrectnessFn metric = serviceMetric(req);
+    CampaignConfig cfg = campaignConfigFor(req);
+    const std::uint64_t cfg_hash = campaignConfigHash(net, input, cfg);
+    if (cfg_hash != spec.configHash)
+        warn("worker ", opts.name, " computed config hash ",
+             hexHash(cfg_hash), ", coordinator announced ",
+             hexHash(spec.configHash),
+             "; sending READY and expecting rejection");
+    ReadyPayload ready{cfg_hash};
+    fatal_if(!sendBytes(fd, encodeReady(ready)),
+             "cannot send READY to ", opts.connectAddr);
+
+    // Heartbeats flow from a side thread while the main thread
+    // executes leases, so a long shard never looks like death.
+    std::atomic<bool> stop_heartbeat{false};
+    std::thread heartbeat([&] {
+        const auto period = std::chrono::duration<double>(
+            std::max(opts.heartbeatSec, 0.1));
+        while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(period);
+            if (stop_heartbeat.load(std::memory_order_relaxed))
+                break;
+            std::lock_guard<std::mutex> lock(write_mutex);
+            if (!sendBytes(fd, encodeHeartbeat()))
+                break;
+        }
+    });
+    auto stopHeartbeat = [&] {
+        stop_heartbeat.store(true, std::memory_order_relaxed);
+        heartbeat.join();
+    };
+
+    // One executor for every lease this worker drains: the golden
+    // forward pass, result cache, and engines are paid once, as the
+    // in-process fan-out pays them — per-lease cost is just the
+    // shards themselves.  (The heartbeat thread above is already
+    // running, so a slow construction never looks like death.)
+    FixedShardExecutor executor(net, input, metric, cfg);
+
+    std::uint64_t results_sent = 0;
+    for (;;) {
+        FrameConn::Status st = conn.readFrame(f, -1.0, err);
+        if (st != FrameConn::Status::Frame) {
+            stopHeartbeat();
+            fatal("worker ", opts.name, " lost its coordinator: ",
+                  err);
+        }
+        if (f.type == FrameType::Done || f.type == FrameType::Drain) {
+            stopHeartbeat();
+            ::close(fd);
+            return 0;
+        }
+        if (f.type == FrameType::Error) {
+            std::string message;
+            tryParseText(f, FrameType::Error, message, err);
+            stopHeartbeat();
+            fatal("coordinator rejected worker ", opts.name, ": ",
+                  message);
+        }
+        LeasePayload lease;
+        if (!tryParseLease(f, lease, err)) {
+            stopHeartbeat();
+            fatal("worker ", opts.name, " got an unexpected frame: ",
+                  err);
+        }
+        // Deterministic fault hook: die mid-shard, holding this lease,
+        // once the configured number of RESULTs is out the door.
+        if (opts.dieAfterResults > 0 &&
+            results_sent >= opts.dieAfterResults)
+            ::raise(SIGKILL);
+
+        std::vector<ShardRecord> records =
+            executor.execute(lease.first, lease.count);
+        CampaignSnapshot journal;
+        journal.configHash = cfg_hash;
+        journal.shards = std::move(records);
+        ResultPayload result;
+        result.first = lease.first;
+        result.count = lease.count;
+        result.journal = encodeSnapshot(journal);
+        {
+            std::lock_guard<std::mutex> lock(write_mutex);
+            if (!sendBytes(fd, encodeResult(result))) {
+                stopHeartbeat();
+                fatal("worker ", opts.name,
+                      " lost its coordinator while sending RESULT");
+            }
+        }
+        ++results_sent;
+    }
+}
+
+// ----- Daemon -------------------------------------------------------
+
+namespace
+{
+
+/** Shared state of one daemon run. */
+struct DaemonCtx
+{
+    std::mutex m;
+    std::condition_variable cv;
+    const DaemonOptions *opts = nullptr;
+
+    bool draining = false;
+    int active = 0;            //!< campaigns in flight
+    std::uint64_t served = 0;  //!< REQUESTs answered (ok or error)
+};
+
+std::string
+campaignResponseJson(const ServiceRequest &req,
+                     const CampaignResult &res,
+                     const std::string &manifest)
+{
+    JsonLineBuilder b;
+    b.field("status", "ok");
+    b.field("network", req.network);
+    b.field("config_hash", hexHash(res.configHash));
+    b.field("campaign_checksum", hexHash(campaignChecksum(res)));
+    b.field("total_injections", res.totalInjections);
+    b.field("complete", res.complete);
+    if (!manifest.empty()) {
+        std::string trimmed = manifest;
+        while (!trimmed.empty() &&
+               (trimmed.back() == '\n' || trimmed.back() == '\r'))
+            trimmed.pop_back();
+        b.rawField("manifest", trimmed);
+    }
+    return b.str();
+}
+
+void
+serveClient(int fd, DaemonCtx &ctx)
+{
+    FrameConn conn(fd);
+    Frame f;
+    std::string err;
+    if (conn.readFrame(f, 30.0, err) != FrameConn::Status::Frame) {
+        ::close(fd);
+        return;
+    }
+
+    if (f.type == FrameType::Drain) {
+        {
+            std::lock_guard<std::mutex> lock(ctx.m);
+            ctx.draining = true;
+        }
+        ctx.cv.notify_all();
+        sendBytes(fd, encodeResponse("{\"status\": \"draining\"}"));
+        ::close(fd);
+        return;
+    }
+
+    std::string request_json;
+    if (!tryParseText(f, FrameType::Request, request_json, err)) {
+        sendBytes(fd, encodeErrorFrame(err));
+        ::close(fd);
+        return;
+    }
+
+    // A malformed request is the client's problem, never the
+    // daemon's: parse through the checked path and answer with the
+    // diagnostic.  The process keeps serving everyone else.
+    ServiceRequest req;
+    if (!tryParseServiceRequest(request_json, req, err)) {
+        warn("rejecting campaign request: ", err);
+        sendBytes(fd, encodeErrorFrame(err));
+        ::close(fd);
+        {
+            std::lock_guard<std::mutex> lock(ctx.m);
+            ctx.served += 1;
+        }
+        ctx.cv.notify_all();
+        return;
+    }
+
+    {
+        // Concurrency gate: at most maxConcurrent campaigns execute;
+        // later requests queue here (their sockets simply wait).
+        std::unique_lock<std::mutex> lock(ctx.m);
+        ctx.cv.wait(lock, [&] {
+            return ctx.active < ctx.opts->maxConcurrent;
+        });
+        ctx.active += 1;
+    }
+
+    Network net = buildServiceNetwork(req);
+    Tensor input = serviceInput(req);
+    CampaignConfig cfg = campaignConfigFor(req);
+    const std::uint64_t cfg_hash = campaignConfigHash(net, input, cfg);
+    std::string manifest_path;
+    if (!ctx.opts->stateDir.empty()) {
+        // Hash-keyed state: a restarted daemon resumes every campaign
+        // from its last checkpoint window (resumeFrom of a missing
+        // file starts fresh, so first runs need no special case).
+        const std::string stem =
+            ctx.opts->stateDir + "/campaign-" + hexHash(cfg_hash);
+        cfg.checkpointPath = stem + ".fidckpt";
+        cfg.resumeFrom = cfg.checkpointPath;
+        cfg.checkpointEverySec = ctx.opts->checkpointEverySec;
+        manifest_path = stem + ".manifest.json";
+        cfg.reportPath = manifest_path;
+    }
+    CampaignResult res =
+        runCampaign(net, input, serviceMetric(req), cfg);
+    const std::string manifest =
+        manifest_path.empty() ? std::string()
+                              : readWholeFile(manifest_path);
+    sendBytes(fd,
+              encodeResponse(campaignResponseJson(req, res, manifest)));
+    ::close(fd);
+
+    {
+        std::lock_guard<std::mutex> lock(ctx.m);
+        ctx.active -= 1;
+        ctx.served += 1;
+    }
+    ctx.cv.notify_all();
+}
+
+} // namespace
+
+int
+runServiceDaemon(const DaemonOptions &opts)
+{
+    fatal_if(opts.maxConcurrent < 1,
+             "daemon maxConcurrent must be >= 1, got ",
+             opts.maxConcurrent);
+    if (!opts.stateDir.empty()) {
+        // The checkpoint writer fatals on a missing directory, which
+        // would kill the daemon mid-campaign — create the state dir
+        // up front (parents included) and fail fast if we cannot.
+        std::string partial;
+        for (std::size_t at = 0; at < opts.stateDir.size();) {
+            std::size_t sep = opts.stateDir.find('/', at);
+            if (sep == std::string::npos)
+                sep = opts.stateDir.size();
+            partial = opts.stateDir.substr(0, sep);
+            at = sep + 1;
+            if (partial.empty())
+                continue; // leading '/'
+            if (::mkdir(partial.c_str(), 0777) != 0 &&
+                errno != EEXIST)
+                fatal("daemon cannot create state dir ", partial,
+                      ": ", std::strerror(errno));
+        }
+    }
+    DaemonCtx ctx;
+    ctx.opts = &opts;
+
+    const ServiceAddr addr = parseServiceAddr(opts.listenAddr);
+    int listen_fd = listenOn(addr);
+    inform("fidelity_service daemon listening on ", opts.listenAddr,
+           " (", opts.maxConcurrent, " concurrent campaigns)");
+
+    std::vector<std::thread> conns;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(ctx.m);
+            if (ctx.draining ||
+                (opts.maxRequests > 0 &&
+                 ctx.served >= opts.maxRequests))
+                break;
+        }
+        pollfd pfd{listen_fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("daemon poll failed: ", std::strerror(errno));
+        }
+        if (rc == 0)
+            continue;
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        conns.emplace_back(serveClient, fd, std::ref(ctx));
+    }
+    // Graceful drain: no new intake, in-flight campaigns finish (and
+    // checkpoint), then the process exits cleanly.
+    for (std::thread &t : conns)
+        t.join();
+    ::close(listen_fd);
+    if (addr.unixSocket)
+        ::unlink(addr.path.c_str());
+    inform("fidelity_service daemon drained after ", ctx.served,
+           " request(s)");
+    return 0;
+}
+
+bool
+submitServiceRequest(const std::string &connectAddr,
+                     const std::string &requestJson, bool drain,
+                     std::string &response, std::string &err)
+{
+    const ServiceAddr addr = parseServiceAddr(connectAddr);
+    int fd = connectOnce(addr);
+    if (fd < 0) {
+        err = describe("cannot connect to ", connectAddr, ": ",
+                       std::strerror(errno));
+        return false;
+    }
+    const std::string frame =
+        drain ? encodeDrain() : encodeRequest(requestJson);
+    if (!sendBytes(fd, frame)) {
+        ::close(fd);
+        err = describe("cannot send to ", connectAddr);
+        return false;
+    }
+    FrameConn conn(fd);
+    Frame f;
+    FrameConn::Status st = conn.readFrame(f, 600.0, err);
+    if (st != FrameConn::Status::Frame) {
+        ::close(fd);
+        if (err.empty())
+            err = "no response from the daemon";
+        return false;
+    }
+    ::close(fd);
+    if (f.type == FrameType::Error) {
+        std::string message;
+        std::string parse_err;
+        if (!tryParseText(f, FrameType::Error, message, parse_err))
+            message = parse_err;
+        err = message;
+        return false;
+    }
+    return tryParseText(f, FrameType::Response, response, err);
+}
+
+#endif // !defined(_WIN32)
+
+} // namespace fidelity

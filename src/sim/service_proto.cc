@@ -1,0 +1,341 @@
+#include "sim/service_proto.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace fidelity
+{
+
+namespace
+{
+
+template <typename... Args>
+std::string
+describe(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+bool
+knownFrameType(std::uint8_t t)
+{
+    return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+           t <= static_cast<std::uint8_t>(FrameType::Drain);
+}
+
+/** Shared tail of every typed parser: right frame type, then fully
+ *  consumed payload. */
+bool
+checkType(const Frame &f, FrameType expect, std::string &err)
+{
+    if (f.type != expect) {
+        err = describe("expected a ", frameTypeName(expect),
+                       " frame, got ", frameTypeName(f.type));
+        return false;
+    }
+    return true;
+}
+
+bool
+checkDrained(const PayloadReader &in, FrameType type, std::string &err)
+{
+    if (!in.atEnd()) {
+        err = describe(frameTypeName(type),
+                       " frame has trailing payload bytes");
+        return false;
+    }
+    return true;
+}
+
+std::string
+truncated(FrameType type)
+{
+    return describe(frameTypeName(type), " frame payload is truncated");
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+    case FrameType::Hello: return "HELLO";
+    case FrameType::Spec: return "SPEC";
+    case FrameType::Ready: return "READY";
+    case FrameType::Lease: return "LEASE";
+    case FrameType::Result: return "RESULT";
+    case FrameType::Heartbeat: return "HEARTBEAT";
+    case FrameType::Done: return "DONE";
+    case FrameType::Request: return "REQUEST";
+    case FrameType::Response: return "RESPONSE";
+    case FrameType::Error: return "ERROR";
+    case FrameType::Drain: return "DRAIN";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+encodeFrame(FrameType type, std::string_view payload)
+{
+    fatal_if(payload.size() > kMaxFrameBytes - 1,
+             "service frame payload of ", payload.size(),
+             " bytes exceeds the ", kMaxFrameBytes, "-byte frame cap");
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size() + 1);
+    std::string out;
+    out.reserve(sizeof(length) + length);
+    char lenbuf[sizeof(length)];
+    std::memcpy(lenbuf, &length, sizeof(length));
+    out.append(lenbuf, sizeof(lenbuf));
+    out.push_back(static_cast<char>(type));
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+FrameDecodeStatus
+tryDecodeFrame(std::string_view bytes, Frame &out, std::size_t &consumed,
+               std::string &err)
+{
+    std::uint32_t length = 0;
+    if (bytes.size() < sizeof(length))
+        return FrameDecodeStatus::NeedMore;
+    std::memcpy(&length, bytes.data(), sizeof(length));
+    if (length == 0) {
+        err = "frame declares a zero length (a frame holds at least "
+              "its type byte)";
+        return FrameDecodeStatus::Malformed;
+    }
+    if (length > kMaxFrameBytes) {
+        err = describe("frame declares ", length,
+                       " bytes, above the ", kMaxFrameBytes,
+                       "-byte frame cap");
+        return FrameDecodeStatus::Malformed;
+    }
+    if (bytes.size() - sizeof(length) < length)
+        return FrameDecodeStatus::NeedMore;
+    const std::uint8_t type =
+        static_cast<std::uint8_t>(bytes[sizeof(length)]);
+    if (!knownFrameType(type)) {
+        err = describe("unknown frame type ",
+                       static_cast<unsigned>(type));
+        return FrameDecodeStatus::Malformed;
+    }
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(bytes.data() + sizeof(length) + 1, length - 1);
+    consumed = sizeof(length) + length;
+    return FrameDecodeStatus::Complete;
+}
+
+void
+PayloadWriter::u64(std::uint64_t v)
+{
+    char buf[sizeof(v)];
+    std::memcpy(buf, &v, sizeof(v));
+    out_.append(buf, sizeof(buf));
+}
+
+void
+PayloadWriter::str(std::string_view s)
+{
+    u64(s.size());
+    out_.append(s.data(), s.size());
+}
+
+bool
+PayloadReader::u64(std::uint64_t &v)
+{
+    if (bytes_.size() - pos_ < sizeof(v))
+        return false;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return true;
+}
+
+bool
+PayloadReader::str(std::string &s)
+{
+    std::uint64_t n = 0;
+    if (!u64(n))
+        return false;
+    // The declared length is bounded by the bytes actually present
+    // (the frame layer already capped those), so a corrupt length can
+    // never drive the allocation below.
+    if (n > bytes_.size() - pos_)
+        return false;
+    s.assign(bytes_.data() + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+}
+
+std::string
+encodeHello(const HelloPayload &p)
+{
+    PayloadWriter w;
+    w.u64(p.version);
+    w.str(p.worker);
+    w.u64(p.threads);
+    return encodeFrame(FrameType::Hello, w.bytes());
+}
+
+std::string
+encodeSpec(const SpecPayload &p)
+{
+    PayloadWriter w;
+    w.u64(p.configHash);
+    w.str(p.requestJson);
+    return encodeFrame(FrameType::Spec, w.bytes());
+}
+
+std::string
+encodeReady(const ReadyPayload &p)
+{
+    PayloadWriter w;
+    w.u64(p.configHash);
+    return encodeFrame(FrameType::Ready, w.bytes());
+}
+
+std::string
+encodeLease(const LeasePayload &p)
+{
+    PayloadWriter w;
+    w.u64(p.first);
+    w.u64(p.count);
+    return encodeFrame(FrameType::Lease, w.bytes());
+}
+
+std::string
+encodeResult(const ResultPayload &p)
+{
+    PayloadWriter w;
+    w.u64(p.first);
+    w.u64(p.count);
+    w.str(p.journal);
+    return encodeFrame(FrameType::Result, w.bytes());
+}
+
+std::string
+encodeHeartbeat()
+{
+    return encodeFrame(FrameType::Heartbeat, {});
+}
+
+std::string
+encodeDone()
+{
+    return encodeFrame(FrameType::Done, {});
+}
+
+std::string
+encodeDrain()
+{
+    return encodeFrame(FrameType::Drain, {});
+}
+
+std::string
+encodeRequest(std::string_view json)
+{
+    PayloadWriter w;
+    w.str(json);
+    return encodeFrame(FrameType::Request, w.bytes());
+}
+
+std::string
+encodeResponse(std::string_view json)
+{
+    PayloadWriter w;
+    w.str(json);
+    return encodeFrame(FrameType::Response, w.bytes());
+}
+
+std::string
+encodeErrorFrame(std::string_view message)
+{
+    PayloadWriter w;
+    w.str(message);
+    return encodeFrame(FrameType::Error, w.bytes());
+}
+
+bool
+tryParseHello(const Frame &f, HelloPayload &p, std::string &err)
+{
+    if (!checkType(f, FrameType::Hello, err))
+        return false;
+    PayloadReader in(f.payload);
+    if (!in.u64(p.version) || !in.str(p.worker) || !in.u64(p.threads)) {
+        err = truncated(f.type);
+        return false;
+    }
+    return checkDrained(in, f.type, err);
+}
+
+bool
+tryParseSpec(const Frame &f, SpecPayload &p, std::string &err)
+{
+    if (!checkType(f, FrameType::Spec, err))
+        return false;
+    PayloadReader in(f.payload);
+    if (!in.u64(p.configHash) || !in.str(p.requestJson)) {
+        err = truncated(f.type);
+        return false;
+    }
+    return checkDrained(in, f.type, err);
+}
+
+bool
+tryParseReady(const Frame &f, ReadyPayload &p, std::string &err)
+{
+    if (!checkType(f, FrameType::Ready, err))
+        return false;
+    PayloadReader in(f.payload);
+    if (!in.u64(p.configHash)) {
+        err = truncated(f.type);
+        return false;
+    }
+    return checkDrained(in, f.type, err);
+}
+
+bool
+tryParseLease(const Frame &f, LeasePayload &p, std::string &err)
+{
+    if (!checkType(f, FrameType::Lease, err))
+        return false;
+    PayloadReader in(f.payload);
+    if (!in.u64(p.first) || !in.u64(p.count)) {
+        err = truncated(f.type);
+        return false;
+    }
+    return checkDrained(in, f.type, err);
+}
+
+bool
+tryParseResult(const Frame &f, ResultPayload &p, std::string &err)
+{
+    if (!checkType(f, FrameType::Result, err))
+        return false;
+    PayloadReader in(f.payload);
+    if (!in.u64(p.first) || !in.u64(p.count) || !in.str(p.journal)) {
+        err = truncated(f.type);
+        return false;
+    }
+    return checkDrained(in, f.type, err);
+}
+
+bool
+tryParseText(const Frame &f, FrameType expect, std::string &text,
+             std::string &err)
+{
+    if (!checkType(f, expect, err))
+        return false;
+    PayloadReader in(f.payload);
+    if (!in.str(text)) {
+        err = truncated(f.type);
+        return false;
+    }
+    return checkDrained(in, f.type, err);
+}
+
+} // namespace fidelity

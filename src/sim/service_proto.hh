@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Wire protocol of the distributed campaign service (sim/service).
+ *
+ * Transport-free layer: frames and typed payloads as byte strings,
+ * with a streaming decoder and non-fatal parsers, so the protocol is
+ * testable (and fuzzable) without a socket in sight.
+ *
+ * Framing: `[u32 length][u8 type][payload]`, little-endian host
+ * integers (the service fans out across processes of one box — the
+ * same single-architecture contract as the FIDCKPT snapshot format).
+ * `length` counts the type byte plus the payload and is capped at
+ * kMaxFrameBytes, so a malicious or corrupt length yields a
+ * diagnostic, never a multi-GB allocation.
+ *
+ * Conversation (worker side):
+ *
+ *   worker → HELLO  {version, name, threads}
+ *   coord  → SPEC   {configHash, requestJson}
+ *   worker → READY  {configHash}        // recomputed; must match
+ *   coord  → LEASE  {first, count}      // shard-plan ordinal range
+ *   worker → RESULT {first, count, journal = FIDCKPT bytes}
+ *   ...LEASE/RESULT until the plan is merged...
+ *   coord  → DONE | DRAIN               // DRAIN: finish, then exit
+ *   worker → HEARTBEAT {}               // any time, resets the lease
+ *
+ * Client side (daemon requests): REQUEST {json} → RESPONSE {json} or
+ * ERROR {message}.
+ */
+
+#ifndef FIDELITY_SIM_SERVICE_PROTO_HH
+#define FIDELITY_SIM_SERVICE_PROTO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fidelity
+{
+
+/** Bumped on any incompatible frame or payload change. */
+inline constexpr std::uint64_t kServiceProtocolVersion = 1;
+
+/** Cap on `length` (type byte + payload).  A RESULT journal of a
+ *  maximal lease is far below this; anything above is corruption. */
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+    Hello = 1,
+    Spec = 2,
+    Ready = 3,
+    Lease = 4,
+    Result = 5,
+    Heartbeat = 6,
+    Done = 7,
+    Request = 8,
+    Response = 9,
+    Error = 10,
+    Drain = 11,
+};
+
+/** Human name of a frame type ("HELLO"); "UNKNOWN" off the enum. */
+const char *frameTypeName(FrameType t);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/** Serialize one frame (fatals if the payload exceeds the cap —
+ *  that is a caller bug, not peer input). */
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+enum class FrameDecodeStatus {
+    Complete, //!< `out` holds a frame, `consumed` bytes were used
+    NeedMore, //!< prefix of a valid frame; read more and retry
+    Malformed //!< protocol violation; `err` says what, drop the peer
+};
+
+/**
+ * Streaming decode of the first frame in `bytes`.  NeedMore on a
+ * torn prefix (including a bare length word), Malformed on a zero or
+ * over-cap length or an unknown frame type.  `consumed` is written
+ * only on Complete.  Never allocates from the declared length before
+ * the bytes are actually present.
+ */
+FrameDecodeStatus tryDecodeFrame(std::string_view bytes, Frame &out,
+                                 std::size_t &consumed, std::string &err);
+
+// ----- Payload primitives ------------------------------------------
+
+/** Appends u64s and length-prefixed strings to a payload. */
+class PayloadWriter
+{
+  public:
+    void u64(std::uint64_t v);
+    void str(std::string_view s); //!< u64 byte count + bytes
+
+    const std::string &bytes() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/** Bounded cursor over a payload: every read is checked against the
+ *  remaining byte count; string lengths are validated before any
+ *  allocation. */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+    bool u64(std::uint64_t &v);
+    bool str(std::string &s);
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+// ----- Typed payloads ----------------------------------------------
+//
+// Each tryParse* checks the frame type, reads every field, and
+// requires the payload to be fully consumed — a RESULT frame with
+// trailing bytes is as malformed as a truncated one.  All return
+// false with a diagnostic in `err`; the caller names the peer.
+
+struct HelloPayload
+{
+    std::uint64_t version = kServiceProtocolVersion;
+    std::string worker; //!< worker name used in diagnostics/telemetry
+    std::uint64_t threads = 1;
+};
+
+struct SpecPayload
+{
+    std::uint64_t configHash = 0;
+    std::string requestJson; //!< flat service-request object
+};
+
+struct ReadyPayload
+{
+    std::uint64_t configHash = 0; //!< recomputed by the worker
+};
+
+struct LeasePayload
+{
+    std::uint64_t first = 0; //!< first shard-plan ordinal
+    std::uint64_t count = 0;
+};
+
+struct ResultPayload
+{
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    std::string journal; //!< FIDCKPT bytes (sim/checkpoint encoding)
+};
+
+std::string encodeHello(const HelloPayload &p);
+std::string encodeSpec(const SpecPayload &p);
+std::string encodeReady(const ReadyPayload &p);
+std::string encodeLease(const LeasePayload &p);
+std::string encodeResult(const ResultPayload &p);
+std::string encodeHeartbeat();
+std::string encodeDone();
+std::string encodeDrain();
+std::string encodeRequest(std::string_view json);
+std::string encodeResponse(std::string_view json);
+std::string encodeErrorFrame(std::string_view message);
+
+bool tryParseHello(const Frame &f, HelloPayload &p, std::string &err);
+bool tryParseSpec(const Frame &f, SpecPayload &p, std::string &err);
+bool tryParseReady(const Frame &f, ReadyPayload &p, std::string &err);
+bool tryParseLease(const Frame &f, LeasePayload &p, std::string &err);
+bool tryParseResult(const Frame &f, ResultPayload &p, std::string &err);
+
+/** REQUEST/RESPONSE/ERROR carry one raw string. */
+bool tryParseText(const Frame &f, FrameType expect, std::string &text,
+                  std::string &err);
+
+} // namespace fidelity
+
+#endif // FIDELITY_SIM_SERVICE_PROTO_HH

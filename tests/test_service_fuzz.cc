@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Deterministic fuzz battery for every byte-level parser a service
+ * peer can reach: the frame decoder, the typed payload parsers, the
+ * FIDCKPT journal decoder, and the request JSON parser.  Seeded
+ * splitmix64 mutations over valid inputs, a fixed iteration budget —
+ * the same bytes every run, so a failure reproduces by seed.  The
+ * assertions are weak on purpose (diagnostics non-empty, consumption
+ * sane); the real oracle is the sanitizer pair (ASan+LSan, UBSan)
+ * these tests run under in CI: no parser may crash, leak, overflow,
+ * or allocate from attacker-declared lengths on ANY input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/parse.hh"
+#include "sim/service.hh"
+#include "sim/service_proto.hh"
+
+using namespace fidelity;
+
+namespace
+{
+
+/** splitmix64: tiny, seedable, and good enough to mangle bytes. */
+class Mutator
+{
+  public:
+    explicit Mutator(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::size_t
+    below(std::size_t n)
+    {
+        return static_cast<std::size_t>(next() % n);
+    }
+
+    /** Mangle `bytes` in place: xor/overwrite/truncate/insert. */
+    void
+    mutate(std::string &bytes)
+    {
+        const int edits = 1 + static_cast<int>(below(8));
+        for (int e = 0; e < edits && !bytes.empty(); ++e) {
+            switch (below(4)) {
+            case 0: // flip bits of one byte
+                bytes[below(bytes.size())] ^=
+                    static_cast<char>(next() & 0xff);
+                break;
+            case 1: // overwrite one byte
+                bytes[below(bytes.size())] =
+                    static_cast<char>(next() & 0xff);
+                break;
+            case 2: // truncate to a prefix
+                bytes.resize(below(bytes.size() + 1));
+                break;
+            case 3: // insert one byte
+                bytes.insert(bytes.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     below(bytes.size() + 1)),
+                             static_cast<char>(next() & 0xff));
+                break;
+            }
+        }
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** A journal with enough structure to make corruption interesting. */
+std::string
+referenceJournalBytes()
+{
+    CampaignSnapshot snap;
+    snap.configHash = 0x0123456789abcdefULL;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        ShardRecord r;
+        r.ordinal = i;
+        r.cell = i / 2;
+        r.maskedCount = i;
+        r.trials = i + 3;
+        if (i % 2 == 1)
+            r.samples = {{0.5 * static_cast<double>(i), true},
+                         {1.5, false}};
+        snap.shards.push_back(std::move(r));
+    }
+    return encodeSnapshot(snap);
+}
+
+/** A valid conversation's worth of frames, concatenated. */
+std::string
+referenceStream()
+{
+    std::string s;
+    s += encodeHello({kServiceProtocolVersion, "fuzz-worker", 2});
+    s += encodeSpec({0xfeedfaceULL, serviceRequestJson({})});
+    s += encodeReady({0xfeedfaceULL});
+    s += encodeLease({0, 8});
+    s += encodeResult({0, 4, referenceJournalBytes()});
+    s += encodeHeartbeat();
+    s += encodeRequest("{\"network\": \"resnet\", \"seed\": 3}");
+    s += encodeResponse("{\"status\": \"ok\"}");
+    s += encodeErrorFrame("boom");
+    s += encodeDrain();
+    s += encodeDone();
+    return s;
+}
+
+/** The payload of one framed byte string (for direct-parser fuzz). */
+std::string
+framePayload(const std::string &framed)
+{
+    Frame f;
+    std::size_t consumed = 0;
+    std::string err;
+    EXPECT_EQ(tryDecodeFrame(framed, f, consumed, err),
+              FrameDecodeStatus::Complete)
+        << err;
+    return f.payload;
+}
+
+/**
+ * Consume a (possibly mangled) byte stream exactly the way a service
+ * peer would: frame by frame, dispatching each complete frame to its
+ * typed parser, and journals to the FIDCKPT decoder.  Returns the
+ * number of complete frames survived (an anchor, so the harness
+ * can't silently rot into consuming nothing).
+ */
+std::size_t
+consumeStream(const std::string &stream)
+{
+    std::string_view rest = stream;
+    std::size_t frames = 0;
+    for (;;) {
+        Frame f;
+        std::size_t consumed = 0;
+        std::string err;
+        switch (tryDecodeFrame(rest, f, consumed, err)) {
+        case FrameDecodeStatus::NeedMore:
+            return frames; // torn tail: a real peer would keep reading
+        case FrameDecodeStatus::Malformed:
+            EXPECT_FALSE(err.empty());
+            return frames; // a real peer drops the connection
+        case FrameDecodeStatus::Complete:
+            break;
+        }
+        EXPECT_GT(consumed, 0u);
+        EXPECT_LE(consumed, rest.size());
+        rest.remove_prefix(consumed);
+        ++frames;
+
+        std::string text;
+        switch (f.type) {
+        case FrameType::Hello: {
+            HelloPayload p;
+            if (!tryParseHello(f, p, err)) {
+                EXPECT_FALSE(err.empty());
+            }
+            break;
+        }
+        case FrameType::Spec: {
+            SpecPayload p;
+            if (tryParseSpec(f, p, err)) {
+                ServiceRequest req;
+                if (!tryParseServiceRequest(p.requestJson, req,
+                                            err)) {
+                    EXPECT_FALSE(err.empty());
+                }
+            }
+            break;
+        }
+        case FrameType::Ready: {
+            ReadyPayload p;
+            if (!tryParseReady(f, p, err)) {
+                EXPECT_FALSE(err.empty());
+            }
+            break;
+        }
+        case FrameType::Lease: {
+            LeasePayload p;
+            if (!tryParseLease(f, p, err)) {
+                EXPECT_FALSE(err.empty());
+            }
+            break;
+        }
+        case FrameType::Result: {
+            ResultPayload p;
+            if (tryParseResult(f, p, err)) {
+                CampaignSnapshot snap;
+                if (!tryDecodeSnapshot(p.journal.data(),
+                                       p.journal.size(),
+                                       "fuzzed RESULT journal", snap,
+                                       err)) {
+                    EXPECT_FALSE(err.empty());
+                }
+            }
+            break;
+        }
+        case FrameType::Request:
+        case FrameType::Response:
+        case FrameType::Error:
+            if (!tryParseText(f, f.type, text, err)) {
+                EXPECT_FALSE(err.empty());
+            }
+            break;
+        case FrameType::Heartbeat:
+        case FrameType::Done:
+        case FrameType::Drain:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+TEST(ServiceFuzz, PristineStreamParsesCompletely)
+{
+    // The anchor: an unmangled stream yields every frame, so the
+    // mutation loops below demonstrably start from valid input.
+    EXPECT_EQ(consumeStream(referenceStream()), 11u);
+}
+
+TEST(ServiceFuzz, MutatedFrameStreamsNeverCrashTheDecoders)
+{
+    const std::string pristine = referenceStream();
+    Mutator rng(0x5eedf00dULL);
+    for (int i = 0; i < 1500; ++i) {
+        std::string mangled = pristine;
+        rng.mutate(mangled);
+        (void)consumeStream(mangled);
+    }
+}
+
+TEST(ServiceFuzz, RandomBytesNeverCrashTheDecoders)
+{
+    // Pure noise, no valid scaffolding at all.
+    Mutator rng(0xba5eba11ULL);
+    for (int i = 0; i < 500; ++i) {
+        std::string noise(rng.below(512), '\0');
+        for (char &c : noise)
+            c = static_cast<char>(rng.next() & 0xff);
+        (void)consumeStream(noise);
+    }
+}
+
+TEST(ServiceFuzz, MutatedPayloadsNeverCrashTheTypedParsers)
+{
+    // Drive each typed parser directly with mangled payloads — the
+    // frame layer's length cap must not be the only line of defense.
+    const std::vector<std::string> payload_seeds = {
+        framePayload(encodeHello({kServiceProtocolVersion, "w", 1})),
+        framePayload(encodeSpec({1, serviceRequestJson({})})),
+        framePayload(encodeReady({1})),
+        framePayload(encodeLease({0, 8})),
+        framePayload(encodeResult({0, 4, referenceJournalBytes()})),
+    };
+    const std::vector<FrameType> types = {
+        FrameType::Hello, FrameType::Spec, FrameType::Ready,
+        FrameType::Lease, FrameType::Result};
+
+    Mutator rng(0xdecafbadULL);
+    for (int i = 0; i < 1500; ++i) {
+        const std::size_t which = rng.below(payload_seeds.size());
+        Frame f;
+        f.type = types[which];
+        f.payload = payload_seeds[which];
+        rng.mutate(f.payload);
+
+        std::string err;
+        HelloPayload hello;
+        SpecPayload spec;
+        ReadyPayload ready;
+        LeasePayload lease;
+        ResultPayload result;
+        switch (f.type) {
+        case FrameType::Hello:
+            (void)tryParseHello(f, hello, err);
+            break;
+        case FrameType::Spec:
+            (void)tryParseSpec(f, spec, err);
+            break;
+        case FrameType::Ready:
+            (void)tryParseReady(f, ready, err);
+            break;
+        case FrameType::Lease:
+            (void)tryParseLease(f, lease, err);
+            break;
+        default:
+            if (tryParseResult(f, result, err)) {
+                CampaignSnapshot snap;
+                (void)tryDecodeSnapshot(result.journal.data(),
+                                        result.journal.size(),
+                                        "fuzzed journal", snap, err);
+            }
+            break;
+        }
+    }
+}
+
+TEST(ServiceFuzz, MutatedJournalsNeverCrashTheSnapshotDecoder)
+{
+    const std::string pristine = referenceJournalBytes();
+    Mutator rng(0xfeedbea7ULL);
+    for (int i = 0; i < 1500; ++i) {
+        std::string mangled = pristine;
+        rng.mutate(mangled);
+        CampaignSnapshot snap;
+        std::string err;
+        if (!tryDecodeSnapshot(mangled.data(), mangled.size(),
+                               "fuzzed journal", snap, err)) {
+            EXPECT_FALSE(err.empty());
+        }
+    }
+}
+
+TEST(ServiceFuzz, MutatedRequestJsonNeverCrashesTheRequestParser)
+{
+    ServiceRequest seed;
+    seed.network = "rnn";
+    seed.metric = "bleu10";
+    seed.samplesPerCategory = 12;
+    const std::string pristine = serviceRequestJson(seed);
+
+    Mutator rng(0x0ddba11ULL);
+    for (int i = 0; i < 2000; ++i) {
+        std::string mangled = pristine;
+        rng.mutate(mangled);
+        ServiceRequest req;
+        std::string err;
+        if (!tryParseServiceRequest(mangled, req, err)) {
+            EXPECT_FALSE(err.empty());
+        } else {
+            // Whatever survived must re-render and re-parse: the
+            // accepted subset of the grammar is closed.
+            ServiceRequest again;
+            EXPECT_TRUE(tryParseServiceRequest(
+                serviceRequestJson(req), again, err))
+                << err;
+        }
+    }
+}
