@@ -1035,6 +1035,8 @@ runCampaign(const Network &net, const Tensor &input,
 
     coord_metrics.timer("phase.total").addNs(now_ns());
     tel.metrics.mergeFrom(coord_metrics);
+    if (cfg.serviceMetrics)
+        tel.metrics.mergeFrom(*cfg.serviceMetrics);
 
     if (!cfg.reportPath.empty())
         writeRunManifest(cfg.reportPath, net, cfg, cfg_hash, result, tel);

@@ -20,6 +20,7 @@
 #include "core/fit.hh"
 #include "core/injector.hh"
 #include "sim/checkpoint.hh"
+#include "sim/metrics.hh"
 #include "sim/result_cache.hh"
 #include "sim/stats.hh"
 
@@ -213,6 +214,16 @@ struct CampaignConfig
      * section.  Null for in-process campaigns.
      */
     std::shared_ptr<const WorkerTopology> topology;
+
+    /**
+     * Extra instruments merged into the manifest "execution" metrics
+     * block — the seam the campaign daemon uses to record what the
+     * *service* did to this request (admission queue wait, queue depth
+     * at admit) next to what the campaign did.  Purely observability:
+     * never hashed, never part of the "results" section.  Null for
+     * plain in-process campaigns.
+     */
+    std::shared_ptr<const MetricSet> serviceMetrics;
 
     // ----- Structured reporting -----------------------------------
 

@@ -16,17 +16,25 @@
  *          [--connect-timeout=S] [--die-after-results=N]
  *       Execute leased shard ranges for a coordinator.
  *
- *   daemon --listen=A [--max-concurrent=N] [--state-dir=DIR]
+ *   daemon --listen=A [--workers=N|--max-concurrent=N]
+ *          [--max-queue=N] [--drr-quantum=N] [--state-dir=DIR]
  *          [--checkpoint-every=S] [--max-requests=N]
+ *          [--recv-deadline=S] [--send-deadline=S]
  *       Long-running request server: REQUEST {campaign json} in,
- *       RESPONSE {manifest json} out; survives malformed requests;
- *       drains gracefully.
+ *       RESPONSE {manifest json} out.  A fixed pool of N workers
+ *       drains a bounded queue (overflow gets a typed "busy" error)
+ *       under deficit-round-robin fairness across tenants; request
+ *       failures answer that one client, never the process.
  *
- *   submit --connect=A --request=JSON
+ *   submit --connect=A --request=JSON [--tenant=NAME]
  *       Send one campaign request to a daemon, print the response.
  *
+ *   status --connect=A
+ *       Print a daemon's queue/worker/metric status document.
+ *
  *   drain --connect=A
- *       Ask a daemon to finish in-flight campaigns and exit.
+ *       Ask a daemon to finish in-flight campaigns and exit;
+ *       queued-but-unstarted requests get a "draining" rejection.
  */
 
 #include <cstdio>
@@ -43,7 +51,8 @@ namespace
 {
 
 const char *kUsage =
-    "usage: fidelity_service <coordinate|worker|daemon|submit|drain> "
+    "usage: fidelity_service "
+    "<coordinate|worker|daemon|submit|status|drain> "
     "[--key=value...]\n"
     "run `fidelity_service` with no arguments for the full option "
     "list per subcommand (see the file header of "
@@ -176,34 +185,73 @@ workerMain(const Options &opts)
 int
 daemonMain(const Options &opts)
 {
-    opts.check({"listen", "max-concurrent", "state-dir",
-                "checkpoint-every", "max-requests"});
+    opts.check({"listen", "workers", "max-concurrent", "max-queue",
+                "drr-quantum", "state-dir", "checkpoint-every",
+                "max-requests", "recv-deadline", "send-deadline"});
     DaemonOptions dopts;
     dopts.listenAddr = opts.get("listen", "");
     fatal_if(dopts.listenAddr.empty(), "daemon needs --listen\n",
              kUsage);
+    // --workers is the pool-size name; --max-concurrent remains as
+    // the historical alias (--workers wins when both are given).
     dopts.maxConcurrent =
         static_cast<int>(opts.getInt("max-concurrent", 2, 1, 1024));
+    dopts.maxConcurrent = static_cast<int>(
+        opts.getInt("workers", dopts.maxConcurrent, 1, 1024));
+    dopts.maxQueue =
+        static_cast<int>(opts.getInt("max-queue", 32, 1, 1 << 20));
+    dopts.drrQuantum = static_cast<int>(
+        opts.getInt("drr-quantum", 256, 1, 1 << 30));
     dopts.stateDir = opts.get("state-dir", "");
     dopts.checkpointEverySec =
         opts.getDouble("checkpoint-every", 5.0, 0.0, 1e6);
     dopts.maxRequests = static_cast<std::uint64_t>(
         opts.getInt("max-requests", 0, 0, 1LL << 40));
+    dopts.recvDeadlineSec =
+        opts.getDouble("recv-deadline", 30.0, 0.1, 1e6);
+    dopts.sendDeadlineSec =
+        opts.getDouble("send-deadline", 30.0, 0.1, 1e6);
     return runServiceDaemon(dopts);
 }
 
 int
 submitMain(const Options &opts, bool drain)
 {
-    opts.check({"connect", "request"});
+    opts.check({"connect", "request", "tenant"});
     const std::string addr = opts.get("connect", "");
     fatal_if(addr.empty(), (drain ? "drain" : "submit"),
              " needs --connect\n", kUsage);
     std::string request = opts.get("request", "");
-    if (!drain && request.empty())
-        request = serviceRequestJson(ServiceRequest{});
+    const std::string tenant = opts.get("tenant", "");
+    if (!drain && (request.empty() || !tenant.empty())) {
+        // Route through the typed request so --tenant stamps the
+        // scheduling label without the caller hand-editing JSON.
+        ServiceRequest req;
+        std::string err;
+        if (!request.empty())
+            fatal_if(!tryParseServiceRequest(request, req, err),
+                     "bad --request: ", err);
+        if (!tenant.empty())
+            req.tenant = tenant;
+        request = serviceRequestJson(req);
+    }
     std::string response, err;
     if (!submitServiceRequest(addr, request, drain, response, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", response.c_str());
+    return 0;
+}
+
+int
+statusMain(const Options &opts)
+{
+    opts.check({"connect"});
+    const std::string addr = opts.get("connect", "");
+    fatal_if(addr.empty(), "status needs --connect\n", kUsage);
+    std::string response, err;
+    if (!queryServiceStatus(addr, response, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
         return 1;
     }
@@ -230,6 +278,8 @@ main(int argc, char **argv)
         return daemonMain(opts);
     if (cmd == "submit")
         return submitMain(opts, /*drain=*/false);
+    if (cmd == "status")
+        return statusMain(opts);
     if (cmd == "drain")
         return submitMain(opts, /*drain=*/true);
     if (cmd == "-h" || cmd == "--help") {

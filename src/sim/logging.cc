@@ -15,7 +15,27 @@ namespace
 // of data races between insertions, not line integrity).
 std::mutex ioMutex;
 
+// Depth, not a flag: capture scopes may nest (a request handler
+// calling a helper that opens its own scope).
+thread_local int fatalCaptureDepth = 0;
+
 } // namespace
+
+ScopedFatalCapture::ScopedFatalCapture()
+{
+    ++fatalCaptureDepth;
+}
+
+ScopedFatalCapture::~ScopedFatalCapture()
+{
+    --fatalCaptureDepth;
+}
+
+bool
+ScopedFatalCapture::active()
+{
+    return fatalCaptureDepth > 0;
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -28,6 +48,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedFatalCapture::active())
+        throw FatalError(msg);
     std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
               << std::endl;
     std::exit(1);

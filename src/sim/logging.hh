@@ -13,16 +13,56 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace fidelity
 {
 
+/**
+ * What fatal() raises on a thread holding a ScopedFatalCapture
+ * instead of exiting the process.  Long-running servers (the campaign
+ * daemon) wrap per-request work in a capture scope so a request that
+ * reaches a fatal() — an invalid configuration, a corrupt checkpoint
+ * — costs that one request an error response, not everyone else
+ * their process.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * RAII scope that redirects fatal() on the *current thread* into a
+ * thrown FatalError.  Scopes nest; panic() is never captured (a
+ * framework bug still aborts).  Capture is thread-local on purpose:
+ * work handed to other threads (e.g. a ThreadPool) is not covered —
+ * only validation and I/O on the capturing thread is.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+
+    /** True when the calling thread is inside a capture scope. */
+    static bool active();
+};
+
 /** Terminate with a framework-bug diagnostic (calls std::abort). */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Terminate with a user-error diagnostic (calls std::exit(1)). */
+/** Terminate with a user-error diagnostic (calls std::exit(1)), or
+ *  throw FatalError when the calling thread holds a
+ *  ScopedFatalCapture. */
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 

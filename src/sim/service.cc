@@ -8,9 +8,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "sim/checkpoint.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/parse.hh"
 #include "sim/service_proto.hh"
 #include "workloads/metrics.hh"
@@ -98,6 +101,23 @@ knownMetricName(const std::string &s)
            s == "det10" || s == "det20";
 }
 
+/** Tenant labels feed metric names and status JSON; keep them to a
+ *  filename-safe alphabet so client input cannot mangle either. */
+bool
+validTenantName(const std::string &s)
+{
+    if (s.size() > 64)
+        return false;
+    for (char c : s) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 // ----- Campaign requests -------------------------------------------
@@ -148,6 +168,7 @@ tryParseServiceRequest(const std::string &json, ServiceRequest &req,
     std::string precision = "fp16";
     takeString("precision", precision);
     takeString("metric", req.metric);
+    takeString("tenant", req.tenant);
     if (!takeInt("net_seed", 0,
                  std::numeric_limits<long long>::max(), req.netSeed) ||
         !takeInt("input_seed", 0,
@@ -185,6 +206,11 @@ tryParseServiceRequest(const std::string &json, ServiceRequest &req,
         err = describe("unknown metric \"", req.metric, "\"");
         return false;
     }
+    if (!validTenantName(req.tenant)) {
+        err = describe("invalid tenant \"", req.tenant,
+                       "\" (want [A-Za-z0-9_-], at most 64 chars)");
+        return false;
+    }
     return true;
 }
 
@@ -204,6 +230,10 @@ serviceRequestJson(const ServiceRequest &req)
     b.field("target_half_width", req.targetHalfWidth);
     b.field("threads", req.threads);
     b.field("batch_width", req.batchWidth);
+    // Omitted when empty so pre-tenant request JSON round-trips to the
+    // same bytes (the default tenant is the empty string).
+    if (!req.tenant.empty())
+        b.field("tenant", req.tenant);
     return b.str();
 }
 
@@ -520,23 +550,20 @@ connectWithRetry(const ServiceAddr &a, const std::string &addr,
     }
 }
 
-/** Write the whole buffer; false on a dead peer (no SIGPIPE). */
+/**
+ * Default frame-write deadline of coordinator/worker traffic.  A
+ * stalled-but-open peer (kernel buffers full, reader wedged) used to
+ * pin the writing thread in blocking ::send forever; now it costs at
+ * most this long, after which the peer is treated as dead — the same
+ * outcome its lease expiry would reach anyway.
+ */
+constexpr double kFrameWriteDeadlineSec = 120.0;
+
+/** sendBytesWithDeadline with the service-internal default. */
 bool
 sendBytes(int fd, std::string_view bytes)
 {
-    const char *p = bytes.data();
-    std::size_t left = bytes.size();
-    while (left > 0) {
-        ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        left -= static_cast<std::size_t>(n);
-    }
-    return true;
+    return sendBytesWithDeadline(fd, bytes, kFrameWriteDeadlineSec);
 }
 
 /** Frame reader over one socket: buffers bytes and yields frames via
@@ -620,6 +647,45 @@ readWholeFile(const std::string &path)
 }
 
 } // namespace
+
+bool
+sendBytesWithDeadline(int fd, std::string_view bytes, double timeoutSec)
+{
+    const bool bounded = timeoutSec >= 0.0;
+    const double deadline = nowSec() + timeoutSec;
+    const char *p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        // MSG_DONTWAIT keeps the fd's own flags out of it: the send
+        // either makes progress now or reports EAGAIN, and the wait
+        // happens in poll where a deadline is enforceable.
+        ssize_t n =
+            ::send(fd, p, left, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            p += n;
+            left -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR)
+            return false;
+        int wait_ms = 200;
+        if (bounded) {
+            const double remaining = deadline - nowSec();
+            if (remaining <= 0.0)
+                return false;
+            wait_ms = std::min(
+                wait_ms, static_cast<int>(remaining * 1000.0) + 1);
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        int rc = ::poll(&pfd, 1, wait_ms);
+        if (rc < 0 && errno != EINTR)
+            return false;
+        if (rc > 0 && (pfd.revents & (POLLERR | POLLNVAL)))
+            return false;
+    }
+    return true;
+}
 
 // ----- Coordinator --------------------------------------------------
 
@@ -1131,34 +1197,162 @@ runServiceWorker(const WorkerOptions &opts)
 }
 
 // ----- Daemon -------------------------------------------------------
+//
+// Admission-control design (DESIGN.md §14): a single poll-based
+// intake loop owns every not-yet-admitted connection (accept, frame
+// assembly, parse, admission verdict), a bounded FIFO-per-tenant
+// queue holds admitted requests, and a fixed pool of maxConcurrent
+// worker threads drains it under deficit-round-robin across tenants.
+// Nothing in the request path spawns a thread, so the daemon's thread
+// count is a constant (1 intake + pool), not a function of uptime.
 
 namespace
 {
+
+/** Intake-side sends (rejections, status) are tiny; don't let a
+ *  wedged client stall the accept loop for the full send deadline. */
+constexpr double kIntakeSendDeadlineSec = 5.0;
+
+/** One admitted-but-unstarted request. */
+struct QueuedRequest
+{
+    int fd = -1;
+    ServiceRequest req;
+    double enqueuedAt = 0.0;
+};
+
+/** Per-tenant FIFO plus its deficit-round-robin credit. */
+struct TenantQueue
+{
+    std::deque<QueuedRequest> items;
+    long long deficit = 0;
+};
+
+/** Single-flight entry: later duplicates of an executing config hash
+ *  park their sockets here and receive the leader's response. */
+struct InFlightCampaign
+{
+    std::vector<int> waiters;
+};
 
 /** Shared state of one daemon run. */
 struct DaemonCtx
 {
     std::mutex m;
-    std::condition_variable cv;
+    std::condition_variable workCv; //!< workers: queue non-empty/stop
+    std::condition_variable idleCv; //!< shutdown: quiescence
     const DaemonOptions *opts = nullptr;
 
     bool draining = false;
-    int active = 0;            //!< campaigns in flight
-    std::uint64_t served = 0;  //!< REQUESTs answered (ok or error)
+    bool stopWorkers = false;
+
+    std::uint64_t served = 0;  //!< requests answered (any verdict)
+    std::size_t queued = 0;    //!< admitted, not yet started
+    int executing = 0;         //!< popped, not yet answered
+
+    std::map<std::string, TenantQueue> tenants;
+    std::vector<std::string> ring; //!< DRR visit order
+    std::size_t cursor = 0;
+
+    std::map<std::uint64_t, InFlightCampaign> inflight; //!< by hash
+
+    MetricSet metrics; //!< guarded by m
 };
+
+/** DRR cost of a request: proportional to the injection work it
+ *  schedules, so heavy tenants drain proportionally slower. */
+long long
+requestCost(const ServiceRequest &req)
+{
+    return std::max(1, req.samplesPerCategory);
+}
+
+std::string
+tenantKey(const ServiceRequest &req)
+{
+    return req.tenant.empty() ? "default" : req.tenant;
+}
+
+/** Under ctx.m: enqueue or report the queue full. */
+bool
+admitLocked(DaemonCtx &ctx, QueuedRequest &&qr)
+{
+    if (ctx.queued >=
+        static_cast<std::size_t>(ctx.opts->maxQueue))
+        return false;
+    const std::string tenant = tenantKey(qr.req);
+    auto it = ctx.tenants.find(tenant);
+    if (it == ctx.tenants.end()) {
+        ctx.ring.push_back(tenant);
+        it = ctx.tenants.emplace(tenant, TenantQueue{}).first;
+    }
+    it->second.items.push_back(std::move(qr));
+    ctx.queued += 1;
+    ctx.metrics.counter("daemon.admitted").add();
+    ctx.metrics.counter("daemon.tenant." + tenant + ".admitted")
+        .add();
+    ctx.metrics
+        .histogram("daemon.queue_depth",
+                   {0, 1, 2, 4, 8, 16, 32, 64, 128})
+        .add(static_cast<double>(ctx.queued));
+    return true;
+}
+
+/**
+ * Under ctx.m, ctx.queued > 0: pop the next request by deficit round
+ * robin.  Each sweep visit tops an eligible tenant's credit up by the
+ * quantum; a tenant whose head costs more than its credit waits for
+ * later visits, so cheap tenants interleave ahead of expensive ones
+ * instead of starving behind them.  Idle tenants forfeit their credit
+ * (classic DRR), so a burst after silence gets no stored advantage.
+ */
+QueuedRequest
+popLocked(DaemonCtx &ctx, std::string &tenant_out)
+{
+    for (;;) {
+        TenantQueue &tq = ctx.tenants[ctx.ring[ctx.cursor]];
+        if (tq.items.empty()) {
+            tq.deficit = 0;
+            ctx.cursor = (ctx.cursor + 1) % ctx.ring.size();
+            continue;
+        }
+        const long long cost = requestCost(tq.items.front().req);
+        if (tq.deficit < cost) {
+            tq.deficit += ctx.opts->drrQuantum;
+            if (tq.deficit < cost) {
+                // Not yet: leave the credit and move on.  Every full
+                // sweep adds a quantum, so the head is served after
+                // at most ceil(cost / quantum) sweeps.
+                ctx.cursor = (ctx.cursor + 1) % ctx.ring.size();
+                continue;
+            }
+        }
+        tq.deficit -= cost;
+        tenant_out = ctx.ring[ctx.cursor];
+        QueuedRequest qr = std::move(tq.items.front());
+        tq.items.pop_front();
+        if (tq.items.empty())
+            tq.deficit = 0;
+        ctx.queued -= 1;
+        return qr;
+    }
+}
 
 std::string
 campaignResponseJson(const ServiceRequest &req,
                      const CampaignResult &res,
-                     const std::string &manifest)
+                     const std::string &manifest, double queueWaitSec)
 {
     JsonLineBuilder b;
     b.field("status", "ok");
     b.field("network", req.network);
+    if (!req.tenant.empty())
+        b.field("tenant", req.tenant);
     b.field("config_hash", hexHash(res.configHash));
     b.field("campaign_checksum", hexHash(campaignChecksum(res)));
     b.field("total_injections", res.totalInjections);
     b.field("complete", res.complete);
+    b.field("queue_wait_s", queueWaitSec);
     if (!manifest.empty()) {
         std::string trimmed = manifest;
         while (!trimmed.empty() &&
@@ -1169,94 +1363,214 @@ campaignResponseJson(const ServiceRequest &req,
     return b.str();
 }
 
-void
-serveClient(int fd, DaemonCtx &ctx)
+/** Under ctx.m: the status document answered to {"op": "status"}. */
+std::string
+daemonStatusJsonLocked(DaemonCtx &ctx)
 {
-    FrameConn conn(fd);
-    Frame f;
+    JsonWriter w;
+    w.beginObject();
+    w.field("status", "ok");
+    w.field("queue_depth", static_cast<std::uint64_t>(ctx.queued));
+    w.field("executing", static_cast<std::int64_t>(ctx.executing));
+    w.field("workers",
+            static_cast<std::int64_t>(ctx.opts->maxConcurrent));
+    w.field("max_queue",
+            static_cast<std::int64_t>(ctx.opts->maxQueue));
+    w.field("draining", ctx.draining);
+    w.field("served", ctx.served);
+    w.key("metrics");
+    ctx.metrics.writeJson(w);
+    w.endObject();
+    return w.str();
+}
+
+/** Is this request JSON the status query {"op": "status"}? */
+bool
+isStatusRequest(const std::string &request_json)
+{
+    std::map<std::string, std::string> fields;
     std::string err;
-    if (conn.readFrame(f, 30.0, err) != FrameConn::Status::Frame) {
-        ::close(fd);
-        return;
+    if (!parseJsonObject(request_json, fields, err))
+        return false;
+    auto it = fields.find("op");
+    return it != fields.end() && it->second == "status" &&
+           fields.size() == 1;
+}
+
+/**
+ * Execute one admitted request on a pool worker.  Everything after
+ * the parse runs under a ScopedFatalCapture: a validation failure, a
+ * corrupt checkpoint, a manifest I/O error — any fatal() on this
+ * thread — answers *this* client with the diagnostic instead of
+ * killing the process serving everyone else's campaigns.
+ */
+void
+serveRequest(DaemonCtx &ctx, QueuedRequest item,
+             const std::string &tenant, double waitedSec)
+{
+    const DaemonOptions &opts = *ctx.opts;
+    if (opts.testServiceDelaySec > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opts.testServiceDelaySec));
+
+    const double start = nowSec();
+    std::string response;
+    std::string error;
+    bool leader = false;
+    std::uint64_t cfg_hash = 0;
+    try {
+        ScopedFatalCapture capture;
+        Network net = buildServiceNetwork(item.req);
+        Tensor input = serviceInput(item.req);
+        CampaignConfig cfg = campaignConfigFor(item.req);
+        cfg_hash = campaignConfigHash(net, input, cfg);
+
+        {
+            // Single-flight per config hash: two concurrent identical
+            // submissions would race on the same checkpoint and
+            // manifest paths under --state-dir.  The second parks its
+            // socket on the first and receives the same response —
+            // the campaign is deterministic, so that *is* its answer.
+            std::lock_guard<std::mutex> lock(ctx.m);
+            auto [it, inserted] =
+                ctx.inflight.try_emplace(cfg_hash);
+            if (!inserted) {
+                it->second.waiters.push_back(item.fd);
+                ctx.metrics.counter("daemon.dedup_joined").add();
+                return;
+            }
+            leader = true;
+        }
+
+        std::string manifest_path;
+        if (!opts.stateDir.empty()) {
+            // Hash-keyed state: a restarted daemon resumes every
+            // campaign from its last checkpoint window (resumeFrom of
+            // a missing file starts fresh, so first runs need no
+            // special case).
+            const std::string stem =
+                opts.stateDir + "/campaign-" + hexHash(cfg_hash);
+            cfg.checkpointPath = stem + ".fidckpt";
+            cfg.resumeFrom = cfg.checkpointPath;
+            cfg.checkpointEverySec = opts.checkpointEverySec;
+            manifest_path = stem + ".manifest.json";
+            cfg.reportPath = manifest_path;
+        }
+        auto svc_metrics = std::make_shared<MetricSet>();
+        svc_metrics->timer("daemon.queue_wait")
+            .addNs(static_cast<std::int64_t>(waitedSec * 1e9));
+        cfg.serviceMetrics = svc_metrics;
+        CampaignResult res =
+            runCampaign(net, input, serviceMetric(item.req), cfg);
+        const std::string manifest =
+            manifest_path.empty() ? std::string()
+                                  : readWholeFile(manifest_path);
+        response = campaignResponseJson(item.req, res, manifest,
+                                        waitedSec);
+    } catch (const FatalError &e) {
+        error = e.what();
+        warn("campaign request failed: ", error);
     }
 
-    if (f.type == FrameType::Drain) {
+    // Deliver to this client plus every single-flight joiner —
+    // success and failure alike (a duplicate of a failing request
+    // would fail the same way).
+    std::vector<int> fds{item.fd};
+    if (leader) {
+        std::lock_guard<std::mutex> lock(ctx.m);
+        auto it = ctx.inflight.find(cfg_hash);
+        fds.insert(fds.end(), it->second.waiters.begin(),
+                   it->second.waiters.end());
+        ctx.inflight.erase(it);
+    }
+    const std::string frame = error.empty()
+                                  ? encodeResponse(response)
+                                  : encodeErrorFrame(error);
+    std::uint64_t send_failures = 0;
+    for (int fd : fds) {
+        if (!sendBytesWithDeadline(fd, frame, opts.sendDeadlineSec))
+            ++send_failures;
+        ::close(fd);
+    }
+
+    std::lock_guard<std::mutex> lock(ctx.m);
+    ctx.served += fds.size();
+    ctx.metrics
+        .counter(error.empty() ? "daemon.responses_ok"
+                               : "daemon.responses_error")
+        .add(fds.size());
+    if (send_failures > 0)
+        ctx.metrics.counter("daemon.send_failures").add(send_failures);
+    ctx.metrics.timer("daemon.tenant." + tenant + ".service")
+        .addNs(static_cast<std::int64_t>((nowSec() - start) * 1e9));
+}
+
+/** One pool worker: pop by DRR, execute, answer, repeat. */
+void
+daemonWorker(DaemonCtx &ctx)
+{
+    for (;;) {
+        QueuedRequest item;
+        std::string tenant;
+        double waited = 0.0;
+        {
+            std::unique_lock<std::mutex> lock(ctx.m);
+            ctx.workCv.wait(lock, [&] {
+                return ctx.stopWorkers || ctx.queued > 0;
+            });
+            if (ctx.queued == 0)
+                return; // stopWorkers, queue fully drained
+            item = popLocked(ctx, tenant);
+            ctx.executing += 1;
+            waited = nowSec() - item.enqueuedAt;
+            ctx.metrics.timer("daemon.queue_wait")
+                .addNs(static_cast<std::int64_t>(waited * 1e9));
+            ctx.metrics.timer("daemon.tenant." + tenant + ".wait")
+                .addNs(static_cast<std::int64_t>(waited * 1e9));
+        }
+        serveRequest(ctx, std::move(item), tenant, waited);
         {
             std::lock_guard<std::mutex> lock(ctx.m);
-            ctx.draining = true;
+            ctx.executing -= 1;
         }
-        ctx.cv.notify_all();
-        sendBytes(fd, encodeResponse("{\"status\": \"draining\"}"));
-        ::close(fd);
-        return;
+        ctx.idleCv.notify_all();
     }
+}
 
-    std::string request_json;
-    if (!tryParseText(f, FrameType::Request, request_json, err)) {
-        sendBytes(fd, encodeErrorFrame(err));
-        ::close(fd);
-        return;
-    }
-
-    // A malformed request is the client's problem, never the
-    // daemon's: parse through the checked path and answer with the
-    // diagnostic.  The process keeps serving everyone else.
-    ServiceRequest req;
-    if (!tryParseServiceRequest(request_json, req, err)) {
-        warn("rejecting campaign request: ", err);
-        sendBytes(fd, encodeErrorFrame(err));
-        ::close(fd);
-        {
-            std::lock_guard<std::mutex> lock(ctx.m);
-            ctx.served += 1;
-        }
-        ctx.cv.notify_all();
-        return;
-    }
-
-    {
-        // Concurrency gate: at most maxConcurrent campaigns execute;
-        // later requests queue here (their sockets simply wait).
-        std::unique_lock<std::mutex> lock(ctx.m);
-        ctx.cv.wait(lock, [&] {
-            return ctx.active < ctx.opts->maxConcurrent;
-        });
-        ctx.active += 1;
-    }
-
-    Network net = buildServiceNetwork(req);
-    Tensor input = serviceInput(req);
-    CampaignConfig cfg = campaignConfigFor(req);
-    const std::uint64_t cfg_hash = campaignConfigHash(net, input, cfg);
-    std::string manifest_path;
-    if (!ctx.opts->stateDir.empty()) {
-        // Hash-keyed state: a restarted daemon resumes every campaign
-        // from its last checkpoint window (resumeFrom of a missing
-        // file starts fresh, so first runs need no special case).
-        const std::string stem =
-            ctx.opts->stateDir + "/campaign-" + hexHash(cfg_hash);
-        cfg.checkpointPath = stem + ".fidckpt";
-        cfg.resumeFrom = cfg.checkpointPath;
-        cfg.checkpointEverySec = ctx.opts->checkpointEverySec;
-        manifest_path = stem + ".manifest.json";
-        cfg.reportPath = manifest_path;
-    }
-    CampaignResult res =
-        runCampaign(net, input, serviceMetric(req), cfg);
-    const std::string manifest =
-        manifest_path.empty() ? std::string()
-                              : readWholeFile(manifest_path);
-    sendBytes(fd,
-              encodeResponse(campaignResponseJson(req, res, manifest)));
-    ::close(fd);
-
+/** Reject every queued-but-unstarted request with the draining
+ *  status (DRAIN semantics: admitted is not a promise to execute
+ *  once shutdown begins — pinned by the drain tests). */
+void
+rejectQueuedForDrain(DaemonCtx &ctx)
+{
+    std::vector<QueuedRequest> evicted;
     {
         std::lock_guard<std::mutex> lock(ctx.m);
-        ctx.active -= 1;
-        ctx.served += 1;
+        for (auto &[tenant, tq] : ctx.tenants) {
+            for (QueuedRequest &qr : tq.items)
+                evicted.push_back(std::move(qr));
+            tq.items.clear();
+            tq.deficit = 0;
+        }
+        ctx.queued = 0;
+        ctx.served += evicted.size();
+        ctx.metrics.counter("daemon.rejected_draining")
+            .add(evicted.size());
     }
-    ctx.cv.notify_all();
+    const std::string frame = encodeDrainingError();
+    for (QueuedRequest &qr : evicted) {
+        sendBytesWithDeadline(qr.fd, frame, kIntakeSendDeadlineSec);
+        ::close(qr.fd);
+    }
 }
+
+/** One not-yet-admitted connection owned by the intake loop. */
+struct PendingConn
+{
+    int fd = -1;
+    std::string buf;
+    double deadline = 0.0;
+};
 
 } // namespace
 
@@ -1266,6 +1580,10 @@ runServiceDaemon(const DaemonOptions &opts)
     fatal_if(opts.maxConcurrent < 1,
              "daemon maxConcurrent must be >= 1, got ",
              opts.maxConcurrent);
+    fatal_if(opts.maxQueue < 1, "daemon maxQueue must be >= 1, got ",
+             opts.maxQueue);
+    fatal_if(opts.drrQuantum < 1,
+             "daemon drrQuantum must be >= 1, got ", opts.drrQuantum);
     if (!opts.stateDir.empty()) {
         // The checkpoint writer fatals on a missing directory, which
         // would kill the daemon mid-campaign — create the state dir
@@ -1291,9 +1609,88 @@ runServiceDaemon(const DaemonOptions &opts)
     const ServiceAddr addr = parseServiceAddr(opts.listenAddr);
     int listen_fd = listenOn(addr);
     inform("fidelity_service daemon listening on ", opts.listenAddr,
-           " (", opts.maxConcurrent, " concurrent campaigns)");
+           " (", opts.maxConcurrent, " workers, queue of ",
+           opts.maxQueue, ")");
 
-    std::vector<std::thread> conns;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(opts.maxConcurrent));
+    for (int i = 0; i < opts.maxConcurrent; ++i)
+        pool.emplace_back(daemonWorker, std::ref(ctx));
+
+    // Intake event loop: every connection lives here — poll-driven
+    // frame assembly with a receive deadline — until its request is
+    // answered inline (malformed/busy/status/drain) or admitted to
+    // the queue.  No thread is ever spawned per connection.
+    std::vector<PendingConn> pending;
+
+    // Answer-and-close for intake verdicts; counts toward served.
+    auto answer = [&](int fd, const std::string &frame,
+                      const char *counter) {
+        sendBytesWithDeadline(fd, frame, kIntakeSendDeadlineSec);
+        ::close(fd);
+        std::lock_guard<std::mutex> lock(ctx.m);
+        ctx.served += 1;
+        ctx.metrics.counter(counter).add();
+    };
+
+    // Dispatch one complete frame from a connection.  The fd's
+    // ownership moves out of `pending` either way.
+    auto dispatch = [&](int fd, const Frame &f) {
+        std::string err;
+        if (f.type == FrameType::Drain) {
+            {
+                std::lock_guard<std::mutex> lock(ctx.m);
+                ctx.draining = true;
+            }
+            rejectQueuedForDrain(ctx);
+            answer(fd, encodeResponse("{\"status\": \"draining\"}"),
+                   "daemon.drains");
+            return;
+        }
+        std::string request_json;
+        if (!tryParseText(f, FrameType::Request, request_json, err)) {
+            answer(fd, encodeErrorFrame(err),
+                   "daemon.rejected_malformed");
+            return;
+        }
+        if (isStatusRequest(request_json)) {
+            std::string status;
+            {
+                std::lock_guard<std::mutex> lock(ctx.m);
+                status = daemonStatusJsonLocked(ctx);
+            }
+            sendBytesWithDeadline(fd, encodeResponse(status),
+                                  kIntakeSendDeadlineSec);
+            ::close(fd);
+            return; // observability; not a served campaign request
+        }
+        QueuedRequest qr;
+        if (!tryParseServiceRequest(request_json, qr.req, err)) {
+            warn("rejecting campaign request: ", err);
+            answer(fd, encodeErrorFrame(err),
+                   "daemon.rejected_malformed");
+            return;
+        }
+        qr.fd = fd;
+        qr.enqueuedAt = nowSec();
+        bool admitted = false;
+        std::size_t depth = 0;
+        {
+            std::lock_guard<std::mutex> lock(ctx.m);
+            depth = ctx.queued;
+            admitted = admitLocked(ctx, std::move(qr));
+        }
+        if (!admitted) {
+            answer(fd,
+                   encodeBusyError(
+                       depth,
+                       static_cast<std::uint64_t>(opts.maxQueue)),
+                   "daemon.rejected_busy");
+            return;
+        }
+        ctx.workCv.notify_one();
+    };
+
     for (;;) {
         {
             std::lock_guard<std::mutex> lock(ctx.m);
@@ -1302,23 +1699,116 @@ runServiceDaemon(const DaemonOptions &opts)
                  ctx.served >= opts.maxRequests))
                 break;
         }
-        pollfd pfd{listen_fd, POLLIN, 0};
-        int rc = ::poll(&pfd, 1, 200);
+        std::vector<pollfd> pfds;
+        pfds.reserve(pending.size() + 1);
+        pfds.push_back(pollfd{listen_fd, POLLIN, 0});
+        for (const PendingConn &pc : pending)
+            pfds.push_back(pollfd{pc.fd, POLLIN, 0});
+        int rc = ::poll(pfds.data(),
+                        static_cast<nfds_t>(pfds.size()), 200);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
             fatal("daemon poll failed: ", std::strerror(errno));
         }
-        if (rc == 0)
-            continue;
-        int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        conns.emplace_back(serveClient, fd, std::ref(ctx));
+        const double now = nowSec();
+        if (pfds[0].revents & POLLIN) {
+            int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd >= 0) {
+                pending.push_back(PendingConn{
+                    fd, {}, now + opts.recvDeadlineSec});
+                std::lock_guard<std::mutex> lock(ctx.m);
+                ctx.metrics.counter("daemon.accepted").add();
+            }
+        }
+        // Walk the snapshot the pollfds were built from; entries
+        // accepted above sit past it and wait for the next round.
+        const std::size_t polled = pfds.size() - 1;
+        std::vector<PendingConn> keep;
+        keep.reserve(pending.size());
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            PendingConn &pc = pending[i];
+            const short revents =
+                i < polled ? pfds[i + 1].revents : 0;
+            if (revents & (POLLERR | POLLNVAL)) {
+                ::close(pc.fd);
+                continue;
+            }
+            if (revents & (POLLIN | POLLHUP)) {
+                char chunk[16384];
+                const ssize_t n = ::recv(pc.fd, chunk, sizeof(chunk),
+                                         MSG_DONTWAIT);
+                if (n == 0) {
+                    ::close(pc.fd); // client went away silently
+                    continue;
+                }
+                if (n > 0)
+                    pc.buf.append(chunk,
+                                  static_cast<std::size_t>(n));
+                else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR) {
+                    ::close(pc.fd);
+                    continue;
+                }
+                Frame f;
+                std::size_t consumed = 0;
+                std::string err;
+                switch (tryDecodeFrame(pc.buf, f, consumed, err)) {
+                case FrameDecodeStatus::Complete:
+                    dispatch(pc.fd, f);
+                    continue; // fd ownership moved
+                case FrameDecodeStatus::Malformed:
+                    answer(pc.fd, encodeErrorFrame(err),
+                           "daemon.rejected_malformed");
+                    continue;
+                case FrameDecodeStatus::NeedMore:
+                    break;
+                }
+            }
+            if (pc.deadline < now) {
+                // Slow loris: a connection that cannot deliver one
+                // frame within the receive deadline is shed, not
+                // allowed to hold intake state forever.
+                sendBytesWithDeadline(
+                    pc.fd,
+                    encodeErrorFrame("request frame not received "
+                                     "within the deadline"),
+                    1.0);
+                ::close(pc.fd);
+                std::lock_guard<std::mutex> lock(ctx.m);
+                ctx.metrics.counter("daemon.intake_timeouts").add();
+                continue;
+            }
+            keep.push_back(std::move(pc));
+        }
+        pending.swap(keep);
     }
-    // Graceful drain: no new intake, in-flight campaigns finish (and
-    // checkpoint), then the process exits cleanly.
-    for (std::thread &t : conns)
+
+    // Shutdown: close half-read intake connections, reject queued
+    // requests if draining (maxRequests exits let the pool finish the
+    // queue), wait for quiescence, then stop and join the pool.
+    for (PendingConn &pc : pending) {
+        sendBytesWithDeadline(pc.fd, encodeDrainingError(), 1.0);
+        ::close(pc.fd);
+    }
+    pending.clear();
+    bool drain_queue = false;
+    {
+        std::lock_guard<std::mutex> lock(ctx.m);
+        drain_queue = ctx.draining;
+    }
+    if (drain_queue)
+        rejectQueuedForDrain(ctx);
+    {
+        std::unique_lock<std::mutex> lock(ctx.m);
+        ctx.idleCv.wait(lock, [&] {
+            return ctx.queued == 0 && ctx.executing == 0 &&
+                   ctx.inflight.empty();
+        });
+        ctx.stopWorkers = true;
+    }
+    ctx.workCv.notify_all();
+    for (std::thread &t : pool)
         t.join();
     ::close(listen_fd);
     if (addr.unixSocket)
@@ -1366,6 +1856,14 @@ submitServiceRequest(const std::string &connectAddr,
         return false;
     }
     return tryParseText(f, FrameType::Response, response, err);
+}
+
+bool
+queryServiceStatus(const std::string &connectAddr,
+                   std::string &response, std::string &err)
+{
+    return submitServiceRequest(connectAddr, "{\"op\": \"status\"}",
+                                false, response, err);
 }
 
 #endif // !defined(_WIN32)

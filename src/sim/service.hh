@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/campaign.hh"
@@ -69,6 +70,17 @@ struct ServiceRequest
 
     int threads = 1; //!< executor threads (in-process / merge side)
     int batchWidth = 8;
+
+    /**
+     * Optional tenant label for daemon admission control: the
+     * deficit-round-robin scheduler balances queued requests across
+     * tenants, and per-tenant wait/served metrics are keyed by it.
+     * Not part of the campaign identity (excluded from
+     * campaignConfigHash).  Empty means the shared "default" tenant.
+     * Restricted to [A-Za-z0-9_-], at most 64 chars, so client input
+     * cannot mangle metric names or status JSON.
+     */
+    std::string tenant;
 };
 
 /**
@@ -264,8 +276,25 @@ struct DaemonOptions
     /** Client-facing listen address. */
     std::string listenAddr;
 
-    /** Campaigns served concurrently; further requests queue. */
+    /** Campaign worker threads — campaigns served concurrently.
+     *  (--workers is an alias; this name predates the pool.) */
     int maxConcurrent = 2;
+
+    /**
+     * Admitted-but-unstarted request cap across all tenants.  A
+     * request arriving at a full queue is answered immediately with a
+     * typed busy error frame (encodeBusyError), never left on a hung
+     * socket.
+     */
+    int maxQueue = 32;
+
+    /**
+     * Deficit-round-robin quantum, in request-cost units, added to a
+     * tenant's deficit per scheduler visit.  Request cost is its
+     * samples_per_category (floor 1), so tenants submitting heavy
+     * campaigns drain proportionally slower than light ones.
+     */
+    int drrQuantum = 256;
 
     /** Directory for per-campaign checkpoint snapshots, keyed by
      *  config hash — a killed daemon restarts and resumes every
@@ -278,6 +307,19 @@ struct DaemonOptions
     /** Campaigns served per daemon lifetime cap (0 = unlimited);
      *  test hook so daemon tests terminate without signals. */
     std::uint64_t maxRequests = 0;
+
+    /** Seconds a connection may take to deliver its full request
+     *  frame before intake closes it (slow-loris shedding). */
+    double recvDeadlineSec = 30.0;
+
+    /** Seconds a response write may stall on an unread socket before
+     *  the worker gives up on that client. */
+    double sendDeadlineSec = 30.0;
+
+    /** Test hook: sleep this long inside each popped request before
+     *  executing it, so queue-occupancy tests (drain rejection,
+     *  fairness, single-flight overlap) are timing-robust. */
+    double testServiceDelaySec = 0.0;
 };
 
 /**
@@ -297,6 +339,29 @@ int runServiceDaemon(const DaemonOptions &opts);
 bool submitServiceRequest(const std::string &connectAddr,
                           const std::string &requestJson, bool drain,
                           std::string &response, std::string &err);
+
+/**
+ * Ask a daemon for its admission/queue status: a RESPONSE carrying a
+ * JSON object with queue depth, worker/in-flight counts, rejection
+ * counters, and the per-tenant wait/service metrics.  False (with
+ * `err`) on connect or protocol failure.
+ */
+bool queryServiceStatus(const std::string &connectAddr,
+                        std::string &response, std::string &err);
+
+#if !defined(_WIN32)
+
+/**
+ * Write the whole buffer with a poll-based deadline (seconds; < 0
+ * waits forever).  Non-blocking sends interleaved with POLLOUT waits,
+ * so a stalled-but-open peer costs at most the deadline, never a
+ * pinned thread.  False on a dead peer or an expired deadline.
+ * Every daemon/coordinator/worker frame write goes through this.
+ */
+bool sendBytesWithDeadline(int fd, std::string_view bytes,
+                           double timeoutSec);
+
+#endif // !defined(_WIN32)
 
 } // namespace fidelity
 

@@ -1,9 +1,12 @@
 #include "sim/service_proto.hh"
 
 #include <cstring>
+#include <map>
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 
 namespace fidelity
 {
@@ -336,6 +339,38 @@ tryParseText(const Frame &f, FrameType expect, std::string &text,
         return false;
     }
     return checkDrained(in, f.type, err);
+}
+
+std::string
+encodeBusyError(std::uint64_t queueDepth, std::uint64_t maxQueue)
+{
+    JsonLineBuilder b;
+    b.field("status", "busy");
+    b.field("queue_depth", queueDepth);
+    b.field("max_queue", maxQueue);
+    return encodeErrorFrame(b.str());
+}
+
+std::string
+encodeDrainingError()
+{
+    JsonLineBuilder b;
+    b.field("status", "draining");
+    return encodeErrorFrame(b.str());
+}
+
+bool
+typedErrorStatus(const std::string &text, std::string &code)
+{
+    std::map<std::string, std::string> fields;
+    std::string err;
+    if (!parseJsonObject(text, fields, err))
+        return false;
+    auto it = fields.find("status");
+    if (it == fields.end())
+        return false;
+    code = it->second;
+    return true;
 }
 
 } // namespace fidelity

@@ -182,6 +182,28 @@ bool tryParseResult(const Frame &f, ResultPayload &p, std::string &err);
 bool tryParseText(const Frame &f, FrameType expect, std::string &text,
                   std::string &err);
 
+// ----- Typed error frames ------------------------------------------
+//
+// The daemon's admission control answers with ERROR frames whose text
+// is a flat JSON object {"status": <code>, ...} so clients can tell a
+// *policy* rejection (queue full, draining) from a request diagnostic
+// (bad JSON, unknown network) without string-matching prose.  Plain
+// diagnostic ERROR frames stay free text; typedErrorStatus returns
+// false for them.
+
+/** ERROR frame whose text is {"status": "busy", "queue_depth": …,
+ *  "max_queue": …} — the admission queue is at capacity. */
+std::string encodeBusyError(std::uint64_t queueDepth,
+                            std::uint64_t maxQueue);
+
+/** ERROR frame whose text is {"status": "draining"} — the daemon is
+ *  shutting down and rejected the request or a queued entry. */
+std::string encodeDrainingError();
+
+/** Extract the "status" code from a typed error text.  False when the
+ *  text is not a typed error (free-text diagnostics, garbage). */
+bool typedErrorStatus(const std::string &text, std::string &code);
+
 } // namespace fidelity
 
 #endif // FIDELITY_SIM_SERVICE_PROTO_HH

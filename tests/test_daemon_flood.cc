@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Admission-control flood battery for the campaign daemon: 200 mixed
+ * requests — valid campaigns from four tenants, malformed JSON,
+ * semantically invalid requests, and slow-reader connections that
+ * never finish a frame — against a 2-worker, 8-slot daemon.  The
+ * contract: every request is answered (a response, a diagnostic, or a
+ * typed busy/draining rejection), the daemon never dies, its thread
+ * count stays bounded by the fixed pool (not by request count), the
+ * deficit-round-robin scheduler keeps per-tenant completions within
+ * 2x of each other, and every campaign response is bit-identical to
+ * the same campaign run in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "sim/service.hh"
+#include "sim/service_proto.hh"
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#endif
+
+using namespace fidelity;
+
+namespace
+{
+
+constexpr int kTenants = 4;
+constexpr int kThreadsPerTenant = 2;
+constexpr int kRequestsPerThread = 25; // 4 * 2 * 25 = 200 requests
+constexpr int kSeedsPerTenant = 2;
+
+std::string
+uniqueSocketPath()
+{
+    return "/tmp/fidflood-" + std::to_string(::getpid()) + ".sock";
+}
+
+std::string
+hexHash(std::uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/** The small campaign tenant `t` submits with its `which`-th seed;
+ *  seeds are disjoint across tenants so every tenant owns its
+ *  configs (and its single-flight merges). */
+ServiceRequest
+floodRequest(int tenant, int which)
+{
+    ServiceRequest req;
+    req.samplesPerCategory = 2;
+    req.shardGrain = 2;
+    req.seed =
+        100 + static_cast<std::uint64_t>(tenant) * kSeedsPerTenant +
+        static_cast<std::uint64_t>(which % kSeedsPerTenant);
+    req.tenant = "t" + std::to_string(tenant);
+    return req;
+}
+
+/** "key": "value" extraction from a flat JSON line. */
+std::string
+jsonStringValue(const std::string &doc, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const std::size_t at = doc.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t begin = at + needle.size();
+    const std::size_t end = doc.find('"', begin);
+    return doc.substr(begin, end - begin);
+}
+
+/** Current thread count of this process (Linux /proc). */
+int
+processThreadCount()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("Threads:", 0) == 0)
+            return std::atoi(line.c_str() + 8);
+    }
+    return -1;
+}
+
+#if !defined(_WIN32)
+
+/** A slow-loris connection: sends two bytes of a frame and then
+ *  stalls.  The daemon must shed it at the receive deadline instead
+ *  of dedicating any thread (or unbounded intake state) to it. */
+bool
+slowReaderIsShed(const std::string &socket_path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, socket_path.c_str(),
+                 sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    ::send(fd, "\x08\x00", 2, 0); // half a length prefix, then silence
+    // Drain until the daemon closes the connection (it first answers
+    // with an error frame naming the deadline).
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            break;
+        if (n < 0 && errno != EINTR) {
+            ::close(fd);
+            return false;
+        }
+    }
+    ::close(fd);
+    return true;
+}
+
+#endif // !defined(_WIN32)
+
+/** What one flood submission came back as. */
+struct Tally
+{
+    int ok = 0;
+    int busy = 0;
+    int invalid = 0;
+    int shed = 0;
+    int other = 0;
+    std::vector<std::string> failures;
+};
+
+} // namespace
+
+#if !defined(_WIN32)
+
+TEST(DaemonFlood, MixedTenantFloodIsFairBoundedAndBitIdentical)
+{
+    const std::string sock = uniqueSocketPath();
+
+    // Ground truth: every distinct campaign in the flood, in-process.
+    std::map<std::string, std::string> want_checksum; // cfg hash -> sum
+    for (int tenant = 0; tenant < kTenants; ++tenant) {
+        for (int which = 0; which < kSeedsPerTenant; ++which) {
+            ServiceRequest req = floodRequest(tenant, which);
+            Network net = buildServiceNetwork(req);
+            Tensor input = serviceInput(req);
+            CampaignConfig cfg = campaignConfigFor(req);
+            const std::uint64_t hash =
+                campaignConfigHash(net, input, cfg);
+            CampaignResult res =
+                runCampaign(net, input, serviceMetric(req), cfg);
+            want_checksum[hexHash(hash)] =
+                hexHash(campaignChecksum(res));
+        }
+    }
+
+    auto daemon = std::async(std::launch::async, [&] {
+        DaemonOptions dopts;
+        dopts.listenAddr = "unix:" + sock;
+        dopts.maxConcurrent = 2;
+        dopts.maxQueue = 8;
+        dopts.recvDeadlineSec = 0.5; // shed slow readers quickly
+        return runServiceDaemon(dopts);
+    });
+    {
+        std::string response, err;
+        for (int attempt = 0; attempt < 200; ++attempt) {
+            if (queryServiceStatus("unix:" + sock, response, err))
+                break;
+            ASSERT_LT(attempt, 199) << err;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
+
+    // Thread-count monitor: under the old thread-per-connection
+    // daemon the flood would grow the process by one thread per
+    // request; the worker-pool daemon must stay flat.
+    const int baseline_threads = processThreadCount();
+    ASSERT_GT(baseline_threads, 0);
+    std::atomic<int> max_threads{baseline_threads};
+    std::atomic<bool> monitoring{true};
+    std::thread monitor([&] {
+        while (monitoring.load()) {
+            const int now = processThreadCount();
+            int seen = max_threads.load();
+            while (now > seen &&
+                   !max_threads.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    });
+
+    std::vector<Tally> tallies(
+        static_cast<std::size_t>(kTenants * kThreadsPerTenant));
+    std::vector<std::thread> submitters;
+    for (int tenant = 0; tenant < kTenants; ++tenant) {
+        for (int lane = 0; lane < kThreadsPerTenant; ++lane) {
+            const int slot = tenant * kThreadsPerTenant + lane;
+            submitters.emplace_back([&, tenant, lane, slot] {
+                Tally &tally = tallies[static_cast<std::size_t>(slot)];
+                for (int i = 0; i < kRequestsPerThread; ++i) {
+                    if (i % 5 == 2) {
+                        // Malformed and semantically invalid requests
+                        // interleave with everyone's real work.
+                        const std::string bad =
+                            (i % 2 == 0)
+                                ? "definitely not json"
+                                : "{\"network\": \"vgg9000\"}";
+                        std::string response, err;
+                        if (!submitServiceRequest("unix:" + sock, bad,
+                                                  false, response,
+                                                  err) &&
+                            !err.empty())
+                            tally.invalid += 1;
+                        else
+                            tally.other += 1;
+                        continue;
+                    }
+                    if (i == 13) {
+                        if (slowReaderIsShed(sock))
+                            tally.shed += 1;
+                        else
+                            tally.other += 1;
+                        continue;
+                    }
+                    const ServiceRequest req =
+                        floodRequest(tenant, lane + i);
+                    std::string response, err;
+                    if (submitServiceRequest("unix:" + sock,
+                                             serviceRequestJson(req),
+                                             false, response, err)) {
+                        // A completion must be the bit-identical
+                        // campaign the in-process run produced.
+                        const std::string hash =
+                            jsonStringValue(response, "config_hash");
+                        const std::string sum = jsonStringValue(
+                            response, "campaign_checksum");
+                        auto it = want_checksum.find(hash);
+                        if (it != want_checksum.end() &&
+                            it->second == sum) {
+                            tally.ok += 1;
+                        } else {
+                            tally.other += 1;
+                            tally.failures.push_back(
+                                "checksum mismatch: " + response);
+                        }
+                        continue;
+                    }
+                    std::string code;
+                    if (typedErrorStatus(err, code) &&
+                        code == "busy") {
+                        tally.busy += 1;
+                    } else {
+                        tally.other += 1;
+                        tally.failures.push_back("unexpected: " +
+                                                 err);
+                    }
+                }
+            });
+        }
+    }
+    for (std::thread &t : submitters)
+        t.join();
+    monitoring.store(false);
+    monitor.join();
+
+    // Every request was answered with an expected verdict.
+    int total_ok = 0, total_busy = 0, total_invalid = 0,
+        total_shed = 0;
+    std::vector<int> ok_by_tenant(kTenants, 0);
+    for (int slot = 0;
+         slot < kTenants * kThreadsPerTenant; ++slot) {
+        const Tally &tally = tallies[static_cast<std::size_t>(slot)];
+        for (const std::string &f : tally.failures)
+            ADD_FAILURE() << "slot " << slot << ": " << f;
+        EXPECT_EQ(tally.other, 0);
+        total_ok += tally.ok;
+        total_busy += tally.busy;
+        total_invalid += tally.invalid;
+        total_shed += tally.shed;
+        ok_by_tenant[slot / kThreadsPerTenant] += tally.ok;
+    }
+    EXPECT_EQ(total_ok + total_busy + total_invalid + total_shed,
+              kTenants * kThreadsPerTenant * kRequestsPerThread);
+    EXPECT_EQ(total_invalid, kTenants * kThreadsPerTenant * 5);
+    EXPECT_EQ(total_shed, kTenants * kThreadsPerTenant);
+    EXPECT_GT(total_ok, 0);
+
+    // DRR fairness: identical demand from every tenant must yield
+    // completion counts within 2x of each other.
+    int min_ok = ok_by_tenant[0], max_ok = ok_by_tenant[0];
+    for (int t = 1; t < kTenants; ++t) {
+        min_ok = std::min(min_ok, ok_by_tenant[t]);
+        max_ok = std::max(max_ok, ok_by_tenant[t]);
+    }
+    EXPECT_GT(min_ok, 0);
+    EXPECT_LE(max_ok, 2 * min_ok)
+        << "tenant completions: " << ok_by_tenant[0] << " "
+        << ok_by_tenant[1] << " " << ok_by_tenant[2] << " "
+        << ok_by_tenant[3];
+
+    // Bounded threads: the daemon adds only its fixed pool (intake +
+    // 2 workers); the flood itself adds the 8 submitters + monitor.
+    // Generous slack still catches the thread-per-connection regime,
+    // which would add tens of threads at this request count.
+    EXPECT_LE(max_threads.load(), baseline_threads + 12)
+        << "baseline " << baseline_threads;
+
+    // The daemon survived and its status document saw the tenants.
+    std::string status, err;
+    ASSERT_TRUE(queryServiceStatus("unix:" + sock, status, err))
+        << err;
+    EXPECT_NE(status.find("\"daemon.admitted\""), std::string::npos);
+    EXPECT_NE(status.find("\"daemon.tenant.t0.admitted\""),
+              std::string::npos)
+        << status;
+    EXPECT_NE(status.find("\"daemon.queue_wait_s\""),
+              std::string::npos);
+
+    std::string response;
+    ASSERT_TRUE(
+        submitServiceRequest("unix:" + sock, "", true, response, err))
+        << err;
+    EXPECT_EQ(daemon.get(), 0);
+}
+
+#endif // !defined(_WIN32)

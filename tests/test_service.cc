@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/campaign.hh"
 #include "sim/checkpoint.hh"
+#include "sim/logging.hh"
 #include "sim/parse.hh"
 #include "sim/service.hh"
 #include "sim/service_proto.hh"
@@ -550,6 +552,116 @@ TEST(ServiceRequestParse, MalformedRequestsReturnErrorsNotDeath)
             EXPECT_NE(err.find(needle), std::string::npos) << err;
         }
     }
+}
+
+TEST(ServiceRequestParse, TenantRoundTripsAndStaysOutOfTheHash)
+{
+    // The tenant is a scheduling label: it must survive the JSON
+    // round trip but never perturb the campaign identity two workers
+    // agree on (or two tenants submitting the same campaign could
+    // not share a single-flight execution).
+    ServiceRequest in;
+    in.samplesPerCategory = 4;
+    in.shardGrain = 2;
+    in.tenant = "team-a_7";
+    const std::string json = serviceRequestJson(in);
+    EXPECT_NE(json.find("\"tenant\": \"team-a_7\""),
+              std::string::npos)
+        << json;
+    ServiceRequest out;
+    std::string err;
+    ASSERT_TRUE(tryParseServiceRequest(json, out, err)) << err;
+    EXPECT_EQ(out.tenant, "team-a_7");
+
+    ServiceRequest plain = in;
+    plain.tenant.clear();
+    // An empty tenant renders no key at all: pre-tenant request JSON
+    // and its parse/render closure stay byte-for-byte unchanged.
+    EXPECT_EQ(serviceRequestJson(plain).find("tenant"),
+              std::string::npos);
+
+    Network net = buildServiceNetwork(plain);
+    Tensor x = serviceInput(plain);
+    EXPECT_EQ(campaignConfigHash(net, x, campaignConfigFor(in)),
+              campaignConfigHash(net, x, campaignConfigFor(plain)));
+}
+
+TEST(ServiceRequestParse, HostileTenantNamesAreRejected)
+{
+    const std::vector<std::string> hostile = {
+        "has space", "dot.dot", "slash/", "a\"quote",
+        std::string(65, 'a')};
+    for (const std::string &tenant : hostile) {
+        SCOPED_TRACE("tenant: " + tenant);
+        ServiceRequest in;
+        in.tenant = tenant;
+        ServiceRequest out;
+        std::string err;
+        EXPECT_FALSE(
+            tryParseServiceRequest(serviceRequestJson(in), out, err));
+        EXPECT_NE(err.find("tenant"), std::string::npos) << err;
+    }
+}
+
+TEST(ServiceProto, TypedErrorFramesCarryAMachineReadableStatus)
+{
+    // Policy rejections (queue full, draining) must be telling a
+    // client something it can act on — distinguishable from free-text
+    // diagnostics without string matching on prose.
+    std::string text, err, code;
+    ASSERT_TRUE(tryParseText(decodeOne(encodeBusyError(8, 8)),
+                             FrameType::Error, text, err))
+        << err;
+    ASSERT_TRUE(typedErrorStatus(text, code)) << text;
+    EXPECT_EQ(code, "busy");
+    EXPECT_NE(text.find("\"queue_depth\": 8"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"max_queue\": 8"), std::string::npos)
+        << text;
+
+    ASSERT_TRUE(tryParseText(decodeOne(encodeDrainingError()),
+                             FrameType::Error, text, err))
+        << err;
+    ASSERT_TRUE(typedErrorStatus(text, code));
+    EXPECT_EQ(code, "draining");
+
+    // Prose diagnostics are not typed errors.
+    EXPECT_FALSE(typedErrorStatus("unknown network \"vgg9000\"", code));
+    EXPECT_FALSE(typedErrorStatus("{\"other\": \"json\"}", code));
+}
+
+TEST(FatalCapture, CaptureTurnsFatalIntoAThrownDiagnostic)
+{
+    // The daemon's request-isolation seam: under a ScopedFatalCapture
+    // a fatal() becomes a catchable FatalError on the same thread...
+    bool threw = false;
+    try {
+        ScopedFatalCapture capture;
+        fatal("checkpoint ", 7, " is corrupt");
+    } catch (const FatalError &e) {
+        threw = true;
+        EXPECT_STREQ(e.what(), "checkpoint 7 is corrupt");
+    }
+    EXPECT_TRUE(threw);
+
+    // ...and only on that thread: a capture here must not change what
+    // fatal() means on a concurrently running worker thread.
+    ScopedFatalCapture capture;
+    std::thread([] {
+        EXPECT_FALSE(ScopedFatalCapture::active());
+    }).join();
+
+    // Nested captures stay armed until the outermost one leaves.
+    {
+        ScopedFatalCapture inner;
+        EXPECT_TRUE(ScopedFatalCapture::active());
+    }
+    EXPECT_TRUE(ScopedFatalCapture::active());
+}
+
+TEST(FatalCapture, UncapturedFatalStillDies)
+{
+    EXPECT_DEATH(fatal("boom"), "boom");
 }
 
 TEST(ServiceRequestParse, IdentityKnobsSeparateConfigHashes)

@@ -474,3 +474,278 @@ TEST(ServiceResilience, DaemonSurvivesMalformedRequestsAndDrains)
     EXPECT_NE(response.find("draining"), std::string::npos);
     EXPECT_EQ(daemon.get(), 0);
 }
+
+namespace
+{
+
+/** Block until the daemon at `sock` answers its status op. */
+void
+waitForDaemon(const std::string &sock)
+{
+    std::string response, err;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        if (queryServiceStatus("unix:" + sock, response, err))
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    FAIL() << "daemon at " << sock << " never came up: " << err;
+}
+
+/** Submit on a helper thread; yields (ok, response-or-error). */
+std::future<std::pair<bool, std::string>>
+submitAsync(const std::string &sock, const ServiceRequest &req)
+{
+    const std::string json = serviceRequestJson(req);
+    return std::async(std::launch::async, [sock, json] {
+        std::string response, err;
+        const bool ok = submitServiceRequest("unix:" + sock, json,
+                                             false, response, err);
+        return std::make_pair(ok, ok ? response : err);
+    });
+}
+
+} // namespace
+
+TEST(ServiceResilience, DrainRejectsQueuedRequestsButFinishesExecuting)
+{
+    const std::string sock = uniqueSocketPath("drainq");
+    auto daemon = std::async(std::launch::async, [&] {
+        DaemonOptions dopts;
+        dopts.listenAddr = "unix:" + sock;
+        dopts.maxConcurrent = 1;
+        dopts.maxQueue = 8;
+        dopts.testServiceDelaySec = 1.5;
+        return runServiceDaemon(dopts);
+    });
+    waitForDaemon(sock);
+
+    // One request executes (the single worker pops it immediately);
+    // two more sit admitted-but-unstarted behind it.
+    ServiceRequest req = testRequest();
+    req.samplesPerCategory = 2;
+    req.shardGrain = 2;
+    auto executing = submitAsync(sock, req);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    ServiceRequest q1 = req, q2 = req;
+    q1.seed = 11;
+    q2.seed = 13;
+    auto queued1 = submitAsync(sock, q1);
+    auto queued2 = submitAsync(sock, q2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+    // DRAIN: admitted is not a promise to execute.  The in-flight
+    // campaign finishes; the queued ones get the typed rejection.
+    std::string response, err;
+    ASSERT_TRUE(submitServiceRequest("unix:" + sock, "", true,
+                                     response, err))
+        << err;
+
+    auto [ok, body] = executing.get();
+    EXPECT_TRUE(ok) << body;
+    EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos)
+        << body;
+    for (auto *f : {&queued1, &queued2}) {
+        auto [qok, qbody] = f->get();
+        EXPECT_FALSE(qok) << qbody;
+        std::string code;
+        ASSERT_TRUE(typedErrorStatus(qbody, code)) << qbody;
+        EXPECT_EQ(code, "draining");
+    }
+    EXPECT_EQ(daemon.get(), 0);
+}
+
+TEST(ServiceResilience, FullQueueAnswersTypedBusyRejection)
+{
+    const std::string sock = uniqueSocketPath("busy");
+    auto daemon = std::async(std::launch::async, [&] {
+        DaemonOptions dopts;
+        dopts.listenAddr = "unix:" + sock;
+        dopts.maxConcurrent = 1;
+        dopts.maxQueue = 1;
+        dopts.testServiceDelaySec = 1.5;
+        return runServiceDaemon(dopts);
+    });
+    waitForDaemon(sock);
+
+    ServiceRequest req = testRequest();
+    req.samplesPerCategory = 2;
+    req.shardGrain = 2;
+    auto executing = submitAsync(sock, req); // popped by the worker
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    ServiceRequest q1 = req;
+    q1.seed = 11;
+    auto queued = submitAsync(sock, q1); // fills the 1-slot queue
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+    // The third submission overflows the queue and is answered
+    // immediately with the typed busy error, not left hanging.
+    ServiceRequest q2 = req;
+    q2.seed = 13;
+    std::string response, err;
+    EXPECT_FALSE(submitServiceRequest("unix:" + sock,
+                                      serviceRequestJson(q2), false,
+                                      response, err));
+    std::string code;
+    ASSERT_TRUE(typedErrorStatus(err, code)) << err;
+    EXPECT_EQ(code, "busy");
+
+    // Admitted requests are unaffected by the rejection.
+    auto [ok1, body1] = executing.get();
+    EXPECT_TRUE(ok1) << body1;
+    auto [ok2, body2] = queued.get();
+    EXPECT_TRUE(ok2) << body2;
+
+    ASSERT_TRUE(submitServiceRequest("unix:" + sock, "", true,
+                                     response, err))
+        << err;
+    EXPECT_EQ(daemon.get(), 0);
+}
+
+TEST(ServiceResilience, CorruptCheckpointFailsOneRequestNotTheDaemon)
+{
+    const std::string sock = uniqueSocketPath("corrupt");
+    const std::string state_dir =
+        testing::TempDir() + "fidsvc-corrupt-" +
+        std::to_string(::getpid());
+    auto daemon = std::async(std::launch::async, [&] {
+        DaemonOptions dopts;
+        dopts.listenAddr = "unix:" + sock;
+        dopts.maxConcurrent = 2;
+        dopts.stateDir = state_dir;
+        return runServiceDaemon(dopts);
+    });
+    waitForDaemon(sock);
+
+    // A well-formed, semantically valid request whose hash-keyed
+    // checkpoint file holds garbage: resume hits fatal() inside the
+    // snapshot decoder.  The old daemon died here, taking every other
+    // campaign with it; now the fatal is captured and answers only
+    // this client.
+    ServiceRequest poisoned = testRequest();
+    poisoned.samplesPerCategory = 2;
+    poisoned.shardGrain = 2;
+    poisoned.seed = 21;
+    {
+        Network net = buildServiceNetwork(poisoned);
+        Tensor input = serviceInput(poisoned);
+        const std::uint64_t hash = campaignConfigHash(
+            net, input, campaignConfigFor(poisoned));
+        char name[64];
+        std::snprintf(name, sizeof(name),
+                      "/campaign-0x%016llx.fidckpt",
+                      static_cast<unsigned long long>(hash));
+        std::ofstream out(state_dir + name, std::ios::binary);
+        ASSERT_TRUE(out) << state_dir + name;
+        out << "this is not a campaign snapshot";
+    }
+
+    // A healthy campaign runs concurrently on the other worker.
+    ServiceRequest healthy = testRequest();
+    healthy.samplesPerCategory = 2;
+    healthy.shardGrain = 2;
+    healthy.seed = 22;
+    auto concurrent = submitAsync(sock, healthy);
+
+    std::string response, err;
+    EXPECT_FALSE(submitServiceRequest("unix:" + sock,
+                                      serviceRequestJson(poisoned),
+                                      false, response, err));
+    EXPECT_FALSE(err.empty());
+
+    // The concurrent campaign and later submissions are untouched.
+    auto [ok, body] = concurrent.get();
+    EXPECT_TRUE(ok) << body;
+    EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos)
+        << body;
+    ServiceRequest after = healthy;
+    after.seed = 23;
+    ASSERT_TRUE(submitServiceRequest("unix:" + sock,
+                                     serviceRequestJson(after), false,
+                                     response, err))
+        << err;
+    // With --state-dir the response embeds the manifest, whose
+    // execution metrics carry the daemon's per-request queue wait
+    // (CampaignConfig::serviceMetrics; the byte-compared "results"
+    // section never sees it).
+    EXPECT_NE(response.find("\"daemon.queue_wait_s\""),
+              std::string::npos)
+        << response;
+
+    ASSERT_TRUE(submitServiceRequest("unix:" + sock, "", true,
+                                     response, err))
+        << err;
+    EXPECT_EQ(daemon.get(), 0);
+}
+
+TEST(ServiceResilience, DuplicateSubmissionsShareOneExecution)
+{
+    const std::string sock = uniqueSocketPath("dedup");
+    auto daemon = std::async(std::launch::async, [&] {
+        DaemonOptions dopts;
+        dopts.listenAddr = "unix:" + sock;
+        dopts.maxConcurrent = 2;
+        // The delay synchronises the two pops far inside the race
+        // window: both workers sleep it off, then exactly one wins
+        // the single-flight insert and the other parks its socket.
+        dopts.testServiceDelaySec = 0.5;
+        return runServiceDaemon(dopts);
+    });
+    waitForDaemon(sock);
+
+    ServiceRequest req = testRequest();
+    req.samplesPerCategory = 2;
+    req.shardGrain = 2;
+    req.seed = 31;
+    auto first = submitAsync(sock, req);
+    auto second = submitAsync(sock, req);
+    auto [ok1, body1] = first.get();
+    auto [ok2, body2] = second.get();
+    ASSERT_TRUE(ok1) << body1;
+    ASSERT_TRUE(ok2) << body2;
+
+    // Same config hash, same campaign, same bytes: the duplicate's
+    // answer IS the leader's answer.
+    EXPECT_EQ(body1, body2);
+    EXPECT_NE(body1.find("\"campaign_checksum\""), std::string::npos);
+
+    std::string status, err;
+    ASSERT_TRUE(queryServiceStatus("unix:" + sock, status, err))
+        << err;
+    EXPECT_NE(status.find("\"daemon.dedup_joined\": 1"),
+              std::string::npos)
+        << status;
+
+    std::string response;
+    ASSERT_TRUE(submitServiceRequest("unix:" + sock, "", true,
+                                     response, err))
+        << err;
+    EXPECT_EQ(daemon.get(), 0);
+}
+
+#if !defined(_WIN32)
+
+TEST(ServiceResilience, SendDeadlineBoundsWritesToAWedgedPeer)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // Shrink the kernel buffers so the payload below cannot possibly
+    // fit, then never read from the peer: an unbounded send would
+    // block forever (the old daemon's slow-reader hang).
+    int snd = 4096;
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &snd, sizeof(snd));
+    const std::string payload(1 << 22, 'x');
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(sendBytesWithDeadline(fds[0], payload, 0.5));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_GE(elapsed, 0.4);
+    EXPECT_LT(elapsed, 5.0);
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+#endif // !defined(_WIN32)
